@@ -1,0 +1,191 @@
+// Command rtbench regenerates the paper's evaluation (Sect. 5.1,
+// Fig. 7) on this machine:
+//
+//	rtbench -panel a    # Fig. 7(a): execution-time distributions
+//	rtbench -panel b    # Fig. 7(b): median and jitter table
+//	rtbench -panel c    # Fig. 7(c): memory footprints
+//	rtbench -panel all  # everything
+//
+// The workload is the motivation example's complete iteration,
+// measured over steady-state observations on the four implementations
+// (hand-written OO, SOLEIL, MERGE-ALL, ULTRA-MERGE). Use -csv to dump
+// the raw panel-(a) samples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"soleil/internal/assembly"
+	"soleil/internal/evaluation"
+	"soleil/internal/fixture"
+	"soleil/internal/generate"
+	"soleil/internal/trace"
+)
+
+func main() {
+	panel := flag.String("panel", "all", "which Fig. 7 panel to regenerate: a, b, c or all")
+	observations := flag.Int("observations", evaluation.DefaultObservations, "steady-state observations per variant")
+	warmup := flag.Int("warmup", evaluation.DefaultWarmup, "cold-start transactions discarded")
+	buckets := flag.Int("buckets", 20, "histogram buckets for panel a")
+	csv := flag.Bool("csv", false, "emit raw panel-(a) samples as CSV")
+	flag.Parse()
+
+	if err := run(os.Stdout, *panel, *observations, *warmup, *buckets, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool) error {
+	wantTiming := panel == "a" || panel == "b" || panel == "all"
+	var timings []evaluation.TimingResult
+	if wantTiming {
+		fmt.Fprintf(w, "collecting %d observations per variant (%d warm-up) ...\n\n", observations, warmup)
+		var err error
+		timings, err = evaluation.MeasureAllTimings(warmup, observations)
+		if err != nil {
+			return err
+		}
+	}
+
+	switch panel {
+	case "a":
+		return panelA(w, timings, buckets, csv)
+	case "b":
+		return panelB(w, timings)
+	case "c":
+		return panelC(w)
+	case "all":
+		if err := panelA(w, timings, buckets, csv); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := panelB(w, timings); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return panelC(w)
+	default:
+		return fmt.Errorf("rtbench: unknown panel %q (want a, b, c or all)", panel)
+	}
+}
+
+func panelA(w io.Writer, timings []evaluation.TimingResult, buckets int, csv bool) error {
+	fmt.Fprintln(w, "=== Fig. 7(a): execution-time distribution ===")
+	var ooSamples []time.Duration
+	for _, r := range timings {
+		if r.Variant == "OO" {
+			ooSamples = r.Samples
+		}
+		if csv {
+			fmt.Fprintf(w, "# %s\n", r.Variant)
+			if err := trace.WriteCSV(w, r.Samples); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := trace.RenderHistogram(w, r.Variant, trace.Histogram(r.Samples, buckets)); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if csv {
+		return nil
+	}
+	// The paper's non-determinism claim: the framework adds a constant
+	// overhead, not new behaviour modes. Two views: tail heaviness
+	// (p99/median — a framework-induced mode would fatten the tail
+	// beyond the baseline's) and the median-aligned Kolmogorov-Smirnov
+	// distance to the OO curve (0 = identical shapes).
+	fmt.Fprintln(w, "determinism check (vs OO):")
+	fmt.Fprintf(w, "  %-12s %12s %10s\n", "variant", "p99/median", "KS vs OO")
+	for _, r := range timings {
+		ratio := float64(r.Summary.P99) / float64(r.Summary.Median)
+		if r.Variant == "OO" {
+			fmt.Fprintf(w, "  %-12s %12.2f %10s\n", r.Variant, ratio, "-")
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s %12.2f %10.3f\n",
+			r.Variant, ratio, trace.ShiftedKS(ooSamples, r.Samples))
+	}
+	return nil
+}
+
+// Fig. 7(b) reference values from the paper (µs, Pentium-4 2.66 GHz,
+// Sun RTS 2.1, RT-Preempt Linux).
+var paperB = map[string][2]float64{
+	"OO":          {31.9, 0.457},
+	"SOLEIL":      {33.5, 0.453},
+	"MERGE-ALL":   {33.3, 0.387},
+	"ULTRA-MERGE": {31.1, 0.384},
+}
+
+func panelB(w io.Writer, timings []evaluation.TimingResult) error {
+	fmt.Fprintln(w, "=== Fig. 7(b): execution time median and jitter ===")
+	fmt.Fprintf(w, "%-12s %14s %14s %10s | %12s %12s\n",
+		"variant", "median", "jitter", "Δ vs OO", "paper-median", "paper-jitter")
+	var ooMedian float64
+	for _, r := range timings {
+		if r.Variant == "OO" {
+			ooMedian = float64(r.Summary.Median)
+		}
+	}
+	for _, r := range timings {
+		delta := "-"
+		if r.Variant != "OO" && ooMedian > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (float64(r.Summary.Median)-ooMedian)/ooMedian*100)
+		}
+		ref := paperB[r.Variant]
+		fmt.Fprintf(w, "%-12s %14v %14v %10s | %9.1fµs %9.3fµs\n",
+			r.Variant, r.Summary.Median, r.Summary.Jitter, delta, ref[0], ref[1])
+	}
+	return nil
+}
+
+// Fig. 7(c) reference: the paper reports SOLEIL ≈ OO + 280 KB,
+// MERGE-ALL ≈ OO + 4.7 KB, ULTRA-MERGE below OO.
+func panelC(w io.Writer) error {
+	fmt.Fprintln(w, "=== Fig. 7(c): memory footprint ===")
+	results, err := evaluation.MeasureAllFootprints()
+	if err != nil {
+		return err
+	}
+	var oo int64
+	for _, r := range results {
+		if r.Variant == "OO" {
+			oo = r.Bytes
+		}
+	}
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "variant", "footprint", "Δ vs OO")
+	for _, r := range results {
+		delta := "-"
+		if r.Variant != "OO" {
+			delta = fmt.Sprintf("%+d B", r.Bytes-oo)
+		}
+		fmt.Fprintf(w, "%-12s %10d B %12s\n", r.Variant, r.Bytes, delta)
+	}
+	fmt.Fprintln(w, "paper: SOLEIL ≈ OO+280KB, MERGE-ALL ≈ OO+4.7KB, ULTRA-MERGE < OO")
+
+	// The ULTRA-MERGE compactness the paper reports at runtime shows
+	// up in this reproduction as generated-source compactness (Go has
+	// no per-class metadata to shed): emit the generator's size
+	// metrics alongside.
+	fmt.Fprintln(w, "\ngenerated infrastructure source (motivation example):")
+	arch, err := fixture.MotivationExample()
+	if err != nil {
+		return err
+	}
+	for _, mode := range []assembly.Mode{assembly.Soleil, assembly.MergeAll, assembly.UltraMerge} {
+		files, err := generate.Generate(arch, generate.Options{Mode: mode, Main: true})
+		if err != nil {
+			return err
+		}
+		report := generate.CheckRequirements(files, mode)
+		fmt.Fprintf(w, "%-12s %3d files %5d lines\n", mode, report.Files, report.Lines)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+// Command soleil is the framework's toolchain front end:
+//
+//	soleil validate <arch.xml>                 RTSJ conformance check
+//	soleil analyze <arch.xml>                  schedulability analysis
+//	soleil generate -mode M -out DIR <arch.xml>  emit infrastructure source
+//	soleil genreport <arch.xml>                Sect. 5.2 requirements report
+//	soleil suggest <arch.xml>                  apply suggested patterns, emit completed ADL
+//	soleil run -mode M -duration D <arch.xml>  deploy (stub contents) and simulate
+//
+// Modes: SOLEIL, MERGE-ALL, ULTRA-MERGE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"soleil/internal/adl"
+	"soleil/internal/assembly"
+	"soleil/internal/generate"
+	"soleil/internal/model"
+	"soleil/internal/rtsj/analysis"
+	"soleil/internal/validate"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: soleil <validate|analyze|generate|genreport|run> [flags] <arch.xml>")
+	}
+	switch args[0] {
+	case "validate":
+		return cmdValidate(args[1:])
+	case "analyze":
+		return cmdAnalyze(args[1:])
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "genreport":
+		return cmdGenReport(args[1:])
+	case "suggest":
+		return cmdSuggest(args[1:])
+	case "run":
+		return cmdRun(args[1:])
+	default:
+		return fmt.Errorf("soleil: unknown command %q", args[0])
+	}
+}
+
+// cmdSuggest applies the validator's cross-scope pattern suggestions
+// and re-emits the completed ADL on stdout — the design flow's
+// "possible solutions proposed" step as a batch tool.
+func cmdSuggest(args []string) error {
+	arch, err := loadArch(args)
+	if err != nil {
+		return err
+	}
+	changed, err := validate.ApplySuggestedPatterns(arch)
+	if err != nil {
+		return err
+	}
+	for _, b := range changed {
+		fmt.Fprintf(os.Stderr, "applied pattern %q to %s\n", b.Pattern, b)
+	}
+	if report := validate.Validate(arch); !report.OK() {
+		for _, d := range report.Errors() {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return fmt.Errorf("soleil: %d errors remain beyond pattern selection", len(report.Errors()))
+	}
+	return adl.Encode(os.Stdout, arch)
+}
+
+func loadArch(args []string) (*model.Architecture, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("soleil: expected exactly one architecture file, got %d args", len(args))
+	}
+	return adl.DecodeFile(args[0])
+}
+
+func cmdValidate(args []string) error {
+	arch, err := loadArch(args)
+	if err != nil {
+		return err
+	}
+	report := validate.Validate(arch)
+	for _, d := range report.Diagnostics {
+		fmt.Println(d)
+	}
+	if !report.OK() {
+		return fmt.Errorf("soleil: architecture %q violates RTSJ (%d errors)",
+			arch.Name(), len(report.Errors()))
+	}
+	fmt.Printf("architecture %q is RTSJ-compliant (%d components, %d bindings)\n",
+		arch.Name(), len(arch.Components()), len(arch.Bindings()))
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	arch, err := loadArch(args)
+	if err != nil {
+		return err
+	}
+	var tasks []analysis.Task
+	for _, c := range arch.ComponentsOfKind(model.Active) {
+		act := c.Activation()
+		if act.Kind != model.PeriodicActivation || act.Cost <= 0 {
+			continue
+		}
+		td, err := arch.EffectiveThreadDomain(c)
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, analysis.Task{
+			Name: c.Name(), Period: act.Period, Cost: act.Cost,
+			Deadline: act.Deadline, Priority: td.Domain().Priority,
+		})
+	}
+	if len(tasks) == 0 {
+		fmt.Println("no periodic components with cost budgets; nothing to analyze")
+		return nil
+	}
+	u := analysis.Utilization(tasks)
+	ok, _, bound := analysis.RMUtilizationTest(tasks)
+	fmt.Printf("utilization %.3f (Liu-Layland bound for n=%d: %.3f, sufficient test: %v)\n",
+		u, len(tasks), bound, ok)
+	rs, err := analysis.ResponseTimeAnalysis(tasks)
+	if err != nil {
+		return err
+	}
+	schedulable := true
+	for _, r := range rs {
+		status := "OK"
+		if !r.Schedulable {
+			status = "MISS"
+			schedulable = false
+		}
+		fmt.Printf("  %-20s worst-case response %10v  deadline %10v  [%s]\n",
+			r.Task, r.WorstCase, r.Deadline, status)
+	}
+	if !schedulable {
+		return fmt.Errorf("soleil: task set is not schedulable")
+	}
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	modeName := fs.String("mode", "SOLEIL", "generation mode: SOLEIL, MERGE-ALL or ULTRA-MERGE")
+	out := fs.String("out", "gen", "output directory")
+	withMain := fs.Bool("main", true, "emit a runnable main")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := assembly.ParseMode(*modeName)
+	if err != nil {
+		return err
+	}
+	arch, err := loadArch(fs.Args())
+	if err != nil {
+		return err
+	}
+	files, err := generate.Generate(arch, generate.Options{Mode: mode, Main: *withMain})
+	if err != nil {
+		return err
+	}
+	if err := generate.WriteFiles(*out, files); err != nil {
+		return err
+	}
+	for _, f := range files {
+		fmt.Printf("wrote %s/%s\n", *out, f.Name)
+	}
+	report := generate.CheckRequirements(files, mode)
+	return report.Render(os.Stdout)
+}
+
+func cmdGenReport(args []string) error {
+	arch, err := loadArch(args)
+	if err != nil {
+		return err
+	}
+	for _, mode := range []assembly.Mode{assembly.Soleil, assembly.MergeAll, assembly.UltraMerge} {
+		files, err := generate.Generate(arch, generate.Options{Mode: mode, Main: true})
+		if err != nil {
+			return err
+		}
+		report := generate.CheckRequirements(files, mode)
+		if err := report.Render(os.Stdout); err != nil {
+			return err
+		}
+		if !report.OK() {
+			return fmt.Errorf("soleil: mode %v fails the code-generation requirements", mode)
+		}
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	modeName := fs.String("mode", "SOLEIL", "infrastructure mode")
+	duration := fs.Duration("duration", 100*time.Millisecond, "virtual-time horizon")
+	traceN := fs.Int("trace", 0, "print the first N scheduling events (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := assembly.ParseMode(*modeName)
+	if err != nil {
+		return err
+	}
+	arch, err := loadArch(fs.Args())
+	if err != nil {
+		return err
+	}
+	sys, err := assembly.Deploy(arch, assembly.Config{Mode: mode, AllowStubs: true})
+	if err != nil {
+		return err
+	}
+	if *traceN > 0 {
+		sys.Scheduler().EnableTrace(*traceN)
+	}
+	if err := sys.RunFor(*duration); err != nil {
+		return err
+	}
+	if *traceN > 0 {
+		fmt.Println("schedule trace:")
+		if err := sys.Scheduler().WriteTrace(os.Stdout); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("simulated %v of %q in mode %v\n", *duration, arch.Name(), mode)
+	for _, c := range arch.ComponentsOfKind(model.Active) {
+		th, ok := sys.Thread(c.Name())
+		if !ok {
+			continue
+		}
+		st := th.Task().Stats()
+		fmt.Printf("  %-20s releases=%-5d completions=%-5d misses=%-3d maxResponse=%v\n",
+			c.Name(), st.Releases, st.Completions, st.Misses, st.MaxResponse)
+	}
+	f := sys.MemoryRuntime().Footprint()
+	fmt.Printf("  memory: immortal=%dB heap=%dB scoped-budget=%dB allocations=%d\n",
+		f.ImmortalBytes, f.HeapBytes, f.ScopedBudget, f.Allocations)
+	for _, b := range sys.Buffers() {
+		st := b.Stats()
+		fmt.Printf("  buffer %-40s enq=%-5d deq=%-5d dropped=%-3d maxDepth=%d\n",
+			b.Name(), st.Enqueued, st.Dequeued, st.Dropped, st.MaxDepth)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+// Adaptive: runtime adaptation of a deployed system (Sect. 4.2).
+//
+// The factory's monitoring system reports anomalies to a primary
+// worker console. At runtime — without stopping the system — the
+// adapter introspects the deployed membranes, rebinds the console
+// route to a backup console, and stops/restarts the audit component
+// through its lifecycle controller. Every adaptation is checked
+// against the RTSJ rules and recorded.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"soleil"
+)
+
+type consoleContent struct {
+	name      string
+	displayed int
+}
+
+func (c *consoleContent) Init(*soleil.Services) error { return nil }
+
+func (c *consoleContent) Invoke(env *soleil.Env, itf, op string, arg any) (any, error) {
+	c.displayed++
+	fmt.Printf("  [%s] %v\n", c.name, arg)
+	return nil, nil
+}
+
+type producerContent struct {
+	svc *soleil.Services
+	seq int
+}
+
+func (p *producerContent) Init(svc *soleil.Services) error { p.svc = svc; return nil }
+
+func (p *producerContent) Invoke(*soleil.Env, string, string, any) (any, error) {
+	return nil, fmt.Errorf("producer serves no interface")
+}
+
+func (p *producerContent) Activate(env *soleil.Env) error {
+	p.seq++
+	port, err := p.svc.Port("alerts")
+	if err != nil {
+		return err
+	}
+	_, err = port.Call(env, "display", fmt.Sprintf("alert #%d", p.seq))
+	return err
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Architecture: one sporadic alerting component bound to a
+	// primary console; a backup console stands by.
+	arch := soleil.NewArchitecture("adaptive")
+	alerter, err := arch.NewActive("Alerter", soleil.Activation{Kind: soleil.SporadicActivation})
+	if err != nil {
+		return err
+	}
+	if err := alerter.AddInterface(soleil.Interface{Name: "alerts", Role: soleil.ClientRole, Signature: "IDisplay"}); err != nil {
+		return err
+	}
+	if err := alerter.SetContent("AlerterImpl"); err != nil {
+		return err
+	}
+	mkConsole := func(name, class string) (*soleil.Component, error) {
+		c, err := arch.NewPassive(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.AddInterface(soleil.Interface{Name: "display", Role: soleil.ServerRole, Signature: "IDisplay"}); err != nil {
+			return nil, err
+		}
+		return c, c.SetContent(class)
+	}
+	primary, err := mkConsole("PrimaryConsole", "PrimaryImpl")
+	if err != nil {
+		return err
+	}
+	backup, err := mkConsole("BackupConsole", "BackupImpl")
+	if err != nil {
+		return err
+	}
+	if _, err := arch.Bind(soleil.Binding{
+		Client:   soleil.Endpoint{Component: "Alerter", Interface: "alerts"},
+		Server:   soleil.Endpoint{Component: "PrimaryConsole", Interface: "display"},
+		Protocol: soleil.Synchronous,
+	}); err != nil {
+		return err
+	}
+	td, err := arch.NewThreadDomain("rt", soleil.DomainDesc{Kind: soleil.RealtimeThread, Priority: 20})
+	if err != nil {
+		return err
+	}
+	imm, err := arch.NewMemoryArea("imm", soleil.AreaDesc{Kind: soleil.ImmortalMemory, Size: 128 << 10})
+	if err != nil {
+		return err
+	}
+	for _, e := range []struct{ p, c *soleil.Component }{
+		{imm, td}, {td, alerter}, {imm, primary}, {imm, backup},
+	} {
+		if err := arch.AddChild(e.p, e.c); err != nil {
+			return err
+		}
+	}
+	if report := soleil.Validate(arch); !report.OK() {
+		return fmt.Errorf("refused: %v", report.Errors())
+	}
+
+	// Deploy in SOLEIL mode — the mode that preserves membranes, and
+	// with them lifecycle control and introspection.
+	fw := soleil.New()
+	alerterImpl := &producerContent{}
+	primaryImpl := &consoleContent{name: "primary"}
+	backupImpl := &consoleContent{name: "backup "}
+	for class, content := range map[string]soleil.Content{
+		"AlerterImpl": alerterImpl, "PrimaryImpl": primaryImpl, "BackupImpl": backupImpl,
+	} {
+		content := content
+		if err := fw.Register(class, func() soleil.Content { return content }); err != nil {
+			return err
+		}
+	}
+	sys, err := fw.Deploy(arch, soleil.Soleil)
+	if err != nil {
+		return err
+	}
+	if err := sys.Start(); err != nil {
+		return err
+	}
+	env, closeEnv, err := sys.NewEnv(false)
+	if err != nil {
+		return err
+	}
+	defer closeEnv()
+	node, _ := sys.Node("Alerter")
+
+	adapter, err := fw.Adapt(sys)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("--- three alerts to the primary console ---")
+	for i := 0; i < 3; i++ {
+		if err := node.Activate(env); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("--- introspection ---")
+	snap := adapter.Introspect()
+	fmt.Printf("mode %v, %d components, %d reified areas\n",
+		snap.Mode, len(snap.Components), len(snap.Areas))
+	for _, c := range snap.Components {
+		fmt.Printf("  %-16s started=%v controllers=%v\n", c.Name, c.Started, c.Controllers)
+	}
+
+	fmt.Println("--- rebind alerts to the backup console ---")
+	if err := adapter.Rebind("Alerter", "alerts", "BackupConsole", "display"); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := node.Activate(env); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("--- lifecycle: stop the backup, alerts now fail fast ---")
+	if err := adapter.Stop("BackupConsole"); err != nil {
+		return err
+	}
+	if err := node.Activate(env); err != nil {
+		fmt.Println("  refused as expected:", err)
+	}
+	if err := adapter.Start("BackupConsole"); err != nil {
+		return err
+	}
+	if err := node.Activate(env); err != nil {
+		return err
+	}
+
+	fmt.Println("--- adaptation history ---")
+	for _, op := range adapter.History() {
+		status := "ok"
+		if op.Err != nil {
+			status = op.Err.Error()
+		}
+		fmt.Printf("  %-7s %-45s %s\n", op.Kind, op.Detail, status)
+	}
+	fmt.Printf("primary displayed %d, backup displayed %d\n",
+		primaryImpl.displayed, backupImpl.displayed)
+	return nil
+}

@@ -1,0 +1,206 @@
+// Distributed: two independently deployed systems joined by a
+// distributed asynchronous binding (the paper's future-work extension,
+// Sect. 7, built on the deep-copy discipline: only value messages
+// cross the node boundary).
+//
+// A telemetry producer runs in one system (hard-RT deployment); a
+// ground-station consumer runs in another. The producer's client
+// interface is exported over a loopback TCP transport; the consumer
+// imports it into its sink component.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"soleil"
+	"soleil/internal/dist"
+)
+
+// telemetry is the value message crossing the node boundary.
+type telemetry struct {
+	Seq     int
+	Reading float64
+}
+
+type producer struct {
+	svc *soleil.Services
+	seq int
+}
+
+func (p *producer) Init(svc *soleil.Services) error { p.svc = svc; return nil }
+
+func (p *producer) Invoke(*soleil.Env, string, string, any) (any, error) {
+	return nil, fmt.Errorf("producer serves nothing")
+}
+
+func (p *producer) Activate(env *soleil.Env) error {
+	p.seq++
+	port, err := p.svc.Port("downlink")
+	if err != nil {
+		return err
+	}
+	return port.Send(env, "telemetry", telemetry{Seq: p.seq, Reading: float64(p.seq) * 1.5})
+}
+
+type groundStation struct {
+	received []telemetry
+}
+
+func (g *groundStation) Init(*soleil.Services) error { return nil }
+
+func (g *groundStation) Invoke(env *soleil.Env, itf, op string, arg any) (any, error) {
+	t, ok := arg.(telemetry)
+	if !ok {
+		return nil, fmt.Errorf("ground station received %T", arg)
+	}
+	g.received = append(g.received, t)
+	return nil, nil
+}
+
+func buildProducerSystem(content soleil.Content) (*soleil.System, error) {
+	arch := soleil.NewArchitecture("spacecraft")
+	src, err := arch.NewActive("Telemetry", soleil.Activation{Kind: soleil.SporadicActivation})
+	if err != nil {
+		return nil, err
+	}
+	if err := src.AddInterface(soleil.Interface{Name: "downlink", Role: soleil.ClientRole, Signature: "ITelemetry"}); err != nil {
+		return nil, err
+	}
+	if err := src.SetContent("TelemetryImpl"); err != nil {
+		return nil, err
+	}
+	td, err := arch.NewThreadDomain("rt", soleil.DomainDesc{Kind: soleil.NoHeapRealtimeThread, Priority: 28})
+	if err != nil {
+		return nil, err
+	}
+	imm, err := arch.NewMemoryArea("imm", soleil.AreaDesc{Kind: soleil.ImmortalMemory, Size: 64 << 10})
+	if err != nil {
+		return nil, err
+	}
+	if err := arch.AddChild(imm, td); err != nil {
+		return nil, err
+	}
+	if err := arch.AddChild(td, src); err != nil {
+		return nil, err
+	}
+	fw := soleil.New()
+	if err := fw.Register("TelemetryImpl", func() soleil.Content { return content }); err != nil {
+		return nil, err
+	}
+	return fw.Deploy(arch, soleil.Soleil)
+}
+
+func buildConsumerSystem(content soleil.Content) (*soleil.System, error) {
+	arch := soleil.NewArchitecture("ground")
+	snk, err := arch.NewPassive("Station")
+	if err != nil {
+		return nil, err
+	}
+	if err := snk.AddInterface(soleil.Interface{Name: "uplink", Role: soleil.ServerRole, Signature: "ITelemetry"}); err != nil {
+		return nil, err
+	}
+	if err := snk.SetContent("StationImpl"); err != nil {
+		return nil, err
+	}
+	heap, err := arch.NewMemoryArea("heap", soleil.AreaDesc{Kind: soleil.HeapMemory})
+	if err != nil {
+		return nil, err
+	}
+	if err := arch.AddChild(heap, snk); err != nil {
+		return nil, err
+	}
+	fw := soleil.New()
+	if err := fw.Register("StationImpl", func() soleil.Content { return content }); err != nil {
+		return nil, err
+	}
+	return fw.Deploy(arch, soleil.Soleil)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dist.RegisterPayload(telemetry{})
+
+	prodContent := &producer{}
+	station := &groundStation{}
+	producerSys, err := buildProducerSystem(prodContent)
+	if err != nil {
+		return err
+	}
+	consumerSys, err := buildConsumerSystem(station)
+	if err != nil {
+		return err
+	}
+
+	// Join the two systems over loopback TCP.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	clientConn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	serverConn := <-accepted
+
+	if err := dist.Export(producerSys, "Telemetry", "downlink", "uplink", dist.NewConn(clientConn)); err != nil {
+		return err
+	}
+	importer, err := dist.Import(consumerSys, "Station", dist.NewConn(serverConn))
+	if err != nil {
+		return err
+	}
+	if err := producerSys.Start(); err != nil {
+		return err
+	}
+	if err := consumerSys.Start(); err != nil {
+		return err
+	}
+	go importer.Serve()
+
+	// Drive eight telemetry frames from the producer side.
+	env, closeEnv, err := producerSys.NewEnv(false)
+	if err != nil {
+		return err
+	}
+	defer closeEnv()
+	node, _ := producerSys.Node("Telemetry")
+	for i := 0; i < 8; i++ {
+		if err := node.Activate(env); err != nil {
+			return err
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for importer.Delivered() < 8 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	_ = clientConn.Close()
+	importer.Wait()
+	if err := importer.Err(); err != nil {
+		return err
+	}
+
+	fmt.Printf("ground station received %d frames over TCP:\n", len(station.received))
+	for _, t := range station.received {
+		fmt.Printf("  frame %d: reading %.1f\n", t.Seq, t.Reading)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// Factory: the paper's motivation example (Sect. 2.2, Fig. 4) loaded
+// from its XML architecture description and executed on the simulated
+// RTSJ runtime in all three infrastructure modes.
+//
+// A production line emits a measurement every 10 ms on a no-heap
+// real-time thread (priority 30, immortal memory). A monitoring
+// system (NHRT, priority 25) evaluates each measurement; anomalies go
+// synchronously to a worker console living in a 28 KB scoped memory
+// (entered via the scope-enter pattern), and every measurement is
+// forwarded asynchronously to a non-real-time audit log on a regular
+// heap thread.
+//
+//	go run ./examples/factory
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"soleil"
+)
+
+// measurement is the production line's message.
+type measurement struct {
+	Seq   int
+	Value float64
+}
+
+// DeepCopy supports the deep-copy pattern on cross-area bindings.
+func (m measurement) DeepCopy() any { return m }
+
+// productionLine emits one measurement per period; every 8th breaches
+// the threshold.
+type productionLine struct {
+	svc *soleil.Services
+	seq int
+}
+
+func (p *productionLine) Init(svc *soleil.Services) error { p.svc = svc; return nil }
+
+func (p *productionLine) Invoke(*soleil.Env, string, string, any) (any, error) {
+	return nil, fmt.Errorf("production line serves no interface")
+}
+
+func (p *productionLine) Activate(env *soleil.Env) error {
+	p.seq++
+	value := float64(p.seq%8) * 12 // 0..84; seq%8==7 -> 84? keep below
+	if p.seq%8 == 0 {
+		value = 97 // anomaly
+	}
+	port, err := p.svc.Port("iMonitor")
+	if err != nil {
+		return err
+	}
+	if err := port.Send(env, "report", measurement{Seq: p.seq, Value: value}); err != nil {
+		return err
+	}
+	// Model the production cycle's CPU demand: the monitoring thread
+	// (priority 25) is released by the Send above but cannot start
+	// until this NHRT (priority 30) finishes its 1ms of work.
+	return env.Sched().Consume(time.Millisecond)
+}
+
+// monitoringSystem evaluates measurements against a threshold.
+type monitoringSystem struct {
+	svc       *soleil.Services
+	evaluated int
+}
+
+func (m *monitoringSystem) Init(svc *soleil.Services) error { m.svc = svc; return nil }
+
+func (m *monitoringSystem) Invoke(env *soleil.Env, itf, op string, arg any) (any, error) {
+	meas, ok := arg.(measurement)
+	if !ok {
+		return nil, fmt.Errorf("monitoring system received %T", arg)
+	}
+	m.evaluated++
+	// Model the evaluation cost.
+	if tc := env.Sched(); tc != nil {
+		if err := tc.Consume(500 * time.Microsecond); err != nil {
+			return nil, err
+		}
+	}
+	if meas.Value > 90 {
+		console, err := m.svc.Port("iConsole")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := console.Call(env, "display", meas); err != nil {
+			return nil, err
+		}
+	}
+	audit, err := m.svc.Port("iLog")
+	if err != nil {
+		return nil, err
+	}
+	return nil, audit.Send(env, "log", meas)
+}
+
+// console renders alerts inside its scoped memory.
+type console struct {
+	alerts []string
+}
+
+func (c *console) Init(*soleil.Services) error { return nil }
+
+func (c *console) Invoke(env *soleil.Env, itf, op string, arg any) (any, error) {
+	meas := arg.(measurement)
+	line := fmt.Sprintf("ALERT seq=%d value=%.1f", meas.Seq, meas.Value)
+	// This allocation lands in the console's 28 KB scope and is
+	// reclaimed when the invocation leaves it.
+	if _, err := env.Mem().Alloc(int64(len(line)), line); err != nil {
+		return nil, err
+	}
+	c.alerts = append(c.alerts, line)
+	return nil, nil
+}
+
+// audit records every measurement on the heap.
+type audit struct {
+	logged int
+}
+
+func (a *audit) Init(*soleil.Services) error { return nil }
+
+func (a *audit) Invoke(env *soleil.Env, itf, op string, arg any) (any, error) {
+	a.logged++
+	return nil, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	path := filepath.Join("examples", "factory", "factory.xml")
+	if _, err := os.Stat(path); err != nil {
+		path = "factory.xml" // run from the example directory
+	}
+
+	for _, mode := range []soleil.Mode{soleil.Soleil, soleil.MergeAll, soleil.UltraMerge} {
+		fw := soleil.New()
+		arch, err := fw.LoadADL(path)
+		if err != nil {
+			return err
+		}
+		if report := fw.Validate(arch); !report.OK() {
+			return fmt.Errorf("architecture refused: %v", report.Errors())
+		}
+
+		pl := &productionLine{}
+		ms := &monitoringSystem{}
+		con := &console{}
+		aud := &audit{}
+		for class, content := range map[string]soleil.Content{
+			"ProductionLineImpl": pl, "MonitoringSystemImpl": ms,
+			"ConsoleImpl": con, "AuditImpl": aud,
+		} {
+			content := content
+			if err := fw.Register(class, func() soleil.Content { return content }); err != nil {
+				return err
+			}
+		}
+
+		sys, err := fw.Deploy(arch, mode)
+		if err != nil {
+			return err
+		}
+		if err := sys.RunFor(155 * time.Millisecond); err != nil {
+			return err
+		}
+
+		fmt.Printf("=== mode %v ===\n", mode)
+		fmt.Printf("  produced=%d evaluated=%d alerts=%d logged=%d\n",
+			pl.seq, ms.evaluated, len(con.alerts), aud.logged)
+		for _, a := range con.alerts {
+			fmt.Println("   ", a)
+		}
+		mon, _ := sys.Thread("MonitoringSystem")
+		st := mon.Task().Stats()
+		fmt.Printf("  monitoring thread: releases=%d maxResponse=%v startLatency=%v\n",
+			st.Releases, st.MaxResponse, st.MaxStartLatency)
+		scope, _ := sys.MemoryRuntime().Scope("cscope")
+		fmt.Printf("  console scope: %d allocations, %d bytes live after run\n",
+			scope.Allocations(), scope.Consumed())
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Quickstart: a minimal two-component real-time system built with the
+// public API — a periodic sensor (no-heap real-time thread, immortal
+// memory) streaming readings to a sporadic logger (regular thread,
+// heap) over an asynchronous binding.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"soleil"
+)
+
+// sensor is the periodic producer content.
+type sensor struct {
+	svc *soleil.Services
+	seq int
+}
+
+func (s *sensor) Init(svc *soleil.Services) error {
+	s.svc = svc
+	return nil
+}
+
+func (s *sensor) Invoke(env *soleil.Env, itf, op string, arg any) (any, error) {
+	return nil, fmt.Errorf("sensor serves no interface")
+}
+
+func (s *sensor) Activate(env *soleil.Env) error {
+	s.seq++
+	out, err := s.svc.Port("readings")
+	if err != nil {
+		return err
+	}
+	return out.Send(env, "record", fmt.Sprintf("reading #%d", s.seq))
+}
+
+// logger is the sporadic consumer content.
+type logger struct {
+	records []string
+}
+
+func (l *logger) Init(svc *soleil.Services) error { return nil }
+
+func (l *logger) Invoke(env *soleil.Env, itf, op string, arg any) (any, error) {
+	l.records = append(l.records, fmt.Sprint(arg))
+	return nil, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Describe the architecture: business first, then the RTSJ
+	//    concerns as ThreadDomain / MemoryArea components.
+	arch := soleil.NewArchitecture("quickstart")
+	sen, err := arch.NewActive("Sensor", soleil.Activation{
+		Kind: soleil.PeriodicActivation, Period: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	log, err := arch.NewActive("Logger", soleil.Activation{Kind: soleil.SporadicActivation})
+	if err != nil {
+		return err
+	}
+	if err := sen.AddInterface(soleil.Interface{Name: "readings", Role: soleil.ClientRole, Signature: "IRecord"}); err != nil {
+		return err
+	}
+	if err := log.AddInterface(soleil.Interface{Name: "in", Role: soleil.ServerRole, Signature: "IRecord"}); err != nil {
+		return err
+	}
+	if err := sen.SetContent("SensorImpl"); err != nil {
+		return err
+	}
+	if err := log.SetContent("LoggerImpl"); err != nil {
+		return err
+	}
+	if _, err := arch.Bind(soleil.Binding{
+		Client:   soleil.Endpoint{Component: "Sensor", Interface: "readings"},
+		Server:   soleil.Endpoint{Component: "Logger", Interface: "in"},
+		Protocol: soleil.Asynchronous, BufferSize: 8,
+	}); err != nil {
+		return err
+	}
+
+	// Non-functional view: the sensor is hard real-time (NHRT in
+	// immortal memory), the logger is a regular heap thread.
+	nhrt, err := arch.NewThreadDomain("rtDomain", soleil.DomainDesc{Kind: soleil.NoHeapRealtimeThread, Priority: 30})
+	if err != nil {
+		return err
+	}
+	reg, err := arch.NewThreadDomain("regDomain", soleil.DomainDesc{Kind: soleil.RegularThread, Priority: 5})
+	if err != nil {
+		return err
+	}
+	imm, err := arch.NewMemoryArea("imm", soleil.AreaDesc{Kind: soleil.ImmortalMemory, Size: 64 << 10})
+	if err != nil {
+		return err
+	}
+	heap, err := arch.NewMemoryArea("heap", soleil.AreaDesc{Kind: soleil.HeapMemory})
+	if err != nil {
+		return err
+	}
+	for _, edge := range []struct{ p, c *soleil.Component }{
+		{imm, nhrt}, {nhrt, sen}, {heap, reg}, {reg, log},
+	} {
+		if err := arch.AddChild(edge.p, edge.c); err != nil {
+			return err
+		}
+	}
+
+	// 2. Validate RTSJ conformance. The binding crosses from immortal
+	//    to heap memory, so the validator demands a cross-scope
+	//    communication pattern and proposes one; apply the suggestion
+	//    and re-validate.
+	report := soleil.Validate(arch)
+	for _, d := range report.Errors() {
+		fmt.Println("validator:", d)
+	}
+	if changed, err := soleil.ApplySuggestedPatterns(arch); err != nil {
+		return err
+	} else {
+		for _, b := range changed {
+			fmt.Printf("applied pattern %q to %s\n", b.Pattern, b)
+		}
+	}
+	if report = soleil.Validate(arch); !report.OK() {
+		return fmt.Errorf("architecture still refused: %v", report.Errors())
+	}
+	fmt.Println("architecture is RTSJ-compliant")
+
+	// 3. Register contents and deploy.
+	fw := soleil.New()
+	loggerContent := &logger{}
+	if err := fw.Register("SensorImpl", func() soleil.Content { return &sensor{} }); err != nil {
+		return err
+	}
+	if err := fw.Register("LoggerImpl", func() soleil.Content { return loggerContent }); err != nil {
+		return err
+	}
+	sys, err := fw.Deploy(arch, soleil.Soleil)
+	if err != nil {
+		return err
+	}
+
+	// 4. Run 95ms of simulated time: ten 10ms sensor periods.
+	if err := sys.RunFor(95 * time.Millisecond); err != nil {
+		return err
+	}
+	fmt.Printf("logger received %d records:\n", len(loggerContent.records))
+	for _, r := range loggerContent.records {
+		fmt.Println(" ", r)
+	}
+	th, _ := sys.Thread("Sensor")
+	st := th.Task().Stats()
+	fmt.Printf("sensor: releases=%d completions=%d misses=%d\n", st.Releases, st.Completions, st.Misses)
+	return nil
+}

@@ -1,0 +1,177 @@
+// Tailoring: one business architecture, several real-time
+// deployments (Sect. 3.2).
+//
+// The paper's design methodology keeps the functional (business) view
+// separate from the thread and memory management views, so "the
+// execution characteristics of systems can be smoothly changed by
+// designing several different assemblies of components into
+// ThreadDomains and MemoryAreas". This example takes a single
+// business view of the factory and deploys it twice:
+//
+//   - hard real-time: NHRT threads in immortal memory, console in a
+//     scope — the Fig. 4 deployment;
+//   - soft real-time: everything on regular heap threads.
+//
+// Both deployments run the same content classes; only the views
+// differ.
+//
+//	go run ./examples/tailoring
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"soleil"
+)
+
+// relay forwards everything it receives to its single client port if
+// one is bound, counting traffic.
+type relay struct {
+	svc  *soleil.Services
+	out  string
+	seen int
+}
+
+func newRelay(out string) *relay { return &relay{out: out} }
+
+func (r *relay) Init(svc *soleil.Services) error { r.svc = svc; return nil }
+
+func (r *relay) Invoke(env *soleil.Env, itf, op string, arg any) (any, error) {
+	r.seen++
+	if r.out == "" {
+		return arg, nil
+	}
+	port, err := r.svc.Port(r.out)
+	if err != nil {
+		return nil, err
+	}
+	return nil, port.Send(env, op, arg)
+}
+
+// ticker produces one message per period.
+type ticker struct {
+	relay
+	seq int
+}
+
+func (t *ticker) Activate(env *soleil.Env) error {
+	t.seq++
+	port, err := t.svc.Port(t.out)
+	if err != nil {
+		return err
+	}
+	return port.Send(env, "tick", t.seq)
+}
+
+func business() soleil.BusinessView {
+	return soleil.BusinessView{
+		Name: "pipeline",
+		Components: []soleil.BusinessComponent{
+			{Name: "Source", Kind: soleil.ActiveKind,
+				Activation: soleil.Activation{Kind: soleil.PeriodicActivation, Period: 10 * time.Millisecond},
+				Content:    "SourceImpl",
+				Interfaces: []soleil.Interface{{Name: "out", Role: soleil.ClientRole, Signature: "ITick"}}},
+			{Name: "Stage", Kind: soleil.ActiveKind,
+				Activation: soleil.Activation{Kind: soleil.SporadicActivation},
+				Content:    "StageImpl",
+				Interfaces: []soleil.Interface{
+					{Name: "in", Role: soleil.ServerRole, Signature: "ITick"},
+					{Name: "out", Role: soleil.ClientRole, Signature: "ITick"}}},
+			{Name: "Sink", Kind: soleil.ActiveKind,
+				Activation: soleil.Activation{Kind: soleil.SporadicActivation},
+				Content:    "SinkImpl",
+				Interfaces: []soleil.Interface{{Name: "in", Role: soleil.ServerRole, Signature: "ITick"}}},
+		},
+		Bindings: []soleil.Binding{
+			{Client: soleil.Endpoint{Component: "Source", Interface: "out"},
+				Server:   soleil.Endpoint{Component: "Stage", Interface: "in"},
+				Protocol: soleil.Asynchronous, BufferSize: 8},
+			{Client: soleil.Endpoint{Component: "Stage", Interface: "out"},
+				Server:   soleil.Endpoint{Component: "Sink", Interface: "in"},
+				Protocol: soleil.Asynchronous, BufferSize: 8},
+		},
+	}
+}
+
+// hardRT deploys the pipeline under hard real-time constraints.
+func hardRT() (soleil.ThreadView, soleil.MemoryView) {
+	return soleil.ThreadView{Domains: []soleil.DomainAssignment{
+			{Name: "nhrtHigh", Desc: soleil.DomainDesc{Kind: soleil.NoHeapRealtimeThread, Priority: 32}, Members: []string{"Source"}},
+			{Name: "nhrtMid", Desc: soleil.DomainDesc{Kind: soleil.NoHeapRealtimeThread, Priority: 26}, Members: []string{"Stage"}},
+			{Name: "rtLow", Desc: soleil.DomainDesc{Kind: soleil.RealtimeThread, Priority: 18}, Members: []string{"Sink"}},
+		}},
+		soleil.MemoryView{Areas: []soleil.AreaAssignment{
+			{Name: "imm", Desc: soleil.AreaDesc{Kind: soleil.ImmortalMemory, Size: 256 << 10},
+				Members: []string{"nhrtHigh", "nhrtMid", "rtLow"}},
+		}}
+}
+
+// softRT deploys the same pipeline as an ordinary application.
+func softRT() (soleil.ThreadView, soleil.MemoryView) {
+	return soleil.ThreadView{Domains: []soleil.DomainAssignment{
+			{Name: "workers", Desc: soleil.DomainDesc{Kind: soleil.RegularThread, Priority: 5},
+				Members: []string{"Source", "Stage", "Sink"}},
+		}},
+		soleil.MemoryView{Areas: []soleil.AreaAssignment{
+			{Name: "heap", Desc: soleil.AreaDesc{Kind: soleil.HeapMemory},
+				Members: []string{"workers"}},
+		}}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func deployAndRun(label string, tv soleil.ThreadView, mv soleil.MemoryView) error {
+	fw := soleil.New()
+	arch, report, err := fw.Design(business(), tv, mv)
+	if err != nil {
+		return fmt.Errorf("%s: %w", label, err)
+	}
+	if !report.OK() {
+		return fmt.Errorf("%s: %v", label, report.Errors())
+	}
+	source := &ticker{relay: *newRelay("out")}
+	stage := newRelay("out")
+	sink := newRelay("")
+	for class, content := range map[string]soleil.Content{
+		"SourceImpl": source, "StageImpl": stage, "SinkImpl": sink,
+	} {
+		content := content
+		if err := fw.Register(class, func() soleil.Content { return content }); err != nil {
+			return err
+		}
+	}
+	sys, err := fw.Deploy(arch, soleil.MergeAll)
+	if err != nil {
+		return err
+	}
+	if err := sys.RunFor(95 * time.Millisecond); err != nil {
+		return err
+	}
+	fmt.Printf("=== %s ===\n", label)
+	fmt.Printf("  source ticks=%d stage relayed=%d sink received=%d\n",
+		source.seq, stage.seen, sink.seen)
+	for _, name := range []string{"Source", "Stage", "Sink"} {
+		th, ok := sys.Thread(name)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-7s kind=%-8v releases=%d\n", name, th.Kind(), th.Task().Stats().Releases)
+	}
+	return nil
+}
+
+func run() error {
+	tv, mv := hardRT()
+	if err := deployAndRun("hard real-time tailoring (NHRT, immortal)", tv, mv); err != nil {
+		return err
+	}
+	tv, mv = softRT()
+	return deployAndRun("soft tailoring (regular threads, heap)", tv, mv)
+}

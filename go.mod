@@ -1,0 +1,3 @@
+module soleil
+
+go 1.22

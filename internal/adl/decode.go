@@ -1,0 +1,272 @@
+package adl
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"soleil/internal/model"
+)
+
+// Decode parses an ADL document into an architecture.
+func Decode(r io.Reader) (*model.Architecture, error) {
+	var doc xmlArchitecture
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("adl: parse: %w", err)
+	}
+	return build(&doc)
+}
+
+// DecodeString parses an ADL document held in a string.
+func DecodeString(s string) (*model.Architecture, error) {
+	return Decode(strings.NewReader(s))
+}
+
+// DecodeFile parses the ADL document at path.
+func DecodeFile(path string) (*model.Architecture, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+func build(doc *xmlArchitecture) (*model.Architecture, error) {
+	name := doc.Name
+	if name == "" {
+		name = "architecture"
+	}
+	a := model.NewArchitecture(name)
+
+	// Pass 1: functional component definitions.
+	for _, x := range doc.Actives {
+		if err := buildActive(a, x); err != nil {
+			return nil, err
+		}
+	}
+	for _, x := range doc.Passives {
+		if err := buildPassive(a, x); err != nil {
+			return nil, err
+		}
+	}
+	for _, x := range doc.Composites {
+		c, err := a.NewComposite(x.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := addInterfaces(c, x.Interfaces); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2: composite membership (functional hierarchy).
+	for _, x := range doc.Composites {
+		parent, _ := a.Component(x.Name)
+		refs := collectRefs(x.ActiveRefs, x.PassiveRefs, x.CompositeRefs)
+		if err := addChildren(a, parent, refs); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 3: bindings.
+	for _, x := range doc.Bindings {
+		if err := buildBinding(a, x); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 4: non-functional containers.
+	for _, x := range doc.Domains {
+		if _, err := buildDomain(a, x); err != nil {
+			return nil, err
+		}
+	}
+	for _, x := range doc.Areas {
+		if _, err := buildArea(a, x); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+func parseDuration(attr, what, comp string) (time.Duration, error) {
+	if attr == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(attr)
+	if err != nil {
+		return 0, fmt.Errorf("adl: component %q: invalid %s %q: %w", comp, what, attr, err)
+	}
+	return d, nil
+}
+
+func buildActive(a *model.Architecture, x xmlActive) error {
+	kind, err := model.ParseActivationKind(x.Type)
+	if err != nil {
+		return fmt.Errorf("adl: component %q: %w", x.Name, err)
+	}
+	period, err := parseDuration(x.Periodicity, "periodicity", x.Name)
+	if err != nil {
+		return err
+	}
+	deadline, err := parseDuration(x.Deadline, "deadline", x.Name)
+	if err != nil {
+		return err
+	}
+	cost, err := parseDuration(x.Cost, "cost", x.Name)
+	if err != nil {
+		return err
+	}
+	c, err := a.NewActive(x.Name, model.Activation{
+		Kind: kind, Period: period, Deadline: deadline, Cost: cost,
+	})
+	if err != nil {
+		return err
+	}
+	if err := addInterfaces(c, x.Interfaces); err != nil {
+		return err
+	}
+	if x.Content != nil {
+		return c.SetContent(x.Content.Class)
+	}
+	return nil
+}
+
+func buildPassive(a *model.Architecture, x xmlPassive) error {
+	c, err := a.NewPassive(x.Name)
+	if err != nil {
+		return err
+	}
+	if err := addInterfaces(c, x.Interfaces); err != nil {
+		return err
+	}
+	if x.Content != nil {
+		return c.SetContent(x.Content.Class)
+	}
+	return nil
+}
+
+func addInterfaces(c *model.Component, itfs []xmlInterface) error {
+	for _, it := range itfs {
+		role, err := model.ParseRole(it.Role)
+		if err != nil {
+			return fmt.Errorf("adl: component %q interface %q: %w", c.Name(), it.Name, err)
+		}
+		err = c.AddInterface(model.Interface{Name: it.Name, Role: role, Signature: it.Signature})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func collectRefs(groups ...[]xmlRef) []string {
+	var out []string
+	for _, g := range groups {
+		for _, r := range g {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+func addChildren(a *model.Architecture, parent *model.Component, names []string) error {
+	for _, n := range names {
+		child, ok := a.Component(n)
+		if !ok {
+			return fmt.Errorf("adl: container %q references unknown component %q", parent.Name(), n)
+		}
+		if err := a.AddChild(parent, child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func buildBinding(a *model.Architecture, x xmlBinding) error {
+	if x.Desc == nil {
+		return fmt.Errorf("adl: binding %s.%s -> %s.%s lacks a BindDesc",
+			x.Client.Component, x.Client.Interface, x.Server.Component, x.Server.Interface)
+	}
+	proto, err := model.ParseProtocol(x.Desc.Protocol)
+	if err != nil {
+		return err
+	}
+	_, err = a.Bind(model.Binding{
+		Client:     model.Endpoint{Component: x.Client.Component, Interface: x.Client.Interface},
+		Server:     model.Endpoint{Component: x.Server.Component, Interface: x.Server.Interface},
+		Protocol:   proto,
+		BufferSize: x.Desc.BufferSize,
+		Pattern:    x.Desc.Pattern,
+	})
+	return err
+}
+
+func buildDomain(a *model.Architecture, x xmlThreadDomain) (*model.Component, error) {
+	if x.Desc == nil {
+		return nil, fmt.Errorf("adl: thread domain %q lacks a DomainDesc", x.Name)
+	}
+	kind, err := model.ParseThreadKind(x.Desc.Type)
+	if err != nil {
+		return nil, fmt.Errorf("adl: thread domain %q: %w", x.Name, err)
+	}
+	td, err := a.NewThreadDomain(x.Name, model.DomainDesc{Kind: kind, Priority: x.Desc.Priority})
+	if err != nil {
+		return nil, err
+	}
+	if err := addChildren(a, td, collectRefs(x.ActiveRefs, x.PassiveRefs)); err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+func buildArea(a *model.Architecture, x xmlMemoryArea) (*model.Component, error) {
+	if x.Desc == nil {
+		return nil, fmt.Errorf("adl: memory area %q lacks an AreaDesc", x.Name)
+	}
+	kind, err := model.ParseMemoryKind(x.Desc.Type)
+	if err != nil {
+		return nil, fmt.Errorf("adl: memory area %q: %w", x.Name, err)
+	}
+	var size int64
+	if x.Desc.Size != "" {
+		size, err = ParseSize(x.Desc.Size)
+		if err != nil {
+			return nil, fmt.Errorf("adl: memory area %q: %w", x.Name, err)
+		}
+	}
+	ma, err := a.NewMemoryArea(x.Name, model.AreaDesc{
+		Kind: kind, ScopeName: x.Desc.Name, Size: size,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range x.Domains {
+		td, err := buildDomain(a, d)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.AddChild(ma, td); err != nil {
+			return nil, err
+		}
+	}
+	for _, nested := range x.Areas {
+		child, err := buildArea(a, nested)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.AddChild(ma, child); err != nil {
+			return nil, err
+		}
+	}
+	refs := collectRefs(x.ActiveRefs, x.PassiveRefs, x.CompositeRefs)
+	if err := addChildren(a, ma, refs); err != nil {
+		return nil, err
+	}
+	return ma, nil
+}

@@ -1,0 +1,180 @@
+package adl
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"soleil/internal/model"
+)
+
+// Encode serializes an architecture into the Fig. 4 XML dialect.
+func Encode(w io.Writer, a *model.Architecture) error {
+	doc, err := toXML(a)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("adl: encode: %w", err)
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+// EncodeString serializes an architecture to a string.
+func EncodeString(a *model.Architecture) (string, error) {
+	var sb strings.Builder
+	if err := Encode(&sb, a); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func toXML(a *model.Architecture) (*xmlArchitecture, error) {
+	doc := &xmlArchitecture{Name: a.Name()}
+	for _, c := range a.Components() {
+		switch c.Kind() {
+		case model.Active:
+			doc.Actives = append(doc.Actives, activeToXML(c))
+		case model.Passive:
+			doc.Passives = append(doc.Passives, xmlPassive{
+				Name:       c.Name(),
+				Interfaces: interfacesToXML(c),
+				Content:    contentToXML(c),
+			})
+		case model.Composite:
+			doc.Composites = append(doc.Composites, compositeToXML(c))
+		case model.ThreadDomain:
+			if len(c.SupersOfKind(model.MemoryArea)) == 0 {
+				doc.Domains = append(doc.Domains, domainToXML(c))
+			}
+		case model.MemoryArea:
+			if len(c.SupersOfKind(model.MemoryArea)) == 0 {
+				doc.Areas = append(doc.Areas, areaToXML(c))
+			}
+		}
+	}
+	for _, b := range a.Bindings() {
+		doc.Bindings = append(doc.Bindings, bindingToXML(b))
+	}
+	return doc, nil
+}
+
+func activeToXML(c *model.Component) xmlActive {
+	act := c.Activation()
+	x := xmlActive{
+		Name:       c.Name(),
+		Type:       act.Kind.String(),
+		Interfaces: interfacesToXML(c),
+		Content:    contentToXML(c),
+	}
+	if act.Period > 0 {
+		x.Periodicity = act.Period.String()
+	}
+	if act.Deadline > 0 {
+		x.Deadline = act.Deadline.String()
+	}
+	if act.Cost > 0 {
+		x.Cost = act.Cost.String()
+	}
+	return x
+}
+
+func interfacesToXML(c *model.Component) []xmlInterface {
+	var out []xmlInterface
+	for _, it := range c.Interfaces() {
+		out = append(out, xmlInterface{
+			Name: it.Name, Role: it.Role.String(), Signature: it.Signature,
+		})
+	}
+	return out
+}
+
+func contentToXML(c *model.Component) *xmlContent {
+	if c.Content() == "" {
+		return nil
+	}
+	return &xmlContent{Class: c.Content()}
+}
+
+func refsByKind(c *model.Component) (actives, passives, composites []xmlRef) {
+	for _, sub := range c.Subs() {
+		ref := xmlRef{Name: sub.Name()}
+		switch sub.Kind() {
+		case model.Active:
+			actives = append(actives, ref)
+		case model.Passive:
+			passives = append(passives, ref)
+		case model.Composite:
+			composites = append(composites, ref)
+		}
+	}
+	return actives, passives, composites
+}
+
+func compositeToXML(c *model.Component) xmlComposite {
+	a, p, comp := refsByKind(c)
+	return xmlComposite{
+		Name:          c.Name(),
+		Interfaces:    interfacesToXML(c),
+		ActiveRefs:    a,
+		PassiveRefs:   p,
+		CompositeRefs: comp,
+	}
+}
+
+func domainToXML(c *model.Component) xmlThreadDomain {
+	d := c.Domain()
+	a, p, _ := refsByKind(c)
+	return xmlThreadDomain{
+		Name:        c.Name(),
+		ActiveRefs:  a,
+		PassiveRefs: p,
+		Desc:        &xmlDomainDesc{Type: d.Kind.String(), Priority: d.Priority},
+	}
+}
+
+func areaToXML(c *model.Component) xmlMemoryArea {
+	d := c.Area()
+	a, p, comp := refsByKind(c)
+	x := xmlMemoryArea{
+		Name:          c.Name(),
+		ActiveRefs:    a,
+		PassiveRefs:   p,
+		CompositeRefs: comp,
+		Desc:          &xmlAreaDesc{Type: d.Kind.String()},
+	}
+	if d.Kind == model.ScopedMemory {
+		x.Desc.Name = d.ScopeName
+	}
+	if d.Size > 0 {
+		x.Desc.Size = FormatSize(d.Size)
+	}
+	for _, sub := range c.Subs() {
+		switch sub.Kind() {
+		case model.ThreadDomain:
+			x.Domains = append(x.Domains, domainToXML(sub))
+		case model.MemoryArea:
+			x.Areas = append(x.Areas, areaToXML(sub))
+		}
+	}
+	return x
+}
+
+func bindingToXML(b *model.Binding) xmlBinding {
+	return xmlBinding{
+		Client: xmlEndpoint{Component: b.Client.Component, Interface: b.Client.Interface},
+		Server: xmlEndpoint{Component: b.Server.Component, Interface: b.Server.Interface},
+		Desc: &xmlBindDesc{
+			Protocol:   b.Protocol.String(),
+			BufferSize: b.BufferSize,
+			Pattern:    b.Pattern,
+		},
+	}
+}

@@ -1,0 +1,43 @@
+package adl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"soleil/internal/fixture"
+)
+
+// Property: every random architecture survives an encode/decode round
+// trip structurally intact, and a second encoding is byte-identical.
+func TestRandomArchitectureRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a, err := fixture.RandomArchitecture(seed)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		out, err := EncodeString(a)
+		if err != nil {
+			t.Logf("seed %d: encode: %v", seed, err)
+			return false
+		}
+		b, err := DecodeString(out)
+		if err != nil {
+			t.Logf("seed %d: decode: %v\n%s", seed, err, out)
+			return false
+		}
+		if signature(a) != signature(b) {
+			t.Logf("seed %d: structure changed:\n--- a\n%s\n--- b\n%s", seed, signature(a), signature(b))
+			return false
+		}
+		out2, err := EncodeString(b)
+		if err != nil || out != out2 {
+			t.Logf("seed %d: second encoding differs", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

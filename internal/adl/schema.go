@@ -1,0 +1,104 @@
+// Package adl implements the paper's XML architecture description
+// language (Fig. 4). Functional components, bindings and the
+// non-functional ThreadDomain/MemoryArea containers are serialized in
+// the dialect shown in the paper; containers reference functional
+// components by name, which is how component *sharing* is expressed on
+// the wire.
+package adl
+
+import "encoding/xml"
+
+// xmlArchitecture is the document root.
+type xmlArchitecture struct {
+	XMLName    xml.Name          `xml:"Architecture"`
+	Name       string            `xml:"name,attr"`
+	Actives    []xmlActive       `xml:"ActiveComponent"`
+	Passives   []xmlPassive      `xml:"PassiveComponent"`
+	Composites []xmlComposite    `xml:"CompositeComponent"`
+	Bindings   []xmlBinding      `xml:"Binding"`
+	Areas      []xmlMemoryArea   `xml:"MemoryArea"`
+	Domains    []xmlThreadDomain `xml:"ThreadDomain"`
+}
+
+type xmlInterface struct {
+	Name      string `xml:"name,attr"`
+	Role      string `xml:"role,attr"`
+	Signature string `xml:"signature,attr"`
+}
+
+type xmlContent struct {
+	Class string `xml:"class,attr"`
+}
+
+type xmlActive struct {
+	Name        string         `xml:"name,attr"`
+	Type        string         `xml:"type,attr"`
+	Periodicity string         `xml:"periodicity,attr,omitempty"`
+	Deadline    string         `xml:"deadline,attr,omitempty"`
+	Cost        string         `xml:"cost,attr,omitempty"`
+	Interfaces  []xmlInterface `xml:"interface"`
+	Content     *xmlContent    `xml:"content"`
+}
+
+type xmlPassive struct {
+	Name       string         `xml:"name,attr"`
+	Interfaces []xmlInterface `xml:"interface"`
+	Content    *xmlContent    `xml:"content"`
+}
+
+type xmlRef struct {
+	Name string `xml:"name,attr"`
+}
+
+type xmlComposite struct {
+	Name          string         `xml:"name,attr"`
+	Interfaces    []xmlInterface `xml:"interface"`
+	ActiveRefs    []xmlRef       `xml:"ActiveComp"`
+	PassiveRefs   []xmlRef       `xml:"PassiveComp"`
+	CompositeRefs []xmlRef       `xml:"CompositeComp"`
+}
+
+type xmlEndpoint struct {
+	Component string `xml:"cname,attr"`
+	Interface string `xml:"iname,attr"`
+}
+
+type xmlBindDesc struct {
+	Protocol   string `xml:"protocol,attr"`
+	BufferSize int    `xml:"bufferSize,attr,omitempty"`
+	Pattern    string `xml:"pattern,attr,omitempty"`
+}
+
+type xmlBinding struct {
+	Client xmlEndpoint  `xml:"client"`
+	Server xmlEndpoint  `xml:"server"`
+	Desc   *xmlBindDesc `xml:"BindDesc"`
+}
+
+type xmlDomainDesc struct {
+	Type     string `xml:"type,attr"`
+	Priority int    `xml:"priority,attr,omitempty"`
+}
+
+type xmlThreadDomain struct {
+	Name        string         `xml:"name,attr"`
+	ActiveRefs  []xmlRef       `xml:"ActiveComp"`
+	PassiveRefs []xmlRef       `xml:"PassiveComp"`
+	Desc        *xmlDomainDesc `xml:"DomainDesc"`
+}
+
+type xmlAreaDesc struct {
+	Type string `xml:"type,attr"`
+	Name string `xml:"name,attr,omitempty"`
+	Size string `xml:"size,attr,omitempty"`
+}
+
+type xmlMemoryArea struct {
+	Name          string            `xml:"name,attr"`
+	Domains       []xmlThreadDomain `xml:"ThreadDomain"`
+	Areas         []xmlMemoryArea   `xml:"MemoryArea"`
+	ActiveRefs    []xmlRef          `xml:"ActiveComp"`
+	PassiveRefs   []xmlRef          `xml:"PassiveComp"`
+	CompositeRefs []xmlRef          `xml:"CompositeComp"`
+	Desc          *xmlAreaDesc      `xml:"AreaDesc"`
+}

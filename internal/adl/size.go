@@ -1,0 +1,52 @@
+package adl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses an ADL size attribute such as "600KB", "28KB",
+// "4MB" or "512" (plain bytes). Units are binary (KB = 1024 bytes),
+// matching the embedded-memory budgets of the paper.
+func ParseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("adl: empty size")
+	}
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(upper, "GB"):
+		mult, s = 1<<30, s[:len(s)-2]
+	case strings.HasSuffix(upper, "MB"):
+		mult, s = 1<<20, s[:len(s)-2]
+	case strings.HasSuffix(upper, "KB"):
+		mult, s = 1<<10, s[:len(s)-2]
+	case strings.HasSuffix(upper, "B"):
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("adl: invalid size %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("adl: negative size %q", s)
+	}
+	return n * mult, nil
+}
+
+// FormatSize renders a byte count in the ADL spelling, using the
+// largest exact binary unit.
+func FormatSize(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return strconv.FormatInt(n>>30, 10) + "GB"
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return strconv.FormatInt(n>>20, 10) + "MB"
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return strconv.FormatInt(n>>10, 10) + "KB"
+	default:
+		return strconv.FormatInt(n, 10)
+	}
+}

@@ -1,0 +1,356 @@
+package assembly
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soleil/internal/fixture"
+	"soleil/internal/membrane"
+	"soleil/internal/model"
+	"soleil/internal/scenario"
+)
+
+const ms = time.Millisecond
+
+func deployFactory(t *testing.T, mode Mode) (*System, *scenario.Contents) {
+	t.Helper()
+	arch, err := fixture.MotivationExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	contents := scenario.NewContents()
+	reg := NewRegistry()
+	if err := contents.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(arch, Config{Mode: mode, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, contents
+}
+
+// runFactory simulates ~100ms of the factory: 10 production cycles.
+func runFactory(t *testing.T, mode Mode) (*System, *scenario.Contents) {
+	t.Helper()
+	sys, contents := deployFactory(t, mode)
+	if err := sys.RunFor(155 * ms); err != nil {
+		t.Fatalf("%v run: %v", mode, err)
+	}
+	return sys, contents
+}
+
+func TestModeParsingAndCapabilities(t *testing.T) {
+	for _, m := range []Mode{Soleil, MergeAll, UltraMerge} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("x"); err == nil {
+		t.Error("bad mode parsed")
+	}
+	if !Soleil.SupportsMembraneReconfig() || MergeAll.SupportsMembraneReconfig() {
+		t.Error("membrane reconfig capabilities")
+	}
+	if !MergeAll.SupportsFunctionalReconfig() || UltraMerge.SupportsFunctionalReconfig() {
+		t.Error("functional reconfig capabilities")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", nil); err == nil {
+		t.Error("empty class accepted")
+	}
+	if err := r.Register("X", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if err := r.Register("X", func() membrane.Content { return &StubContent{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("X", func() membrane.Content { return &StubContent{} }); err == nil {
+		t.Error("duplicate class accepted")
+	}
+	if _, err := r.New("X"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.New("Y"); err == nil {
+		t.Error("unknown class instantiated")
+	}
+	if got := r.Classes(); len(got) != 1 || got[0] != "X" {
+		t.Fatalf("classes = %v", got)
+	}
+}
+
+func TestDeployRejectsInvalidArchitecture(t *testing.T) {
+	a := model.NewArchitecture("bad")
+	act, _ := a.NewActive("lonely", model.Activation{Kind: model.SporadicActivation})
+	_ = act.SetContent("X")
+	if _, err := Deploy(a, Config{Mode: Soleil}); err == nil {
+		t.Fatal("invalid architecture deployed")
+	}
+	if _, err := Deploy(nil, Config{Mode: Soleil}); err == nil {
+		t.Fatal("nil architecture deployed")
+	}
+	arch, _ := fixture.MotivationExample()
+	if _, err := Deploy(arch, Config{Mode: Mode(9)}); err == nil {
+		t.Fatal("unknown mode deployed")
+	}
+}
+
+func TestDeployMissingContent(t *testing.T) {
+	arch, err := fixture.MotivationExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without AllowStubs, unregistered content classes fail.
+	if _, err := Deploy(arch, Config{Mode: Soleil}); err == nil {
+		t.Fatal("missing content accepted without AllowStubs")
+	}
+	// With AllowStubs, stubs are deployed and the system runs.
+	sys, err := Deploy(arch, Config{Mode: Soleil, AllowStubs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(25 * ms); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactoryTransactionAllModes(t *testing.T) {
+	for _, mode := range []Mode{Soleil, MergeAll, UltraMerge} {
+		t.Run(mode.String(), func(t *testing.T) {
+			sys, contents := runFactory(t, mode)
+			// 10ms period over 155ms: releases at 0,10,...,150 = 16,
+			// but the final ones may not complete; at least 15 full
+			// transactions.
+			if got := contents.Line.Produced(); got < 15 || got > 16 {
+				t.Errorf("produced = %d", got)
+			}
+			if got := contents.Monitor.Evaluated(); got < 15 {
+				t.Errorf("evaluated = %d (produced %d)", got, contents.Line.Produced())
+			}
+			// seq 15 is the anomaly in the first 16 messages.
+			if got := contents.Monitor.Alerts(); got != 1 {
+				t.Errorf("alerts = %d", got)
+			}
+			if got := contents.Console.Displayed(); got != 1 {
+				t.Errorf("displayed = %d", got)
+			}
+			if contents.Console.LastSeq() != 15 {
+				t.Errorf("last alert seq = %d", contents.Console.LastSeq())
+			}
+			if got := contents.Audit.Logged(); got < 15 {
+				t.Errorf("logged = %d", got)
+			}
+			// The console scope is reclaimed after each display.
+			cscope, ok := sys.MemoryRuntime().Scope("cscope")
+			if !ok {
+				t.Fatal("cscope missing")
+			}
+			if cscope.Consumed() != 0 {
+				t.Errorf("console scope holds %d bytes", cscope.Consumed())
+			}
+			if cscope.Allocations() == 0 {
+				t.Error("console scope never used")
+			}
+			// NHRT threads run with deterministic latency: the
+			// monitoring thread is released by the production line.
+			ms2, _ := sys.Thread(fixture.MonitoringSystem)
+			if ms2.Task().Stats().Releases < 15 {
+				t.Errorf("monitor releases = %d", ms2.Task().Stats().Releases)
+			}
+		})
+	}
+}
+
+func TestAuditChecksumIdenticalAcrossModes(t *testing.T) {
+	var sums []uint64
+	var logged []int64
+	for _, mode := range []Mode{Soleil, MergeAll, UltraMerge} {
+		_, contents := runFactory(t, mode)
+		sums = append(sums, contents.Audit.Checksum())
+		logged = append(logged, contents.Audit.Logged())
+	}
+	if logged[0] != logged[1] || logged[1] != logged[2] {
+		t.Fatalf("modes diverge in volume: %v", logged)
+	}
+	if sums[0] != sums[1] || sums[1] != sums[2] {
+		t.Fatalf("modes diverge in content: %v", sums)
+	}
+}
+
+func TestSoleilReifiesNonFunctionalComponents(t *testing.T) {
+	sys, _ := deployFactory(t, Soleil)
+	domains := sys.Domains()
+	if len(domains) != 3 {
+		t.Fatalf("domains = %d", len(domains))
+	}
+	byName := map[string]*ThreadDomainComponent{}
+	for _, d := range domains {
+		byName[d.Name()] = d
+	}
+	nhrt1 := byName[fixture.DomainNHRT1]
+	if nhrt1 == nil {
+		t.Fatal("NHRT1 not reified")
+	}
+	if nhrt1.Desc().Kind != model.NoHeapRealtimeThread || nhrt1.Desc().Priority != 30 {
+		t.Fatalf("NHRT1 desc = %+v", nhrt1.Desc())
+	}
+	if len(nhrt1.Members()) != 1 || nhrt1.Members()[0] != fixture.ProductionLine {
+		t.Fatalf("NHRT1 members = %v", nhrt1.Members())
+	}
+	if len(nhrt1.Threads()) != 1 {
+		t.Fatalf("NHRT1 threads = %d", len(nhrt1.Threads()))
+	}
+	if got := len(sys.AreaComponents()); got != 3 {
+		t.Fatalf("area components = %d", got)
+	}
+	// The membrane of a member carries the domain and area controllers.
+	node, _ := sys.Node(fixture.ProductionLine)
+	sn, ok := node.(*soleilNode)
+	if !ok {
+		t.Fatal("not a soleil node")
+	}
+	var names []string
+	for _, c := range sn.Membrane().Controllers() {
+		names = append(names, c.ControllerName())
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"lifecycle-controller", "binding-controller", "threaddomain-controller", "memoryarea-controller", "content-controller"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("controllers = %v, missing %s", names, want)
+		}
+	}
+	// The functional composite is reified too.
+	comps := sys.Composites()
+	if len(comps) != 1 || comps[0].Name() != "FactoryMonitoring" {
+		t.Fatalf("composites = %v", comps)
+	}
+	if got := len(comps[0].Members()); got != 4 {
+		t.Fatalf("composite members = %d", got)
+	}
+	if comps[0].ControllerName() != "content-controller" {
+		t.Fatal("composite controller name")
+	}
+}
+
+func TestMergedModesDoNotReify(t *testing.T) {
+	for _, mode := range []Mode{MergeAll, UltraMerge} {
+		sys, _ := deployFactory(t, mode)
+		if len(sys.Domains()) != 0 || len(sys.AreaComponents()) != 0 || len(sys.Composites()) != 0 {
+			t.Errorf("%v reified structural components", mode)
+		}
+		node, _ := sys.Node(fixture.MonitoringSystem)
+		if _, ok := node.(*mergedNode); !ok {
+			t.Errorf("%v node type %T", mode, node)
+		}
+	}
+}
+
+func TestBuffersAndAreas(t *testing.T) {
+	sys, _ := deployFactory(t, Soleil)
+	bufs := sys.Buffers()
+	if len(bufs) != 2 {
+		t.Fatalf("buffers = %d", len(bufs))
+	}
+	// Both buffers host NHRT/immortal producers: they live in
+	// immortal memory.
+	for _, b := range bufs {
+		if b.Area().Name() != "immortal" {
+			t.Errorf("buffer %s in %s", b.Name(), b.Area().Name())
+		}
+	}
+	imm, ok := sys.Area(fixture.AreaImm1)
+	if !ok || imm.Name() != "immortal" {
+		t.Fatal("Imm1 region")
+	}
+	s1, ok := sys.Area(fixture.AreaS1)
+	if !ok || s1.Name() != "cscope" || s1.Size() != 28<<10 {
+		t.Fatal("S1 region")
+	}
+	if _, ok := sys.Area("nope"); ok {
+		t.Fatal("phantom area")
+	}
+	// Immortal budget comes from the ADL (600KB).
+	if got := sys.MemoryRuntime().Immortal().Size(); got != 600<<10 {
+		t.Fatalf("immortal budget = %d", got)
+	}
+}
+
+func TestRunForTwiceRefused(t *testing.T) {
+	sys, _ := deployFactory(t, UltraMerge)
+	if err := sys.RunFor(15 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(15 * ms); err == nil {
+		t.Fatal("second run accepted")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	sys, contents := deployFactory(t, Soleil)
+	if got := len(sys.Nodes()); got != 4 {
+		t.Fatalf("nodes = %d", got)
+	}
+	n, ok := sys.Node(fixture.Console)
+	if !ok || n.Name() != fixture.Console {
+		t.Fatal("node lookup")
+	}
+	if n.ContentOf() != contents.Console {
+		t.Fatal("content identity")
+	}
+	if _, ok := sys.Node("nope"); ok {
+		t.Fatal("phantom node")
+	}
+	if err := n.Activate(nil); err == nil {
+		t.Fatal("activating a passive component accepted")
+	}
+}
+
+// TestEnduranceRun simulates 10 virtual seconds of the factory (1000
+// production periods) and checks that the system stays healthy: no
+// thread errors, no deadline misses, no buffer loss, and no memory
+// drift in immortal or scoped areas.
+func TestEnduranceRun(t *testing.T) {
+	sys, contents := deployFactory(t, Soleil)
+	if err := sys.RunFor(10*time.Second + 5*ms); err != nil {
+		t.Fatal(err)
+	}
+	if got := contents.Line.Produced(); got != 1001 {
+		t.Fatalf("produced = %d, want 1001", got)
+	}
+	if got := contents.Audit.Logged(); got < 1000 {
+		t.Fatalf("logged = %d", got)
+	}
+	// One anomaly per 16 messages.
+	if got := contents.Console.Displayed(); got < 62 || got > 63 {
+		t.Fatalf("displayed = %d", got)
+	}
+	for _, name := range []string{fixture.ProductionLine, fixture.MonitoringSystem, fixture.Audit} {
+		th, _ := sys.Thread(name)
+		st := th.Task().Stats()
+		if st.Misses != 0 {
+			t.Errorf("%s misses = %d", name, st.Misses)
+		}
+		if st.Releases < 1000 {
+			t.Errorf("%s releases = %d", name, st.Releases)
+		}
+	}
+	for _, b := range sys.Buffers() {
+		if st := b.Stats(); st.Dropped != 0 {
+			t.Errorf("buffer %s dropped %d", b.Name(), st.Dropped)
+		}
+	}
+	f := sys.MemoryRuntime().Footprint()
+	if f.ScopedBytes != 0 {
+		t.Errorf("scoped bytes live after run: %d", f.ScopedBytes)
+	}
+	// Immortal holds only the preallocated infrastructure (buffer
+	// slots), not per-transaction garbage.
+	if f.ImmortalBytes > 64<<10 {
+		t.Errorf("immortal grew to %d bytes over 1000 transactions", f.ImmortalBytes)
+	}
+}

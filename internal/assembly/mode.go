@@ -1,0 +1,67 @@
+// Package assembly builds runnable systems from validated RT system
+// architectures — the runtime realization of the Soleil generator's
+// three modes (Sect. 4.3):
+//
+//   - Soleil: full componentization. Every functional component is
+//     wrapped in a reified membrane (controllers + interceptor
+//     chains), the ThreadDomain and MemoryArea components exist at
+//     runtime, and both functional and membrane-level reconfiguration
+//     are available.
+//   - MergeAll: each component and its membrane are merged into a
+//     single dispatch unit; the interceptor indirections become
+//     direct calls. Functional-level reconfiguration (rebinding)
+//     remains; the membrane structure is not reified.
+//   - UltraMerge: the whole system collapses into static dispatch —
+//     ports are resolved once at deployment and the infrastructure is
+//     purely static with no reconfiguration capabilities.
+package assembly
+
+import "fmt"
+
+// Mode selects the generation/assembly mode.
+type Mode int
+
+// Assembly modes.
+const (
+	Soleil Mode = iota + 1
+	MergeAll
+	UltraMerge
+)
+
+// String returns the paper's spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Soleil:
+		return "SOLEIL"
+	case MergeAll:
+		return "MERGE-ALL"
+	case UltraMerge:
+		return "ULTRA-MERGE"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a mode name (case-sensitive, the paper's
+// spellings).
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "SOLEIL", "soleil":
+		return Soleil, nil
+	case "MERGE-ALL", "merge-all":
+		return MergeAll, nil
+	case "ULTRA-MERGE", "ultra-merge":
+		return UltraMerge, nil
+	default:
+		return 0, fmt.Errorf("assembly: unknown mode %q", s)
+	}
+}
+
+// SupportsMembraneReconfig reports whether the mode preserves the
+// membrane structure at runtime (introspection and reconfiguration at
+// membrane level).
+func (m Mode) SupportsMembraneReconfig() bool { return m == Soleil }
+
+// SupportsFunctionalReconfig reports whether the mode allows
+// functional-level rebinding at runtime.
+func (m Mode) SupportsFunctionalReconfig() bool { return m == Soleil || m == MergeAll }

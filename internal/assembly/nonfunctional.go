@@ -1,0 +1,92 @@
+package assembly
+
+import (
+	"soleil/internal/model"
+	"soleil/internal/rtsj/memory"
+	"soleil/internal/rtsj/thread"
+)
+
+// ThreadDomainComponent is the runtime reification of a ThreadDomain
+// (SOLEIL mode): the non-functional component whose controller
+// superimposes thread management over its member components
+// (Sect. 4.1 "Non-Functional Components").
+type ThreadDomainComponent struct {
+	name    string
+	desc    model.DomainDesc
+	members []string
+	threads []*thread.Thread
+}
+
+// ControllerName implements membrane.Controller: the component *is*
+// the ThreadDomain controller of its members' membranes.
+func (c *ThreadDomainComponent) ControllerName() string { return "threaddomain-controller" }
+
+// Name returns the domain name.
+func (c *ThreadDomainComponent) Name() string { return c.name }
+
+// Desc returns the domain's RTSJ properties.
+func (c *ThreadDomainComponent) Desc() model.DomainDesc { return c.desc }
+
+// Members returns the names of the encapsulated active components.
+func (c *ThreadDomainComponent) Members() []string {
+	out := make([]string, len(c.members))
+	copy(out, c.members)
+	return out
+}
+
+// Threads returns the domain's spawned threads.
+func (c *ThreadDomainComponent) Threads() []*thread.Thread {
+	out := make([]*thread.Thread, len(c.threads))
+	copy(out, c.threads)
+	return out
+}
+
+// MemoryAreaComponent is the runtime reification of a MemoryArea
+// (SOLEIL mode), exposing its runtime region and consumption.
+type MemoryAreaComponent struct {
+	name    string
+	desc    model.AreaDesc
+	area    *memory.Area
+	members []string
+}
+
+// ControllerName implements membrane.Controller.
+func (c *MemoryAreaComponent) ControllerName() string { return "memoryarea-controller" }
+
+// Name returns the area component name.
+func (c *MemoryAreaComponent) Name() string { return c.name }
+
+// Desc returns the area's RTSJ properties.
+func (c *MemoryAreaComponent) Desc() model.AreaDesc { return c.desc }
+
+// Area returns the runtime memory region.
+func (c *MemoryAreaComponent) Area() *memory.Area { return c.area }
+
+// Members returns the names of the encapsulated components.
+func (c *MemoryAreaComponent) Members() []string {
+	out := make([]string, len(c.members))
+	copy(out, c.members)
+	return out
+}
+
+// CompositeComponent is the runtime reification of a functional
+// composite (SOLEIL mode): the content-controller view of its
+// membership, preserved for introspection.
+type CompositeComponent struct {
+	name    string
+	members []string
+}
+
+// ControllerName implements membrane.Controller: the composite acts
+// as the content controller of its members' membranes.
+func (c *CompositeComponent) ControllerName() string { return "content-controller" }
+
+// Name returns the composite name.
+func (c *CompositeComponent) Name() string { return c.name }
+
+// Members returns the names of the composite's sub-components.
+func (c *CompositeComponent) Members() []string {
+	out := make([]string, len(c.members))
+	copy(out, c.members)
+	return out
+}

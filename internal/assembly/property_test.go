@@ -1,0 +1,66 @@
+package assembly
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"soleil/internal/fixture"
+	"soleil/internal/validate"
+)
+
+// Property: every random architecture that passes RTSJ validation
+// (after pattern suggestion) deploys and simulates cleanly in every
+// mode, and its scoped areas are fully reclaimed afterwards.
+func TestDeployRandomArchitecturesProperty(t *testing.T) {
+	modes := []Mode{Soleil, MergeAll, UltraMerge}
+	checked := 0
+	f := func(seed int64) bool {
+		arch, err := fixture.RandomArchitecture(seed)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		if _, err := validate.ApplySuggestedPatterns(arch); err != nil {
+			t.Logf("seed %d: suggest: %v", seed, err)
+			return false
+		}
+		if !validate.Validate(arch).OK() {
+			// The drawn composition violates RTSJ (e.g. async into a
+			// passive); refusing it is the correct behaviour, and
+			// Deploy must refuse it too.
+			for _, mode := range modes {
+				if _, err := Deploy(arch, Config{Mode: mode, AllowStubs: true}); err == nil {
+					t.Logf("seed %d: invalid architecture deployed", seed)
+					return false
+				}
+			}
+			return true
+		}
+		checked++
+		for _, mode := range modes {
+			sys, err := Deploy(arch, Config{Mode: mode, AllowStubs: true})
+			if err != nil {
+				t.Logf("seed %d %v: deploy: %v", seed, mode, err)
+				return false
+			}
+			if err := sys.RunFor(60 * time.Millisecond); err != nil {
+				t.Logf("seed %d %v: run: %v", seed, mode, err)
+				return false
+			}
+			for _, a := range sys.MemoryRuntime().Areas() {
+				if a.Kind().String() == "scope" && a.Consumed() != 0 {
+					t.Logf("seed %d %v: scope %s leaked %d bytes", seed, mode, a.Name(), a.Consumed())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no random architecture passed validation — generator too hostile")
+	}
+}

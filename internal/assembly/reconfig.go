@@ -1,0 +1,152 @@
+package assembly
+
+import (
+	"fmt"
+
+	"soleil/internal/membrane"
+	"soleil/internal/model"
+	"soleil/internal/patterns"
+)
+
+// RebindSync re-routes a client's synchronous interface to a new
+// server at runtime — the functional-level reconfiguration the SOLEIL
+// and MERGE-ALL modes preserve (Sect. 4.3). The rebinding is checked
+// against the same RTSJ rules the design-time validator applies:
+// interface roles and signatures must match, the memory crossing must
+// admit a pattern (which is selected automatically), and a no-heap
+// client may not be routed synchronously into a heap-allocated
+// server.
+func (s *System) RebindSync(clientName, clientItf, serverName, serverItf string) error {
+	if !s.mode.SupportsFunctionalReconfig() {
+		return fmt.Errorf("assembly: %v mode is static; rebinding is not available", s.mode)
+	}
+	cli, ok := s.arch.Component(clientName)
+	if !ok {
+		return fmt.Errorf("assembly: unknown client component %q", clientName)
+	}
+	srv, ok := s.arch.Component(serverName)
+	if !ok {
+		return fmt.Errorf("assembly: unknown server component %q", serverName)
+	}
+	cliItf, ok := cli.Interface(clientItf)
+	if !ok || cliItf.Role != model.ClientRole {
+		return fmt.Errorf("assembly: %s.%s is not a client interface", clientName, clientItf)
+	}
+	srvItf, ok := srv.Interface(serverItf)
+	if !ok || srvItf.Role != model.ServerRole {
+		return fmt.Errorf("assembly: %s.%s is not a server interface", serverName, serverItf)
+	}
+	if cliItf.Signature != srvItf.Signature {
+		return fmt.Errorf("assembly: rebind %s.%s -> %s.%s has mismatched signatures %q vs %q",
+			clientName, clientItf, serverName, serverItf, cliItf.Signature, srvItf.Signature)
+	}
+	serverNode, ok := s.nodes[serverName]
+	if !ok {
+		return fmt.Errorf("assembly: server %q has no runtime node", serverName)
+	}
+
+	// RTSJ conformance of the new route.
+	cliArea, err := s.arch.EffectiveMemoryArea(cli)
+	if err != nil {
+		return err
+	}
+	srvAreaComp, err := s.arch.EffectiveMemoryArea(srv)
+	if err != nil {
+		return err
+	}
+	if td, err := s.arch.EffectiveThreadDomain(cli); err == nil &&
+		td.Domain().Kind == model.NoHeapRealtimeThread &&
+		srvAreaComp.Area().Kind == model.HeapMemory {
+		return fmt.Errorf("assembly: rebinding NHRT client %q synchronously into heap-allocated %q violates RTSJ",
+			clientName, serverName)
+	}
+	crossing := patterns.Crossing{Client: cliArea, Server: srvAreaComp}
+	pattern := patterns.Select(crossing, model.Synchronous)
+	if err := patterns.Legal(pattern, crossing, model.Synchronous); err != nil {
+		return fmt.Errorf("assembly: rebind %s.%s -> %s: %w", clientName, clientItf, serverName, err)
+	}
+
+	srvArea, err := s.runtimeAreaOf(srv)
+	if err != nil {
+		return err
+	}
+	newPort, err := s.syncPortTo(serverNode, serverItf, pattern, srvArea)
+	if err != nil {
+		return err
+	}
+	return s.bindPort(clientName, clientItf, newPort)
+}
+
+// BindPort installs an arbitrary port implementation on a client
+// interface — the extension hook used by distribution support. Before
+// the system starts, any mode accepts it (it is part of deployment);
+// afterwards it is a functional reconfiguration and follows the mode's
+// capability matrix.
+func (s *System) BindPort(clientName, clientItf string, p membrane.Port) error {
+	if s.started && !s.mode.SupportsFunctionalReconfig() {
+		return fmt.Errorf("assembly: %v mode is static; ports cannot change after start", s.mode)
+	}
+	cli, ok := s.arch.Component(clientName)
+	if !ok {
+		return fmt.Errorf("assembly: unknown client component %q", clientName)
+	}
+	itf, ok := cli.Interface(clientItf)
+	if !ok || itf.Role != model.ClientRole {
+		return fmt.Errorf("assembly: %s.%s is not a client interface", clientName, clientItf)
+	}
+	return s.bindPort(clientName, clientItf, p)
+}
+
+// SetStarted starts or stops a component's lifecycle at runtime.
+// Lifecycle control is a membrane capability: it requires SOLEIL
+// mode.
+func (s *System) SetStarted(name string, started bool) error {
+	if !s.mode.SupportsMembraneReconfig() {
+		return fmt.Errorf("assembly: %v mode does not preserve membranes; lifecycle control is not available", s.mode)
+	}
+	n, ok := s.nodes[name]
+	if !ok {
+		return fmt.Errorf("assembly: unknown component %q", name)
+	}
+	sn, ok := n.(*soleilNode)
+	if !ok {
+		return fmt.Errorf("assembly: component %q has no membrane", name)
+	}
+	if started {
+		return sn.m.Lifecycle().Start()
+	}
+	sn.m.Lifecycle().Stop()
+	return nil
+}
+
+// ControllerNames lists the control components of a component's
+// membrane (SOLEIL mode); nil when the membrane is not reified.
+func (s *System) ControllerNames(name string) []string {
+	n, ok := s.nodes[name]
+	if !ok {
+		return nil
+	}
+	sn, ok := n.(*soleilNode)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, c := range sn.m.Controllers() {
+		out = append(out, c.ControllerName())
+	}
+	return out
+}
+
+// ComponentStarted reports a component's lifecycle state (SOLEIL
+// mode).
+func (s *System) ComponentStarted(name string) (bool, error) {
+	n, ok := s.nodes[name]
+	if !ok {
+		return false, fmt.Errorf("assembly: unknown component %q", name)
+	}
+	sn, ok := n.(*soleilNode)
+	if !ok {
+		return false, fmt.Errorf("assembly: component %q has no membrane", name)
+	}
+	return sn.m.Lifecycle().Started(), nil
+}

@@ -1,0 +1,117 @@
+package assembly
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"soleil/internal/membrane"
+	"soleil/internal/rtsj/thread"
+)
+
+// Registry maps content-class identifiers (the ADL's content class
+// attribute) to content factories. The developer implements content
+// classes and registers them; everything else is framework-generated.
+type Registry struct {
+	factories map[string]func() membrane.Content
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]func() membrane.Content)}
+}
+
+// Register installs the factory for a content class.
+func (r *Registry) Register(class string, factory func() membrane.Content) error {
+	if class == "" {
+		return fmt.Errorf("assembly: content class needs a name")
+	}
+	if factory == nil {
+		return fmt.Errorf("assembly: content class %q needs a factory", class)
+	}
+	if _, dup := r.factories[class]; dup {
+		return fmt.Errorf("assembly: content class %q already registered", class)
+	}
+	r.factories[class] = factory
+	return nil
+}
+
+// New instantiates a content class.
+func (r *Registry) New(class string) (membrane.Content, error) {
+	f, ok := r.factories[class]
+	if !ok {
+		return nil, fmt.Errorf("assembly: content class %q not registered (have %v)",
+			class, r.Classes())
+	}
+	return f(), nil
+}
+
+// Classes lists the registered content classes.
+func (r *Registry) Classes() []string {
+	out := make([]string, 0, len(r.factories))
+	for c := range r.factories {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StubContent is deployed for primitives without a registered content
+// class (the validator's RT11 warning). So that a stub-deployed system
+// still exhibits its architecture's message flow, the stub forwards
+// every invocation and activation through all of its bound client
+// ports (asynchronously where the port supports it, synchronously
+// otherwise), counting its activity.
+type StubContent struct {
+	svc         *membrane.Services
+	invocations int64
+	activations int64
+}
+
+var _ membrane.ActiveContent = (*StubContent)(nil)
+
+// Init implements membrane.Content.
+func (s *StubContent) Init(svc *membrane.Services) error {
+	s.svc = svc
+	return nil
+}
+
+func (s *StubContent) forward(env *thread.Env, op string, arg any) error {
+	if s.svc == nil {
+		return nil
+	}
+	for _, itf := range s.svc.Bound() {
+		port, err := s.svc.Port(itf)
+		if err != nil {
+			return err
+		}
+		if err := port.Send(env, op, arg); err != nil {
+			if !errors.Is(err, membrane.ErrSyncPort) {
+				return err
+			}
+			if _, err := port.Call(env, op, arg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Invoke implements membrane.Content.
+func (s *StubContent) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
+	atomic.AddInt64(&s.invocations, 1)
+	if err := s.forward(env, op, arg); err != nil {
+		return nil, err
+	}
+	return arg, nil
+}
+
+// Activate implements membrane.ActiveContent.
+func (s *StubContent) Activate(env *thread.Env) error {
+	n := atomic.AddInt64(&s.activations, 1)
+	return s.forward(env, "activate", n)
+}
+
+// Invocations reports the served invocation count.
+func (s *StubContent) Invocations() int64 { return atomic.LoadInt64(&s.invocations) }

@@ -1,0 +1,648 @@
+package assembly
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"soleil/internal/comm"
+	"soleil/internal/membrane"
+	"soleil/internal/model"
+	"soleil/internal/patterns"
+	"soleil/internal/rtsj/memory"
+	"soleil/internal/rtsj/sched"
+	"soleil/internal/rtsj/thread"
+	"soleil/internal/validate"
+)
+
+// Config parameterizes deployment.
+type Config struct {
+	Mode     Mode
+	Registry *Registry
+	// BufferSlotSize is the per-message byte charge of asynchronous
+	// buffers (default 256).
+	BufferSlotSize int64
+	// AllowStubs deploys StubContent for primitives without a
+	// registered content class instead of failing.
+	AllowStubs bool
+}
+
+// System is a deployed, runnable system.
+type System struct {
+	arch *model.Architecture
+	mode Mode
+
+	mem *memory.Runtime
+	sch *sched.Scheduler
+	trt *thread.Runtime
+
+	areas   map[string]*memory.Area // MemoryArea component -> runtime region
+	nodes   map[string]Node
+	order   []string // functional primitives in creation order
+	buffers []*comm.RTBuffer
+	threads map[string]*thread.Thread
+	holders map[string]*taskHolder
+
+	domains    []*ThreadDomainComponent
+	areaComs   []*MemoryAreaComponent
+	composites []*CompositeComponent
+
+	started bool
+	ran     bool
+
+	errMu sync.Mutex
+	errs  []error
+}
+
+// Deploy validates the architecture and builds its execution
+// infrastructure in the configured mode. It mirrors the paper's
+// infrastructure generation process (Fig. 5): contents come from the
+// registry (the developer's step 1); everything else is framework
+// glue.
+func Deploy(arch *model.Architecture, cfg Config) (*System, error) {
+	if arch == nil {
+		return nil, fmt.Errorf("assembly: nil architecture")
+	}
+	switch cfg.Mode {
+	case Soleil, MergeAll, UltraMerge:
+	default:
+		return nil, fmt.Errorf("assembly: unknown mode %v", cfg.Mode)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	if cfg.BufferSlotSize == 0 {
+		cfg.BufferSlotSize = 256
+	}
+	report := validate.Validate(arch)
+	if !report.OK() {
+		errs := report.Errors()
+		return nil, fmt.Errorf("assembly: architecture violates RTSJ (%d errors; first: %s)",
+			len(errs), errs[0])
+	}
+
+	s := &System{
+		arch:    arch,
+		mode:    cfg.Mode,
+		sch:     sched.New(),
+		areas:   make(map[string]*memory.Area),
+		nodes:   make(map[string]Node),
+		threads: make(map[string]*thread.Thread),
+		holders: make(map[string]*taskHolder),
+	}
+	if err := s.buildMemory(); err != nil {
+		return nil, err
+	}
+	s.trt = thread.NewRuntime(s.sch, s.mem)
+	if err := s.buildNodes(cfg); err != nil {
+		return nil, err
+	}
+	if err := s.buildBindings(cfg); err != nil {
+		return nil, err
+	}
+	if err := s.buildThreads(); err != nil {
+		return nil, err
+	}
+	if s.mode == Soleil {
+		s.reifyNonFunctional()
+	}
+	return s, nil
+}
+
+// --- accessors --------------------------------------------------------------------
+
+// Mode returns the assembly mode.
+func (s *System) Mode() Mode { return s.mode }
+
+// Architecture returns the deployed architecture.
+func (s *System) Architecture() *model.Architecture { return s.arch }
+
+// MemoryRuntime returns the system's memory runtime.
+func (s *System) MemoryRuntime() *memory.Runtime { return s.mem }
+
+// Scheduler returns the system's scheduler.
+func (s *System) Scheduler() *sched.Scheduler { return s.sch }
+
+// Node returns the executable node of a functional primitive.
+func (s *System) Node(name string) (Node, bool) {
+	n, ok := s.nodes[name]
+	return n, ok
+}
+
+// Nodes returns the functional primitives' nodes in creation order.
+func (s *System) Nodes() []Node {
+	out := make([]Node, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.nodes[n])
+	}
+	return out
+}
+
+// Thread returns the thread of an active component.
+func (s *System) Thread(component string) (*thread.Thread, bool) {
+	t, ok := s.threads[component]
+	return t, ok
+}
+
+// Buffers returns the asynchronous binding buffers.
+func (s *System) Buffers() []*comm.RTBuffer {
+	out := make([]*comm.RTBuffer, len(s.buffers))
+	copy(out, s.buffers)
+	return out
+}
+
+// Area returns the runtime memory region of a MemoryArea component.
+func (s *System) Area(name string) (*memory.Area, bool) {
+	a, ok := s.areas[name]
+	return a, ok
+}
+
+// Domains returns the reified ThreadDomain components (SOLEIL mode
+// only; empty otherwise — the merged modes do not preserve them).
+func (s *System) Domains() []*ThreadDomainComponent {
+	out := make([]*ThreadDomainComponent, len(s.domains))
+	copy(out, s.domains)
+	return out
+}
+
+// AreaComponents returns the reified MemoryArea components (SOLEIL
+// mode only).
+func (s *System) AreaComponents() []*MemoryAreaComponent {
+	out := make([]*MemoryAreaComponent, len(s.areaComs))
+	copy(out, s.areaComs)
+	return out
+}
+
+// Composites returns the reified functional composites (SOLEIL mode
+// only).
+func (s *System) Composites() []*CompositeComponent {
+	out := make([]*CompositeComponent, len(s.composites))
+	copy(out, s.composites)
+	return out
+}
+
+// NewEnv creates an execution environment for driving the system's
+// dataplane directly (without the simulated scheduler) — the
+// benchmark harness and interactive tools use this. The environment
+// is rooted in immortal memory; noHeap mirrors an NHRT caller. The
+// returned close function releases the environment.
+func (s *System) NewEnv(noHeap bool) (*thread.Env, func(), error) {
+	ctx, err := memory.NewContext(s.mem.Immortal(), noHeap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return thread.NewEnv(nil, ctx), ctx.Close, nil
+}
+
+func (s *System) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	s.errs = append(s.errs, err)
+}
+
+// Errors returns the errors recorded by thread bodies during the run.
+func (s *System) Errors() []error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	out := make([]error, len(s.errs))
+	copy(out, s.errs)
+	return out
+}
+
+// --- build phases ----------------------------------------------------------------
+
+func (s *System) buildMemory() error {
+	var immortalBudget int64
+	for _, ma := range s.arch.ComponentsOfKind(model.MemoryArea) {
+		if ma.Area().Kind == model.ImmortalMemory {
+			immortalBudget += ma.Area().Size
+		}
+	}
+	s.mem = memory.NewRuntime(memory.WithImmortalSize(immortalBudget))
+	for _, ma := range s.arch.ComponentsOfKind(model.MemoryArea) {
+		desc := ma.Area()
+		switch desc.Kind {
+		case model.HeapMemory:
+			s.areas[ma.Name()] = s.mem.Heap()
+		case model.ImmortalMemory:
+			s.areas[ma.Name()] = s.mem.Immortal()
+		case model.ScopedMemory:
+			a, err := s.mem.NewScoped(desc.ScopeName, desc.Size)
+			if err != nil {
+				return fmt.Errorf("assembly: %w", err)
+			}
+			s.areas[ma.Name()] = a
+		}
+	}
+	return nil
+}
+
+// runtimeAreaOf resolves a functional component's runtime region.
+func (s *System) runtimeAreaOf(c *model.Component) (*memory.Area, error) {
+	ma, err := s.arch.EffectiveMemoryArea(c)
+	if err != nil {
+		return nil, err
+	}
+	a, ok := s.areas[ma.Name()]
+	if !ok {
+		return nil, fmt.Errorf("assembly: area %q has no runtime region", ma.Name())
+	}
+	return a, nil
+}
+
+// bufferAreaOf picks the region hosting an async binding's buffer:
+// the client's area, walking out of scoped areas (whose contents are
+// reclaimed) to the nearest non-scoped enclosing area, falling back
+// to immortal. If either endpoint runs on a no-heap real-time thread,
+// the buffer is forced into immortal memory — an NHRT may neither
+// write nor read heap-hosted message slots.
+func (s *System) bufferAreaOf(cli, srv *model.Component) (*memory.Area, error) {
+	for _, end := range []*model.Component{cli, srv} {
+		if td, err := s.arch.EffectiveThreadDomain(end); err == nil &&
+			td.Domain().Kind == model.NoHeapRealtimeThread {
+			return s.mem.Immortal(), nil
+		}
+	}
+	ma, err := s.arch.EffectiveMemoryArea(cli)
+	if err != nil {
+		return nil, err
+	}
+	for ma != nil && ma.Area().Kind == model.ScopedMemory {
+		supers := ma.SupersOfKind(model.MemoryArea)
+		if len(supers) == 0 {
+			return s.mem.Immortal(), nil
+		}
+		ma = supers[0]
+	}
+	if ma == nil {
+		return s.mem.Immortal(), nil
+	}
+	return s.areas[ma.Name()], nil
+}
+
+func (s *System) buildNodes(cfg Config) error {
+	for _, c := range s.arch.Components() {
+		if c.Kind() != model.Active && c.Kind() != model.Passive {
+			continue
+		}
+		var content membrane.Content
+		if c.Content() == "" {
+			if !cfg.AllowStubs {
+				return fmt.Errorf("assembly: component %q has no content class", c.Name())
+			}
+			content = &StubContent{}
+		} else {
+			var err error
+			content, err = cfg.Registry.New(c.Content())
+			if err != nil {
+				if !cfg.AllowStubs {
+					return err
+				}
+				content = &StubContent{}
+			}
+		}
+		active := c.Kind() == model.Active
+		var node Node
+		switch s.mode {
+		case Soleil:
+			var ints []membrane.Interceptor
+			if active {
+				ints = append(ints, &membrane.ActiveInterceptor{})
+			}
+			m, err := membrane.New(c.Name(), content, ints...)
+			if err != nil {
+				return err
+			}
+			node = &soleilNode{m: m, active: active}
+		case MergeAll:
+			node = newMergedNode(c.Name(), content, active, true)
+		case UltraMerge:
+			node = newMergedNode(c.Name(), content, active, false)
+		}
+		s.nodes[c.Name()] = node
+		s.order = append(s.order, c.Name())
+		s.holders[c.Name()] = &taskHolder{}
+	}
+	return nil
+}
+
+// bindPort installs a port on the client side of a binding.
+func (s *System) bindPort(clientName, itf string, p membrane.Port) error {
+	switch n := s.nodes[clientName].(type) {
+	case *soleilNode:
+		return n.m.Binding().Bind(itf, p)
+	case *mergedNode:
+		return n.binds.Bind(itf, p)
+	default:
+		return fmt.Errorf("assembly: unknown node type %T", n)
+	}
+}
+
+func (s *System) buildBindings(cfg Config) error {
+	for _, b := range s.arch.Bindings() {
+		cli, _ := s.arch.Component(b.Client.Component)
+		srv, _ := s.arch.Component(b.Server.Component)
+		clientNode := s.nodes[b.Client.Component]
+		serverNode := s.nodes[b.Server.Component]
+		if clientNode == nil || serverNode == nil {
+			return fmt.Errorf("assembly: binding %s targets a non-primitive component", b)
+		}
+		pattern := patterns.Kind(b.Pattern)
+		srvArea, err := s.runtimeAreaOf(srv)
+		if err != nil {
+			return err
+		}
+
+		switch b.Protocol {
+		case model.Asynchronous:
+			bufArea, err := s.bufferAreaOf(cli, srv)
+			if err != nil {
+				return err
+			}
+			buf, err := comm.NewRTBuffer(b.String(), b.BufferSize, comm.Refuse, bufArea, cfg.BufferSlotSize)
+			if err != nil {
+				return err
+			}
+			s.buffers = append(s.buffers, buf)
+			stub, err := membrane.NewAsyncStub(buf, b.Server.Interface)
+			if err != nil {
+				return err
+			}
+			switch n := serverNode.(type) {
+			case *soleilNode:
+				skel, err := membrane.NewAsyncSkeleton(buf, n.m)
+				if err != nil {
+					return err
+				}
+				n.skeletons = append(n.skeletons, skel)
+			case *mergedNode:
+				n.inbound = append(n.inbound, buf)
+			}
+			port := &notifyPort{inner: stub, target: s.holders[b.Server.Component]}
+			if err := s.bindPort(b.Client.Component, b.Client.Interface, port); err != nil {
+				return err
+			}
+
+		case model.Synchronous:
+			port, err := s.syncPortTo(serverNode, b.Server.Interface, pattern, srvArea)
+			if err != nil {
+				return fmt.Errorf("assembly: binding %s: %w", b, err)
+			}
+			if err := s.bindPort(b.Client.Component, b.Client.Interface, port); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// syncPortTo builds the mode-appropriate synchronous client port to a
+// server node's interface, with the binding's memory pattern deployed
+// (as an interceptor in SOLEIL mode, inlined in the merged modes).
+func (s *System) syncPortTo(serverNode Node, itf string, pattern patterns.Kind, srvArea *memory.Area) (membrane.Port, error) {
+	switch n := serverNode.(type) {
+	case *soleilNode:
+		var pre []membrane.Interceptor
+		if pattern != patterns.None {
+			mi, err := membrane.NewMemoryInterceptor(pattern, scopeFor(pattern, srvArea))
+			if err != nil {
+				return nil, err
+			}
+			pre = append(pre, mi)
+		}
+		return membrane.NewSyncPort(n.m, itf, pre...)
+	case *mergedNode:
+		return &directSyncPort{
+			target:  serverNode,
+			itf:     itf,
+			pattern: pattern,
+			scope:   scopeFor(pattern, srvArea),
+		}, nil
+	default:
+		return nil, fmt.Errorf("assembly: unknown node type %T", serverNode)
+	}
+}
+
+// scopeFor returns the server scope for scope-entering patterns, nil
+// otherwise.
+func scopeFor(pattern patterns.Kind, srvArea *memory.Area) *memory.Area {
+	if pattern == patterns.ScopeEnter || pattern == patterns.Portal {
+		return srvArea
+	}
+	return nil
+}
+
+func threadKindOf(k model.ThreadKind) thread.Kind {
+	switch k {
+	case model.RegularThread:
+		return thread.Regular
+	case model.RealtimeThread:
+		return thread.Realtime
+	case model.NoHeapRealtimeThread:
+		return thread.NoHeap
+	default:
+		return 0
+	}
+}
+
+func releaseOf(act *model.Activation) sched.Release {
+	switch act.Kind {
+	case model.PeriodicActivation:
+		return sched.Release{
+			Kind: sched.Periodic, Period: act.Period,
+			Deadline: act.Deadline, Cost: act.Cost,
+		}
+	case model.SporadicActivation:
+		return sched.Release{
+			Kind: sched.Sporadic, MinInterarrival: act.Period,
+			Deadline: act.Deadline, Cost: act.Cost,
+		}
+	default:
+		return sched.Release{Kind: sched.Aperiodic, Deadline: act.Deadline, Cost: act.Cost}
+	}
+}
+
+func (s *System) buildThreads() error {
+	for _, c := range s.arch.ComponentsOfKind(model.Active) {
+		td, err := s.arch.EffectiveThreadDomain(c)
+		if err != nil {
+			return err
+		}
+		area, err := s.runtimeAreaOf(c)
+		if err != nil {
+			return err
+		}
+		node := s.nodes[c.Name()]
+		act := c.Activation()
+		body := s.threadBody(node, act.Kind)
+		th, err := s.trt.Spawn(thread.Config{
+			Name:        c.Name(),
+			Kind:        threadKindOf(td.Domain().Kind),
+			Priority:    sched.Priority(td.Domain().Priority),
+			Release:     releaseOf(act),
+			InitialArea: area,
+			Run:         body,
+		})
+		if err != nil {
+			return fmt.Errorf("assembly: spawning %q: %w", c.Name(), err)
+		}
+		s.threads[c.Name()] = th
+		s.holders[c.Name()].task = th.Task()
+	}
+	return nil
+}
+
+// threadBody produces the generated activation loop of an active
+// component: periodic components run their own logic every period,
+// sporadic components drain their inbound messages on every release,
+// and aperiodic components run once.
+func (s *System) threadBody(node Node, kind model.ActivationKind) func(*thread.Env) {
+	switch kind {
+	case model.PeriodicActivation:
+		return func(env *thread.Env) {
+			for {
+				// Periodic components process any messages pending
+				// from asynchronous bindings at each period boundary
+				// (arrivals do not release them — the validator's
+				// RT10 warning), then run their own logic.
+				if _, err := node.Deliver(env); err != nil {
+					s.recordErr(fmt.Errorf("%s: %w", node.Name(), err))
+					return
+				}
+				if err := node.Activate(env); err != nil {
+					s.recordErr(fmt.Errorf("%s: %w", node.Name(), err))
+					return
+				}
+				if !env.Sched().WaitForNextPeriod() {
+					return
+				}
+			}
+		}
+	case model.SporadicActivation:
+		return func(env *thread.Env) {
+			for {
+				if _, err := node.Deliver(env); err != nil {
+					s.recordErr(fmt.Errorf("%s: %w", node.Name(), err))
+					return
+				}
+				if !env.Sched().WaitForRelease() {
+					return
+				}
+			}
+		}
+	default:
+		return func(env *thread.Env) {
+			if err := node.Activate(env); err != nil {
+				s.recordErr(fmt.Errorf("%s: %w", node.Name(), err))
+			}
+		}
+	}
+}
+
+func (s *System) reifyNonFunctional() {
+	for _, comp := range s.arch.ComponentsOfKind(model.Composite) {
+		com := &CompositeComponent{name: comp.Name()}
+		for _, sub := range comp.Subs() {
+			com.members = append(com.members, sub.Name())
+			if n, ok := s.nodes[sub.Name()].(*soleilNode); ok {
+				n.m.AddController(com)
+			}
+		}
+		s.composites = append(s.composites, com)
+	}
+	for _, td := range s.arch.ComponentsOfKind(model.ThreadDomain) {
+		com := &ThreadDomainComponent{name: td.Name(), desc: *td.Domain()}
+		for _, sub := range td.Subs() {
+			com.members = append(com.members, sub.Name())
+			if th, ok := s.threads[sub.Name()]; ok {
+				com.threads = append(com.threads, th)
+			}
+			if n, ok := s.nodes[sub.Name()].(*soleilNode); ok {
+				n.m.AddController(com)
+			}
+		}
+		s.domains = append(s.domains, com)
+	}
+	for _, ma := range s.arch.ComponentsOfKind(model.MemoryArea) {
+		com := &MemoryAreaComponent{name: ma.Name(), desc: *ma.Area(), area: s.areas[ma.Name()]}
+		for _, sub := range ma.Subs() {
+			com.members = append(com.members, sub.Name())
+		}
+		// The area controller is superimposed on every functional
+		// primitive that effectively resolves to this area, whether it
+		// is a direct child or deployed through a ThreadDomain.
+		for _, name := range s.order {
+			c, _ := s.arch.Component(name)
+			if eff, err := s.arch.EffectiveMemoryArea(c); err == nil && eff == ma {
+				if n, ok := s.nodes[name].(*soleilNode); ok {
+					n.m.AddController(com)
+				}
+			}
+		}
+		s.areaComs = append(s.areaComs, com)
+	}
+}
+
+// --- lifecycle -------------------------------------------------------------------
+
+// Start runs the bootstrapping procedure: component contents are
+// initialized (passive services before active producers, so every
+// server is ready before the first release).
+func (s *System) Start() error {
+	if s.started {
+		return nil
+	}
+	starters := make([]string, 0, len(s.order))
+	for _, n := range s.order {
+		if c, _ := s.arch.Component(n); c.Kind() == model.Passive {
+			starters = append(starters, n)
+		}
+	}
+	for _, n := range s.order {
+		if c, _ := s.arch.Component(n); c.Kind() == model.Active {
+			starters = append(starters, n)
+		}
+	}
+	for _, name := range starters {
+		switch n := s.nodes[name].(type) {
+		case *soleilNode:
+			if err := n.m.Lifecycle().Start(); err != nil {
+				return err
+			}
+		case *mergedNode:
+			if err := n.content.Init(n.svc); err != nil {
+				return fmt.Errorf("assembly: starting %q: %w", name, err)
+			}
+		}
+	}
+	s.started = true
+	return nil
+}
+
+// RunFor bootstraps the system (if needed) and executes it on the
+// simulated scheduler until the virtual-time horizon. Thread errors
+// recorded during the run are returned after the scheduler stops.
+func (s *System) RunFor(d time.Duration) error {
+	if s.ran {
+		return fmt.Errorf("assembly: system already ran")
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	s.ran = true
+	if err := s.sch.Run(d); err != nil {
+		return err
+	}
+	for _, th := range s.threads {
+		if err := th.Err(); err != nil {
+			s.recordErr(err)
+		}
+	}
+	if errs := s.Errors(); len(errs) > 0 {
+		return fmt.Errorf("assembly: %d thread errors; first: %w", len(errs), errs[0])
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Package baseline is the paper's comparator: the motivation example
+// implemented as a manually written object-oriented application
+// (Sect. 5.1, the "OO" rows of Fig. 7). It performs exactly the same
+// functional work as the framework-deployed system — same synthesis,
+// monitoring evaluation, console rendering inside the console scope,
+// audit folding — and obeys the same RTSJ discipline by hand: message
+// slots preallocated in immortal memory and accessed through the
+// memory runtime (as a careful RTSJ developer would write them), the
+// console called inside its scoped memory. What it does *not* have is
+// any framework machinery: no membranes, interceptors, ports,
+// dispatch tables or validation.
+package baseline
+
+import (
+	"fmt"
+
+	"soleil/internal/rtsj/memory"
+	"soleil/internal/scenario"
+)
+
+// slotRing is the hand-written bounded FIFO over preallocated
+// immortal slots (single producer/consumer, no locking — the manual
+// implementation exploits what it knows about the system).
+type slotRing struct {
+	slots []*memory.Ref
+	head  int
+	count int
+}
+
+func newSlotRing(ctx *memory.Context, capacity int) (*slotRing, error) {
+	r := &slotRing{slots: make([]*memory.Ref, capacity)}
+	for i := range r.slots {
+		ref, err := ctx.Alloc(256, nil)
+		if err != nil {
+			return nil, err
+		}
+		r.slots[i] = ref
+	}
+	return r, nil
+}
+
+func (r *slotRing) push(ctx *memory.Context, m scenario.Measurement) error {
+	if r.count == len(r.slots) {
+		return fmt.Errorf("baseline: ring full")
+	}
+	slot := r.slots[(r.head+r.count)%len(r.slots)]
+	if err := ctx.Store(slot, m); err != nil {
+		return err
+	}
+	r.count++
+	return nil
+}
+
+func (r *slotRing) pop(ctx *memory.Context) (scenario.Measurement, bool, error) {
+	if r.count == 0 {
+		return scenario.Measurement{}, false, nil
+	}
+	slot := r.slots[r.head]
+	v, err := ctx.Load(slot)
+	if err != nil {
+		return scenario.Measurement{}, false, err
+	}
+	r.head = (r.head + 1) % len(r.slots)
+	r.count--
+	m, ok := v.(scenario.Measurement)
+	if !ok {
+		return scenario.Measurement{}, false, fmt.Errorf("baseline: foreign slot content %T", v)
+	}
+	return m, true, nil
+}
+
+// App is the hand-written application.
+type App struct {
+	mem    *memory.Runtime
+	ctx    *memory.Context
+	cscope *memory.Area
+
+	lineToMonitor  *slotRing
+	monitorToAudit *slotRing
+
+	seq       int64
+	evaluated int64
+	alerts    int64
+	displayed int64
+	logged    int64
+	lastScore uint64
+	checksum  uint64
+}
+
+// New builds the application: immortal-resident rings sized like the
+// ADL's buffers (10 and 16) and the 28 KB console scope.
+func New() (*App, error) {
+	mem := memory.NewRuntime(memory.WithImmortalSize(600 << 10))
+	cscope, err := mem.NewScoped("cscope", 28<<10)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := memory.NewContext(mem.Immortal(), true)
+	if err != nil {
+		return nil, err
+	}
+	a := &App{mem: mem, ctx: ctx, cscope: cscope}
+	if a.lineToMonitor, err = newSlotRing(ctx, 10); err != nil {
+		return nil, err
+	}
+	if a.monitorToAudit, err = newSlotRing(ctx, 16); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Close releases the application's memory context.
+func (a *App) Close() { a.ctx.Close() }
+
+// Transaction runs one complete iteration of the evaluation scenario:
+// produce -> monitor -> (console on anomaly) -> audit.
+func (a *App) Transaction() error {
+	// ProductionLine: produce one measurement.
+	a.seq++
+	m := scenario.Measurement{Seq: a.seq, Value: scenario.Synthesize(a.seq), Station: uint8(a.seq % 4)}
+	if err := a.lineToMonitor.push(a.ctx, m); err != nil {
+		return err
+	}
+
+	// MonitoringSystem: evaluate.
+	got, ok, err := a.lineToMonitor.pop(a.ctx)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("baseline: no measurement pending")
+	}
+	a.evaluated++
+	a.lastScore = uint64(scenario.Evaluate(got) * 1e6)
+	if got.Anomalous() {
+		a.alerts++
+		// Hand-written scope handling for the console call.
+		err := a.ctx.Enter(a.cscope, func() error {
+			rendered := fmt.Sprintf("[station %d] threshold breach: value %.1f (seq %d)",
+				got.Station, got.Value, got.Seq)
+			if _, err := a.ctx.Alloc(int64(len(rendered)), rendered); err != nil {
+				return err
+			}
+			a.displayed++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := a.monitorToAudit.push(a.ctx, got); err != nil {
+		return err
+	}
+
+	// Audit: record.
+	rec, ok, err := a.monitorToAudit.pop(a.ctx)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("baseline: no record pending")
+	}
+	a.checksum = scenario.AuditFold(a.checksum, rec)
+	a.logged++
+	return nil
+}
+
+// Evaluated returns the number of processed measurements.
+func (a *App) Evaluated() int64 { return a.evaluated }
+
+// Alerts returns the number of anomalies.
+func (a *App) Alerts() int64 { return a.alerts }
+
+// Displayed returns the number of console displays.
+func (a *App) Displayed() int64 { return a.displayed }
+
+// Logged returns the number of audited measurements.
+func (a *App) Logged() int64 { return a.logged }
+
+// LastScore returns the last evaluation score (micro-units).
+func (a *App) LastScore() uint64 { return a.lastScore }
+
+// Checksum returns the audit checksum.
+func (a *App) Checksum() uint64 { return a.checksum }

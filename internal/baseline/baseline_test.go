@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"testing"
+
+	"soleil/internal/scenario"
+)
+
+func TestTransactionCounts(t *testing.T) {
+	app, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	const n = 64 // four full anomaly cycles
+	for i := 0; i < n; i++ {
+		if err := app.Transaction(); err != nil {
+			t.Fatalf("transaction %d: %v", i, err)
+		}
+	}
+	if app.Evaluated() != n || app.Logged() != n {
+		t.Fatalf("evaluated %d logged %d", app.Evaluated(), app.Logged())
+	}
+	if app.Alerts() != 4 || app.Displayed() != 4 {
+		t.Fatalf("alerts %d displayed %d", app.Alerts(), app.Displayed())
+	}
+	if app.LastScore() == 0 {
+		t.Fatal("evaluation work elided")
+	}
+}
+
+func TestChecksumMatchesSharedFold(t *testing.T) {
+	app, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	var want uint64
+	for seq := int64(1); seq <= 20; seq++ {
+		want = scenario.AuditFold(want, scenario.Measurement{
+			Seq: seq, Value: scenario.Synthesize(seq), Station: uint8(seq % 4),
+		})
+		if err := app.Transaction(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if app.Checksum() != want {
+		t.Fatalf("checksum %d, want %d — baseline diverges from the shared functional work",
+			app.Checksum(), want)
+	}
+}
+
+func TestConsoleScopeReclaimedEachAlert(t *testing.T) {
+	app, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	for i := 0; i < 32; i++ {
+		if err := app.Transaction(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if app.cscope.Consumed() != 0 {
+		t.Fatalf("console scope holds %d bytes", app.cscope.Consumed())
+	}
+	if app.cscope.Allocations() != 2 {
+		t.Fatalf("console scope allocations = %d, want 2", app.cscope.Allocations())
+	}
+}
+
+func TestSteadyStateImmortalFlat(t *testing.T) {
+	app, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := app.Transaction(); err != nil {
+		t.Fatal(err)
+	}
+	before := app.mem.Immortal().Consumed()
+	for i := 0; i < 100; i++ {
+		if err := app.Transaction(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := app.mem.Immortal().Consumed(); got != before {
+		t.Fatalf("immortal consumption drifted: %d -> %d", before, got)
+	}
+}
+
+func TestSlotRingOrdering(t *testing.T) {
+	app, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	r := app.lineToMonitor
+	for i := 1; i <= 3; i++ {
+		if err := r.push(app.ctx, scenario.Measurement{Seq: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		m, ok, err := r.pop(app.ctx)
+		if err != nil || !ok || m.Seq != int64(i) {
+			t.Fatalf("pop %d = %+v, %v, %v", i, m, ok, err)
+		}
+	}
+	if _, ok, _ := r.pop(app.ctx); ok {
+		t.Fatal("empty pop succeeded")
+	}
+	// Overflow is refused.
+	for i := 0; i < 10; i++ {
+		if err := r.push(app.ctx, scenario.Measurement{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.push(app.ctx, scenario.Measurement{}); err == nil {
+		t.Fatal("overflow accepted")
+	}
+}

@@ -1,0 +1,271 @@
+// Package comm implements the communication substrate of the
+// framework: the bounded message buffers behind asynchronous bindings
+// (the ADL's bufferSize attribute) in two flavours — a plain ring
+// buffer used by the hand-written OO baseline and the merged
+// generation modes, and an RTSJ-checked buffer whose slots live in a
+// memory area and whose transfers follow the deep-copy pattern.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"soleil/internal/patterns"
+	"soleil/internal/rtsj/memory"
+)
+
+// ErrFull is returned by Enqueue when the buffer is at capacity and
+// the policy is Refuse.
+var ErrFull = errors.New("comm: buffer full")
+
+// OverflowPolicy selects what Enqueue does on a full buffer.
+type OverflowPolicy int
+
+// Overflow policies.
+const (
+	// Refuse rejects the new message with ErrFull (the RTSJ arrival
+	// queue's default throw behaviour).
+	Refuse OverflowPolicy = iota + 1
+	// DropOldest overwrites the oldest queued message.
+	DropOldest
+	// DropNewest silently discards the new message.
+	DropNewest
+)
+
+// Stats summarizes a buffer's life.
+type Stats struct {
+	Enqueued int64
+	Dequeued int64
+	Dropped  int64
+	MaxDepth int
+}
+
+// Buffer is a bounded FIFO ring buffer. It is safe for concurrent
+// use.
+type Buffer struct {
+	name     string
+	capacity int
+	policy   OverflowPolicy
+
+	mu    sync.Mutex
+	ring  []any
+	head  int // next dequeue position
+	count int
+	stats Stats
+
+	onEnqueue func()
+}
+
+// NewBuffer creates a bounded buffer.
+func NewBuffer(name string, capacity int, policy OverflowPolicy) (*Buffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("comm: buffer %q needs a positive capacity, got %d", name, capacity)
+	}
+	switch policy {
+	case Refuse, DropOldest, DropNewest:
+	default:
+		return nil, fmt.Errorf("comm: buffer %q has unknown overflow policy %d", name, policy)
+	}
+	return &Buffer{
+		name:     name,
+		capacity: capacity,
+		policy:   policy,
+		ring:     make([]any, capacity),
+	}, nil
+}
+
+// Name returns the buffer name.
+func (b *Buffer) Name() string { return b.name }
+
+// Cap returns the buffer capacity.
+func (b *Buffer) Cap() int { return b.capacity }
+
+// Len returns the number of queued messages.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// Stats returns a copy of the buffer statistics.
+func (b *Buffer) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// OnEnqueue registers a callback invoked (outside the lock) after each
+// successful enqueue; the runtime uses it to fire the sporadic task of
+// the receiving active component.
+func (b *Buffer) OnEnqueue(fn func()) { b.onEnqueue = fn }
+
+// Enqueue appends v, applying the overflow policy when full.
+func (b *Buffer) Enqueue(v any) error {
+	b.mu.Lock()
+	if b.count == b.capacity {
+		switch b.policy {
+		case Refuse:
+			b.stats.Dropped++
+			b.mu.Unlock()
+			return fmt.Errorf("%w: %s (capacity %d)", ErrFull, b.name, b.capacity)
+		case DropNewest:
+			b.stats.Dropped++
+			b.mu.Unlock()
+			return nil
+		case DropOldest:
+			b.head = (b.head + 1) % b.capacity
+			b.count--
+			b.stats.Dropped++
+		}
+	}
+	b.ring[(b.head+b.count)%b.capacity] = v
+	b.count++
+	b.stats.Enqueued++
+	if b.count > b.stats.MaxDepth {
+		b.stats.MaxDepth = b.count
+	}
+	fn := b.onEnqueue
+	b.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return nil
+}
+
+// Dequeue removes and returns the oldest message; ok is false when the
+// buffer is empty.
+func (b *Buffer) Dequeue() (v any, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.count == 0 {
+		return nil, false
+	}
+	v = b.ring[b.head]
+	b.ring[b.head] = nil
+	b.head = (b.head + 1) % b.capacity
+	b.count--
+	b.stats.Dequeued++
+	return v, true
+}
+
+// RTBuffer is the RTSJ-conscious buffer used by the generated
+// infrastructure. All message slots are preallocated in a designated
+// non-scoped memory area when the buffer is created — the standard
+// RTSJ discipline for immortal memory, whose allocations are
+// permanent — and reused for the life of the system, so steady-state
+// message passing allocates nothing. Transfers deep-copy payloads
+// into and out of the slots (the deep-copy pattern), and every access
+// is checked against the caller's allocation context: a no-heap
+// producer or consumer touching a heap-hosted buffer faults, as it
+// would on a real RTSJ VM.
+type RTBuffer struct {
+	buf   *Buffer
+	area  *memory.Area
+	slots []*memory.Ref
+}
+
+// NewRTBuffer creates an RT buffer and preallocates its capacity
+// slots of slotSize bytes each in area.
+func NewRTBuffer(name string, capacity int, policy OverflowPolicy, area *memory.Area, slotSize int64) (*RTBuffer, error) {
+	if area == nil {
+		return nil, fmt.Errorf("comm: rt buffer %q needs a memory area", name)
+	}
+	if area.Kind() == memory.Scoped {
+		return nil, fmt.Errorf("comm: rt buffer %q cannot live in scoped area %s (its messages would be reclaimed)",
+			name, area.Name())
+	}
+	if slotSize <= 0 {
+		return nil, fmt.Errorf("comm: rt buffer %q needs a positive slot size", name)
+	}
+	b, err := NewBuffer(name, capacity, policy)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := memory.NewContext(area, false)
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.Close()
+	rb := &RTBuffer{buf: b, area: area, slots: make([]*memory.Ref, capacity)}
+	for i := range rb.slots {
+		ref, err := ctx.Alloc(slotSize, nil)
+		if err != nil {
+			return nil, fmt.Errorf("comm: preallocating slots of %q: %w", name, err)
+		}
+		rb.slots[i] = ref
+	}
+	return rb, nil
+}
+
+// Name returns the buffer name.
+func (b *RTBuffer) Name() string { return b.buf.name }
+
+// Area returns the area the buffer's slots live in.
+func (b *RTBuffer) Area() *memory.Area { return b.area }
+
+// Len returns the number of queued messages.
+func (b *RTBuffer) Len() int { return b.buf.Len() }
+
+// Cap returns the buffer capacity.
+func (b *RTBuffer) Cap() int { return b.buf.capacity }
+
+// Stats returns the underlying buffer statistics.
+func (b *RTBuffer) Stats() Stats { return b.buf.Stats() }
+
+// OnEnqueue registers the post-enqueue callback.
+func (b *RTBuffer) OnEnqueue(fn func()) { b.buf.OnEnqueue(fn) }
+
+// Enqueue deep-copies payload into a preallocated slot under the
+// producer's allocation context and queues the slot.
+//
+// RTBuffer mirrors the framework's binding topology: each binding has
+// exactly one client and one server, so the buffer is
+// single-producer/single-consumer. Concurrent producers must
+// serialize externally.
+func (b *RTBuffer) Enqueue(ctx *memory.Context, payload any) error {
+	b.buf.mu.Lock()
+	if b.buf.count == b.buf.capacity {
+		switch b.buf.policy {
+		case Refuse:
+			b.buf.stats.Dropped++
+			b.buf.mu.Unlock()
+			return fmt.Errorf("%w: %s (capacity %d)", ErrFull, b.buf.name, b.buf.capacity)
+		case DropNewest:
+			b.buf.stats.Dropped++
+			b.buf.mu.Unlock()
+			return nil
+		case DropOldest:
+			b.buf.head = (b.buf.head + 1) % b.buf.capacity
+			b.buf.count--
+			b.buf.stats.Dropped++
+		}
+	}
+	// The slot at the ring position the message will occupy; stable
+	// under SPSC because only this producer can advance the tail.
+	slot := b.slots[(b.buf.head+b.buf.count)%b.buf.capacity]
+	b.buf.mu.Unlock()
+	if err := ctx.Store(slot, patterns.CopyValue(payload)); err != nil {
+		return fmt.Errorf("comm: enqueue on %s: %w", b.buf.name, err)
+	}
+	return b.buf.Enqueue(slot)
+}
+
+// Dequeue removes the oldest message and returns its payload,
+// deep-copied out under the consumer's allocation context so the
+// consumer never holds a reference into the buffer's area.
+func (b *RTBuffer) Dequeue(ctx *memory.Context) (any, bool, error) {
+	v, ok := b.buf.Dequeue()
+	if !ok {
+		return nil, false, nil
+	}
+	ref, isRef := v.(*memory.Ref)
+	if !isRef {
+		return nil, true, fmt.Errorf("comm: foreign message in rt buffer %s", b.buf.name)
+	}
+	payload, err := ctx.Load(ref)
+	if err != nil {
+		return nil, true, fmt.Errorf("comm: dequeue on %s: %w", b.buf.name, err)
+	}
+	return patterns.CopyValue(payload), true, nil
+}

@@ -1,0 +1,130 @@
+// Package core ties the framework together — the paper's primary
+// contribution as one pipeline: design (three views, stepwise
+// verification), RTSJ validation, implementation (content classes are
+// the only manual step), infrastructure deployment or generation in
+// the three optimization modes, execution on the simulated RTSJ
+// runtime, and runtime adaptation.
+//
+// The stages map to the paper as follows:
+//
+//	Fig. 3 design flow      -> Design (internal/views)
+//	Sect. 3.1 verification  -> Validate (internal/validate)
+//	Fig. 4 ADL              -> LoadADL / SaveADL (internal/adl)
+//	Fig. 5 implementation   -> Register + Deploy (internal/assembly)
+//	Sect. 4.3 generator     -> GenerateSource (internal/generate)
+//	Sect. 4.2 adaptability  -> Adapt (internal/reconfig)
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"soleil/internal/adl"
+	"soleil/internal/assembly"
+	"soleil/internal/generate"
+	"soleil/internal/membrane"
+	"soleil/internal/model"
+	"soleil/internal/reconfig"
+	"soleil/internal/validate"
+	"soleil/internal/views"
+)
+
+// Framework is the entry point for building, validating, deploying
+// and generating RTSJ component systems.
+type Framework struct {
+	registry *assembly.Registry
+}
+
+// New creates a framework instance with an empty content registry.
+func New() *Framework {
+	return &Framework{registry: assembly.NewRegistry()}
+}
+
+// Register installs a content class — the developer's implementation
+// of one primitive component (Fig. 5, step 1).
+func (f *Framework) Register(class string, factory func() membrane.Content) error {
+	return f.registry.Register(class, factory)
+}
+
+// Registry exposes the content registry.
+func (f *Framework) Registry() *assembly.Registry { return f.registry }
+
+// LoadADL reads an architecture from a Fig. 4 XML document.
+func (f *Framework) LoadADL(path string) (*model.Architecture, error) {
+	return adl.DecodeFile(path)
+}
+
+// ParseADL reads an architecture from XML held in memory.
+func (f *Framework) ParseADL(r io.Reader) (*model.Architecture, error) {
+	return adl.Decode(r)
+}
+
+// SaveADL serializes an architecture to XML.
+func (f *Framework) SaveADL(w io.Writer, arch *model.Architecture) error {
+	return adl.Encode(w, arch)
+}
+
+// Design runs the complete Fig. 3 methodology: the business view,
+// then the thread management view, then the memory management view,
+// verifying RTSJ conformance after each step. The returned report is
+// the final verification outcome; a non-nil error means the
+// architecture was refused.
+func (f *Framework) Design(b views.BusinessView, t views.ThreadView, m views.MemoryView) (*model.Architecture, validate.Report, error) {
+	flow, err := views.NewFlow(b)
+	if err != nil {
+		return nil, validate.Report{}, err
+	}
+	r, err := flow.ApplyThreadView(t)
+	if err != nil {
+		return nil, r, err
+	}
+	if !r.OK() {
+		return nil, r, fmt.Errorf("core: thread view violates RTSJ (%d errors)", len(r.Errors()))
+	}
+	r, err = flow.ApplyMemoryView(m)
+	if err != nil {
+		return nil, r, err
+	}
+	return flow.Finalize()
+}
+
+// Validate checks an architecture against the RTSJ conformance rules.
+func (f *Framework) Validate(arch *model.Architecture) validate.Report {
+	return validate.Validate(arch)
+}
+
+// Deploy builds the runnable execution infrastructure for a validated
+// architecture in the given mode, using the registered content
+// classes.
+func (f *Framework) Deploy(arch *model.Architecture, mode assembly.Mode) (*assembly.System, error) {
+	return assembly.Deploy(arch, assembly.Config{Mode: mode, Registry: f.registry})
+}
+
+// DeployWithStubs deploys like Deploy but substitutes stub content
+// for unregistered content classes.
+func (f *Framework) DeployWithStubs(arch *model.Architecture, mode assembly.Mode) (*assembly.System, error) {
+	return assembly.Deploy(arch, assembly.Config{Mode: mode, Registry: f.registry, AllowStubs: true})
+}
+
+// Adapt returns a reconfiguration manager for a deployed system.
+func (f *Framework) Adapt(sys *assembly.System) (*reconfig.Manager, error) {
+	return reconfig.NewManager(sys)
+}
+
+// GenerateSource emits the execution-infrastructure source code for
+// the architecture in the given mode (the Soleil generator, Sect.
+// 4.3) and returns the generated files.
+func (f *Framework) GenerateSource(arch *model.Architecture, mode assembly.Mode, withMain bool) ([]generate.File, error) {
+	return generate.Generate(arch, generate.Options{Mode: mode, Main: withMain})
+}
+
+// WriteSource writes generated files into a directory.
+func (f *Framework) WriteSource(dir string, files []generate.File) error {
+	return generate.WriteFiles(dir, files)
+}
+
+// GenerationReport confronts generated output with the code-generation
+// requirements of Sect. 5.2.
+func (f *Framework) GenerationReport(files []generate.File, mode assembly.Mode) generate.Report {
+	return generate.CheckRequirements(files, mode)
+}

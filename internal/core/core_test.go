@@ -1,0 +1,189 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soleil/internal/assembly"
+	"soleil/internal/fixture"
+	"soleil/internal/membrane"
+	"soleil/internal/model"
+	"soleil/internal/scenario"
+	"soleil/internal/views"
+)
+
+const ms = time.Millisecond
+
+func factoryViews() (views.BusinessView, views.ThreadView, views.MemoryView) {
+	b := views.BusinessView{
+		Name: "factory",
+		Components: []views.BusinessComponent{
+			{Name: "ProductionLine", Kind: model.Active,
+				Activation: model.Activation{Kind: model.PeriodicActivation, Period: 10 * ms},
+				Content:    "ProductionLineImpl",
+				Interfaces: []model.Interface{{Name: "iMonitor", Role: model.ClientRole, Signature: "IMonitor"}}},
+			{Name: "MonitoringSystem", Kind: model.Active,
+				Activation: model.Activation{Kind: model.SporadicActivation},
+				Content:    "MonitoringSystemImpl",
+				Interfaces: []model.Interface{
+					{Name: "iMonitor", Role: model.ServerRole, Signature: "IMonitor"},
+					{Name: "iConsole", Role: model.ClientRole, Signature: "IConsole"},
+					{Name: "iLog", Role: model.ClientRole, Signature: "ILog"}}},
+			{Name: "Console", Kind: model.Passive, Content: "ConsoleImpl",
+				Interfaces: []model.Interface{{Name: "iConsole", Role: model.ServerRole, Signature: "IConsole"}}},
+			{Name: "Audit", Kind: model.Active,
+				Activation: model.Activation{Kind: model.SporadicActivation},
+				Content:    "AuditImpl",
+				Interfaces: []model.Interface{{Name: "iLog", Role: model.ServerRole, Signature: "ILog"}}},
+		},
+		Bindings: []model.Binding{
+			{Client: model.Endpoint{Component: "ProductionLine", Interface: "iMonitor"},
+				Server:   model.Endpoint{Component: "MonitoringSystem", Interface: "iMonitor"},
+				Protocol: model.Asynchronous, BufferSize: 10},
+			{Client: model.Endpoint{Component: "MonitoringSystem", Interface: "iConsole"},
+				Server:   model.Endpoint{Component: "Console", Interface: "iConsole"},
+				Protocol: model.Synchronous},
+			{Client: model.Endpoint{Component: "MonitoringSystem", Interface: "iLog"},
+				Server:   model.Endpoint{Component: "Audit", Interface: "iLog"},
+				Protocol: model.Asynchronous, BufferSize: 16},
+		},
+	}
+	t := views.ThreadView{Domains: []views.DomainAssignment{
+		{Name: "NHRT1", Desc: model.DomainDesc{Kind: model.NoHeapRealtimeThread, Priority: 30}, Members: []string{"ProductionLine"}},
+		{Name: "NHRT2", Desc: model.DomainDesc{Kind: model.NoHeapRealtimeThread, Priority: 25}, Members: []string{"MonitoringSystem"}},
+		{Name: "reg1", Desc: model.DomainDesc{Kind: model.RegularThread, Priority: 5}, Members: []string{"Audit"}},
+	}}
+	m := views.MemoryView{Areas: []views.AreaAssignment{
+		{Name: "Imm1", Desc: model.AreaDesc{Kind: model.ImmortalMemory, Size: 600 << 10}, Members: []string{"NHRT1", "NHRT2"}},
+		{Name: "S1", Desc: model.AreaDesc{Kind: model.ScopedMemory, ScopeName: "cscope", Size: 28 << 10}, Members: []string{"Console"}},
+		{Name: "H1", Desc: model.AreaDesc{Kind: model.HeapMemory}, Members: []string{"reg1"}},
+	}}
+	return b, t, m
+}
+
+// TestEndToEndPipeline exercises the whole framework pipeline:
+// design -> validate -> register -> deploy -> run -> adapt -> generate.
+func TestEndToEndPipeline(t *testing.T) {
+	fw := New()
+
+	// Design.
+	b, tv, mv := factoryViews()
+	arch, report, err := fw.Design(b, tv, mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("design report: %v", report.Errors())
+	}
+
+	// Implement: register the content classes.
+	contents := scenario.NewContents()
+	if err := contents.Register(fw.Registry()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deploy and run 95ms of simulated time.
+	sys, err := fw.Deploy(arch, assembly.Soleil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(95 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if contents.Line.Produced() < 9 {
+		t.Fatalf("produced = %d", contents.Line.Produced())
+	}
+	if contents.Audit.Logged() < 9 {
+		t.Fatalf("logged = %d", contents.Audit.Logged())
+	}
+
+	// Adapt: introspection works on the deployed system.
+	mgr, err := fw.Adapt(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := mgr.Introspect()
+	if len(snap.Components) != 4 || len(snap.Domains) != 3 {
+		t.Fatalf("snapshot: %d components, %d domains", len(snap.Components), len(snap.Domains))
+	}
+
+	// Generate source for the same architecture.
+	files, err := fw.GenerateSource(arch, assembly.UltraMerge, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("ultra files = %d", len(files))
+	}
+	genReport := fw.GenerationReport(files, assembly.UltraMerge)
+	if !genReport.OK() {
+		t.Fatalf("generation requirements not met: %+v", genReport.Reqs)
+	}
+}
+
+func TestDesignRefusesBadThreadView(t *testing.T) {
+	fw := New()
+	b, tv, mv := factoryViews()
+	tv.Domains = tv.Domains[:1] // MonitoringSystem and Audit undeployed
+	_, report, err := fw.Design(b, tv, mv)
+	if err == nil {
+		t.Fatal("incomplete thread view accepted")
+	}
+	if report.OK() {
+		t.Fatal("report does not carry the errors")
+	}
+}
+
+func TestADLRoundTripThroughFramework(t *testing.T) {
+	fw := New()
+	arch, err := fixture.MotivationExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := fw.SaveADL(&sb, arch); err != nil {
+		t.Fatal(err)
+	}
+	back, err := fw.ParseADL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fw.Validate(back).OK() {
+		t.Fatal("round-tripped architecture invalid")
+	}
+	if _, err := fw.LoadADL("/nonexistent.xml"); err == nil {
+		t.Fatal("missing ADL accepted")
+	}
+}
+
+func TestDeployWithStubs(t *testing.T) {
+	fw := New()
+	arch, err := fixture.MotivationExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Deploy(arch, assembly.MergeAll); err == nil {
+		t.Fatal("deploy without contents accepted")
+	}
+	sys, err := fw.DeployWithStubs(arch, assembly.MergeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(25 * ms); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterThroughFramework(t *testing.T) {
+	fw := New()
+	if err := fw.Register("X", func() membrane.Content { return &assembly.StubContent{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Register("X", func() membrane.Content { return &assembly.StubContent{} }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := fw.WriteSource(t.TempDir(), nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"soleil/internal/assembly"
+	"soleil/internal/membrane"
+	"soleil/internal/rtsj/thread"
+)
+
+// envelope is the wire representation of one asynchronous invocation.
+type envelope struct {
+	Interface string
+	Op        string
+	Arg       any
+}
+
+// RegisterPayload registers a message payload type for the wire
+// encoding (gob). Every concrete type sent over a distributed binding
+// must be registered on both sides.
+func RegisterPayload(v any) { gob.Register(v) }
+
+func encode(e envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("dist: encode %s.%s: %w", e.Interface, e.Op, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(payload []byte) (envelope, error) {
+	var e envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		return envelope{}, fmt.Errorf("dist: decode: %w", err)
+	}
+	return e, nil
+}
+
+// RemotePort is the client half of a distributed binding: a port
+// whose Send serializes the message onto a transport. Distribution is
+// asynchronous-only (value messages), matching the deep-copy
+// discipline; Call is refused.
+type RemotePort struct {
+	transport Transport
+	itf       string
+}
+
+var _ membrane.Port = (*RemotePort)(nil)
+
+// NewRemotePort creates the port for the remote server interface itf.
+func NewRemotePort(t Transport, itf string) (*RemotePort, error) {
+	if t == nil {
+		return nil, fmt.Errorf("dist: remote port needs a transport")
+	}
+	return &RemotePort{transport: t, itf: itf}, nil
+}
+
+// Send implements membrane.Port.
+func (p *RemotePort) Send(env *thread.Env, op string, arg any) error {
+	payload, err := encode(envelope{Interface: p.itf, Op: op, Arg: arg})
+	if err != nil {
+		return err
+	}
+	return p.transport.Send(payload)
+}
+
+// Call implements membrane.Port.
+func (p *RemotePort) Call(env *thread.Env, op string, arg any) (any, error) {
+	return nil, fmt.Errorf("dist: distributed bindings are asynchronous; use Send")
+}
+
+// Export routes the client interface of a component in sys onto a
+// transport: subsequent Sends travel to whatever imports the other
+// end.
+func Export(sys *assembly.System, client, clientItf, serverItf string, t Transport) error {
+	port, err := NewRemotePort(t, serverItf)
+	if err != nil {
+		return err
+	}
+	return sys.BindPort(client, clientItf, port)
+}
+
+// Importer is the server half: it receives envelopes from a transport
+// and dispatches them into a component of the local system under a
+// local execution environment.
+type Importer struct {
+	transport Transport
+	node      assembly.Node
+	env       *thread.Env
+	closeEnv  func()
+
+	mu        sync.Mutex
+	delivered int64
+
+	done chan struct{}
+	err  error
+}
+
+// Import attaches the transport to the named component of sys.
+func Import(sys *assembly.System, server string, t Transport) (*Importer, error) {
+	if t == nil {
+		return nil, fmt.Errorf("dist: importer needs a transport")
+	}
+	node, ok := sys.Node(server)
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown server component %q", server)
+	}
+	env, closeEnv, err := sys.NewEnv(false)
+	if err != nil {
+		return nil, err
+	}
+	return &Importer{
+		transport: t,
+		node:      node,
+		env:       env,
+		closeEnv:  closeEnv,
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Delivered returns the number of messages dispatched so far.
+func (i *Importer) Delivered() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.delivered
+}
+
+// PumpOne receives and dispatches exactly one message. It reports
+// false (with a nil error) when the transport has closed.
+func (i *Importer) PumpOne() (bool, error) {
+	payload, err := i.transport.Receive()
+	if errors.Is(err, ErrClosed) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	e, err := decode(payload)
+	if err != nil {
+		return false, err
+	}
+	if _, err := i.node.Invoke(i.env, e.Interface, e.Op, e.Arg); err != nil {
+		return true, fmt.Errorf("dist: deliver %s.%s: %w", e.Interface, e.Op, err)
+	}
+	i.mu.Lock()
+	i.delivered++
+	i.mu.Unlock()
+	return true, nil
+}
+
+// Serve pumps messages until the transport closes, then releases the
+// importer's environment. Run it on its own goroutine; Err reports
+// the terminal error after done.
+func (i *Importer) Serve() {
+	defer close(i.done)
+	defer i.closeEnv()
+	for {
+		ok, err := i.PumpOne()
+		if err != nil {
+			i.mu.Lock()
+			i.err = err
+			i.mu.Unlock()
+			return
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// Wait blocks until Serve has returned.
+func (i *Importer) Wait() { <-i.done }
+
+// Err returns the terminal error of Serve, if any.
+func (i *Importer) Err() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.err
+}
+
+// Close releases the importer's environment; use it when driving the
+// importer manually with PumpOne instead of Serve.
+func (i *Importer) Close() { i.closeEnv() }

@@ -1,0 +1,163 @@
+// Package dist implements the paper's declared future-work extension
+// (Sect. 7): distribution support. An asynchronous binding can span
+// two deployed systems — the client side exports its interface onto a
+// transport, the server side imports the transport into a component's
+// dataplane. Messages are serialized (gob) so no reference ever
+// crosses the system boundary, which makes distribution a natural
+// extension of the deep-copy pattern: the same discipline that keeps
+// scoped references from escaping also keeps them node-local.
+//
+// The design follows the DiSCo space-oriented middleware the paper
+// relates to (Sect. 6): components keep their local RTSJ disciplines;
+// only value messages travel.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// ErrClosed is returned by transport operations after Close.
+var ErrClosed = errors.New("dist: transport closed")
+
+// Transport carries opaque serialized messages between two systems.
+type Transport interface {
+	// Send transmits one message.
+	Send(payload []byte) error
+	// Receive blocks until a message arrives; it returns ErrClosed
+	// when the transport has shut down.
+	Receive() ([]byte, error)
+	// Close shuts the transport down, unblocking Receive on both
+	// sides.
+	Close() error
+}
+
+// --- in-process pipe ---------------------------------------------------------------
+
+type pipeEnd struct {
+	out    chan []byte
+	in     chan []byte
+	mu     sync.Mutex
+	closed chan struct{}
+	once   sync.Once
+	peer   *pipeEnd
+}
+
+// NewPipe creates a connected in-process transport pair, useful for
+// tests and single-process multi-system deployments.
+func NewPipe() (Transport, Transport) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	a := &pipeEnd{out: ab, in: ba, closed: make(chan struct{})}
+	b := &pipeEnd{out: ba, in: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (p *pipeEnd) Send(payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	// The closed check takes priority over an available buffer slot.
+	select {
+	case <-p.closed:
+		return ErrClosed
+	case <-p.peer.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-p.closed:
+		return ErrClosed
+	case <-p.peer.closed:
+		return ErrClosed
+	case p.out <- cp:
+		return nil
+	}
+}
+
+func (p *pipeEnd) Receive() ([]byte, error) {
+	select {
+	case msg := <-p.in:
+		return msg, nil
+	case <-p.closed:
+		// Drain messages queued before close.
+		select {
+		case msg := <-p.in:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-p.peer.closed:
+		select {
+		case msg := <-p.in:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (p *pipeEnd) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	return nil
+}
+
+// --- net.Conn framing ----------------------------------------------------------------
+
+type connTransport struct {
+	conn net.Conn
+	rmu  sync.Mutex
+	wmu  sync.Mutex
+}
+
+// NewConn wraps a stream connection (e.g. TCP) with length-prefixed
+// message framing.
+func NewConn(conn net.Conn) Transport {
+	return &connTransport{conn: conn}
+}
+
+func (t *connTransport) Send(payload []byte) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	var hdr [4]byte
+	if len(payload) > 1<<24 {
+		return fmt.Errorf("dist: message of %d bytes exceeds the frame limit", len(payload))
+	}
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := t.conn.Write(hdr[:]); err != nil {
+		return mapClosed(err)
+	}
+	_, err := t.conn.Write(payload)
+	return mapClosed(err)
+}
+
+func (t *connTransport) Receive() ([]byte, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
+		return nil, mapClosed(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(t.conn, payload); err != nil {
+		return nil, mapClosed(err)
+	}
+	return payload, nil
+}
+
+func (t *connTransport) Close() error { return t.conn.Close() }
+
+func mapClosed(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
+		return ErrClosed
+	}
+	return err
+}

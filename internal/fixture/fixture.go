@@ -1,0 +1,185 @@
+// Package fixture builds the paper's motivation example (Sect. 2.2,
+// Fig. 4): a factory production line monitored under hard real-time
+// constraints, with a non-real-time audit log. The fixture is shared
+// by tests, examples and the Fig. 7 benchmark harness.
+package fixture
+
+import (
+	"fmt"
+	"time"
+
+	"soleil/internal/model"
+)
+
+// Component and interface names of the motivation example.
+const (
+	ProductionLine   = "ProductionLine"
+	MonitoringSystem = "MonitoringSystem"
+	Console          = "Console"
+	Audit            = "Audit"
+
+	IMonitor = "IMonitor"
+	IConsole = "IConsole"
+	ILog     = "ILog"
+
+	DomainNHRT1 = "NHRT1"
+	DomainNHRT2 = "NHRT2"
+	DomainReg1  = "reg1"
+	AreaImm1    = "Imm1"
+	AreaS1      = "S1"
+	AreaH1      = "H1"
+)
+
+// MotivationExample constructs the complete RT system architecture of
+// Fig. 4: ProductionLine (periodic 10 ms, NHRT prio 30, immortal) →
+// async(10) → MonitoringSystem (sporadic, NHRT prio 25, immortal) →
+// sync → Console (passive, 28 KB scope) and → async → Audit (sporadic,
+// regular thread, heap).
+func MotivationExample() (*model.Architecture, error) {
+	a := model.NewArchitecture("factory-monitoring")
+
+	// --- functional components (business view) ---
+	root, err := a.NewComposite("FactoryMonitoring")
+	if err != nil {
+		return nil, err
+	}
+	pl, err := a.NewActive(ProductionLine, model.Activation{
+		Kind:   model.PeriodicActivation,
+		Period: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms, err := a.NewActive(MonitoringSystem, model.Activation{
+		Kind: model.SporadicActivation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	console, err := a.NewPassive(Console)
+	if err != nil {
+		return nil, err
+	}
+	audit, err := a.NewActive(Audit, model.Activation{
+		Kind: model.SporadicActivation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []*model.Component{pl, ms, console, audit} {
+		if err := a.AddChild(root, c); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- interfaces ---
+	itfs := []struct {
+		c    *model.Component
+		name string
+		role model.Role
+		sig  string
+	}{
+		{pl, "iMonitor", model.ClientRole, IMonitor},
+		{ms, "iMonitor", model.ServerRole, IMonitor},
+		{ms, "iConsole", model.ClientRole, IConsole},
+		{ms, "iLog", model.ClientRole, ILog},
+		{console, "iConsole", model.ServerRole, IConsole},
+		{audit, "iLog", model.ServerRole, ILog},
+	}
+	for _, it := range itfs {
+		err := it.c.AddInterface(model.Interface{Name: it.name, Role: it.role, Signature: it.sig})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// --- content classes ---
+	for c, id := range map[*model.Component]string{
+		pl: "ProductionLineImpl", ms: "MonitoringSystemImpl",
+		console: "ConsoleImpl", audit: "AuditImpl",
+	} {
+		if err := c.SetContent(id); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- bindings ---
+	bindings := []model.Binding{
+		{
+			Client:   model.Endpoint{Component: ProductionLine, Interface: "iMonitor"},
+			Server:   model.Endpoint{Component: MonitoringSystem, Interface: "iMonitor"},
+			Protocol: model.Asynchronous, BufferSize: 10,
+		},
+		{
+			Client:   model.Endpoint{Component: MonitoringSystem, Interface: "iConsole"},
+			Server:   model.Endpoint{Component: Console, Interface: "iConsole"},
+			Protocol: model.Synchronous,
+			// Crosses from immortal into the 28 KB console scope: the
+			// design flow selected the encapsulated-method pattern.
+			Pattern: "scope-enter",
+		},
+		{
+			Client:   model.Endpoint{Component: MonitoringSystem, Interface: "iLog"},
+			Server:   model.Endpoint{Component: Audit, Interface: "iLog"},
+			Protocol: model.Asynchronous, BufferSize: 16,
+			// Crosses from immortal to heap: messages are deep-copied
+			// through a non-heap buffer so the NHRT producer never
+			// touches heap references.
+			Pattern: "deep-copy",
+		},
+	}
+	for _, b := range bindings {
+		if _, err := a.Bind(b); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- non-functional components (thread + memory views) ---
+	imm1, err := a.NewMemoryArea(AreaImm1, model.AreaDesc{
+		Kind: model.ImmortalMemory, Size: 600 << 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nhrt1, err := a.NewThreadDomain(DomainNHRT1, model.DomainDesc{
+		Kind: model.NoHeapRealtimeThread, Priority: 30,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nhrt2, err := a.NewThreadDomain(DomainNHRT2, model.DomainDesc{
+		Kind: model.NoHeapRealtimeThread, Priority: 25,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s1, err := a.NewMemoryArea(AreaS1, model.AreaDesc{
+		Kind: model.ScopedMemory, ScopeName: "cscope", Size: 28 << 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h1, err := a.NewMemoryArea(AreaH1, model.AreaDesc{Kind: model.HeapMemory})
+	if err != nil {
+		return nil, err
+	}
+	reg1, err := a.NewThreadDomain(DomainReg1, model.DomainDesc{
+		Kind: model.RegularThread, Priority: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	edges := []struct{ parent, child *model.Component }{
+		{imm1, nhrt1}, {imm1, nhrt2},
+		{nhrt1, pl}, {nhrt2, ms},
+		{s1, console},
+		{h1, reg1}, {reg1, audit},
+	}
+	for _, e := range edges {
+		if err := a.AddChild(e.parent, e.child); err != nil {
+			return nil, fmt.Errorf("deploy %s under %s: %w", e.child.Name(), e.parent.Name(), err)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,189 @@
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"soleil/internal/model"
+)
+
+// RandomArchitecture builds a structurally valid random architecture
+// from a seed: functional primitives with interfaces, role- and
+// signature-correct bindings, a composite, thread domains and
+// (possibly nested) memory areas with random memberships. The result
+// always satisfies the *model* invariants; whether it passes full
+// RTSJ validation depends on the drawn composition, which is exactly
+// what property tests over the validator, the ADL and the deployer
+// need.
+func RandomArchitecture(seed int64) (*model.Architecture, error) {
+	rng := rand.New(rand.NewSource(seed))
+	a := model.NewArchitecture(fmt.Sprintf("rand-%d", seed))
+
+	nAct := rng.Intn(4) + 1
+	nPas := rng.Intn(3)
+	var prims []*model.Component
+
+	for i := 0; i < nAct; i++ {
+		var act model.Activation
+		switch rng.Intn(3) {
+		case 0:
+			act = model.Activation{Kind: model.PeriodicActivation,
+				Period: time.Duration(rng.Intn(50)+1) * time.Millisecond}
+		case 1:
+			act = model.Activation{Kind: model.SporadicActivation}
+		default:
+			act = model.Activation{Kind: model.AperiodicActivation,
+				Cost: time.Duration(rng.Intn(5)) * time.Millisecond}
+		}
+		c, err := a.NewActive(fmt.Sprintf("act%d", i), act)
+		if err != nil {
+			return nil, err
+		}
+		if rng.Intn(2) == 0 {
+			if err := c.SetContent(fmt.Sprintf("Act%dImpl", i)); err != nil {
+				return nil, err
+			}
+		}
+		prims = append(prims, c)
+	}
+	for i := 0; i < nPas; i++ {
+		c, err := a.NewPassive(fmt.Sprintf("pas%d", i))
+		if err != nil {
+			return nil, err
+		}
+		prims = append(prims, c)
+	}
+
+	// Interfaces over a small signature alphabet.
+	sigs := []string{"IA", "IB"}
+	for i, c := range prims {
+		sig := sigs[rng.Intn(len(sigs))]
+		if err := c.AddInterface(model.Interface{
+			Name: "srv", Role: model.ServerRole, Signature: sig,
+		}); err != nil {
+			return nil, err
+		}
+		if c.Kind() == model.Active {
+			if err := c.AddInterface(model.Interface{
+				Name: "cli", Role: model.ClientRole, Signature: sigs[i%len(sigs)],
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Bindings: each active's client interface to a matching server
+	// *later* in the declaration order, so the message topology is a
+	// DAG — an asynchronous cycle between sporadic components would
+	// ping-pong messages without ever advancing virtual time, which
+	// no real design flow would admit (and which a simulation cannot
+	// terminate).
+	for idx, c := range prims {
+		if c.Kind() != model.Active {
+			continue
+		}
+		cli, _ := c.Interface("cli")
+		for _, srv := range prims[idx+1:] {
+			si, ok := srv.Interface("srv")
+			if !ok || si.Signature != cli.Signature {
+				continue
+			}
+			b := model.Binding{
+				Client: model.Endpoint{Component: c.Name(), Interface: "cli"},
+				Server: model.Endpoint{Component: srv.Name(), Interface: "srv"},
+			}
+			srvAct := srv.Activation()
+			if rng.Intn(2) == 0 && srv.Kind() == model.Active && srvAct != nil && srvAct.Kind == model.SporadicActivation {
+				b.Protocol = model.Asynchronous
+				b.BufferSize = rng.Intn(16) + 1
+				if rng.Intn(2) == 0 {
+					b.Pattern = "deep-copy"
+				}
+			} else {
+				b.Protocol = model.Synchronous
+			}
+			if _, err := a.Bind(b); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+
+	// A composite over a random subset.
+	comp, err := a.NewComposite("group")
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range prims {
+		if rng.Intn(2) == 0 {
+			if err := a.AddChild(comp, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Thread domains over the actives.
+	kinds := []model.ThreadKind{model.RegularThread, model.RealtimeThread, model.NoHeapRealtimeThread}
+	var domains []*model.Component
+	for i, c := range prims {
+		if c.Kind() != model.Active {
+			continue
+		}
+		kind := kinds[rng.Intn(len(kinds))]
+		prio := rng.Intn(10) + 1
+		if kind != model.RegularThread {
+			prio = rng.Intn(28) + 11
+		}
+		td, err := a.NewThreadDomain(fmt.Sprintf("td%d", i), model.DomainDesc{Kind: kind, Priority: prio})
+		if err != nil {
+			return nil, err
+		}
+		if err := a.AddChild(td, c); err != nil {
+			return nil, err
+		}
+		domains = append(domains, td)
+	}
+
+	// Memory areas: immortal and heap roots, maybe a nested scope
+	// chain; domains in the roots, passives anywhere.
+	imm, err := a.NewMemoryArea("imm", model.AreaDesc{Kind: model.ImmortalMemory, Size: int64(rng.Intn(512)+64) << 10})
+	if err != nil {
+		return nil, err
+	}
+	heap, err := a.NewMemoryArea("heap", model.AreaDesc{Kind: model.HeapMemory})
+	if err != nil {
+		return nil, err
+	}
+	areas := []*model.Component{imm, heap}
+	if rng.Intn(2) == 0 {
+		outer, err := a.NewMemoryArea("outerScope", model.AreaDesc{Kind: model.ScopedMemory, Size: 4096})
+		if err != nil {
+			return nil, err
+		}
+		areas = append(areas, outer)
+		if rng.Intn(2) == 0 {
+			inner, err := a.NewMemoryArea("innerScope", model.AreaDesc{Kind: model.ScopedMemory, Size: 1024})
+			if err != nil {
+				return nil, err
+			}
+			if err := a.AddChild(outer, inner); err != nil {
+				return nil, err
+			}
+			areas = append(areas, inner)
+		}
+	}
+	for _, td := range domains {
+		if err := a.AddChild(areas[rng.Intn(2)], td); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range prims {
+		if c.Kind() == model.Passive {
+			if err := a.AddChild(areas[rng.Intn(len(areas))], c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,186 @@
+package generate
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"text/template"
+
+	"soleil/internal/assembly"
+	"soleil/internal/model"
+)
+
+// tmplMain generates the runnable entry point.
+var tmplMain = template.Must(template.New("main").Parse(Header + `; mode {{.Mode}}. DO NOT EDIT.
+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"soleil/internal/rtsj/memory"
+	"soleil/internal/rtsj/thread"
+)
+
+func main() {
+	iterations := flag.Int("iterations", 1000, "transactions to drive synchronously")
+	sim := flag.Duration("sim", 0, "run the scheduled simulation for this virtual duration instead")
+	flag.Parse()
+	if err := run(*iterations, *sim); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(iterations int, sim time.Duration) error {
+	sys, err := BuildSystem()
+	if err != nil {
+		return err
+	}
+	if sim > 0 {
+		if err := sys.RunSimulation(sim); err != nil {
+			return err
+		}
+	} else {
+		ctx, err := memory.NewContext(sys.Mem.Immortal(), false)
+		if err != nil {
+			return err
+		}
+		defer ctx.Close()
+		env := thread.NewEnv(nil, ctx)
+		for i := 0; i < iterations; i++ {
+			if err := sys.Transaction(env); err != nil {
+				return fmt.Errorf("transaction %d: %w", i, err)
+			}
+		}
+	}
+	sys.Report(os.Stdout)
+	return nil
+}
+`))
+
+// File is one generated source file.
+type File struct {
+	Name    string
+	Content []byte
+}
+
+// Options configures generation.
+type Options struct {
+	Mode assembly.Mode
+	// Package is the generated package name (default "main").
+	Package string
+	// Main adds a runnable entry point (package must be "main").
+	Main bool
+}
+
+// Generate produces the execution-infrastructure source for the
+// architecture in the configured mode. All files are gofmt-formatted;
+// the ULTRA-MERGE mode runs the go/ast merge pass so the result is a
+// single file (plus the optional main).
+func Generate(arch *model.Architecture, opts Options) ([]File, error) {
+	if opts.Package == "" {
+		opts.Package = "main"
+	}
+	p, err := buildPlan(arch, opts.Mode, opts.Package)
+	if err != nil {
+		return nil, err
+	}
+	var files []File
+	emit := func(name string, tmpl *template.Template, data any) error {
+		var buf bytes.Buffer
+		if err := tmpl.Execute(&buf, data); err != nil {
+			return fmt.Errorf("generate: %s: %w", name, err)
+		}
+		src, err := format.Source(buf.Bytes())
+		if err != nil {
+			return fmt.Errorf("generate: %s does not compile-format: %w\n%s", name, err, buf.String())
+		}
+		files = append(files, File{Name: name, Content: src})
+		return nil
+	}
+
+	type compData struct {
+		compDecl
+		Pkg string
+	}
+
+	switch opts.Mode {
+	case assembly.Soleil:
+		if err := emit("contents.go", tmplContents, p); err != nil {
+			return nil, err
+		}
+		for _, c := range p.Components {
+			name := fmt.Sprintf("component_%s.go", c.Var)
+			if err := emit(name, tmplComponentSoleil, compData{compDecl: c, Pkg: opts.Package}); err != nil {
+				return nil, err
+			}
+		}
+		if err := emit("infrastructure.go", tmplInfraSoleil, p); err != nil {
+			return nil, err
+		}
+	case assembly.MergeAll:
+		if err := emit("contents.go", tmplContents, p); err != nil {
+			return nil, err
+		}
+		for _, c := range p.Components {
+			name := fmt.Sprintf("component_%s.go", c.Var)
+			if err := emit(name, tmplComponentMerged, compData{compDecl: c, Pkg: opts.Package}); err != nil {
+				return nil, err
+			}
+		}
+		if err := emit("infrastructure.go", tmplInfraMerged, p); err != nil {
+			return nil, err
+		}
+	case assembly.UltraMerge:
+		if err := emit("infrastructure.go", tmplInfraUltra, p); err != nil {
+			return nil, err
+		}
+		if opts.Main {
+			if opts.Package != "main" {
+				return nil, fmt.Errorf("generate: a main entry point needs package main, got %q", opts.Package)
+			}
+			if err := emit("main.go", tmplMain, p); err != nil {
+				return nil, err
+			}
+		}
+		// The whole resulting source merges into one unique file —
+		// the paper's ULTRA-MERGE compactness property.
+		merged, err := MergeFiles(files, "ultramerge.go", opts.Package)
+		if err != nil {
+			return nil, err
+		}
+		return []File{merged}, nil
+	default:
+		return nil, fmt.Errorf("generate: unknown mode %v", opts.Mode)
+	}
+
+	if opts.Main {
+		if opts.Package != "main" {
+			return nil, fmt.Errorf("generate: a main entry point needs package main, got %q", opts.Package)
+		}
+		if err := emit("main.go", tmplMain, p); err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// WriteFiles writes the generated files into dir, creating it if
+// needed.
+func WriteFiles(dir string, files []File) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.Name), f.Content, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package generate
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// MergeFiles is the source-to-source merge pass — the analogue of the
+// paper's Spoon transformation (Sect. 4.3): it parses the generated
+// files, unifies their import sets, concatenates their declarations
+// and emits one gofmt-formatted file. It is what collapses the
+// ULTRA-MERGE output into a single compilation unit.
+func MergeFiles(files []File, outName, pkg string) (File, error) {
+	if len(files) == 0 {
+		return File{}, fmt.Errorf("generate: nothing to merge")
+	}
+	fset := token.NewFileSet()
+	imports := make(map[string]bool)
+	var decls []string
+
+	for _, f := range files {
+		parsed, err := parser.ParseFile(fset, f.Name, f.Content, parser.ParseComments)
+		if err != nil {
+			return File{}, fmt.Errorf("generate: merge parse %s: %w", f.Name, err)
+		}
+		if got := parsed.Name.Name; got != pkg {
+			return File{}, fmt.Errorf("generate: merge of %s: package %q, want %q", f.Name, got, pkg)
+		}
+		for _, imp := range parsed.Imports {
+			if imp.Name != nil {
+				imports[imp.Name.Name+" "+imp.Path.Value] = true
+			} else {
+				imports[imp.Path.Value] = true
+			}
+		}
+		for _, d := range parsed.Decls {
+			if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+				continue
+			}
+			var buf bytes.Buffer
+			if err := printer.Fprint(&buf, fset, d); err != nil {
+				return File{}, fmt.Errorf("generate: merge print %s: %w", f.Name, err)
+			}
+			decls = append(decls, buf.String())
+		}
+	}
+
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "%s; merged by the ULTRA-MERGE source-to-source pass. DO NOT EDIT.\n\n", Header)
+	fmt.Fprintf(&out, "package %s\n\n", pkg)
+	if len(paths) > 0 {
+		out.WriteString("import (\n")
+		for _, p := range paths {
+			fmt.Fprintf(&out, "\t%s\n", p)
+		}
+		out.WriteString(")\n\n")
+	}
+	out.WriteString(strings.Join(decls, "\n\n"))
+	out.WriteString("\n")
+
+	src, err := format.Source(out.Bytes())
+	if err != nil {
+		return File{}, fmt.Errorf("generate: merged output does not format: %w\n%s", err, out.String())
+	}
+	return File{Name: outName, Content: src}, nil
+}

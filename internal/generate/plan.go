@@ -1,0 +1,408 @@
+// Package generate implements Soleil, the execution-infrastructure
+// generator (Sect. 4.3): it turns a validated RT system architecture
+// into Go source code that wires memory areas, buffers, membranes (or
+// their merged equivalents), threads and bootstrap logic against the
+// framework's runtime library — the analogue of the paper's Juliac
+// backend generating Java against Fractal.
+//
+// Three generation modes are supported, matching the paper:
+//
+//   - SOLEIL: full componentization — one file per component wiring a
+//     reified membrane; introspection and reconfiguration preserved.
+//   - MERGE-ALL: component and membrane merged into one type per
+//     functional component; direct dispatch, functional rebinding
+//     kept.
+//   - ULTRA-MERGE: the MERGE-ALL output is statically routed and then
+//     collapsed into a single source file by a go/ast merge pass (the
+//     analogue of the paper's Spoon source-to-source transformation).
+package generate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"soleil/internal/assembly"
+	"soleil/internal/model"
+	"soleil/internal/patterns"
+	"soleil/internal/validate"
+)
+
+// plan is the precomputed generation plan: everything the templates
+// need, resolved from the architecture.
+type plan struct {
+	Mode         assembly.Mode
+	Package      string
+	ArchName     string
+	ImmortalSize int64
+	Scopes       []scopeDecl
+	Components   []compDecl
+	Buffers      []bufferDecl
+	Syncs        []syncDecl
+	Threads      []threadDecl
+	// ActivateRoots and DeliverOrder define the generated
+	// Transaction: periodic/aperiodic actives to activate, then
+	// sporadic actives to drain, producers before consumers.
+	ActivateRoots []string
+	DeliverOrder  []string
+}
+
+type scopeDecl struct {
+	Var  string
+	Name string
+	Size int64
+}
+
+type compDecl struct {
+	Var      string // Go variable name, e.g. productionLine
+	GoName   string // exported Go name, e.g. ProductionLine
+	Name     string // component name
+	Type     string // generated content type, e.g. ProductionLineImpl
+	Active   bool
+	Sporadic bool
+	Periodic bool
+	PeriodNS int64
+	// ClientCalls drive the generated stub contents: on activation or
+	// invocation, the stub forwards through each client interface.
+	ClientCalls []clientCall
+	ServerItfs  []string
+	// InboundBuffers lists the buffer variables draining into this
+	// component.
+	InboundBuffers []string
+}
+
+type clientCall struct {
+	Itf   string
+	Op    string
+	Async bool
+	// Static routing info (used by the ULTRA-MERGE templates, which
+	// inline every route).
+	ServerGoName string
+	ServerVar    string
+	ServerItf    string
+	BufferVar    string        // async: the binding's buffer
+	Pattern      patterns.Kind // sync: the binding's memory pattern
+	ScopeExpr    string        // sync: server scope field expression
+}
+
+type bufferDecl struct {
+	Var       string
+	Name      string
+	Cap       int
+	AreaExpr  string // Go expression for the hosting area
+	ServerVar string
+	ServerItf string
+	ClientVar string
+	ClientItf string
+}
+
+type syncDecl struct {
+	ClientVar string
+	ClientItf string
+	ServerVar string
+	ServerItf string
+	Pattern   patterns.Kind
+	ScopeVar  string // non-empty for scope-entering patterns
+}
+
+type threadDecl struct {
+	CompVar    string
+	CompGoName string
+	Name       string
+	Kind       model.ThreadKind
+	Priority   int
+	Sporadic   bool
+	Periodic   bool
+	PeriodNS   int64
+	DeadlineNS int64
+	CostNS     int64
+	AreaExpr   string
+}
+
+// goName converts a component name to an exported Go identifier.
+func goName(name string) string {
+	v := varName(name)
+	if v == "" {
+		return v
+	}
+	return strings.ToUpper(v[:1]) + v[1:]
+}
+
+// varName converts a component name to a Go identifier.
+func varName(name string) string {
+	var sb strings.Builder
+	upper := false
+	for i, r := range name {
+		switch {
+		case r == '_' || r == '-' || r == '.':
+			upper = true
+		case i == 0:
+			sb.WriteRune(r | 0x20) // lower-case first ASCII letter
+		case upper:
+			sb.WriteRune(r &^ 0x20)
+			upper = false
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// typeName derives the generated content type name for a component.
+func typeName(c *model.Component) string {
+	if c.Content() != "" {
+		return c.Content()
+	}
+	return goName(c.Name()) + "Impl"
+}
+
+// buildPlan resolves the architecture into a generation plan. The
+// architecture must validate cleanly.
+func buildPlan(arch *model.Architecture, mode assembly.Mode, pkg string) (*plan, error) {
+	if report := validate.Validate(arch); !report.OK() {
+		errs := report.Errors()
+		return nil, fmt.Errorf("generate: architecture violates RTSJ (%d errors; first: %s)",
+			len(errs), errs[0])
+	}
+	p := &plan{Mode: mode, Package: pkg, ArchName: arch.Name()}
+
+	scopeVars := make(map[string]string) // MemoryArea component -> scope var
+	for _, ma := range arch.ComponentsOfKind(model.MemoryArea) {
+		desc := ma.Area()
+		switch desc.Kind {
+		case model.ImmortalMemory:
+			p.ImmortalSize += desc.Size
+		case model.ScopedMemory:
+			v := varName(ma.Name()) + "Scope"
+			scopeVars[ma.Name()] = v
+			p.Scopes = append(p.Scopes, scopeDecl{Var: v, Name: desc.ScopeName, Size: desc.Size})
+		}
+	}
+
+	// areaExpr spells a component's area as a System-method expression
+	// (used by the generated RunSimulation).
+	areaExpr := func(c *model.Component) (string, error) {
+		ma, err := arch.EffectiveMemoryArea(c)
+		if err != nil {
+			return "", err
+		}
+		switch ma.Area().Kind {
+		case model.HeapMemory:
+			return "s.Mem.Heap()", nil
+		case model.ImmortalMemory:
+			return "s.Mem.Immortal()", nil
+		default:
+			return "s." + scopeVars[ma.Name()], nil
+		}
+	}
+	// bufferAreaExpr mirrors the deployer's buffer placement: the
+	// client's nearest non-scoped area, forced into immortal memory
+	// when either endpoint runs on a no-heap real-time thread.
+	bufferAreaExpr := func(cli, srv *model.Component) (string, error) {
+		for _, end := range []*model.Component{cli, srv} {
+			if td, err := arch.EffectiveThreadDomain(end); err == nil &&
+				td.Domain().Kind == model.NoHeapRealtimeThread {
+				return "mem.Immortal()", nil
+			}
+		}
+		ma, err := arch.EffectiveMemoryArea(cli)
+		if err != nil {
+			return "", err
+		}
+		for ma != nil && ma.Area().Kind == model.ScopedMemory {
+			supers := ma.SupersOfKind(model.MemoryArea)
+			if len(supers) == 0 {
+				return "mem.Immortal()", nil
+			}
+			ma = supers[0]
+		}
+		if ma == nil || ma.Area().Kind == model.ImmortalMemory {
+			return "mem.Immortal()", nil
+		}
+		return "mem.Heap()", nil
+	}
+
+	opFor := func(b *model.Binding) string {
+		// The generated stubs use a deterministic operation name per
+		// server interface.
+		return "on" + goName(b.Server.Interface)
+	}
+
+	compIdx := make(map[string]int)
+	for _, c := range arch.Components() {
+		if c.Kind() != model.Active && c.Kind() != model.Passive {
+			continue
+		}
+		cd := compDecl{
+			Var:    varName(c.Name()),
+			GoName: goName(c.Name()),
+			Name:   c.Name(),
+			Type:   typeName(c),
+			Active: c.Kind() == model.Active,
+		}
+		if act := c.Activation(); act != nil {
+			cd.Sporadic = act.Kind == model.SporadicActivation
+			cd.Periodic = act.Kind == model.PeriodicActivation
+			cd.PeriodNS = int64(act.Period)
+		}
+		for _, itf := range c.Interfaces() {
+			if itf.Role == model.ServerRole {
+				cd.ServerItfs = append(cd.ServerItfs, itf.Name)
+			}
+		}
+		compIdx[c.Name()] = len(p.Components)
+		p.Components = append(p.Components, cd)
+	}
+
+	bufIdx := 0
+	for _, b := range arch.Bindings() {
+		cli, _ := arch.Component(b.Client.Component)
+		srv, _ := arch.Component(b.Server.Component)
+		call := clientCall{
+			Itf:          b.Client.Interface,
+			Op:           opFor(b),
+			Async:        b.Protocol == model.Asynchronous,
+			ServerGoName: goName(srv.Name()),
+			ServerVar:    varName(srv.Name()),
+			ServerItf:    b.Server.Interface,
+			Pattern:      patterns.Kind(b.Pattern),
+		}
+		switch b.Protocol {
+		case model.Asynchronous:
+			area, err := bufferAreaExpr(cli, srv)
+			if err != nil {
+				return nil, err
+			}
+			call.BufferVar = fmt.Sprintf("buf%d", bufIdx)
+			p.Buffers = append(p.Buffers, bufferDecl{
+				Var:       call.BufferVar,
+				Name:      b.String(),
+				Cap:       b.BufferSize,
+				AreaExpr:  area,
+				ServerVar: varName(srv.Name()),
+				ServerItf: b.Server.Interface,
+				ClientVar: varName(cli.Name()),
+				ClientItf: b.Client.Interface,
+			})
+			if sidx, ok := compIdx[srv.Name()]; ok {
+				p.Components[sidx].InboundBuffers = append(p.Components[sidx].InboundBuffers, call.BufferVar)
+			}
+			bufIdx++
+		case model.Synchronous:
+			sd := syncDecl{
+				ClientVar: varName(cli.Name()),
+				ClientItf: b.Client.Interface,
+				ServerVar: varName(srv.Name()),
+				ServerItf: b.Server.Interface,
+				Pattern:   patterns.Kind(b.Pattern),
+			}
+			if sd.Pattern == patterns.ScopeEnter || sd.Pattern == patterns.Portal {
+				srvArea, err := arch.EffectiveMemoryArea(srv)
+				if err != nil {
+					return nil, err
+				}
+				if v, ok := scopeVars[srvArea.Name()]; ok {
+					sd.ScopeVar = v
+				}
+			}
+			call.ScopeExpr = sd.ScopeVar
+			p.Syncs = append(p.Syncs, sd)
+		}
+		idx, ok := compIdx[cli.Name()]
+		if !ok {
+			return nil, fmt.Errorf("generate: binding %s has non-primitive client", b)
+		}
+		p.Components[idx].ClientCalls = append(p.Components[idx].ClientCalls, call)
+	}
+
+	// Transaction driving order: activate the periodic/aperiodic
+	// roots, then deliver the sporadic components in producer-before-
+	// consumer order (Kahn over the async edges).
+	for _, cd := range p.Components {
+		if cd.Active && !cd.Sporadic {
+			p.ActivateRoots = append(p.ActivateRoots, cd.GoName)
+		}
+	}
+	pendingProducers := make(map[string]int) // sporadic GoName -> unprocessed producers
+	consumers := make(map[string][]string)   // producer GoName -> sporadic consumers
+	for _, cd := range p.Components {
+		if cd.Active && cd.Sporadic {
+			pendingProducers[cd.GoName] = 0
+		}
+	}
+	for _, cd := range p.Components {
+		for _, call := range cd.ClientCalls {
+			if !call.Async {
+				continue
+			}
+			if _, sporadic := pendingProducers[call.ServerGoName]; sporadic && cd.Active && cd.Sporadic {
+				pendingProducers[call.ServerGoName]++
+			}
+			consumers[cd.GoName] = append(consumers[cd.GoName], call.ServerGoName)
+		}
+	}
+	var queue []string
+	for name, n := range pendingProducers {
+		if n == 0 {
+			queue = append(queue, name)
+		}
+	}
+	sort.Strings(queue)
+	done := make(map[string]bool)
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if done[name] {
+			continue
+		}
+		done[name] = true
+		p.DeliverOrder = append(p.DeliverOrder, name)
+		for _, next := range consumers[name] {
+			if n, sporadic := pendingProducers[next]; sporadic {
+				if n > 0 {
+					pendingProducers[next] = n - 1
+				}
+				if pendingProducers[next] == 0 && !done[next] {
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	// Any remaining sporadics (cycles) are appended in declaration
+	// order; the generated Transaction drains them last.
+	for _, cd := range p.Components {
+		if cd.Active && cd.Sporadic && !done[cd.GoName] {
+			p.DeliverOrder = append(p.DeliverOrder, cd.GoName)
+		}
+	}
+
+	for _, c := range arch.ComponentsOfKind(model.Active) {
+		td, err := arch.EffectiveThreadDomain(c)
+		if err != nil {
+			return nil, err
+		}
+		area, err := areaExpr(c)
+		if err != nil {
+			return nil, err
+		}
+		tdd := threadDecl{
+			CompVar:    varName(c.Name()),
+			CompGoName: goName(c.Name()),
+			Name:       c.Name(),
+			Kind:       td.Domain().Kind,
+			Priority:   td.Domain().Priority,
+			AreaExpr:   area,
+		}
+		if act := c.Activation(); act != nil {
+			tdd.Sporadic = act.Kind == model.SporadicActivation
+			tdd.Periodic = act.Kind == model.PeriodicActivation
+			tdd.PeriodNS = int64(act.Period)
+			tdd.DeadlineNS = int64(act.Deadline)
+			tdd.CostNS = int64(act.Cost)
+		}
+		p.Threads = append(p.Threads, tdd)
+	}
+
+	sort.SliceStable(p.Threads, func(i, j int) bool { return p.Threads[i].Priority > p.Threads[j].Priority })
+	return p, nil
+}

@@ -1,0 +1,58 @@
+package generate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"soleil/internal/assembly"
+	"soleil/internal/fixture"
+	"soleil/internal/validate"
+)
+
+// Property: every random architecture that passes RTSJ validation
+// generates gofmt-valid source in all three modes, meeting the
+// code-generation requirements; invalid architectures are refused.
+func TestGenerateRandomArchitecturesProperty(t *testing.T) {
+	modes := []assembly.Mode{assembly.Soleil, assembly.MergeAll, assembly.UltraMerge}
+	generated := 0
+	f := func(seed int64) bool {
+		arch, err := fixture.RandomArchitecture(seed)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		if _, err := validate.ApplySuggestedPatterns(arch); err != nil {
+			t.Logf("seed %d: suggest: %v", seed, err)
+			return false
+		}
+		valid := validate.Validate(arch).OK()
+		for _, mode := range modes {
+			files, err := Generate(arch, Options{Mode: mode, Main: true})
+			if !valid {
+				if err == nil {
+					t.Logf("seed %d %v: invalid architecture generated", seed, mode)
+					return false
+				}
+				continue
+			}
+			if err != nil {
+				t.Logf("seed %d %v: generate: %v", seed, mode, err)
+				return false
+			}
+			if !CheckRequirements(files, mode).OK() {
+				t.Logf("seed %d %v: requirements not met", seed, mode)
+				return false
+			}
+		}
+		if valid {
+			generated++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if generated == 0 {
+		t.Fatal("no random architecture generated — generator too hostile")
+	}
+}

@@ -1,0 +1,170 @@
+package generate
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"soleil/internal/assembly"
+)
+
+// Requirement is one of the code-generation requirements of Bordin &
+// Vardanega [6] that Sect. 5.2 confronts the generator against.
+type Requirement struct {
+	ID          string
+	Description string
+	Met         bool
+	Evidence    string
+}
+
+// Report summarizes a generated file set against the requirements.
+type Report struct {
+	Mode  assembly.Mode
+	Files int
+	Lines int
+	Reqs  []Requirement
+}
+
+// OK reports whether every requirement is met.
+func (r Report) OK() bool {
+	for _, req := range r.Reqs {
+		if !req.Met {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the report as text.
+func (r Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "mode %v: %d files, %d lines\n", r.Mode, r.Files, r.Lines); err != nil {
+		return err
+	}
+	for _, req := range r.Reqs {
+		status := "MET "
+		if !req.Met {
+			status = "MISS"
+		}
+		if _, err := fmt.Fprintf(w, "  [%s] %s: %s (%s)\n", status, req.ID, req.Description, req.Evidence); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func countLines(files []File) int {
+	total := 0
+	for _, f := range files {
+		total += bytes.Count(f.Content, []byte("\n"))
+	}
+	return total
+}
+
+// CheckRequirements evaluates a generated file set against the [6]
+// requirements the paper claims to meet (Sect. 5.2):
+//
+//   - CG1 separation of concerns: manually-written content lives in
+//     clearly identified units, apart from the infrastructure;
+//   - CG2 compactness: the most optimized mode collapses to a single
+//     compilation unit;
+//   - CG3 generated vs. manual distinction: every generated file is
+//     marked as such;
+//   - CG4 functional vs. non-functional separation: RTSJ code
+//     (areas, buffers, threads) is not interleaved with the content
+//     units.
+func CheckRequirements(files []File, mode assembly.Mode) Report {
+	r := Report{Mode: mode, Files: len(files), Lines: countLines(files)}
+
+	// CG1: content units identified.
+	var cg1 Requirement
+	cg1.ID, cg1.Description = "CG1", "separation of concerns (content in identified units)"
+	switch mode {
+	case assembly.UltraMerge:
+		cg1.Met = containsIn(files, "replace the counter with your implementation") ||
+			containsIn(files, "functional stubs")
+		cg1.Evidence = "content stubs carry replacement markers inside the merged unit"
+	default:
+		cg1.Met = hasFile(files, "contents.go")
+		cg1.Evidence = "contents.go isolates every content stub"
+	}
+	r.Reqs = append(r.Reqs, cg1)
+
+	// CG2: compactness of the most optimized mode.
+	cg2 := Requirement{ID: "CG2", Description: "compact generated code"}
+	switch mode {
+	case assembly.UltraMerge:
+		nonMain := 0
+		for _, f := range files {
+			if f.Name != "main.go" {
+				nonMain++
+			}
+		}
+		cg2.Met = nonMain == 1
+		cg2.Evidence = fmt.Sprintf("%d infrastructure file(s)", nonMain)
+	default:
+		cg2.Met = true
+		cg2.Evidence = fmt.Sprintf("%d files, %d lines (compactness enforced in ULTRA-MERGE)", len(files), r.Lines)
+	}
+	r.Reqs = append(r.Reqs, cg2)
+
+	// CG3: generated files marked.
+	cg3 := Requirement{ID: "CG3", Description: "generated code clearly distinguished"}
+	cg3.Met = true
+	for _, f := range files {
+		if !bytes.HasPrefix(f.Content, []byte(Header)) {
+			cg3.Met = false
+			cg3.Evidence = f.Name + " lacks the generation header"
+			break
+		}
+	}
+	if cg3.Met {
+		cg3.Evidence = fmt.Sprintf("all %d files start with %q", len(files), Header)
+	}
+	r.Reqs = append(r.Reqs, cg3)
+
+	// CG4: functional / non-functional separation.
+	cg4 := Requirement{ID: "CG4", Description: "functional and non-functional semantics separated"}
+	switch mode {
+	case assembly.UltraMerge:
+		// ULTRA-MERGE deliberately trades this at the source level;
+		// the separation survives in the metamodel (ThreadDomain and
+		// MemoryArea components), which is how the paper argues the
+		// requirement is inherently met.
+		cg4.Met = true
+		cg4.Evidence = "separation held at the metamodel level (ThreadDomain/MemoryArea)"
+	default:
+		cg4.Met = true
+		for _, f := range files {
+			if f.Name == "contents.go" &&
+				(bytes.Contains(f.Content, []byte("memory.NewRuntime")) ||
+					bytes.Contains(f.Content, []byte("sched.New"))) {
+				cg4.Met = false
+				cg4.Evidence = "contents.go manipulates RTSJ infrastructure"
+			}
+		}
+		if cg4.Met {
+			cg4.Evidence = "content units contain no RTSJ infrastructure code"
+		}
+	}
+	r.Reqs = append(r.Reqs, cg4)
+	return r
+}
+
+func hasFile(files []File, name string) bool {
+	for _, f := range files {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func containsIn(files []File, needle string) bool {
+	for _, f := range files {
+		if strings.Contains(string(f.Content), needle) {
+			return true
+		}
+	}
+	return false
+}

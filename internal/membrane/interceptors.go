@@ -1,0 +1,102 @@
+package membrane
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"soleil/internal/patterns"
+	"soleil/internal/rtsj/memory"
+)
+
+// ActiveInterceptor implements the run-to-completion execution model
+// of active components (Sect. 4.1): invocations arriving from the
+// component's server interfaces are serialized, so the component's
+// functional code is never re-entered concurrently.
+type ActiveInterceptor struct {
+	mu          sync.Mutex
+	invocations int64
+}
+
+var _ Interceptor = (*ActiveInterceptor)(nil)
+
+// Name implements Interceptor.
+func (a *ActiveInterceptor) Name() string { return "active-interceptor" }
+
+// Invoke implements Interceptor.
+func (a *ActiveInterceptor) Invoke(inv *Invocation, next Handler) (any, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	atomic.AddInt64(&a.invocations, 1)
+	return next(inv)
+}
+
+// Invocations returns the number of invocations processed.
+func (a *ActiveInterceptor) Invocations() int64 { return atomic.LoadInt64(&a.invocations) }
+
+// MemoryInterceptor implements a cross-scope communication pattern on
+// a binding between different MemoryAreas (Sect. 4.1). The supported
+// executable patterns are ScopeEnter (the invocation runs inside the
+// server's scope, entered on behalf of the caller) and DeepCopy
+// (argument and result are copied across the boundary so no reference
+// escapes).
+type MemoryInterceptor struct {
+	pattern patterns.Kind
+	scope   *memory.Area // ScopeEnter: the server's scope
+	crossed int64
+}
+
+var _ Interceptor = (*MemoryInterceptor)(nil)
+
+// NewMemoryInterceptor creates the interceptor for a binding's chosen
+// pattern. scope is required for ScopeEnter and ignored otherwise.
+func NewMemoryInterceptor(pattern patterns.Kind, scope *memory.Area) (*MemoryInterceptor, error) {
+	switch pattern {
+	case patterns.ScopeEnter, patterns.Portal:
+		if scope == nil {
+			return nil, fmt.Errorf("membrane: %s interceptor needs the server scope", pattern)
+		}
+		if scope.Kind() != memory.Scoped {
+			return nil, fmt.Errorf("membrane: %s interceptor on non-scoped area %s", pattern, scope.Name())
+		}
+	case patterns.DeepCopy:
+	default:
+		return nil, fmt.Errorf("membrane: pattern %q has no interceptor implementation", pattern)
+	}
+	return &MemoryInterceptor{pattern: pattern, scope: scope}, nil
+}
+
+// Name implements Interceptor.
+func (m *MemoryInterceptor) Name() string {
+	return "memory-interceptor(" + string(m.pattern) + ")"
+}
+
+// Pattern returns the implemented pattern.
+func (m *MemoryInterceptor) Pattern() patterns.Kind { return m.pattern }
+
+// Crossings returns the number of boundary crossings performed.
+func (m *MemoryInterceptor) Crossings() int64 { return atomic.LoadInt64(&m.crossed) }
+
+// Invoke implements Interceptor.
+func (m *MemoryInterceptor) Invoke(inv *Invocation, next Handler) (any, error) {
+	atomic.AddInt64(&m.crossed, 1)
+	switch m.pattern {
+	case patterns.ScopeEnter, patterns.Portal:
+		var result any
+		err := patterns.EnterAndCall(inv.Env.Mem(), m.scope, func() error {
+			var err error
+			result, err = next(inv)
+			return err
+		})
+		// The result crosses back out of the scope: copy it so no
+		// scoped reference escapes.
+		return patterns.CopyValue(result), err
+	case patterns.DeepCopy:
+		copied := *inv
+		copied.Arg = patterns.CopyValue(inv.Arg)
+		result, err := next(&copied)
+		return patterns.CopyValue(result), err
+	default:
+		return nil, fmt.Errorf("membrane: pattern %q has no interceptor implementation", m.pattern)
+	}
+}

@@ -1,0 +1,320 @@
+// Package membrane implements the paper's component-oriented membrane
+// (Sect. 4.1-4.2): every functional component is wrapped in a
+// controlling environment assembled from control components
+// (Lifecycle, Binding, Content and Name controllers) and interceptors
+// (the Active interceptor's run-to-completion execution model, Memory
+// interceptors implementing cross-scope communication patterns, and
+// the asynchronous stub/skeleton pair).
+//
+// The membrane is what the SOLEIL generation mode reifies at runtime;
+// the merged modes collapse it into direct calls (see
+// internal/assembly).
+package membrane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"soleil/internal/rtsj/thread"
+)
+
+// Invocation is one operation travelling through a membrane. It
+// carries the calling thread's execution environment so interceptors
+// can apply scheduling and memory machinery on its behalf.
+type Invocation struct {
+	// Interface is the server interface the invocation targets.
+	Interface string
+	// Op is the operation name.
+	Op string
+	// Arg is the operation argument.
+	Arg any
+	// Env is the calling thread's environment.
+	Env *thread.Env
+}
+
+// Handler consumes an invocation.
+type Handler func(inv *Invocation) (any, error)
+
+// Interceptor is a control component deployed on a component
+// interface to arbitrate communication between the component and its
+// environment.
+type Interceptor interface {
+	// Name identifies the interceptor in introspection output.
+	Name() string
+	// Invoke processes inv and (usually) forwards to next.
+	Invoke(inv *Invocation, next Handler) (any, error)
+}
+
+// Port is a client interface as seen by component content: the way
+// out of the component.
+type Port interface {
+	// Call performs a synchronous invocation and returns its result.
+	Call(env *thread.Env, op string, arg any) (any, error)
+	// Send performs an asynchronous, fire-and-forget invocation.
+	Send(env *thread.Env, op string, arg any) error
+}
+
+// Services is the execution support handed to component content: its
+// name and its client ports. Port lookups go through the binding
+// table on every call, so runtime rebinding takes effect immediately.
+type Services struct {
+	name  string
+	binds *BindingController
+}
+
+// NewServices builds standalone services over a binding controller.
+// Membranes build their own; the merged generation modes — which
+// collapse the membrane but keep functional-level binding — use this
+// directly.
+func NewServices(name string, binds *BindingController) *Services {
+	return &Services{name: name, binds: binds}
+}
+
+// NewBindingController creates a standalone binding controller for
+// the merged generation modes.
+func NewBindingController(owner string) *BindingController {
+	return &BindingController{owner: owner}
+}
+
+// Name returns the owning component's name.
+func (s *Services) Name() string { return s.name }
+
+// Port returns the named client port.
+func (s *Services) Port(name string) (Port, error) {
+	return s.binds.Lookup(name)
+}
+
+// Bound lists the currently bound client interfaces, sorted.
+func (s *Services) Bound() []string {
+	out := s.binds.Bound()
+	sort.Strings(out)
+	return out
+}
+
+// Content is the user-implemented functional code of a primitive
+// component — the only thing the paper's development process asks the
+// developer to write.
+type Content interface {
+	// Init receives the component's services at bootstrap.
+	Init(svc *Services) error
+	// Invoke handles an operation arriving on a server interface.
+	Invoke(env *thread.Env, itf, op string, arg any) (any, error)
+}
+
+// ActiveContent is content with its own activation logic: Activate is
+// the body of one release of a periodic or aperiodic active
+// component.
+type ActiveContent interface {
+	Content
+	Activate(env *thread.Env) error
+}
+
+// Membrane wraps a content implementation with its control
+// environment.
+type Membrane struct {
+	name         string
+	content      Content
+	services     *Services
+	interceptors []Interceptor
+	controllers  []Controller
+
+	lifecycle *LifecycleController
+	binding   *BindingController
+}
+
+// New assembles a membrane around content. The interceptors form the
+// server-side chain, applied outermost-first to every incoming
+// invocation.
+func New(name string, content Content, interceptors ...Interceptor) (*Membrane, error) {
+	if name == "" {
+		return nil, fmt.Errorf("membrane: component needs a name")
+	}
+	if content == nil {
+		return nil, fmt.Errorf("membrane: component %q needs content", name)
+	}
+	m := &Membrane{
+		name:         name,
+		content:      content,
+		interceptors: interceptors,
+	}
+	m.binding = &BindingController{owner: name}
+	m.lifecycle = &LifecycleController{owner: m}
+	m.services = &Services{name: name, binds: m.binding}
+	m.controllers = []Controller{
+		&NameController{name: name},
+		m.lifecycle,
+		m.binding,
+	}
+	return m, nil
+}
+
+// Name returns the component name.
+func (m *Membrane) Name() string { return m.name }
+
+// Content returns the wrapped content (the content controller's
+// access path).
+func (m *Membrane) Content() Content { return m.content }
+
+// Services returns the component's execution services.
+func (m *Membrane) Services() *Services { return m.services }
+
+// Lifecycle returns the lifecycle controller.
+func (m *Membrane) Lifecycle() *LifecycleController { return m.lifecycle }
+
+// Binding returns the binding controller.
+func (m *Membrane) Binding() *BindingController { return m.binding }
+
+// Controllers returns the membrane's control components.
+func (m *Membrane) Controllers() []Controller {
+	out := make([]Controller, len(m.controllers))
+	copy(out, m.controllers)
+	return out
+}
+
+// AddController attaches an additional control component (e.g. a
+// ThreadDomain controller shared by a non-functional component).
+func (m *Membrane) AddController(c Controller) { m.controllers = append(m.controllers, c) }
+
+// Interceptors returns the server-side interceptor chain.
+func (m *Membrane) Interceptors() []Interceptor {
+	out := make([]Interceptor, len(m.interceptors))
+	copy(out, m.interceptors)
+	return out
+}
+
+// Dispatch runs an incoming invocation through the interceptor chain
+// and into the content. Invocations on stopped components are
+// refused — the lifecycle controller's guarantee to reconfiguration.
+func (m *Membrane) Dispatch(inv *Invocation) (any, error) {
+	if !m.lifecycle.Started() {
+		return nil, fmt.Errorf("membrane: component %q is stopped", m.name)
+	}
+	return m.dispatchFrom(0, inv)
+}
+
+func (m *Membrane) dispatchFrom(i int, inv *Invocation) (any, error) {
+	if i >= len(m.interceptors) {
+		return m.content.Invoke(inv.Env, inv.Interface, inv.Op, inv.Arg)
+	}
+	return m.interceptors[i].Invoke(inv, func(next *Invocation) (any, error) {
+		return m.dispatchFrom(i+1, next)
+	})
+}
+
+// Controller is a control component of a membrane.
+type Controller interface {
+	// ControllerName identifies the controller kind.
+	ControllerName() string
+}
+
+// NameController exposes the component name (Fractal's
+// name-controller).
+type NameController struct {
+	name string
+}
+
+// ControllerName implements Controller.
+func (c *NameController) ControllerName() string { return "name-controller" }
+
+// Name returns the component name.
+func (c *NameController) Name() string { return c.name }
+
+// LifecycleController manages the component's started/stopped state.
+type LifecycleController struct {
+	owner *Membrane
+
+	mu      sync.Mutex
+	started bool
+}
+
+// ControllerName implements Controller.
+func (c *LifecycleController) ControllerName() string { return "lifecycle-controller" }
+
+// Started reports whether the component is started.
+func (c *LifecycleController) Started() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.started
+}
+
+// Start initializes the content (once) and opens the component for
+// invocations.
+func (c *LifecycleController) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return nil
+	}
+	if err := c.owner.content.Init(c.owner.services); err != nil {
+		return fmt.Errorf("membrane: starting %q: %w", c.owner.name, err)
+	}
+	c.started = true
+	return nil
+}
+
+// Stop closes the component for invocations.
+func (c *LifecycleController) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.started = false
+}
+
+// BindingController manages the component's client bindings — the
+// introspection and reconfiguration entry point of the membrane.
+type BindingController struct {
+	owner string
+
+	mu    sync.Mutex
+	ports map[string]Port
+}
+
+// ControllerName implements Controller.
+func (c *BindingController) ControllerName() string { return "binding-controller" }
+
+// Bind connects the named client interface to a port.
+func (c *BindingController) Bind(itf string, p Port) error {
+	if p == nil {
+		return fmt.Errorf("membrane: binding %s.%s to nil port", c.owner, itf)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ports == nil {
+		c.ports = make(map[string]Port)
+	}
+	c.ports[itf] = p
+	return nil
+}
+
+// Unbind disconnects the named client interface.
+func (c *BindingController) Unbind(itf string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.ports[itf]; !ok {
+		return fmt.Errorf("membrane: %s.%s is not bound", c.owner, itf)
+	}
+	delete(c.ports, itf)
+	return nil
+}
+
+// Lookup resolves the named client interface to its current port.
+func (c *BindingController) Lookup(itf string) (Port, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.ports[itf]
+	if !ok {
+		return nil, fmt.Errorf("membrane: %s.%s is not bound", c.owner, itf)
+	}
+	return p, nil
+}
+
+// Bound lists the currently bound client interfaces.
+func (c *BindingController) Bound() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.ports))
+	for n := range c.ports {
+		out = append(out, n)
+	}
+	return out
+}

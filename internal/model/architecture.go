@@ -1,0 +1,259 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Architecture is a complete RT system architecture: the component
+// graph (hierarchy with sharing) plus the bindings between functional
+// interfaces.
+type Architecture struct {
+	name       string
+	components map[string]*Component
+	order      []string // creation order, for deterministic listings
+	bindings   []*Binding
+}
+
+// NewArchitecture creates an empty architecture.
+func NewArchitecture(name string) *Architecture {
+	return &Architecture{
+		name:       name,
+		components: make(map[string]*Component),
+	}
+}
+
+// Name returns the architecture name.
+func (a *Architecture) Name() string { return a.name }
+
+func (a *Architecture) register(c *Component) (*Component, error) {
+	if c.name == "" {
+		return nil, fmt.Errorf("model: component needs a name")
+	}
+	if _, dup := a.components[c.name]; dup {
+		return nil, fmt.Errorf("model: duplicate component name %q", c.name)
+	}
+	a.components[c.name] = c
+	a.order = append(a.order, c.name)
+	return c, nil
+}
+
+// NewActive creates an active (own thread of control) component.
+func (a *Architecture) NewActive(name string, act Activation) (*Component, error) {
+	switch act.Kind {
+	case PeriodicActivation:
+		if act.Period <= 0 {
+			return nil, fmt.Errorf("model: periodic component %q needs a positive period", name)
+		}
+	case SporadicActivation, AperiodicActivation:
+	default:
+		return nil, fmt.Errorf("model: component %q has unknown activation kind %v", name, act.Kind)
+	}
+	if act.Period < 0 || act.Deadline < 0 || act.Cost < 0 {
+		return nil, fmt.Errorf("model: component %q has negative activation parameters", name)
+	}
+	return a.register(&Component{name: name, kind: Active, activation: &act})
+}
+
+// NewPassive creates a passive (service) component.
+func (a *Architecture) NewPassive(name string) (*Component, error) {
+	return a.register(&Component{name: name, kind: Passive})
+}
+
+// NewComposite creates a functional composite component.
+func (a *Architecture) NewComposite(name string) (*Component, error) {
+	return a.register(&Component{name: name, kind: Composite})
+}
+
+// NewThreadDomain creates a ThreadDomain non-functional component.
+func (a *Architecture) NewThreadDomain(name string, d DomainDesc) (*Component, error) {
+	switch d.Kind {
+	case RegularThread, RealtimeThread, NoHeapRealtimeThread:
+	default:
+		return nil, fmt.Errorf("model: thread domain %q has unknown thread kind %v", name, d.Kind)
+	}
+	return a.register(&Component{name: name, kind: ThreadDomain, domain: &d})
+}
+
+// NewMemoryArea creates a MemoryArea non-functional component.
+func (a *Architecture) NewMemoryArea(name string, d AreaDesc) (*Component, error) {
+	switch d.Kind {
+	case HeapMemory:
+	case ImmortalMemory:
+	case ScopedMemory:
+		if d.Size <= 0 {
+			return nil, fmt.Errorf("model: scoped memory area %q needs a positive size", name)
+		}
+	default:
+		return nil, fmt.Errorf("model: memory area %q has unknown memory kind %v", name, d.Kind)
+	}
+	if d.Kind == ScopedMemory && d.ScopeName == "" {
+		d.ScopeName = name
+	}
+	return a.register(&Component{name: name, kind: MemoryArea, area: &d})
+}
+
+// Component returns the named component.
+func (a *Architecture) Component(name string) (*Component, bool) {
+	c, ok := a.components[name]
+	return c, ok
+}
+
+// Components returns all components in creation order.
+func (a *Architecture) Components() []*Component {
+	out := make([]*Component, 0, len(a.order))
+	for _, n := range a.order {
+		out = append(out, a.components[n])
+	}
+	return out
+}
+
+// ComponentsOfKind returns all components of kind k, in creation
+// order.
+func (a *Architecture) ComponentsOfKind(k Kind) []*Component {
+	var out []*Component
+	for _, c := range a.Components() {
+		if c.kind == k {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AddChild makes child a sub-component of parent. A component may be
+// the child of several parents (sharing); cycles are refused, as are
+// edges that would give a functional component two parents of the
+// same non-functional kind.
+func (a *Architecture) AddChild(parent, child *Component) error {
+	if parent == nil || child == nil {
+		return fmt.Errorf("model: AddChild needs both a parent and a child")
+	}
+	if a.components[parent.name] != parent || a.components[child.name] != child {
+		return fmt.Errorf("model: AddChild with components foreign to architecture %q", a.name)
+	}
+	if parent.hasAncestor(child) {
+		return fmt.Errorf("model: adding %q under %q would create a hierarchy cycle",
+			child.name, parent.name)
+	}
+	for _, s := range child.supers {
+		if s == parent {
+			return fmt.Errorf("model: %q is already a child of %q", child.name, parent.name)
+		}
+	}
+	if parent.kind == Active || parent.kind == Passive {
+		return fmt.Errorf("model: primitive %s component %q cannot have children",
+			parent.kind, parent.name)
+	}
+	if !parent.kind.Functional() {
+		if others := child.SupersOfKind(parent.kind); len(others) > 0 {
+			return fmt.Errorf("model: %q is already deployed in %s %q",
+				child.name, parent.kind, others[0].name)
+		}
+	}
+	parent.subs = append(parent.subs, child)
+	child.supers = append(child.supers, parent)
+	return nil
+}
+
+// Roots returns the components without super-components, in creation
+// order.
+func (a *Architecture) Roots() []*Component {
+	var out []*Component
+	for _, c := range a.Components() {
+		if len(c.supers) == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// EffectiveThreadDomain resolves the unique ThreadDomain an active
+// component is deployed in, walking super links. It is an error for
+// an active component to resolve to zero or several ThreadDomains.
+func (a *Architecture) EffectiveThreadDomain(c *Component) (*Component, error) {
+	domains := collectAncestorsOfKind(c, ThreadDomain)
+	switch len(domains) {
+	case 0:
+		return nil, fmt.Errorf("model: active component %q is not deployed in any ThreadDomain", c.name)
+	case 1:
+		return domains[0], nil
+	default:
+		names := make([]string, len(domains))
+		for i, d := range domains {
+			names[i] = d.name
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("model: component %q is deployed in several ThreadDomains %v", c.name, names)
+	}
+}
+
+// EffectiveMemoryArea resolves the nearest MemoryArea a component is
+// allocated in, walking super links breadth-first. It is an error to
+// resolve to zero areas or to several different nearest areas.
+func (a *Architecture) EffectiveMemoryArea(c *Component) (*Component, error) {
+	// Breadth-first: the nearest level containing MemoryArea supers
+	// wins; several areas at the same level is an ambiguity error.
+	level := []*Component{c}
+	seen := map[*Component]bool{c: true}
+	for len(level) > 0 {
+		var areas []*Component
+		var next []*Component
+		for _, n := range level {
+			for _, s := range n.supers {
+				if seen[s] {
+					continue
+				}
+				seen[s] = true
+				if s.kind == MemoryArea {
+					areas = append(areas, s)
+				} else {
+					next = append(next, s)
+				}
+			}
+		}
+		if len(areas) == 1 {
+			return areas[0], nil
+		}
+		if len(areas) > 1 {
+			names := make([]string, len(areas))
+			for i, d := range areas {
+				names[i] = d.name
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("model: component %q is allocated in several MemoryAreas %v", c.name, names)
+		}
+		level = next
+	}
+	return nil, fmt.Errorf("model: component %q is not allocated in any MemoryArea", c.name)
+}
+
+// collectAncestorsOfKind gathers distinct ancestors of the given kind
+// (excluding c itself).
+func collectAncestorsOfKind(c *Component, k Kind) []*Component {
+	seen := make(map[*Component]bool)
+	var out []*Component
+	var walk func(n *Component)
+	walk = func(n *Component) {
+		for _, s := range n.supers {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			if s.kind == k {
+				out = append(out, s)
+			}
+			walk(s)
+		}
+	}
+	walk(c)
+	return out
+}
+
+// PeriodOf is a convenience accessor for an active component's period.
+func PeriodOf(c *Component) time.Duration {
+	if c.activation == nil {
+		return 0
+	}
+	return c.activation.Period
+}

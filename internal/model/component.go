@@ -1,0 +1,383 @@
+// Package model implements the paper's real-time component metamodel
+// (Fig. 2): a hierarchical component model *with sharing*, where
+// functional Active/Passive components coexist with the two
+// non-functional composite component kinds that reify RTSJ concerns at
+// the architectural level — ThreadDomain and MemoryArea.
+//
+// Sharing means a component may have several super-components: a
+// typical active component is simultaneously a child of its business
+// composite, of its ThreadDomain, and (through the ThreadDomain) of a
+// MemoryArea. The set of super-components of a component therefore
+// defines both its business and its real-time role (Sect. 3.1).
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind discriminates the component kinds of the metamodel.
+type Kind int
+
+// Component kinds.
+const (
+	// Active components contain their own thread of control.
+	Active Kind = iota + 1
+	// Passive components represent services invoked by others.
+	Passive
+	// Composite components group functional children (business
+	// hierarchy).
+	Composite
+	// ThreadDomain is the non-functional composite encapsulating all
+	// active components whose threads share the same properties.
+	ThreadDomain
+	// MemoryArea is the non-functional composite encapsulating all
+	// components allocated in the same memory area.
+	MemoryArea
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Active:
+		return "Active"
+	case Passive:
+		return "Passive"
+	case Composite:
+		return "Composite"
+	case ThreadDomain:
+		return "ThreadDomain"
+	case MemoryArea:
+		return "MemoryArea"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Functional reports whether the kind is a business (functional)
+// component kind.
+func (k Kind) Functional() bool { return k == Active || k == Passive || k == Composite }
+
+// ActivationKind is how an active component's thread is released.
+type ActivationKind int
+
+// Activation kinds, matching the ADL's type attribute.
+const (
+	PeriodicActivation ActivationKind = iota + 1
+	SporadicActivation
+	AperiodicActivation
+)
+
+// String returns the ADL spelling.
+func (a ActivationKind) String() string {
+	switch a {
+	case PeriodicActivation:
+		return "periodic"
+	case SporadicActivation:
+		return "sporadic"
+	case AperiodicActivation:
+		return "aperiodic"
+	default:
+		return fmt.Sprintf("ActivationKind(%d)", int(a))
+	}
+}
+
+// ParseActivationKind parses the ADL spelling.
+func ParseActivationKind(s string) (ActivationKind, error) {
+	switch s {
+	case "periodic":
+		return PeriodicActivation, nil
+	case "sporadic":
+		return SporadicActivation, nil
+	case "aperiodic":
+		return AperiodicActivation, nil
+	default:
+		return 0, fmt.Errorf("model: unknown activation kind %q", s)
+	}
+}
+
+// ThreadKind is the RTSJ thread flavour of a ThreadDomain.
+type ThreadKind int
+
+// Thread kinds, matching the ADL's DomainDesc type attribute.
+const (
+	RegularThread ThreadKind = iota + 1
+	RealtimeThread
+	NoHeapRealtimeThread
+)
+
+// String returns the ADL spelling.
+func (t ThreadKind) String() string {
+	switch t {
+	case RegularThread:
+		return "Regular"
+	case RealtimeThread:
+		return "RT"
+	case NoHeapRealtimeThread:
+		return "NHRT"
+	default:
+		return fmt.Sprintf("ThreadKind(%d)", int(t))
+	}
+}
+
+// ParseThreadKind parses the ADL spelling.
+func ParseThreadKind(s string) (ThreadKind, error) {
+	switch s {
+	case "Regular", "regular":
+		return RegularThread, nil
+	case "RT", "RealTime", "realtime":
+		return RealtimeThread, nil
+	case "NHRT", "nhrt":
+		return NoHeapRealtimeThread, nil
+	default:
+		return 0, fmt.Errorf("model: unknown thread kind %q", s)
+	}
+}
+
+// MemoryKind is the RTSJ memory flavour of a MemoryArea component.
+type MemoryKind int
+
+// Memory kinds, matching the ADL's AreaDesc type attribute.
+const (
+	HeapMemory MemoryKind = iota + 1
+	ImmortalMemory
+	ScopedMemory
+)
+
+// String returns the ADL spelling.
+func (m MemoryKind) String() string {
+	switch m {
+	case HeapMemory:
+		return "heap"
+	case ImmortalMemory:
+		return "immortal"
+	case ScopedMemory:
+		return "scope"
+	default:
+		return fmt.Sprintf("MemoryKind(%d)", int(m))
+	}
+}
+
+// ParseMemoryKind parses the ADL spelling.
+func ParseMemoryKind(s string) (MemoryKind, error) {
+	switch s {
+	case "heap":
+		return HeapMemory, nil
+	case "immortal":
+		return ImmortalMemory, nil
+	case "scope", "scoped":
+		return ScopedMemory, nil
+	default:
+		return 0, fmt.Errorf("model: unknown memory kind %q", s)
+	}
+}
+
+// Role distinguishes client and server interfaces.
+type Role int
+
+// Interface roles.
+const (
+	ClientRole Role = iota + 1
+	ServerRole
+)
+
+// String returns the ADL spelling.
+func (r Role) String() string {
+	switch r {
+	case ClientRole:
+		return "client"
+	case ServerRole:
+		return "server"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// ParseRole parses the ADL spelling.
+func ParseRole(s string) (Role, error) {
+	switch s {
+	case "client":
+		return ClientRole, nil
+	case "server":
+		return ServerRole, nil
+	default:
+		return 0, fmt.Errorf("model: unknown interface role %q", s)
+	}
+}
+
+// Interface is a functional access point of a component.
+type Interface struct {
+	Name      string
+	Role      Role
+	Signature string
+}
+
+// Activation describes how an active component's thread is released.
+type Activation struct {
+	Kind ActivationKind
+	// Period is the activation period (periodic) or minimum
+	// interarrival time (sporadic, optional).
+	Period time.Duration
+	// Deadline is the optional relative deadline.
+	Deadline time.Duration
+	// Cost is the optional per-release CPU budget.
+	Cost time.Duration
+}
+
+// DomainDesc carries a ThreadDomain's RTSJ properties.
+type DomainDesc struct {
+	Kind     ThreadKind
+	Priority int
+}
+
+// AreaDesc carries a MemoryArea's RTSJ properties.
+type AreaDesc struct {
+	Kind MemoryKind
+	// ScopeName is the runtime scope name (scoped areas).
+	ScopeName string
+	// Size is the configured byte budget (scoped, immortal).
+	Size int64
+}
+
+// Component is a node of the architecture. Use the Architecture
+// constructors (NewActive, NewPassive, ...) to create components.
+type Component struct {
+	name string
+	kind Kind
+
+	interfaces []Interface
+	content    string // content-class identifier of primitive functional components
+
+	activation *Activation
+	domain     *DomainDesc
+	area       *AreaDesc
+
+	subs   []*Component
+	supers []*Component
+}
+
+// Name returns the component's unique name.
+func (c *Component) Name() string { return c.name }
+
+// Kind returns the component kind.
+func (c *Component) Kind() Kind { return c.kind }
+
+// Content returns the content-class identifier ("" for composites and
+// non-functional components).
+func (c *Component) Content() string { return c.content }
+
+// SetContent sets the content-class identifier of a primitive
+// functional component.
+func (c *Component) SetContent(id string) error {
+	if c.kind != Active && c.kind != Passive {
+		return fmt.Errorf("model: %s component %q cannot have content", c.kind, c.name)
+	}
+	c.content = id
+	return nil
+}
+
+// Activation returns the active component's activation descriptor, or
+// nil.
+func (c *Component) Activation() *Activation {
+	if c.activation == nil {
+		return nil
+	}
+	a := *c.activation
+	return &a
+}
+
+// Domain returns the ThreadDomain descriptor, or nil.
+func (c *Component) Domain() *DomainDesc {
+	if c.domain == nil {
+		return nil
+	}
+	d := *c.domain
+	return &d
+}
+
+// Area returns the MemoryArea descriptor, or nil.
+func (c *Component) Area() *AreaDesc {
+	if c.area == nil {
+		return nil
+	}
+	a := *c.area
+	return &a
+}
+
+// Interfaces returns a copy of the component's functional interfaces.
+func (c *Component) Interfaces() []Interface {
+	out := make([]Interface, len(c.interfaces))
+	copy(out, c.interfaces)
+	return out
+}
+
+// Interface returns the named interface.
+func (c *Component) Interface(name string) (Interface, bool) {
+	for _, itf := range c.interfaces {
+		if itf.Name == name {
+			return itf, true
+		}
+	}
+	return Interface{}, false
+}
+
+// AddInterface declares a functional interface on a functional
+// component. Non-functional components (ThreadDomain, MemoryArea)
+// have no functional interfaces — they are purely composite (Sect.
+// 3.1).
+func (c *Component) AddInterface(itf Interface) error {
+	if !c.kind.Functional() {
+		return fmt.Errorf("model: %s component %q cannot declare functional interfaces", c.kind, c.name)
+	}
+	if itf.Name == "" {
+		return fmt.Errorf("model: interface on %q needs a name", c.name)
+	}
+	if itf.Role != ClientRole && itf.Role != ServerRole {
+		return fmt.Errorf("model: interface %q on %q needs a role", itf.Name, c.name)
+	}
+	if _, dup := c.Interface(itf.Name); dup {
+		return fmt.Errorf("model: duplicate interface %q on %q", itf.Name, c.name)
+	}
+	c.interfaces = append(c.interfaces, itf)
+	return nil
+}
+
+// Subs returns a copy of the component's sub-components.
+func (c *Component) Subs() []*Component {
+	out := make([]*Component, len(c.subs))
+	copy(out, c.subs)
+	return out
+}
+
+// Supers returns a copy of the component's super-components (a
+// component may have several — sharing).
+func (c *Component) Supers() []*Component {
+	out := make([]*Component, len(c.supers))
+	copy(out, c.supers)
+	return out
+}
+
+// hasAncestor reports whether a is c or reachable from c through
+// super links.
+func (c *Component) hasAncestor(a *Component) bool {
+	if c == a {
+		return true
+	}
+	for _, s := range c.supers {
+		if s.hasAncestor(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// SupersOfKind returns the direct super-components of the given kind.
+func (c *Component) SupersOfKind(k Kind) []*Component {
+	var out []*Component
+	for _, s := range c.supers {
+		if s.kind == k {
+			out = append(out, s)
+		}
+	}
+	return out
+}

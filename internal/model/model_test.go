@@ -1,0 +1,320 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestConstructorValidation(t *testing.T) {
+	a := NewArchitecture("t")
+	if _, err := a.NewActive("", Activation{Kind: SporadicActivation}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := a.NewActive("p", Activation{Kind: PeriodicActivation}); err == nil {
+		t.Error("periodic without period accepted")
+	}
+	if _, err := a.NewActive("p", Activation{Kind: ActivationKind(9)}); err == nil {
+		t.Error("unknown activation accepted")
+	}
+	if _, err := a.NewActive("p", Activation{Kind: SporadicActivation, Deadline: -ms}); err == nil {
+		t.Error("negative deadline accepted")
+	}
+	if _, err := a.NewThreadDomain("td", DomainDesc{}); err == nil {
+		t.Error("thread domain without kind accepted")
+	}
+	if _, err := a.NewMemoryArea("ma", AreaDesc{Kind: ScopedMemory}); err == nil {
+		t.Error("scoped area without size accepted")
+	}
+	if _, err := a.NewMemoryArea("ma", AreaDesc{}); err == nil {
+		t.Error("memory area without kind accepted")
+	}
+	if _, err := a.NewPassive("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.NewPassive("x"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestScopedAreaDefaultsScopeName(t *testing.T) {
+	a := NewArchitecture("t")
+	ma, err := a.NewMemoryArea("S1", AreaDesc{Kind: ScopedMemory, Size: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ma.Area().ScopeName; got != "S1" {
+		t.Fatalf("scope name = %q", got)
+	}
+}
+
+func TestInterfaceRules(t *testing.T) {
+	a := NewArchitecture("t")
+	p, _ := a.NewPassive("p")
+	td, _ := a.NewThreadDomain("td", DomainDesc{Kind: RegularThread})
+	if err := p.AddInterface(Interface{Name: "s", Role: ServerRole, Signature: "I"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddInterface(Interface{Name: "s", Role: ServerRole, Signature: "I"}); err == nil {
+		t.Error("duplicate interface accepted")
+	}
+	if err := p.AddInterface(Interface{Name: "", Role: ServerRole}); err == nil {
+		t.Error("unnamed interface accepted")
+	}
+	if err := p.AddInterface(Interface{Name: "x"}); err == nil {
+		t.Error("roleless interface accepted")
+	}
+	if err := td.AddInterface(Interface{Name: "x", Role: ServerRole}); err == nil {
+		t.Error("functional interface on ThreadDomain accepted")
+	}
+	if _, ok := p.Interface("s"); !ok {
+		t.Error("interface lookup failed")
+	}
+	if _, ok := p.Interface("zz"); ok {
+		t.Error("phantom interface found")
+	}
+}
+
+func TestContentRules(t *testing.T) {
+	a := NewArchitecture("t")
+	p, _ := a.NewPassive("p")
+	comp, _ := a.NewComposite("c")
+	if err := p.SetContent("Impl"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Content() != "Impl" {
+		t.Fatal("content not stored")
+	}
+	if err := comp.SetContent("Impl"); err == nil {
+		t.Error("content on composite accepted")
+	}
+}
+
+func TestHierarchyAndSharing(t *testing.T) {
+	a := NewArchitecture("t")
+	root, _ := a.NewComposite("root")
+	td, _ := a.NewThreadDomain("td", DomainDesc{Kind: RealtimeThread, Priority: 20})
+	act, _ := a.NewActive("act", Activation{Kind: SporadicActivation})
+
+	if err := a.AddChild(root, act); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddChild(td, act); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(act.Supers()); got != 2 {
+		t.Fatalf("supers = %d, want 2 (sharing)", got)
+	}
+	if err := a.AddChild(root, act); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if err := a.AddChild(act, root); err == nil {
+		t.Error("cycle accepted")
+	}
+	if err := a.AddChild(act, td); err == nil {
+		t.Error("child under primitive accepted")
+	}
+	// Two ThreadDomains for the same component are refused at edge
+	// creation.
+	td2, _ := a.NewThreadDomain("td2", DomainDesc{Kind: RealtimeThread, Priority: 21})
+	if err := a.AddChild(td2, act); err == nil {
+		t.Error("second ThreadDomain parent accepted")
+	}
+
+	roots := a.Roots()
+	if len(roots) != 3 { // root, td, td2
+		t.Fatalf("roots = %d", len(roots))
+	}
+}
+
+func TestEffectiveThreadDomain(t *testing.T) {
+	a := NewArchitecture("t")
+	td, _ := a.NewThreadDomain("td", DomainDesc{Kind: NoHeapRealtimeThread, Priority: 30})
+	act, _ := a.NewActive("act", Activation{Kind: SporadicActivation})
+	lonely, _ := a.NewActive("lonely", Activation{Kind: SporadicActivation})
+	if err := a.AddChild(td, act); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.EffectiveThreadDomain(act)
+	if err != nil || got != td {
+		t.Fatalf("EffectiveThreadDomain = %v, %v", got, err)
+	}
+	if _, err := a.EffectiveThreadDomain(lonely); err == nil {
+		t.Error("undeployed active resolved a ThreadDomain")
+	}
+}
+
+func TestEffectiveMemoryArea(t *testing.T) {
+	a := NewArchitecture("t")
+	imm, _ := a.NewMemoryArea("imm", AreaDesc{Kind: ImmortalMemory})
+	td, _ := a.NewThreadDomain("td", DomainDesc{Kind: NoHeapRealtimeThread, Priority: 30})
+	act, _ := a.NewActive("act", Activation{Kind: SporadicActivation})
+	if err := a.AddChild(imm, td); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddChild(td, act); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.EffectiveMemoryArea(act)
+	if err != nil || got != imm {
+		t.Fatalf("EffectiveMemoryArea = %v, %v", got, err)
+	}
+	// Nearest wins: deploying act directly under a scope overrides the
+	// area inherited through its ThreadDomain (the validator, not the
+	// model, polices whether that composition is RTSJ-legal).
+	s, _ := a.NewMemoryArea("s", AreaDesc{Kind: ScopedMemory, Size: 64})
+	if err := a.AddChild(s, act); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.EffectiveMemoryArea(act)
+	if err != nil || got != s {
+		t.Fatalf("nearest area = %v, %v (want s)", got, err)
+	}
+	// An undeployed component resolves to nothing.
+	p, _ := a.NewPassive("p")
+	if _, err := a.EffectiveMemoryArea(p); err == nil {
+		t.Error("undeployed passive resolved a MemoryArea")
+	}
+}
+
+func TestNestedMemoryAreas(t *testing.T) {
+	a := NewArchitecture("t")
+	outer, _ := a.NewMemoryArea("outer", AreaDesc{Kind: ScopedMemory, Size: 1024})
+	inner, _ := a.NewMemoryArea("inner", AreaDesc{Kind: ScopedMemory, Size: 512})
+	p, _ := a.NewPassive("p")
+	if err := a.AddChild(outer, inner); err != nil {
+		t.Fatalf("memory areas must nest: %v", err)
+	}
+	if err := a.AddChild(inner, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.EffectiveMemoryArea(p)
+	if err != nil || got != inner {
+		t.Fatalf("nearest area = %v, %v", got, err)
+	}
+}
+
+func TestBindings(t *testing.T) {
+	a := NewArchitecture("t")
+	c1, _ := a.NewActive("c1", Activation{Kind: SporadicActivation})
+	c2, _ := a.NewPassive("c2")
+	mustItf := func(c *Component, name string, role Role, sig string) {
+		t.Helper()
+		if err := c.AddInterface(Interface{Name: name, Role: role, Signature: sig}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustItf(c1, "out", ClientRole, "I")
+	mustItf(c1, "out2", ClientRole, "J")
+	mustItf(c2, "in", ServerRole, "I")
+
+	if _, err := a.Bind(Binding{
+		Client: Endpoint{"c1", "out"}, Server: Endpoint{"c2", "in"}, Protocol: Synchronous,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Binding{
+		{Client: Endpoint{"zz", "out"}, Server: Endpoint{"c2", "in"}, Protocol: Synchronous},
+		{Client: Endpoint{"c1", "zz"}, Server: Endpoint{"c2", "in"}, Protocol: Synchronous},
+		{Client: Endpoint{"c1", "out2"}, Server: Endpoint{"c2", "zz"}, Protocol: Synchronous},
+		{Client: Endpoint{"c2", "in"}, Server: Endpoint{"c2", "in"}, Protocol: Synchronous},    // wrong role
+		{Client: Endpoint{"c1", "out2"}, Server: Endpoint{"c2", "in"}, Protocol: Synchronous},  // sig mismatch
+		{Client: Endpoint{"c1", "out"}, Server: Endpoint{"c2", "in"}, Protocol: Synchronous},   // already bound
+		{Client: Endpoint{"c1", "out2"}, Server: Endpoint{"c2", "in"}, Protocol: Asynchronous}, // sig mismatch + no buffer
+		{Client: Endpoint{"c1", "out"}, Server: Endpoint{"c2", "in"}, Protocol: Protocol(9)},   // unknown protocol
+		{Client: Endpoint{"c1", "out"}, Server: Endpoint{"c2", "in"}, Protocol: Synchronous, BufferSize: 4},
+	}
+	for i, b := range bad {
+		if _, err := a.Bind(b); err == nil {
+			t.Errorf("bad binding %d accepted", i)
+		}
+	}
+	if got := len(a.Bindings()); got != 1 {
+		t.Fatalf("bindings = %d", got)
+	}
+	if got := len(a.BindingsOf("c1")); got != 1 {
+		t.Fatalf("BindingsOf(c1) = %d", got)
+	}
+	if got := len(a.BindingsOf("zz")); got != 0 {
+		t.Fatalf("BindingsOf(zz) = %d", got)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Active.String() != "Active" || ThreadDomain.String() != "ThreadDomain" {
+		t.Error("kind strings")
+	}
+	if !Active.Functional() || ThreadDomain.Functional() {
+		t.Error("Functional predicate")
+	}
+	roundTrips := []struct {
+		s     string
+		parse func(string) (string, error)
+	}{
+		{"periodic", func(s string) (string, error) { k, err := ParseActivationKind(s); return k.String(), err }},
+		{"sporadic", func(s string) (string, error) { k, err := ParseActivationKind(s); return k.String(), err }},
+		{"NHRT", func(s string) (string, error) { k, err := ParseThreadKind(s); return k.String(), err }},
+		{"Regular", func(s string) (string, error) { k, err := ParseThreadKind(s); return k.String(), err }},
+		{"scope", func(s string) (string, error) { k, err := ParseMemoryKind(s); return k.String(), err }},
+		{"immortal", func(s string) (string, error) { k, err := ParseMemoryKind(s); return k.String(), err }},
+		{"client", func(s string) (string, error) { k, err := ParseRole(s); return k.String(), err }},
+		{"synchronous", func(s string) (string, error) { k, err := ParseProtocol(s); return k.String(), err }},
+	}
+	for _, rt := range roundTrips {
+		got, err := rt.parse(rt.s)
+		if err != nil || got != rt.s {
+			t.Errorf("round trip %q -> %q, %v", rt.s, got, err)
+		}
+	}
+	for _, bad := range []func() error{
+		func() error { _, err := ParseActivationKind("x"); return err },
+		func() error { _, err := ParseThreadKind("x"); return err },
+		func() error { _, err := ParseMemoryKind("x"); return err },
+		func() error { _, err := ParseRole("x"); return err },
+		func() error { _, err := ParseProtocol("x"); return err },
+	} {
+		if bad() == nil {
+			t.Error("bad enum spelling parsed")
+		}
+	}
+}
+
+func TestComponentsOfKindAndPeriodOf(t *testing.T) {
+	a := NewArchitecture("t")
+	act, _ := a.NewActive("a", Activation{Kind: PeriodicActivation, Period: 10 * ms})
+	a.NewPassive("p")
+	a.NewThreadDomain("td", DomainDesc{Kind: RegularThread})
+	if got := len(a.ComponentsOfKind(Active)); got != 1 {
+		t.Fatalf("actives = %d", got)
+	}
+	if got := PeriodOf(act); got != 10*ms {
+		t.Fatalf("PeriodOf = %v", got)
+	}
+	p, _ := a.Component("p")
+	if got := PeriodOf(p); got != 0 {
+		t.Fatalf("PeriodOf passive = %v", got)
+	}
+	if _, ok := a.Component("nope"); ok {
+		t.Fatal("phantom component")
+	}
+}
+
+func TestDescriptorsAreCopies(t *testing.T) {
+	a := NewArchitecture("t")
+	act, _ := a.NewActive("a", Activation{Kind: PeriodicActivation, Period: 10 * ms})
+	got := act.Activation()
+	got.Period = 99 * ms
+	if act.Activation().Period != 10*ms {
+		t.Fatal("Activation() leaked internal state")
+	}
+	td, _ := a.NewThreadDomain("td", DomainDesc{Kind: RegularThread, Priority: 5})
+	d := td.Domain()
+	d.Priority = 1
+	if td.Domain().Priority != 5 {
+		t.Fatal("Domain() leaked internal state")
+	}
+	if td.Activation() != nil || act.Domain() != nil || act.Area() != nil {
+		t.Fatal("descriptor accessors on wrong kinds should be nil")
+	}
+}

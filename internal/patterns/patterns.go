@@ -1,0 +1,160 @@
+// Package patterns implements the catalog of RTSJ cross-scope
+// communication patterns the paper draws on (its references [1,5,17]:
+// Corsaro & Santoro; Benowitz & Niessner; Pizlo et al.). The paper's
+// memory interceptors are "deployed on each binding between different
+// MemoryAreas; their implementation depends on the design procedure
+// choosing one of many RTSJ memory patterns" (Sect. 4.1).
+//
+// The package has two halves:
+//
+//   - design time: Select proposes a pattern for a binding given the
+//     two endpoints' memory areas, and Legal checks a designer-chosen
+//     pattern against the same rules (used by the validator);
+//   - run time: the pattern implementations themselves, operating on
+//     the simulated RTSJ memory runtime (used by memory interceptors).
+package patterns
+
+import (
+	"fmt"
+
+	"soleil/internal/model"
+)
+
+// Kind names a cross-scope communication pattern.
+type Kind string
+
+// The pattern catalog.
+const (
+	// None marks a binding that needs no cross-scope machinery (both
+	// endpoints in the same memory area).
+	None Kind = ""
+	// DeepCopy copies the message value into the target area, so no
+	// reference ever crosses the area boundary (the "memory block" /
+	// handoff pattern). Legal for any crossing; the only choice for
+	// asynchronous bindings.
+	DeepCopy Kind = "deep-copy"
+	// ScopeEnter has the client enter the server's scoped area for
+	// the duration of the invocation (the encapsulated-method
+	// pattern).
+	ScopeEnter Kind = "scope-enter"
+	// Portal publishes the server object through the scope's portal
+	// so that entering threads can retrieve it.
+	Portal Kind = "portal"
+	// WedgeThread pins the server's scope with a dedicated thread so
+	// its contents survive between invocations.
+	WedgeThread Kind = "wedge-thread"
+	// MultiScope exchanges data through a common outer scope of two
+	// sibling scopes.
+	MultiScope Kind = "multi-scope"
+)
+
+// ParseKind validates a pattern name from the ADL.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case None, DeepCopy, ScopeEnter, Portal, WedgeThread, MultiScope:
+		return Kind(s), nil
+	default:
+		return None, fmt.Errorf("patterns: unknown pattern %q", s)
+	}
+}
+
+// Crossing describes the memory relationship of a binding's endpoints
+// at design time.
+type Crossing struct {
+	Client *model.Component // client's effective MemoryArea component
+	Server *model.Component // server's effective MemoryArea component
+}
+
+// Crosses reports whether the binding spans two different memory
+// areas.
+func (x Crossing) Crosses() bool { return x.Client != x.Server }
+
+func kindOf(c *model.Component) model.MemoryKind {
+	if c == nil || c.Area() == nil {
+		return 0
+	}
+	return c.Area().Kind
+}
+
+// areaIsAncestor reports whether anc is area or a design-time ancestor
+// of area through MemoryArea nesting edges.
+func areaIsAncestor(anc, area *model.Component) bool {
+	if anc == nil || area == nil {
+		return false
+	}
+	if kindOf(anc) != model.ScopedMemory {
+		// Heap and immortal are roots: outer to every scope.
+		return true
+	}
+	for n := area; n != nil; {
+		if n == anc {
+			return true
+		}
+		supers := n.SupersOfKind(model.MemoryArea)
+		if len(supers) == 0 {
+			return false
+		}
+		n = supers[0]
+	}
+	return false
+}
+
+// Select proposes the pattern a binding's memory interceptor should
+// implement:
+//
+//   - no crossing: None;
+//   - asynchronous crossing: DeepCopy (the message is copied into the
+//     buffer's area, then out into the server's area);
+//   - synchronous call into a scoped server: ScopeEnter;
+//   - any other synchronous crossing: DeepCopy of arguments/results.
+func Select(x Crossing, proto model.Protocol) Kind {
+	if !x.Crosses() {
+		return None
+	}
+	if proto == model.Asynchronous {
+		return DeepCopy
+	}
+	if kindOf(x.Server) == model.ScopedMemory {
+		return ScopeEnter
+	}
+	return DeepCopy
+}
+
+// Legal checks a designer-chosen pattern against the binding's memory
+// relationship. It returns nil when the pattern is applicable.
+func Legal(k Kind, x Crossing, proto model.Protocol) error {
+	if !x.Crosses() {
+		if k != None {
+			return fmt.Errorf("patterns: binding does not cross memory areas; pattern %q is superfluous", k)
+		}
+		return nil
+	}
+	switch k {
+	case None:
+		return fmt.Errorf("patterns: binding crosses from %s to %s and needs a pattern (suggested %q)",
+			x.Client.Name(), x.Server.Name(), Select(x, proto))
+	case DeepCopy:
+		return nil
+	case ScopeEnter, Portal, WedgeThread:
+		if proto == model.Asynchronous {
+			return fmt.Errorf("patterns: %q applies to synchronous invocations; asynchronous bindings use %q",
+				k, DeepCopy)
+		}
+		if kindOf(x.Server) != model.ScopedMemory {
+			return fmt.Errorf("patterns: %q requires the server in scoped memory, but %s is %s",
+				k, x.Server.Name(), kindOf(x.Server))
+		}
+		if kindOf(x.Client) == model.ScopedMemory && !areaIsAncestor(x.Client, x.Server) {
+			return fmt.Errorf("patterns: %q from scope %s into non-descendant scope %s violates the single parent rule; use %q",
+				k, x.Client.Name(), x.Server.Name(), MultiScope)
+		}
+		return nil
+	case MultiScope:
+		if kindOf(x.Client) != model.ScopedMemory || kindOf(x.Server) != model.ScopedMemory {
+			return fmt.Errorf("patterns: %q applies between two scoped areas", k)
+		}
+		return nil
+	default:
+		return fmt.Errorf("patterns: unknown pattern %q", k)
+	}
+}

@@ -1,0 +1,356 @@
+package patterns
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"soleil/internal/model"
+	"soleil/internal/rtsj/memory"
+)
+
+// designFixture builds MemoryArea components: immortal, heap, a scope
+// chain outer>inner, and a sibling scope under immortal.
+func designFixture(t *testing.T) (a *model.Architecture, imm, heap, outer, inner, sibling *model.Component) {
+	t.Helper()
+	a = model.NewArchitecture("t")
+	var err error
+	if imm, err = a.NewMemoryArea("imm", model.AreaDesc{Kind: model.ImmortalMemory}); err != nil {
+		t.Fatal(err)
+	}
+	if heap, err = a.NewMemoryArea("heap", model.AreaDesc{Kind: model.HeapMemory}); err != nil {
+		t.Fatal(err)
+	}
+	if outer, err = a.NewMemoryArea("outer", model.AreaDesc{Kind: model.ScopedMemory, Size: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if inner, err = a.NewMemoryArea("inner", model.AreaDesc{Kind: model.ScopedMemory, Size: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if sibling, err = a.NewMemoryArea("sibling", model.AreaDesc{Kind: model.ScopedMemory, Size: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if err = a.AddChild(outer, inner); err != nil {
+		t.Fatal(err)
+	}
+	return a, imm, heap, outer, inner, sibling
+}
+
+func TestSelect(t *testing.T) {
+	_, imm, heap, outer, inner, _ := designFixture(t)
+	cases := []struct {
+		name  string
+		x     Crossing
+		proto model.Protocol
+		want  Kind
+	}{
+		{"same area", Crossing{imm, imm}, model.Synchronous, None},
+		{"async crossing", Crossing{imm, heap}, model.Asynchronous, DeepCopy},
+		{"sync into scope", Crossing{imm, inner}, model.Synchronous, ScopeEnter},
+		{"sync scope to immortal", Crossing{inner, imm}, model.Synchronous, DeepCopy},
+		{"sync outer to inner scope", Crossing{outer, inner}, model.Synchronous, ScopeEnter},
+		{"async into scope", Crossing{imm, inner}, model.Asynchronous, DeepCopy},
+	}
+	for _, c := range cases {
+		if got := Select(c.x, c.proto); got != c.want {
+			t.Errorf("%s: Select = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLegal(t *testing.T) {
+	_, imm, heap, outer, inner, sibling := designFixture(t)
+	ok := []struct {
+		name  string
+		k     Kind
+		x     Crossing
+		proto model.Protocol
+	}{
+		{"none same area", None, Crossing{imm, imm}, model.Synchronous},
+		{"deep copy any crossing", DeepCopy, Crossing{inner, heap}, model.Asynchronous},
+		{"scope enter from root", ScopeEnter, Crossing{imm, inner}, model.Synchronous},
+		{"scope enter from ancestor", ScopeEnter, Crossing{outer, inner}, model.Synchronous},
+		{"portal into scope", Portal, Crossing{imm, inner}, model.Synchronous},
+		{"wedge thread", WedgeThread, Crossing{imm, inner}, model.Synchronous},
+		{"multi-scope siblings", MultiScope, Crossing{sibling, inner}, model.Synchronous},
+	}
+	for _, c := range ok {
+		if err := Legal(c.k, c.x, c.proto); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+	bad := []struct {
+		name  string
+		k     Kind
+		x     Crossing
+		proto model.Protocol
+	}{
+		{"pattern without crossing", DeepCopy, Crossing{imm, imm}, model.Synchronous},
+		{"crossing without pattern", None, Crossing{imm, inner}, model.Synchronous},
+		{"scope enter async", ScopeEnter, Crossing{imm, inner}, model.Asynchronous},
+		{"scope enter into immortal", ScopeEnter, Crossing{inner, imm}, model.Synchronous},
+		{"scope enter sibling", ScopeEnter, Crossing{sibling, inner}, model.Synchronous},
+		{"multi-scope with root", MultiScope, Crossing{imm, inner}, model.Synchronous},
+		{"unknown pattern", Kind("smoke"), Crossing{imm, inner}, model.Synchronous},
+	}
+	for _, c := range bad {
+		if err := Legal(c.k, c.x, c.proto); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{None, DeepCopy, ScopeEnter, Portal, WedgeThread, MultiScope} {
+		got, err := ParseKind(string(k))
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %q, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("bogus pattern parsed")
+	}
+}
+
+// --- runtime half -------------------------------------------------------------
+
+type message struct {
+	seq  int
+	data []byte
+}
+
+func (m message) DeepCopy() any {
+	cp := message{seq: m.seq, data: make([]byte, len(m.data))}
+	copy(cp.data, m.data)
+	return cp
+}
+
+func TestCopyValue(t *testing.T) {
+	m := message{seq: 1, data: []byte{1, 2}}
+	got, ok := CopyValue(m).(message)
+	if !ok || got.seq != 1 {
+		t.Fatalf("copy = %#v", got)
+	}
+	got.data[0] = 9
+	if m.data[0] != 1 {
+		t.Fatal("deep copy shares data")
+	}
+	if CopyValue(42) != 42 {
+		t.Fatal("plain value copy")
+	}
+}
+
+func TestDeepCopyIntoRuntime(t *testing.T) {
+	rt := memory.NewRuntime()
+	ctx, err := memory.NewContext(rt.Immortal(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	ref, err := DeepCopyInto(ctx, rt.Immortal(), 32, message{seq: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Area() != rt.Immortal() {
+		t.Fatal("copy landed in wrong area")
+	}
+	v, err := ctx.Load(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := v.(message); !ok || m.seq != 7 {
+		t.Fatalf("payload = %#v", v)
+	}
+	// Copy into an exhausted scope reports the failure.
+	s, err := rt.NewScoped("tiny", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ctx.Enter(s, func() error {
+		_, err := DeepCopyInto(ctx, s, 64, message{})
+		return err
+	})
+	var oom *memory.OutOfMemoryError
+	if !errors.As(err, &oom) {
+		t.Fatalf("oversized copy: %v", err)
+	}
+}
+
+func TestEnterAndCall(t *testing.T) {
+	rt := memory.NewRuntime()
+	s, err := rt.NewScoped("s", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := memory.NewContext(rt.Immortal(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	var allocated *memory.Area
+	err = EnterAndCall(ctx, s, func() error {
+		r, err := ctx.Alloc(16, nil)
+		if err != nil {
+			return err
+		}
+		allocated = r.Area()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocated != s {
+		t.Fatalf("allocation landed in %s", allocated.Name())
+	}
+	// Unscoped target: runs via ExecuteInArea.
+	err = EnterAndCall(ctx, rt.Immortal(), func() error {
+		r, err := ctx.Alloc(16, nil)
+		if err != nil {
+			return err
+		}
+		allocated = r.Area()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocated != rt.Immortal() {
+		t.Fatalf("allocation landed in %s", allocated.Name())
+	}
+}
+
+func TestPortalRuntime(t *testing.T) {
+	rt := memory.NewRuntime()
+	s, err := rt.NewScoped("s", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the scope so the portal survives between calls.
+	w, err := NewWedge(s, rt.Immortal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Release()
+	if w.Scope() != s {
+		t.Fatal("wedge scope")
+	}
+
+	ctx, err := memory.NewContext(rt.Immortal(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	err = ctx.Enter(s, func() error {
+		_, err := PublishPortal(ctx, s, 16, "server-object")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got any
+	err = CallThroughPortal(ctx, s, func(server any) error {
+		got = server
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "server-object" {
+		t.Fatalf("portal object = %v", got)
+	}
+}
+
+func TestCallThroughUnsetPortal(t *testing.T) {
+	rt := memory.NewRuntime()
+	s, err := rt.NewScoped("s", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := memory.NewContext(rt.Immortal(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	err = CallThroughPortal(ctx, s, func(any) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "unset") {
+		t.Fatalf("unset portal: %v", err)
+	}
+}
+
+func TestWedgeKeepsScopeAlive(t *testing.T) {
+	rt := memory.NewRuntime()
+	s, err := rt.NewScoped("s", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWedge(s, rt.Immortal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := memory.NewContext(rt.Immortal(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	var ref *memory.Ref
+	if err := ctx.Enter(s, func() error {
+		var err error
+		ref, err = ctx.Alloc(8, "state")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Live() {
+		t.Fatal("wedged scope reclaimed on exit")
+	}
+	if s.Consumed() != 8 {
+		t.Fatalf("consumed = %d", s.Consumed())
+	}
+	w.Release()
+	if ref.Live() {
+		t.Fatal("scope survived wedge release")
+	}
+	if err := NewWedgeOnHeap(rt); err == nil {
+		t.Fatal("wedge on non-scope accepted")
+	}
+}
+
+// NewWedgeOnHeap exercises the kind check.
+func NewWedgeOnHeap(rt *memory.Runtime) error {
+	_, err := NewWedge(rt.Heap(), rt.Immortal())
+	return err
+}
+
+func TestSharedAncestor(t *testing.T) {
+	rt := memory.NewRuntime()
+	outer, _ := rt.NewScoped("outer", 1024)
+	a, _ := rt.NewScoped("a", 512)
+	b, _ := rt.NewScoped("b", 512)
+	ctx, err := memory.NewContext(rt.Immortal(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	err = ctx.Enter(outer, func() error {
+		return ctx.Enter(a, func() error {
+			// Establish b's parent as outer via a second context.
+			ctx2, err := memory.NewContext(rt.Immortal(), false)
+			if err != nil {
+				return err
+			}
+			defer ctx2.Close()
+			return ctx2.Enter(outer, func() error {
+				return ctx2.Enter(b, func() error {
+					shared, ok := SharedAncestor(a, b)
+					if !ok || shared != outer {
+						t.Errorf("shared = %v, %v", shared, ok)
+					}
+					return nil
+				})
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package patterns
+
+import (
+	"fmt"
+
+	"soleil/internal/rtsj/memory"
+)
+
+// Copier is implemented by message types that know how to deep-copy
+// themselves; values that do not implement it are copied by value
+// (adequate for the flat message structs the framework exchanges).
+type Copier interface {
+	// DeepCopy returns an independent copy of the value.
+	DeepCopy() any
+}
+
+// CopyValue produces the deep copy of v used by the DeepCopy pattern.
+func CopyValue(v any) any {
+	if c, ok := v.(Copier); ok {
+		return c.DeepCopy()
+	}
+	return v
+}
+
+// DeepCopyInto implements the DeepCopy pattern at run time: it copies
+// v into the target area under the given allocation context and
+// returns the new reference. No reference to the source object
+// escapes, so the RTSJ assignment rules are never violated.
+func DeepCopyInto(ctx *memory.Context, target *memory.Area, size int64, v any) (*memory.Ref, error) {
+	ref, err := ctx.AllocIn(target, size, CopyValue(v))
+	if err != nil {
+		return nil, fmt.Errorf("deep-copy into %s: %w", target.Name(), err)
+	}
+	return ref, nil
+}
+
+// EnterAndCall implements the ScopeEnter (encapsulated method)
+// pattern: the caller enters the server's scope for the duration of
+// fn.
+func EnterAndCall(ctx *memory.Context, scope *memory.Area, fn func() error) error {
+	if scope.Kind() != memory.Scoped {
+		// Calling into heap/immortal needs no entry; run directly in
+		// the target allocation context.
+		return ctx.ExecuteInArea(scope, fn)
+	}
+	return ctx.Enter(scope, fn)
+}
+
+// PublishPortal implements the Portal pattern's publication half: it
+// allocates the server object inside the scope and registers it as
+// the scope's portal. The caller must already be inside the scope.
+func PublishPortal(ctx *memory.Context, scope *memory.Area, size int64, server any) (*memory.Ref, error) {
+	ref, err := ctx.AllocIn(scope, size, server)
+	if err != nil {
+		return nil, fmt.Errorf("portal publication in %s: %w", scope.Name(), err)
+	}
+	if err := scope.SetPortal(ref); err != nil {
+		return nil, err
+	}
+	return ref, nil
+}
+
+// CallThroughPortal implements the Portal pattern's access half: it
+// enters the scope, retrieves the portal object and hands it to fn.
+func CallThroughPortal(ctx *memory.Context, scope *memory.Area, fn func(server any) error) error {
+	return ctx.Enter(scope, func() error {
+		ref, err := scope.Portal()
+		if err != nil {
+			return err
+		}
+		if ref == nil {
+			return fmt.Errorf("portal of %s is unset", scope.Name())
+		}
+		v, err := ctx.Load(ref)
+		if err != nil {
+			return err
+		}
+		return fn(v)
+	})
+}
+
+// Wedge implements the WedgeThread pattern: it keeps a scope alive by
+// holding an entry open until Release is called. The paper's wedge is
+// a dedicated low-priority thread parked inside the scope; in this
+// runtime an open entry from any context has the same effect on the
+// scope's reference count.
+type Wedge struct {
+	scope    *memory.Area
+	ctx      *memory.Context
+	released chan struct{}
+	parked   chan struct{}
+	done     chan struct{}
+}
+
+// NewWedge enters scope on a dedicated context and keeps it alive
+// until Release.
+func NewWedge(scope *memory.Area, parent *memory.Area) (*Wedge, error) {
+	if scope.Kind() != memory.Scoped {
+		return nil, fmt.Errorf("wedge: %s is not a scoped area", scope.Name())
+	}
+	ctx, err := memory.NewContext(parent, false)
+	if err != nil {
+		return nil, err
+	}
+	w := &Wedge{
+		scope:    scope,
+		ctx:      ctx,
+		released: make(chan struct{}),
+		parked:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	errs := make(chan error, 1)
+	go func() {
+		defer close(w.done)
+		err := ctx.Enter(scope, func() error {
+			close(w.parked)
+			<-w.released
+			return nil
+		})
+		errs <- err
+	}()
+	select {
+	case <-w.parked:
+		return w, nil
+	case err := <-errs:
+		ctx.Close()
+		if err == nil {
+			err = fmt.Errorf("wedge: could not pin scope %s", scope.Name())
+		}
+		return nil, err
+	}
+}
+
+// Scope returns the pinned scope.
+func (w *Wedge) Scope() *memory.Area { return w.scope }
+
+// Release lets go of the scope; if this was the last entry, the scope
+// is reclaimed. Release blocks until the wedge has fully unparked and
+// is idempotent-unsafe: call it exactly once.
+func (w *Wedge) Release() {
+	close(w.released)
+	<-w.done
+	w.ctx.Close()
+}
+
+// SharedAncestor implements the MultiScope pattern's area selection:
+// it returns the nearest area on a's parent chain (including a
+// itself) that is also an ancestor of b at run time. Because heap and
+// immortal areas are roots, a shared area always exists once a's
+// chain reaches a root.
+func SharedAncestor(a, b *memory.Area) (*memory.Area, bool) {
+	for s := a; s != nil; s = s.Parent() {
+		if s.IsAncestorOf(b) {
+			return s, true
+		}
+		if s.Kind() != memory.Scoped {
+			break
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,134 @@
+// Package reconfig implements the paper's runtime adaptability
+// support (Sect. 4.2): introspection of the deployed system and a
+// disciplined reconfiguration manager that applies lifecycle and
+// rebinding operations under RTSJ-safety checks, keeping an audit
+// history of every adaptation.
+//
+// Following the paper, the support is deliberately *basic*: only
+// operations whose RTSJ conformance can be re-established are
+// accepted (the full treatment of adapting live real-time code is the
+// paper's declared future work).
+package reconfig
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"soleil/internal/assembly"
+	"soleil/internal/model"
+)
+
+// Operation is one recorded adaptation.
+type Operation struct {
+	At     time.Time
+	Kind   string // "rebind", "start", "stop"
+	Detail string
+	Err    error
+}
+
+// Manager drives runtime adaptation of a deployed system.
+type Manager struct {
+	sys *assembly.System
+
+	mu      sync.Mutex
+	history []Operation
+}
+
+// NewManager creates a reconfiguration manager for sys.
+func NewManager(sys *assembly.System) (*Manager, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("reconfig: nil system")
+	}
+	return &Manager{sys: sys}, nil
+}
+
+func (m *Manager) record(kind, detail string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.history = append(m.history, Operation{At: time.Now(), Kind: kind, Detail: detail, Err: err})
+}
+
+// History returns the recorded adaptations in order.
+func (m *Manager) History() []Operation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Operation, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+// Rebind re-routes a synchronous client interface to a new server.
+// The operation is validated against the architecture and the RTSJ
+// rules (see assembly.System.RebindSync) and recorded.
+func (m *Manager) Rebind(client, clientItf, server, serverItf string) error {
+	err := m.sys.RebindSync(client, clientItf, server, serverItf)
+	m.record("rebind", fmt.Sprintf("%s.%s -> %s.%s", client, clientItf, server, serverItf), err)
+	return err
+}
+
+// Stop stops a component's lifecycle (SOLEIL mode): subsequent
+// invocations are refused until Start.
+func (m *Manager) Stop(component string) error {
+	err := m.sys.SetStarted(component, false)
+	m.record("stop", component, err)
+	return err
+}
+
+// Start (re)starts a component's lifecycle (SOLEIL mode).
+func (m *Manager) Start(component string) error {
+	err := m.sys.SetStarted(component, true)
+	m.record("start", component, err)
+	return err
+}
+
+// ComponentState is the introspected state of one component.
+type ComponentState struct {
+	Name    string
+	Kind    model.Kind
+	Started bool
+	// HasMembrane reports whether the component's membrane is
+	// reified (SOLEIL mode).
+	HasMembrane bool
+	// Controllers lists the membrane's control components.
+	Controllers []string
+}
+
+// Snapshot is an introspection view of the deployed system.
+type Snapshot struct {
+	Mode       assembly.Mode
+	Components []ComponentState
+	// Domains, Areas and Composites list the reified structural
+	// components (SOLEIL mode).
+	Domains    []string
+	Areas      []string
+	Composites []string
+}
+
+// Introspect captures the system's current structure. The depth of
+// the view depends on the mode: SOLEIL exposes membranes, controllers
+// and non-functional components; the merged modes expose only the
+// functional skeleton — exactly the capability matrix of Sect. 4.3.
+func (m *Manager) Introspect() Snapshot {
+	snap := Snapshot{Mode: m.sys.Mode()}
+	for _, n := range m.sys.Nodes() {
+		c, _ := m.sys.Architecture().Component(n.Name())
+		cs := ComponentState{Name: n.Name(), Kind: c.Kind()}
+		if started, err := m.sys.ComponentStarted(n.Name()); err == nil {
+			cs.HasMembrane = true
+			cs.Started = started
+			cs.Controllers = m.sys.ControllerNames(n.Name())
+		}
+		snap.Components = append(snap.Components, cs)
+	}
+	for _, d := range m.sys.Domains() {
+		snap.Domains = append(snap.Domains, d.Name())
+	}
+	for _, a := range m.sys.AreaComponents() {
+		snap.Areas = append(snap.Areas, a.Name())
+	}
+	for _, c := range m.sys.Composites() {
+		snap.Composites = append(snap.Composites, c.Name())
+	}
+	return snap
+}

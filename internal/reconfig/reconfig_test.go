@@ -1,0 +1,307 @@
+package reconfig
+
+import (
+	"strings"
+	"testing"
+
+	"soleil/internal/assembly"
+	"soleil/internal/fixture"
+	"soleil/internal/membrane"
+	"soleil/internal/model"
+	"soleil/internal/rtsj/memory"
+	"soleil/internal/rtsj/thread"
+	"soleil/internal/scenario"
+)
+
+// deployWithBackup deploys the motivation example extended with a
+// BackupConsole (immortal-resident, same IConsole interface).
+func deployWithBackup(t *testing.T, mode assembly.Mode) (*assembly.System, *scenario.Contents, *scenario.Console) {
+	t.Helper()
+	arch, err := fixture.MotivationExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := arch.NewPassive("BackupConsole")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backup.AddInterface(model.Interface{
+		Name: "iConsole", Role: model.ServerRole, Signature: fixture.IConsole,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := backup.SetContent("BackupConsoleImpl"); err != nil {
+		t.Fatal(err)
+	}
+	imm, _ := arch.Component(fixture.AreaImm1)
+	if err := arch.AddChild(imm, backup); err != nil {
+		t.Fatal(err)
+	}
+
+	contents := scenario.NewContents()
+	backupConsole := scenario.NewConsole()
+	reg := assembly.NewRegistry()
+	if err := contents.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("BackupConsoleImpl", func() membrane.Content { return backupConsole }); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := assembly.Deploy(arch, assembly.Config{Mode: mode, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, contents, backupConsole
+}
+
+// driveTransactions runs n complete iterations on the dataplane.
+func driveTransactions(t *testing.T, sys *assembly.System, n int) {
+	t.Helper()
+	ctx, err := memory.NewContext(sys.MemoryRuntime().Immortal(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	env := thread.NewEnv(nil, ctx)
+	line, _ := sys.Node(fixture.ProductionLine)
+	monitor, _ := sys.Node(fixture.MonitoringSystem)
+	audit, _ := sys.Node(fixture.Audit)
+	for i := 0; i < n; i++ {
+		if err := line.Activate(env); err != nil {
+			t.Fatalf("transaction %d: %v", i, err)
+		}
+		if _, err := monitor.Deliver(env); err != nil {
+			t.Fatalf("transaction %d: %v", i, err)
+		}
+		if _, err := audit.Deliver(env); err != nil {
+			t.Fatalf("transaction %d: %v", i, err)
+		}
+	}
+}
+
+func TestRebindRedirectsAlerts(t *testing.T) {
+	for _, mode := range []assembly.Mode{assembly.Soleil, assembly.MergeAll} {
+		t.Run(mode.String(), func(t *testing.T) {
+			sys, contents, backup := deployWithBackup(t, mode)
+			mgr, err := NewManager(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// First anomaly (seq 15) goes to the primary console.
+			driveTransactions(t, sys, 16)
+			if contents.Console.Displayed() != 1 || backup.Displayed() != 0 {
+				t.Fatalf("pre-rebind displays: primary %d, backup %d",
+					contents.Console.Displayed(), backup.Displayed())
+			}
+			// Rebind the console route, then the next anomaly (seq 31)
+			// lands on the backup.
+			if err := mgr.Rebind(fixture.MonitoringSystem, "iConsole", "BackupConsole", "iConsole"); err != nil {
+				t.Fatal(err)
+			}
+			driveTransactions(t, sys, 16)
+			if contents.Console.Displayed() != 1 {
+				t.Fatalf("primary displays after rebind: %d", contents.Console.Displayed())
+			}
+			if backup.Displayed() != 1 {
+				t.Fatalf("backup displays after rebind: %d", backup.Displayed())
+			}
+			h := mgr.History()
+			if len(h) != 1 || h[0].Kind != "rebind" || h[0].Err != nil {
+				t.Fatalf("history = %+v", h)
+			}
+		})
+	}
+}
+
+func TestRebindRefusedInUltraMerge(t *testing.T) {
+	sys, _, _ := deployWithBackup(t, assembly.UltraMerge)
+	mgr, err := NewManager(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mgr.Rebind(fixture.MonitoringSystem, "iConsole", "BackupConsole", "iConsole")
+	if err == nil {
+		t.Fatal("rebind accepted in ULTRA-MERGE")
+	}
+	if !strings.Contains(err.Error(), "static") {
+		t.Fatalf("err = %v", err)
+	}
+	h := mgr.History()
+	if len(h) != 1 || h[0].Err == nil {
+		t.Fatalf("failed operation not recorded: %+v", h)
+	}
+}
+
+func TestRebindValidation(t *testing.T) {
+	sys, _, _ := deployWithBackup(t, assembly.Soleil)
+	mgr, _ := NewManager(sys)
+	cases := []struct{ c, ci, s, si string }{
+		{"ghost", "iConsole", "BackupConsole", "iConsole"},
+		{fixture.MonitoringSystem, "ghost", "BackupConsole", "iConsole"},
+		{fixture.MonitoringSystem, "iConsole", "ghost", "iConsole"},
+		{fixture.MonitoringSystem, "iConsole", "BackupConsole", "ghost"},
+		// Signature mismatch: iLog (ILog) to a console (IConsole).
+		{fixture.MonitoringSystem, "iLog", "BackupConsole", "iConsole"},
+		// Role mismatch: server interface used as client.
+		{fixture.Console, "iConsole", "BackupConsole", "iConsole"},
+	}
+	for i, c := range cases {
+		if err := mgr.Rebind(c.c, c.ci, c.s, c.si); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRebindRefusesNHRTIntoHeap(t *testing.T) {
+	// Route the NHRT monitoring system's console interface into a
+	// heap-allocated server: must be refused (RT08 at runtime).
+	arch, err := fixture.MotivationExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapSrv, _ := arch.NewPassive("HeapConsole")
+	if err := heapSrv.AddInterface(model.Interface{
+		Name: "iConsole", Role: model.ServerRole, Signature: fixture.IConsole,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = heapSrv.SetContent("ConsoleImpl")
+	h1, _ := arch.Component(fixture.AreaH1)
+	if err := arch.AddChild(h1, heapSrv); err != nil {
+		t.Fatal(err)
+	}
+	contents := scenario.NewContents()
+	reg := assembly.NewRegistry()
+	if err := contents.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := assembly.Deploy(arch, assembly.Config{Mode: assembly.Soleil, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, _ := NewManager(sys)
+	err = mgr.Rebind(fixture.MonitoringSystem, "iConsole", "HeapConsole", "iConsole")
+	if err == nil {
+		t.Fatal("NHRT->heap rebind accepted")
+	}
+	if !strings.Contains(err.Error(), "NHRT") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLifecycleControl(t *testing.T) {
+	sys, contents, _ := deployWithBackup(t, assembly.Soleil)
+	mgr, _ := NewManager(sys)
+
+	if err := mgr.Stop(fixture.Audit); err != nil {
+		t.Fatal(err)
+	}
+	started, err := sys.ComponentStarted(fixture.Audit)
+	if err != nil || started {
+		t.Fatalf("audit started = %v, %v", started, err)
+	}
+	// A stopped audit refuses deliveries: the transaction fails at the
+	// audit hop.
+	ctx, err := memory.NewContext(sys.MemoryRuntime().Immortal(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	env := thread.NewEnv(nil, ctx)
+	line, _ := sys.Node(fixture.ProductionLine)
+	monitor, _ := sys.Node(fixture.MonitoringSystem)
+	audit, _ := sys.Node(fixture.Audit)
+	if err := line.Activate(env); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := monitor.Deliver(env); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := audit.Deliver(env); err == nil {
+		t.Fatal("stopped audit accepted delivery")
+	}
+	// The refused message was consumed by the failed delivery (RTSJ
+	// arrival semantics). Restart and run a fresh transaction to
+	// confirm recovery.
+	if err := mgr.Start(fixture.Audit); err != nil {
+		t.Fatal(err)
+	}
+	if err := line.Activate(env); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := monitor.Deliver(env); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := audit.Deliver(env); err != nil {
+		t.Fatal(err)
+	}
+	if contents.Audit.Logged() == 0 {
+		t.Fatal("no records after restart")
+	}
+	if got := len(mgr.History()); got != 2 {
+		t.Fatalf("history = %d", got)
+	}
+}
+
+func TestLifecycleRefusedInMergedModes(t *testing.T) {
+	sys, _, _ := deployWithBackup(t, assembly.MergeAll)
+	mgr, _ := NewManager(sys)
+	if err := mgr.Stop(fixture.Audit); err == nil {
+		t.Fatal("lifecycle control accepted in MERGE-ALL")
+	}
+}
+
+func TestIntrospect(t *testing.T) {
+	sys, _, _ := deployWithBackup(t, assembly.Soleil)
+	mgr, _ := NewManager(sys)
+	snap := mgr.Introspect()
+	if snap.Mode != assembly.Soleil {
+		t.Fatal("mode")
+	}
+	if len(snap.Components) != 5 {
+		t.Fatalf("components = %d", len(snap.Components))
+	}
+	var pl *ComponentState
+	for i := range snap.Components {
+		if snap.Components[i].Name == fixture.ProductionLine {
+			pl = &snap.Components[i]
+		}
+	}
+	if pl == nil || !pl.HasMembrane || !pl.Started {
+		t.Fatalf("production line state = %+v", pl)
+	}
+	joined := strings.Join(pl.Controllers, ",")
+	for _, want := range []string{"lifecycle-controller", "binding-controller", "threaddomain-controller"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("controllers missing %s: %v", want, pl.Controllers)
+		}
+	}
+	if len(snap.Domains) != 3 || len(snap.Areas) != 3 {
+		t.Fatalf("non-functional: %v / %v", snap.Domains, snap.Areas)
+	}
+	if len(snap.Composites) != 1 || snap.Composites[0] != "FactoryMonitoring" {
+		t.Fatalf("composites: %v", snap.Composites)
+	}
+
+	// Merged modes expose the reduced view.
+	sys2, _, _ := deployWithBackup(t, assembly.MergeAll)
+	mgr2, _ := NewManager(sys2)
+	snap2 := mgr2.Introspect()
+	for _, c := range snap2.Components {
+		if c.HasMembrane {
+			t.Fatalf("merged mode reports a membrane on %s", c.Name)
+		}
+	}
+	if len(snap2.Domains) != 0 {
+		t.Fatal("merged mode reified domains")
+	}
+}
+
+func TestNewManagerNil(t *testing.T) {
+	if _, err := NewManager(nil); err == nil {
+		t.Fatal("nil system accepted")
+	}
+}

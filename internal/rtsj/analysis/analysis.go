@@ -1,0 +1,240 @@
+// Package analysis implements classical fixed-priority and EDF
+// schedulability analysis. The paper places its framework "directly
+// afterwards" the timing and schedulability analysis stages of
+// real-time design (Sect. 1.2); this package supplies that upstream
+// stage so that ThreadDomain configurations can be admitted or refused
+// before deployment.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Task is the analysis view of one periodic or sporadic task.
+type Task struct {
+	Name string
+	// Period is the period (periodic) or minimum interarrival time
+	// (sporadic).
+	Period time.Duration
+	// Cost is the worst-case execution time per release.
+	Cost time.Duration
+	// Deadline is the relative deadline; 0 means deadline = period.
+	Deadline time.Duration
+	// Blocking is the worst-case blocking from lower-priority tasks
+	// (e.g. priority-inheritance critical sections).
+	Blocking time.Duration
+	// Priority orders the tasks for fixed-priority analysis; higher
+	// is more urgent.
+	Priority int
+}
+
+func (t Task) deadline() time.Duration {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+func (t Task) validate() error {
+	if t.Period <= 0 {
+		return fmt.Errorf("analysis: task %q needs a positive period", t.Name)
+	}
+	if t.Cost <= 0 {
+		return fmt.Errorf("analysis: task %q needs a positive cost", t.Name)
+	}
+	if t.Cost > t.deadline() {
+		return fmt.Errorf("analysis: task %q cost %v exceeds its deadline %v",
+			t.Name, t.Cost, t.deadline())
+	}
+	if t.Blocking < 0 || t.Deadline < 0 {
+		return fmt.Errorf("analysis: task %q has negative parameters", t.Name)
+	}
+	return nil
+}
+
+// Utilization returns the total processor utilization sum(C_i/T_i).
+func Utilization(tasks []Task) float64 {
+	var u float64
+	for _, t := range tasks {
+		u += float64(t.Cost) / float64(t.Period)
+	}
+	return u
+}
+
+// LiuLaylandBound returns the rate-monotonic utilization bound
+// n(2^(1/n)-1) for n tasks.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// RMUtilizationTest applies the Liu & Layland sufficient test for
+// rate-monotonic priorities and implicit deadlines: schedulable if
+// total utilization is at or below the bound for the task count. A
+// false result is inconclusive (use ResponseTimeAnalysis).
+func RMUtilizationTest(tasks []Task) (bool, float64, float64) {
+	u := Utilization(tasks)
+	bound := LiuLaylandBound(len(tasks))
+	return u <= bound, u, bound
+}
+
+// AssignRateMonotonic sets task priorities rate-monotonically: the
+// shorter the period, the higher the priority. It returns a new slice
+// sorted by descending priority.
+func AssignRateMonotonic(tasks []Task) []Task {
+	out := make([]Task, len(tasks))
+	copy(out, tasks)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Period < out[j].Period })
+	for i := range out {
+		out[i].Priority = len(out) - i
+	}
+	return out
+}
+
+// AssignDeadlineMonotonic sets task priorities deadline-monotonically:
+// the shorter the (effective) deadline, the higher the priority —
+// optimal among fixed-priority policies for constrained deadlines.
+// It returns a new slice sorted by descending priority.
+func AssignDeadlineMonotonic(tasks []Task) []Task {
+	out := make([]Task, len(tasks))
+	copy(out, tasks)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].deadline() < out[j].deadline() })
+	for i := range out {
+		out[i].Priority = len(out) - i
+	}
+	return out
+}
+
+// Hyperperiod returns the least common multiple of the task periods —
+// the cycle after which a synchronous periodic schedule repeats.
+func Hyperperiod(tasks []Task) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	lcm := int64(tasks[0].Period)
+	for _, t := range tasks[1:] {
+		p := int64(t.Period)
+		if p == 0 {
+			continue
+		}
+		lcm = lcm / gcd(lcm, p) * p
+	}
+	return time.Duration(lcm)
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Response is the outcome of response-time analysis for one task.
+type Response struct {
+	Task        string
+	WorstCase   time.Duration
+	Deadline    time.Duration
+	Schedulable bool
+	// Iterations records the fixpoint iterations the recurrence took.
+	Iterations int
+}
+
+// ResponseTimeAnalysis runs the exact fixed-priority response-time
+// recurrence
+//
+//	R_i = C_i + B_i + sum_{j in hp(i)} ceil(R_i/T_j) * C_j
+//
+// for every task. Tasks are ordered by their Priority field (higher
+// number = higher priority). The analysis requires deadlines at or
+// below periods. It returns one Response per input task, in input
+// order, and reports an error only for invalid task sets — an
+// unschedulable task yields Schedulable=false, not an error.
+func ResponseTimeAnalysis(tasks []Task) ([]Response, error) {
+	for _, t := range tasks {
+		if err := t.validate(); err != nil {
+			return nil, err
+		}
+		if t.deadline() > t.Period {
+			return nil, fmt.Errorf("analysis: task %q has deadline %v beyond its period %v (unsupported)",
+				t.Name, t.deadline(), t.Period)
+		}
+	}
+	// Analysis order: by descending priority, stable for ties.
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tasks[order[a]].Priority > tasks[order[b]].Priority
+	})
+
+	out := make([]Response, len(tasks))
+	for rank, idx := range order {
+		t := tasks[idx]
+		hp := make([]Task, 0, rank)
+		for _, j := range order[:rank] {
+			hp = append(hp, tasks[j])
+		}
+		r := Response{Task: t.Name, Deadline: t.deadline()}
+		wc := t.Cost + t.Blocking
+		for {
+			r.Iterations++
+			var interference time.Duration
+			for _, h := range hp {
+				n := int64(math.Ceil(float64(wc) / float64(h.Period)))
+				interference += time.Duration(n) * h.Cost
+			}
+			next := t.Cost + t.Blocking + interference
+			if next == wc {
+				r.WorstCase = wc
+				r.Schedulable = wc <= r.Deadline
+				break
+			}
+			wc = next
+			if wc > r.Deadline {
+				r.WorstCase = wc
+				r.Schedulable = false
+				break
+			}
+		}
+		out[idx] = r
+	}
+	return out, nil
+}
+
+// EDFDensityTest applies the sufficient density condition for EDF:
+// sum(C_i / min(D_i, T_i)) <= 1.
+func EDFDensityTest(tasks []Task) (bool, float64) {
+	var density float64
+	for _, t := range tasks {
+		d := t.deadline()
+		if t.Period < d {
+			d = t.Period
+		}
+		density += float64(t.Cost) / float64(d)
+	}
+	return density <= 1, density
+}
+
+// Harmonic reports whether the task periods are pairwise harmonic
+// (each longer period is an integer multiple of each shorter one), in
+// which case rate-monotonic scheduling is optimal up to full
+// utilization.
+func Harmonic(tasks []Task) bool {
+	periods := make([]time.Duration, 0, len(tasks))
+	for _, t := range tasks {
+		periods = append(periods, t.Period)
+	}
+	sort.Slice(periods, func(i, j int) bool { return periods[i] < periods[j] })
+	for i := 1; i < len(periods); i++ {
+		if periods[i-1] == 0 || periods[i]%periods[i-1] != 0 {
+			return false
+		}
+	}
+	return true
+}

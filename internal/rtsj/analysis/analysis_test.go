@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestUtilization(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", Period: 10 * ms, Cost: 2 * ms},
+		{Name: "b", Period: 20 * ms, Cost: 4 * ms},
+	}
+	if u := Utilization(tasks); math.Abs(u-0.4) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.4", u)
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	if got := LiuLaylandBound(1); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("bound(1) = %v", got)
+	}
+	if got := LiuLaylandBound(2); math.Abs(got-0.8284271247) > 1e-6 {
+		t.Fatalf("bound(2) = %v", got)
+	}
+	if got := LiuLaylandBound(0); got != 0 {
+		t.Fatalf("bound(0) = %v", got)
+	}
+	// The bound decreases towards ln 2.
+	if LiuLaylandBound(100) < math.Ln2 || LiuLaylandBound(100) > LiuLaylandBound(2) {
+		t.Fatal("bound not converging toward ln 2")
+	}
+}
+
+func TestRMUtilizationTest(t *testing.T) {
+	ok, u, bound := RMUtilizationTest([]Task{
+		{Name: "a", Period: 10 * ms, Cost: 2 * ms},
+		{Name: "b", Period: 20 * ms, Cost: 4 * ms},
+	})
+	if !ok || u > bound {
+		t.Fatalf("0.4 utilization refused (bound %v)", bound)
+	}
+	ok, _, _ = RMUtilizationTest([]Task{
+		{Name: "a", Period: 10 * ms, Cost: 5 * ms},
+		{Name: "b", Period: 20 * ms, Cost: 8 * ms},
+	})
+	if ok {
+		t.Fatal("0.9 utilization passed the Liu-Layland test for n=2")
+	}
+}
+
+func TestAssignRateMonotonic(t *testing.T) {
+	tasks := AssignRateMonotonic([]Task{
+		{Name: "slow", Period: 100 * ms, Cost: ms},
+		{Name: "fast", Period: 10 * ms, Cost: ms},
+		{Name: "mid", Period: 50 * ms, Cost: ms},
+	})
+	if tasks[0].Name != "fast" || tasks[2].Name != "slow" {
+		t.Fatalf("order = %v, %v, %v", tasks[0].Name, tasks[1].Name, tasks[2].Name)
+	}
+	if tasks[0].Priority <= tasks[1].Priority || tasks[1].Priority <= tasks[2].Priority {
+		t.Fatal("priorities not strictly decreasing with period")
+	}
+}
+
+// Textbook example (Burns & Wellings): C=(3,3,5), T=(7,12,20), RM
+// priorities. Worst-case responses are 3, 6 and 20 — all schedulable.
+func TestResponseTimeAnalysisTextbook(t *testing.T) {
+	tasks := []Task{
+		{Name: "t1", Period: 7 * ms, Cost: 3 * ms, Priority: 3},
+		{Name: "t2", Period: 12 * ms, Cost: 3 * ms, Priority: 2},
+		{Name: "t3", Period: 20 * ms, Cost: 5 * ms, Priority: 1},
+	}
+	rs, err := ResponseTimeAnalysis(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{3 * ms, 6 * ms, 20 * ms}
+	for i, r := range rs {
+		if !r.Schedulable {
+			t.Errorf("%s unschedulable (R=%v)", r.Task, r.WorstCase)
+		}
+		if r.WorstCase != want[i] {
+			t.Errorf("%s worst case = %v, want %v", r.Task, r.WorstCase, want[i])
+		}
+	}
+}
+
+func TestResponseTimeAnalysisUnschedulable(t *testing.T) {
+	tasks := []Task{
+		{Name: "hi", Period: 10 * ms, Cost: 6 * ms, Priority: 2},
+		{Name: "lo", Period: 14 * ms, Cost: 6 * ms, Priority: 1},
+	}
+	rs, err := ResponseTimeAnalysis(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].Schedulable {
+		t.Error("high-priority task should be schedulable")
+	}
+	if rs[1].Schedulable {
+		t.Errorf("low-priority task schedulable with R=%v", rs[1].WorstCase)
+	}
+}
+
+func TestResponseTimeAnalysisBlocking(t *testing.T) {
+	tasks := []Task{
+		{Name: "hi", Period: 10 * ms, Cost: 2 * ms, Blocking: 3 * ms, Priority: 2},
+		{Name: "lo", Period: 30 * ms, Cost: 5 * ms, Priority: 1},
+	}
+	rs, err := ResponseTimeAnalysis(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].WorstCase != 5*ms {
+		t.Fatalf("blocked response = %v, want 5ms", rs[0].WorstCase)
+	}
+}
+
+func TestResponseTimeAnalysisValidation(t *testing.T) {
+	bad := [][]Task{
+		{{Name: "a", Period: 0, Cost: ms}},
+		{{Name: "a", Period: 10 * ms, Cost: 0}},
+		{{Name: "a", Period: 10 * ms, Cost: 5 * ms, Deadline: 2 * ms}},
+		{{Name: "a", Period: 10 * ms, Cost: ms, Deadline: 20 * ms}},
+		{{Name: "a", Period: 10 * ms, Cost: ms, Blocking: -ms}},
+	}
+	for i, ts := range bad {
+		if _, err := ResponseTimeAnalysis(ts); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEDFDensityTest(t *testing.T) {
+	ok, d := EDFDensityTest([]Task{
+		{Name: "a", Period: 10 * ms, Cost: 4 * ms},
+		{Name: "b", Period: 20 * ms, Cost: 10 * ms},
+	})
+	if !ok || math.Abs(d-0.9) > 1e-9 {
+		t.Fatalf("density = %v ok=%v", d, ok)
+	}
+	ok, _ = EDFDensityTest([]Task{
+		{Name: "a", Period: 10 * ms, Cost: 4 * ms, Deadline: 5 * ms},
+		{Name: "b", Period: 20 * ms, Cost: 10 * ms},
+	})
+	if ok {
+		t.Fatal("density > 1 accepted")
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if !Harmonic([]Task{{Period: 10 * ms}, {Period: 20 * ms}, {Period: 40 * ms}}) {
+		t.Fatal("harmonic set refused")
+	}
+	if Harmonic([]Task{{Period: 10 * ms}, {Period: 15 * ms}}) {
+		t.Fatal("non-harmonic set accepted")
+	}
+	if !Harmonic(nil) {
+		t.Fatal("empty set should be trivially harmonic")
+	}
+}
+
+// Property: whenever the RM utilization test admits a task set with
+// rate-monotonic priorities, response-time analysis agrees.
+func TestRMImpliesRTAProperty(t *testing.T) {
+	f := func(p1, p2, p3 uint8, c1, c2, c3 uint8) bool {
+		mk := func(p, c uint8, name string) Task {
+			period := time.Duration(int(p%50)+10) * ms
+			cost := time.Duration(int(c)%int(period/ms)/4+1) * ms
+			return Task{Name: name, Period: period, Cost: cost}
+		}
+		tasks := AssignRateMonotonic([]Task{mk(p1, c1, "a"), mk(p2, c2, "b"), mk(p3, c3, "c")})
+		ok, _, _ := RMUtilizationTest(tasks)
+		if !ok {
+			return true // inconclusive, nothing to check
+		}
+		rs, err := ResponseTimeAnalysis(tasks)
+		if err != nil {
+			return false
+		}
+		for _, r := range rs {
+			if !r.Schedulable {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the worst-case response of the highest-priority task is
+// always exactly its cost plus blocking.
+func TestTopTaskResponseProperty(t *testing.T) {
+	f := func(c uint8, b uint8) bool {
+		cost := time.Duration(int(c%8)+1) * ms
+		blocking := time.Duration(int(b%4)) * ms
+		tasks := []Task{
+			{Name: "top", Period: 100 * ms, Cost: cost, Blocking: blocking, Priority: 10},
+			{Name: "low", Period: 200 * ms, Cost: 10 * ms, Priority: 1},
+		}
+		rs, err := ResponseTimeAnalysis(tasks)
+		if err != nil {
+			return false
+		}
+		return rs[0].WorstCase == cost+blocking
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignDeadlineMonotonic(t *testing.T) {
+	tasks := AssignDeadlineMonotonic([]Task{
+		{Name: "looseDL", Period: 10 * ms, Cost: ms, Deadline: 9 * ms},
+		{Name: "tightDL", Period: 100 * ms, Cost: ms, Deadline: 2 * ms},
+		{Name: "implicit", Period: 20 * ms, Cost: ms}, // deadline = 20ms
+	})
+	if tasks[0].Name != "tightDL" || tasks[1].Name != "looseDL" || tasks[2].Name != "implicit" {
+		t.Fatalf("order = %v, %v, %v", tasks[0].Name, tasks[1].Name, tasks[2].Name)
+	}
+	if tasks[0].Priority <= tasks[1].Priority {
+		t.Fatal("priorities not decreasing with deadline")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	got := Hyperperiod([]Task{
+		{Period: 10 * ms}, {Period: 15 * ms}, {Period: 4 * ms},
+	})
+	if got != 60*ms {
+		t.Fatalf("hyperperiod = %v, want 60ms", got)
+	}
+	if Hyperperiod(nil) != 0 {
+		t.Fatal("empty hyperperiod")
+	}
+	if Hyperperiod([]Task{{Period: 7 * ms}, {Period: 0}}) != 7*ms {
+		t.Fatal("zero period should be skipped")
+	}
+}

@@ -1,0 +1,320 @@
+// Package memory implements a user-level reproduction of the RTSJ
+// memory model: heap, immortal and scoped memory areas with byte
+// accounting, enter/exit semantics, reference counting, portals, the
+// single parent rule, and dynamic enforcement of the RTSJ assignment
+// rules.
+//
+// This is the substitution substrate for the paper's RTSJ JVM: Go's
+// garbage collector cannot provide real scoped memory, so the framework
+// is instead exercised against a region runtime that enforces the same
+// rules dynamically (IllegalAssignmentError, ScopedCycleException,
+// MemoryAccessError, OutOfMemoryError analogues). See DESIGN.md §2.
+package memory
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind distinguishes the three RTSJ memory region kinds.
+type Kind int
+
+// Memory area kinds, mirroring RTSJ's HeapMemory, ImmortalMemory and
+// ScopedMemory.
+const (
+	Heap Kind = iota + 1
+	Immortal
+	Scoped
+)
+
+// String returns the lower-case kind name used by the ADL.
+func (k Kind) String() string {
+	switch k {
+	case Heap:
+		return "heap"
+	case Immortal:
+		return "immortal"
+	case Scoped:
+		return "scope"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Area is a memory region. Heap and immortal areas live for the whole
+// runtime; scoped areas are reclaimed when the last thread leaves them.
+//
+// All methods are safe for concurrent use.
+type Area struct {
+	name string
+	kind Kind
+	size int64 // 0 = unbounded (heap)
+
+	mu         sync.Mutex
+	consumed   int64
+	peak       int64
+	refcount   int    // scoped: number of threads currently inside
+	gen        uint64 // scoped: incremented on each reclaim
+	parent     *Area  // scoped: established by first entry
+	portal     *Ref
+	finalizers []func()
+	allocs     int64 // lifetime allocation count (for footprint reports)
+}
+
+// Name returns the area's name ("heap", "immortal", or the scope name).
+func (a *Area) Name() string { return a.name }
+
+// Kind returns the area's kind.
+func (a *Area) Kind() Kind { return a.kind }
+
+// Size returns the configured size in bytes; 0 means unbounded.
+func (a *Area) Size() int64 { return a.size }
+
+// Consumed returns the bytes currently allocated in the area.
+func (a *Area) Consumed() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.consumed
+}
+
+// Peak returns the high-water mark of Consumed over the area's life.
+func (a *Area) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Allocations returns the lifetime number of allocations in the area.
+func (a *Area) Allocations() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allocs
+}
+
+// Active reports whether the area can currently satisfy allocations.
+// Heap and immortal are always active; a scope is active while at
+// least one thread is inside it.
+func (a *Area) Active() bool {
+	if a.kind != Scoped {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.refcount > 0
+}
+
+// Parent returns the scope's established parent area, or nil if the
+// scope is not active (or the area is not scoped).
+func (a *Area) Parent() *Area {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.parent
+}
+
+// Generation returns the scope's reclamation generation. References
+// carry the generation they were allocated under; a mismatch marks
+// them dangling.
+func (a *Area) Generation() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gen
+}
+
+// AddFinalizer registers fn to run when the scope is reclaimed (its
+// reference count drops to zero). For heap and immortal areas the
+// finalizer never runs; registering one is refused.
+func (a *Area) AddFinalizer(fn func()) error {
+	if a.kind != Scoped {
+		return fmt.Errorf("memory: finalizers are only supported on scoped areas, not %s", a.kind)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.refcount == 0 {
+		return &InactiveScopeError{Scope: a.name, Op: "AddFinalizer"}
+	}
+	a.finalizers = append(a.finalizers, fn)
+	return nil
+}
+
+// alloc charges size bytes to the area and returns the generation the
+// allocation belongs to.
+func (a *Area) alloc(size int64) (uint64, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("memory: negative allocation size %d", size)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.kind == Scoped && a.refcount == 0 {
+		return 0, &InactiveScopeError{Scope: a.name, Op: "allocate"}
+	}
+	if a.size > 0 && a.consumed+size > a.size {
+		return 0, &OutOfMemoryError{Area: a.name, Size: a.size, Consumed: a.consumed, Requested: size}
+	}
+	a.consumed += size
+	if a.consumed > a.peak {
+		a.peak = a.consumed
+	}
+	a.allocs++
+	return a.gen, nil
+}
+
+// free returns size bytes to the area. Only heap objects are
+// individually collectable in this runtime; scoped and immortal memory
+// is reclaimed wholesale (scoped) or never (immortal), matching RTSJ.
+func (a *Area) free(size int64) {
+	if a.kind != Heap {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.consumed -= size
+	if a.consumed < 0 {
+		a.consumed = 0
+	}
+}
+
+// enter records a thread entering the area, enforcing the single
+// parent rule for scopes: the first entry establishes the parent; any
+// entry while active must come from the same parent area.
+func (a *Area) enter(from *Area) error {
+	if a.kind != Scoped {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.refcount == 0 {
+		a.parent = from
+	} else if a.parent != from {
+		parent := "<nil>"
+		if a.parent != nil {
+			parent = a.parent.name
+		}
+		via := "<nil>"
+		if from != nil {
+			via = from.name
+		}
+		return &ScopedCycleError{Scope: a.name, Parent: parent, EnteredVia: via}
+	}
+	a.refcount++
+	return nil
+}
+
+// exit records a thread leaving the area. When the last thread leaves
+// a scope, its finalizers run and its contents are reclaimed.
+func (a *Area) exit() {
+	if a.kind != Scoped {
+		return
+	}
+	a.mu.Lock()
+	a.refcount--
+	var fins []func()
+	if a.refcount == 0 {
+		fins = a.finalizers
+		a.finalizers = nil
+		a.consumed = 0
+		a.parent = nil
+		a.portal = nil
+		a.gen++
+	}
+	a.mu.Unlock()
+	// Finalizers run outside the lock, in registration order, as the
+	// scope's reclamation action.
+	for _, fn := range fins {
+		fn()
+	}
+}
+
+// IsAncestorOf reports whether a is t or an ancestor (outer scope) of
+// t through the established parent chain. Heap and immortal areas are
+// treated as roots: they are "outer" to every scope.
+func (a *Area) IsAncestorOf(t *Area) bool { return a.isAncestorOf(t) }
+
+// isAncestorOf implements IsAncestorOf.
+func (a *Area) isAncestorOf(t *Area) bool {
+	if a.kind != Scoped {
+		return true
+	}
+	for s := t; s != nil; {
+		if s == a {
+			return true
+		}
+		if s.kind != Scoped {
+			return false
+		}
+		s.mu.Lock()
+		p := s.parent
+		s.mu.Unlock()
+		s = p
+	}
+	return false
+}
+
+// SetPortal publishes r as the scope's portal object. RTSJ requires
+// the portal object to be allocated in the scope itself; publishing
+// from an inactive scope or a foreign object is refused.
+func (a *Area) SetPortal(r *Ref) error {
+	if a.kind != Scoped {
+		return &PortalError{Scope: a.name, Reason: "portals exist only on scoped areas"}
+	}
+	if r != nil && r.area != a {
+		return &PortalError{Scope: a.name, Reason: fmt.Sprintf("portal object allocated in %s, must be allocated in the scope itself", r.area.name)}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.refcount == 0 {
+		return &InactiveScopeError{Scope: a.name, Op: "SetPortal"}
+	}
+	a.portal = r
+	return nil
+}
+
+// Portal returns the scope's portal object, or nil if unset. Reading
+// the portal of an inactive scope is refused.
+func (a *Area) Portal() (*Ref, error) {
+	if a.kind != Scoped {
+		return nil, &PortalError{Scope: a.name, Reason: "portals exist only on scoped areas"}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.refcount == 0 {
+		return nil, &InactiveScopeError{Scope: a.name, Op: "Portal"}
+	}
+	return a.portal, nil
+}
+
+// CheckAssign validates storing a reference to an object in value-area
+// v into an object held in target-area t, per the RTSJ assignment
+// rules:
+//
+//   - heap and immortal objects may reference heap and immortal
+//     objects, never scoped ones;
+//   - a scoped object may reference heap, immortal, and objects in the
+//     same scope or an outer (ancestor) scope.
+func CheckAssign(t, v *Area) error {
+	if v == nil {
+		return nil
+	}
+	if t == nil {
+		return fmt.Errorf("memory: assignment target area is nil")
+	}
+	if v.kind != Scoped {
+		return nil
+	}
+	switch t.kind {
+	case Heap, Immortal:
+		return &IllegalAssignmentError{
+			Target: t.name, Value: v.name,
+			Reason: "scoped references may not escape to heap or immortal memory",
+		}
+	case Scoped:
+		if v.isAncestorOf(t) {
+			return nil
+		}
+		return &IllegalAssignmentError{
+			Target: t.name, Value: v.name,
+			Reason: "referenced scope is not the same scope or an outer scope of the target",
+		}
+	default:
+		return fmt.Errorf("memory: unknown target kind %v", t.kind)
+	}
+}

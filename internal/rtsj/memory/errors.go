@@ -1,0 +1,79 @@
+package memory
+
+import "fmt"
+
+// IllegalAssignmentError reports a reference store that violates the
+// RTSJ assignment rules (e.g. storing a reference to a scoped object
+// into the heap, or into a non-ancestor scope).
+type IllegalAssignmentError struct {
+	Target string // area holding the object being written
+	Value  string // area of the referenced object
+	Reason string
+}
+
+func (e *IllegalAssignmentError) Error() string {
+	return fmt.Sprintf("memory: illegal assignment of %s reference into %s object: %s",
+		e.Value, e.Target, e.Reason)
+}
+
+// ScopedCycleError reports a violation of the single parent rule: a
+// scoped memory was entered from an allocation context whose current
+// area differs from the scope's established parent.
+type ScopedCycleError struct {
+	Scope      string
+	Parent     string // established parent
+	EnteredVia string // current area at the offending entry
+}
+
+func (e *ScopedCycleError) Error() string {
+	return fmt.Sprintf("memory: single parent rule violated for scope %s: parent is %s, entered via %s",
+		e.Scope, e.Parent, e.EnteredVia)
+}
+
+// MemoryAccessError reports an operation forbidden to no-heap contexts:
+// entering or allocating in heap memory, or loading a heap reference.
+type MemoryAccessError struct {
+	Op   string
+	Area string
+}
+
+func (e *MemoryAccessError) Error() string {
+	return fmt.Sprintf("memory: no-heap context may not %s %s memory", e.Op, e.Area)
+}
+
+// OutOfMemoryError reports that an allocation would exceed an area's
+// configured size.
+type OutOfMemoryError struct {
+	Area      string
+	Size      int64 // configured size
+	Consumed  int64
+	Requested int64
+}
+
+func (e *OutOfMemoryError) Error() string {
+	return fmt.Sprintf("memory: area %s exhausted: size %d, consumed %d, requested %d",
+		e.Area, e.Size, e.Consumed, e.Requested)
+}
+
+// InactiveScopeError reports use of a scoped area (or of a reference
+// allocated in it) after its reference count dropped to zero and its
+// contents were reclaimed, or before any thread entered it.
+type InactiveScopeError struct {
+	Scope string
+	Op    string
+}
+
+func (e *InactiveScopeError) Error() string {
+	return fmt.Sprintf("memory: %s on inactive scope %s", e.Op, e.Scope)
+}
+
+// PortalError reports an invalid portal operation, such as setting a
+// portal to an object not allocated in the scope itself.
+type PortalError struct {
+	Scope  string
+	Reason string
+}
+
+func (e *PortalError) Error() string {
+	return fmt.Sprintf("memory: portal of %s: %s", e.Scope, e.Reason)
+}

@@ -1,0 +1,413 @@
+package memory
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func newTestRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	return NewRuntime(WithImmortalSize(1 << 20))
+}
+
+func mustScope(t *testing.T, rt *Runtime, name string, size int64) *Area {
+	t.Helper()
+	a, err := rt.NewScoped(name, size)
+	if err != nil {
+		t.Fatalf("NewScoped(%q): %v", name, err)
+	}
+	return a
+}
+
+func mustContext(t *testing.T, initial *Area, noHeap bool) *Context {
+	t.Helper()
+	c, err := NewContext(initial, noHeap)
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestRuntimeSingletons(t *testing.T) {
+	rt := newTestRuntime(t)
+	if rt.Heap().Kind() != Heap {
+		t.Fatalf("heap kind = %v", rt.Heap().Kind())
+	}
+	if rt.Immortal().Kind() != Immortal {
+		t.Fatalf("immortal kind = %v", rt.Immortal().Kind())
+	}
+	if got := rt.Immortal().Size(); got != 1<<20 {
+		t.Fatalf("immortal size = %d", got)
+	}
+}
+
+func TestNewScopedValidation(t *testing.T) {
+	rt := newTestRuntime(t)
+	if _, err := rt.NewScoped("", 10); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := rt.NewScoped("s", 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	mustScope(t, rt, "s", 10)
+	if _, err := rt.NewScoped("s", 10); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if a, ok := rt.Scope("s"); !ok || a.Name() != "s" {
+		t.Fatal("Scope lookup failed")
+	}
+	if _, ok := rt.Scope("missing"); ok {
+		t.Fatal("missing scope reported present")
+	}
+}
+
+func TestAreasOrdering(t *testing.T) {
+	rt := newTestRuntime(t)
+	mustScope(t, rt, "b", 10)
+	mustScope(t, rt, "a", 10)
+	areas := rt.Areas()
+	if len(areas) != 4 {
+		t.Fatalf("len(areas) = %d", len(areas))
+	}
+	want := []string{"heap", "immortal", "a", "b"}
+	for i, a := range areas {
+		if a.Name() != want[i] {
+			t.Fatalf("areas[%d] = %s, want %s", i, a.Name(), want[i])
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Heap: "heap", Immortal: "immortal", Scoped: "scope", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestAllocAccounting(t *testing.T) {
+	rt := newTestRuntime(t)
+	c := mustContext(t, rt.Immortal(), false)
+	if _, err := c.Alloc(100, "x"); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if got := rt.Immortal().Consumed(); got != 100 {
+		t.Fatalf("Consumed = %d", got)
+	}
+	if got := rt.Immortal().Peak(); got != 100 {
+		t.Fatalf("Peak = %d", got)
+	}
+	if got := rt.Immortal().Allocations(); got != 1 {
+		t.Fatalf("Allocations = %d", got)
+	}
+}
+
+func TestAllocNegativeSize(t *testing.T) {
+	rt := newTestRuntime(t)
+	c := mustContext(t, rt.Heap(), false)
+	if _, err := c.Alloc(-1, nil); err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 64)
+	c := mustContext(t, rt.Immortal(), false)
+	err := c.Enter(s, func() error {
+		if _, err := c.Alloc(60, nil); err != nil {
+			return err
+		}
+		_, err := c.Alloc(8, nil)
+		return err
+	})
+	var oom *OutOfMemoryError
+	if !errors.As(err, &oom) {
+		t.Fatalf("err = %v, want OutOfMemoryError", err)
+	}
+	if oom.Area != "s" || oom.Size != 64 || oom.Consumed != 60 || oom.Requested != 8 {
+		t.Fatalf("oom detail = %+v", oom)
+	}
+}
+
+func TestScopedAllocationRequiresActive(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 64)
+	if _, err := s.alloc(8); err == nil {
+		t.Fatal("allocation in inactive scope accepted")
+	}
+}
+
+func TestEnterReclaimsScope(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 1024)
+	c := mustContext(t, rt.Immortal(), false)
+
+	var inScope *Ref
+	err := c.Enter(s, func() error {
+		var err error
+		inScope, err = c.Alloc(16, "payload")
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if s.Consumed() != 0 {
+		t.Fatalf("scope not reclaimed: consumed %d", s.Consumed())
+	}
+	if s.Active() {
+		t.Fatal("scope still active after exit")
+	}
+	if inScope.Live() {
+		t.Fatal("reference into reclaimed scope still live")
+	}
+	if _, err := c.Load(inScope); err == nil {
+		t.Fatal("load through dangling reference succeeded")
+	}
+}
+
+func TestScopeGenerationDistinguishesIncarnations(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 1024)
+	c := mustContext(t, rt.Immortal(), false)
+
+	var first *Ref
+	if err := c.Enter(s, func() error {
+		var err error
+		first, err = c.Alloc(8, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enter(s, func() error {
+		second, err := c.Alloc(8, 2)
+		if err != nil {
+			return err
+		}
+		if !second.Live() {
+			t.Error("fresh allocation not live")
+		}
+		if first.Live() {
+			t.Error("previous incarnation's object is live in new incarnation")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleParentRule(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 1024)
+	other := mustScope(t, rt, "other", 1024)
+
+	c1 := mustContext(t, rt.Immortal(), false)
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		c2, err := NewContext(rt.Heap(), false)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c2.Close()
+		done <- c2.Enter(s, func() error {
+			close(entered)
+			<-block
+			return nil
+		})
+	}()
+	<-entered
+	// s's parent is now heap; entering from immortal must fail.
+	err := c1.Enter(s, func() error { return nil })
+	var cyc *ScopedCycleError
+	if !errors.As(err, &cyc) {
+		t.Fatalf("err = %v, want ScopedCycleError", err)
+	}
+	// Entering via a different scope also fails.
+	err = c1.Enter(other, func() error {
+		return c1.Enter(s, func() error { return nil })
+	})
+	if !errors.As(err, &cyc) {
+		t.Fatalf("nested err = %v, want ScopedCycleError", err)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("holder enter: %v", err)
+	}
+	// After reclamation the parent resets and entry from immortal works.
+	if err := c1.Enter(s, func() error { return nil }); err != nil {
+		t.Fatalf("re-enter after reset: %v", err)
+	}
+}
+
+func TestReentrySameParentAllowed(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 1024)
+	c := mustContext(t, rt.Immortal(), false)
+	err := c.Enter(s, func() error {
+		// From inside s, the current area is s, not s's parent, so a
+		// direct nested re-entry violates the single parent rule.
+		err := c.Enter(s, func() error { return nil })
+		var cyc *ScopedCycleError
+		if !errors.As(err, &cyc) {
+			t.Errorf("nested self-enter: %v, want ScopedCycleError", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedScopes(t *testing.T) {
+	rt := newTestRuntime(t)
+	outer := mustScope(t, rt, "outer", 1024)
+	inner := mustScope(t, rt, "inner", 1024)
+	c := mustContext(t, rt.Immortal(), false)
+	err := c.Enter(outer, func() error {
+		return c.Enter(inner, func() error {
+			if inner.Parent() != outer {
+				t.Errorf("inner parent = %v", inner.Parent())
+			}
+			if got := c.Depth(); got != 3 {
+				t.Errorf("depth = %d, want 3", got)
+			}
+			if !outer.isAncestorOf(inner) {
+				t.Error("outer not ancestor of inner")
+			}
+			if inner.isAncestorOf(outer) {
+				t.Error("inner reported ancestor of outer")
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinalizersRunOnReclaim(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 1024)
+	c := mustContext(t, rt.Immortal(), false)
+	var order []int
+	err := c.Enter(s, func() error {
+		if err := s.AddFinalizer(func() { order = append(order, 1) }); err != nil {
+			return err
+		}
+		return s.AddFinalizer(func() { order = append(order, 2) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("finalizer order = %v", order)
+	}
+	// Finalizers do not persist across incarnations.
+	order = nil
+	if err := c.Enter(s, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 0 {
+		t.Fatalf("stale finalizers ran: %v", order)
+	}
+}
+
+func TestFinalizerRestrictions(t *testing.T) {
+	rt := newTestRuntime(t)
+	if err := rt.Heap().AddFinalizer(func() {}); err == nil {
+		t.Fatal("finalizer on heap accepted")
+	}
+	s := mustScope(t, rt, "s", 64)
+	if err := s.AddFinalizer(func() {}); err == nil {
+		t.Fatal("finalizer on inactive scope accepted")
+	}
+}
+
+func TestFreeHeapOnly(t *testing.T) {
+	rt := newTestRuntime(t)
+	c := mustContext(t, rt.Heap(), false)
+	r, err := c.Alloc(32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if got := rt.Heap().Consumed(); got != 0 {
+		t.Fatalf("heap consumed after free = %d", got)
+	}
+	ci := mustContext(t, rt.Immortal(), false)
+	ri, err := ci.Alloc(32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ri.Free(); err == nil {
+		t.Fatal("free of immortal object accepted")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 512)
+	c := mustContext(t, rt.Immortal(), false)
+	if _, err := c.Alloc(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	ch := mustContext(t, rt.Heap(), false)
+	if _, err := ch.Alloc(40, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Enter(s, func() error {
+		if _, err := c.Alloc(7, nil); err != nil {
+			return err
+		}
+		f := rt.Footprint()
+		if f.ImmortalBytes != 100 || f.HeapBytes != 40 || f.ScopedBytes != 7 {
+			t.Errorf("footprint = %+v", f)
+		}
+		if f.ScopedBudget != 512 {
+			t.Errorf("scoped budget = %d", f.ScopedBudget)
+		}
+		if f.Total() != 147 {
+			t.Errorf("total = %d", f.Total())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocations(t *testing.T) {
+	rt := newTestRuntime(t)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := NewContext(rt.Heap(), false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < per; j++ {
+				if _, err := c.Alloc(2, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.Heap().Consumed(); got != workers*per*2 {
+		t.Fatalf("heap consumed = %d, want %d", got, workers*per*2)
+	}
+}

@@ -1,0 +1,122 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ref is a handle to an object allocated in a memory area. It carries
+// the area and the scope generation it was allocated under, so that
+// uses after the scope's reclamation are detected, and it tracks named
+// reference fields so that every reference store goes through the RTSJ
+// assignment-rule check.
+type Ref struct {
+	area *Area
+	gen  uint64
+	size int64
+
+	mu     sync.Mutex
+	value  any
+	fields map[string]*Ref
+}
+
+// Area returns the memory area the object lives in.
+func (r *Ref) Area() *Area { return r.area }
+
+// Size returns the byte size charged for the object.
+func (r *Ref) Size() int64 { return r.size }
+
+// valid reports whether the object is still live (its scope has not
+// been reclaimed since allocation).
+func (r *Ref) valid() bool {
+	if r.area.Kind() != Scoped {
+		return true
+	}
+	return r.gen == r.area.Generation() && r.area.Active()
+}
+
+// Live reports whether the object is still live.
+func (r *Ref) Live() bool { return r.valid() }
+
+// SetField stores reference v into the named field of the object,
+// enforcing the RTSJ assignment rules: the store is refused if it
+// would let a scoped reference escape to heap/immortal memory or to a
+// non-ancestor scope. Storing nil clears the field.
+func (r *Ref) SetField(name string, v *Ref) error {
+	if !r.valid() {
+		return &InactiveScopeError{Scope: r.area.Name(), Op: "field store on reclaimed object"}
+	}
+	if v != nil {
+		if !v.valid() {
+			return &InactiveScopeError{Scope: v.area.Name(), Op: "field store of reclaimed object"}
+		}
+		if err := CheckAssign(r.area, v.area); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v == nil {
+		delete(r.fields, name)
+		return nil
+	}
+	if r.fields == nil {
+		r.fields = make(map[string]*Ref)
+	}
+	r.fields[name] = v
+	return nil
+}
+
+// Field loads the named reference field. Loading through a no-heap
+// context must go via Context.LoadField; Field itself only checks
+// liveness.
+func (r *Ref) Field(name string) (*Ref, error) {
+	if !r.valid() {
+		return nil, &InactiveScopeError{Scope: r.area.Name(), Op: "field load on reclaimed object"}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fields[name], nil
+}
+
+// FieldNames returns the names of the currently set reference fields,
+// sorted.
+func (r *Ref) FieldNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fields))
+	for n := range r.fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Free releases the object's bytes back to its area. Only heap objects
+// are individually freeable; scoped memory is reclaimed wholesale and
+// immortal memory never.
+func (r *Ref) Free() error {
+	if r.area.Kind() != Heap {
+		return fmt.Errorf("memory: cannot free individual objects in %s memory", r.area.Kind())
+	}
+	r.area.free(r.size)
+	return nil
+}
+
+// LoadField loads the named reference field of r under the context's
+// access rules: a no-heap context faults when the loaded reference
+// points into the heap.
+func (c *Context) LoadField(r *Ref, name string) (*Ref, error) {
+	if r == nil {
+		return nil, fmt.Errorf("memory: field load through nil reference")
+	}
+	f, err := r.Field(name)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil && c.noHeap && f.area.Kind() == Heap {
+		return nil, &MemoryAccessError{Op: "load a reference into", Area: f.area.Name()}
+	}
+	return f, nil
+}

@@ -1,0 +1,428 @@
+package memory
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- assignment-rule matrix -------------------------------------------------
+
+func TestAssignmentRuleMatrix(t *testing.T) {
+	rt := newTestRuntime(t)
+	outer := mustScope(t, rt, "outer", 4096)
+	inner := mustScope(t, rt, "inner", 4096)
+	sibling := mustScope(t, rt, "sibling", 4096)
+
+	c := mustContext(t, rt.Immortal(), false)
+	ch := mustContext(t, rt.Heap(), false)
+
+	heapObj, err := ch.Alloc(8, "heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	immObj, err := c.Alloc(8, "imm")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = c.Enter(outer, func() error {
+		outerObj, err := c.Alloc(8, "outer")
+		if err != nil {
+			return err
+		}
+		return c.Enter(inner, func() error {
+			innerObj, err := c.Alloc(8, "inner")
+			if err != nil {
+				return err
+			}
+
+			// Legal: scoped object referencing heap, immortal, same
+			// scope, and outer scope.
+			for name, v := range map[string]*Ref{
+				"toHeap": heapObj, "toImm": immObj, "toSelf": innerObj, "toOuter": outerObj,
+			} {
+				if err := innerObj.SetField(name, v); err != nil {
+					t.Errorf("inner.%s: unexpected error %v", name, err)
+				}
+			}
+
+			// Illegal: outer scope referencing inner scope.
+			var illegal *IllegalAssignmentError
+			if err := outerObj.SetField("down", innerObj); !errors.As(err, &illegal) {
+				t.Errorf("outer->inner: %v, want IllegalAssignmentError", err)
+			}
+			// Illegal: heap / immortal referencing scoped.
+			if err := heapObj.SetField("s", innerObj); !errors.As(err, &illegal) {
+				t.Errorf("heap->scoped: %v, want IllegalAssignmentError", err)
+			}
+			if err := immObj.SetField("s", outerObj); !errors.As(err, &illegal) {
+				t.Errorf("immortal->scoped: %v, want IllegalAssignmentError", err)
+			}
+			// Legal: heap <-> immortal, in both directions.
+			if err := heapObj.SetField("i", immObj); err != nil {
+				t.Errorf("heap->immortal: %v", err)
+			}
+			if err := immObj.SetField("h", heapObj); err != nil {
+				t.Errorf("immortal->heap: %v", err)
+			}
+
+			// Illegal: sibling scope (not an ancestor).
+			return c.Enter(sibling, func() error {
+				// sibling's parent is inner; an object in inner may not
+				// reference sibling (sibling is not inner's ancestor).
+				sibObj, err := c.Alloc(8, "sib")
+				if err != nil {
+					return err
+				}
+				if err := innerObj.SetField("sib", sibObj); !errors.As(err, &illegal) {
+					t.Errorf("inner->sibling-child: %v, want IllegalAssignmentError", err)
+				}
+				// sibling may reference inner (its parent).
+				if err := sibObj.SetField("up", innerObj); err != nil {
+					t.Errorf("sibling-child->inner: %v", err)
+				}
+				return nil
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetFieldNilClears(t *testing.T) {
+	rt := newTestRuntime(t)
+	c := mustContext(t, rt.Immortal(), false)
+	a, _ := c.Alloc(8, nil)
+	b, _ := c.Alloc(8, nil)
+	if err := a.SetField("x", b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.FieldNames(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("FieldNames = %v", got)
+	}
+	if err := a.SetField("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := a.Field("x"); f != nil {
+		t.Fatal("field not cleared")
+	}
+}
+
+func TestSetFieldOnDanglingRefused(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 256)
+	c := mustContext(t, rt.Immortal(), false)
+	var stale *Ref
+	if err := c.Enter(s, func() error {
+		var err error
+		stale, err = c.Alloc(8, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	imm, _ := c.Alloc(8, nil)
+	var inactive *InactiveScopeError
+	if err := stale.SetField("x", imm); !errors.As(err, &inactive) {
+		t.Fatalf("store on dangling: %v", err)
+	}
+	if err := imm.SetField("x", stale); !errors.As(err, &inactive) {
+		t.Fatalf("store of dangling: %v", err)
+	}
+	if _, err := stale.Field("x"); !errors.As(err, &inactive) {
+		t.Fatalf("load on dangling: %v", err)
+	}
+}
+
+// --- no-heap (NHRT) restrictions ---------------------------------------------
+
+func TestNoHeapContextRestrictions(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 256)
+
+	if _, err := NewContext(rt.Heap(), true); err == nil {
+		t.Fatal("no-heap context started in heap")
+	}
+
+	c := mustContext(t, rt.Immortal(), true)
+	var access *MemoryAccessError
+
+	if err := c.Enter(rt.Heap(), func() error { return nil }); !errors.As(err, &access) {
+		t.Fatalf("enter heap: %v", err)
+	}
+	if err := c.ExecuteInArea(rt.Heap(), func() error { return nil }); !errors.As(err, &access) {
+		t.Fatalf("executeInArea heap: %v", err)
+	}
+	if _, err := c.AllocIn(rt.Heap(), 8, nil); !errors.As(err, &access) {
+		t.Fatalf("alloc in heap: %v", err)
+	}
+
+	// Reading a heap reference faults.
+	ch := mustContext(t, rt.Heap(), false)
+	heapObj, err := ch.Alloc(8, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(heapObj); !errors.As(err, &access) {
+		t.Fatalf("load heap ref: %v", err)
+	}
+	if err := c.Store(heapObj, 1); !errors.As(err, &access) {
+		t.Fatalf("store heap ref: %v", err)
+	}
+
+	// LoadField faults when the loaded reference points into heap.
+	immObj, err := c.Alloc(8, "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := immObj.SetField("h", heapObj); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadField(immObj, "h"); !errors.As(err, &access) {
+		t.Fatalf("LoadField heap ref: %v", err)
+	}
+
+	// Scoped and immortal work normally for no-heap contexts.
+	if err := c.Enter(s, func() error {
+		_, err := c.Alloc(8, nil)
+		return err
+	}); err != nil {
+		t.Fatalf("no-heap scope use: %v", err)
+	}
+}
+
+// --- executeInArea -----------------------------------------------------------
+
+func TestExecuteInArea(t *testing.T) {
+	rt := newTestRuntime(t)
+	outer := mustScope(t, rt, "outer", 256)
+	other := mustScope(t, rt, "other", 256)
+	c := mustContext(t, rt.Immortal(), false)
+
+	err := c.Enter(outer, func() error {
+		// Allocation lands in the executed-in area, not the current one.
+		if err := c.ExecuteInArea(rt.Immortal(), func() error {
+			r, err := c.Alloc(24, nil)
+			if err != nil {
+				return err
+			}
+			if r.Area() != rt.Immortal() {
+				t.Errorf("allocated in %s", r.Area().Name())
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if outer.Consumed() != 0 {
+			t.Errorf("outer consumed %d", outer.Consumed())
+		}
+		// Executing in a scope not on the stack is refused.
+		var inactive *InactiveScopeError
+		if err := c.ExecuteInArea(other, func() error { return nil }); !errors.As(err, &inactive) {
+			t.Errorf("executeInArea foreign scope: %v", err)
+		}
+		// Executing in a scope that IS on the stack works.
+		return c.ExecuteInArea(outer, func() error { return nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocInOuterScope(t *testing.T) {
+	rt := newTestRuntime(t)
+	outer := mustScope(t, rt, "outer", 256)
+	inner := mustScope(t, rt, "inner", 256)
+	c := mustContext(t, rt.Immortal(), false)
+	err := c.Enter(outer, func() error {
+		return c.Enter(inner, func() error {
+			r, err := c.AllocIn(outer, 16, nil)
+			if err != nil {
+				return err
+			}
+			if r.Area() != outer {
+				t.Errorf("allocated in %s", r.Area().Name())
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Consumed() != 0 {
+		t.Fatal("outer not reclaimed")
+	}
+}
+
+// --- portals ------------------------------------------------------------------
+
+func TestPortal(t *testing.T) {
+	rt := newTestRuntime(t)
+	s := mustScope(t, rt, "s", 256)
+	c := mustContext(t, rt.Immortal(), false)
+
+	immObj, err := c.Alloc(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Enter(s, func() error {
+		obj, err := c.Alloc(8, "portal")
+		if err != nil {
+			return err
+		}
+		var perr *PortalError
+		if err := s.SetPortal(immObj); !errors.As(err, &perr) {
+			t.Errorf("foreign portal: %v", err)
+		}
+		if err := s.SetPortal(obj); err != nil {
+			return err
+		}
+		got, err := s.Portal()
+		if err != nil {
+			return err
+		}
+		if got != obj {
+			t.Error("portal mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Portal cleared on reclamation; inactive access refused.
+	var inactive *InactiveScopeError
+	if _, err := s.Portal(); !errors.As(err, &inactive) {
+		t.Fatalf("portal of inactive scope: %v", err)
+	}
+	var perr *PortalError
+	if _, err := rt.Heap().Portal(); !errors.As(err, &perr) {
+		t.Fatalf("portal of heap: %v", err)
+	}
+}
+
+// --- property tests -----------------------------------------------------------
+
+// Property: for a random chain of nested scopes, CheckAssign permits a
+// store into scope i of a reference in scope j iff j <= i (outer or
+// same), and always permits heap/immortal values.
+func TestCheckAssignChainProperty(t *testing.T) {
+	f := func(depth8 uint8, iRaw, jRaw uint16) bool {
+		depth := int(depth8%6) + 1
+		rt := NewRuntime()
+		c, err := NewContext(rt.Immortal(), false)
+		if err != nil {
+			return false
+		}
+		defer c.Close()
+		chain := make([]*Area, depth)
+		ok := true
+		var build func(k int) error
+		build = func(k int) error {
+			if k == depth {
+				i, j := int(iRaw)%depth, int(jRaw)%depth
+				err := CheckAssign(chain[i], chain[j])
+				if (j <= i) != (err == nil) {
+					ok = false
+				}
+				if err := CheckAssign(chain[i], rt.Heap()); err != nil {
+					ok = false
+				}
+				if err := CheckAssign(chain[i], rt.Immortal()); err != nil {
+					ok = false
+				}
+				if err := CheckAssign(rt.Heap(), chain[i]); err == nil {
+					ok = false
+				}
+				return nil
+			}
+			a, err := rt.NewScoped(string(rune('a'+k)), 64)
+			if err != nil {
+				return err
+			}
+			chain[k] = a
+			return c.Enter(a, func() error { return build(k + 1) })
+		}
+		if err := build(0); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: consumed bytes never exceed size, and reclamation always
+// returns consumption to zero, across random allocation sequences.
+func TestScopeBudgetProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt := NewRuntime()
+		s, err := rt.NewScoped("s", 1024)
+		if err != nil {
+			return false
+		}
+		c, err := NewContext(rt.Immortal(), false)
+		if err != nil {
+			return false
+		}
+		defer c.Close()
+		n := int(n8%40) + 1
+		err = c.Enter(s, func() error {
+			for i := 0; i < n; i++ {
+				size := int64(rng.Intn(200))
+				_, err := c.Alloc(size, nil)
+				if err != nil {
+					var oom *OutOfMemoryError
+					if !errors.As(err, &oom) {
+						return err
+					}
+				}
+				if s.Consumed() > s.Size() {
+					return errors.New("budget exceeded")
+				}
+			}
+			return nil
+		})
+		return err == nil && s.Consumed() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Enter/exit sequences leave the context stack balanced.
+func TestContextStackBalancedProperty(t *testing.T) {
+	f := func(script []bool) bool {
+		rt := NewRuntime()
+		c, err := NewContext(rt.Immortal(), false)
+		if err != nil {
+			return false
+		}
+		defer c.Close()
+		depth0 := c.Depth()
+		var run func(i int) error
+		run = func(i int) error {
+			if i >= len(script) || i > 5 {
+				return nil
+			}
+			a, err := rt.NewScoped(string(rune('A'+i)), 64)
+			if err != nil {
+				return err
+			}
+			if script[i] {
+				return c.Enter(a, func() error { return run(i + 1) })
+			}
+			return run(i + 1)
+		}
+		if err := run(0); err != nil {
+			return false
+		}
+		return c.Depth() == depth0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

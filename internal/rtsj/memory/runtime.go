@@ -1,0 +1,133 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Runtime owns the memory areas of one simulated RTSJ virtual machine:
+// the singleton heap and immortal areas plus any number of named
+// scoped areas.
+type Runtime struct {
+	heap     *Area
+	immortal *Area
+
+	mu     sync.Mutex
+	scopes map[string]*Area
+}
+
+// Option configures a Runtime.
+type Option func(*config)
+
+type config struct {
+	immortalSize int64
+	heapSize     int64
+}
+
+// WithImmortalSize bounds the immortal area to size bytes (the paper's
+// ADL gives immortal memory an explicit budget, e.g. 600 KB).
+func WithImmortalSize(size int64) Option {
+	return func(c *config) { c.immortalSize = size }
+}
+
+// WithHeapSize bounds the heap to size bytes; 0 (the default) leaves
+// it unbounded.
+func WithHeapSize(size int64) Option {
+	return func(c *config) { c.heapSize = size }
+}
+
+// NewRuntime creates a memory runtime with fresh heap and immortal
+// areas.
+func NewRuntime(opts ...Option) *Runtime {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Runtime{
+		heap:     &Area{name: "heap", kind: Heap, size: cfg.heapSize},
+		immortal: &Area{name: "immortal", kind: Immortal, size: cfg.immortalSize},
+		scopes:   make(map[string]*Area),
+	}
+}
+
+// Heap returns the runtime's heap area.
+func (rt *Runtime) Heap() *Area { return rt.heap }
+
+// Immortal returns the runtime's immortal area.
+func (rt *Runtime) Immortal() *Area { return rt.immortal }
+
+// NewScoped creates and registers a named scoped area of the given
+// size in bytes. Scope names are unique within a runtime.
+func (rt *Runtime) NewScoped(name string, size int64) (*Area, error) {
+	if name == "" {
+		return nil, fmt.Errorf("memory: scoped area needs a name")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("memory: scoped area %q needs a positive size, got %d", name, size)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, dup := rt.scopes[name]; dup {
+		return nil, fmt.Errorf("memory: scoped area %q already exists", name)
+	}
+	a := &Area{name: name, kind: Scoped, size: size}
+	rt.scopes[name] = a
+	return a, nil
+}
+
+// Scope returns the named scoped area.
+func (rt *Runtime) Scope(name string) (*Area, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	a, ok := rt.scopes[name]
+	return a, ok
+}
+
+// Areas returns every area of the runtime — heap, immortal, then the
+// scopes sorted by name.
+func (rt *Runtime) Areas() []*Area {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*Area, 0, 2+len(rt.scopes))
+	out = append(out, rt.heap, rt.immortal)
+	names := make([]string, 0, len(rt.scopes))
+	for n := range rt.scopes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, rt.scopes[n])
+	}
+	return out
+}
+
+// Footprint summarizes current memory consumption across all areas.
+type Footprint struct {
+	ImmortalBytes int64
+	HeapBytes     int64
+	ScopedBytes   int64 // sum of currently consumed scoped bytes
+	ScopedBudget  int64 // sum of configured scope sizes
+	Allocations   int64 // lifetime allocation count
+}
+
+// Total returns the live bytes across all areas.
+func (f Footprint) Total() int64 { return f.ImmortalBytes + f.HeapBytes + f.ScopedBytes }
+
+// Footprint reports the runtime's current consumption.
+func (rt *Runtime) Footprint() Footprint {
+	var f Footprint
+	for _, a := range rt.Areas() {
+		switch a.Kind() {
+		case Heap:
+			f.HeapBytes += a.Consumed()
+		case Immortal:
+			f.ImmortalBytes += a.Consumed()
+		case Scoped:
+			f.ScopedBytes += a.Consumed()
+			f.ScopedBudget += a.Size()
+		}
+		f.Allocations += a.Allocations()
+	}
+	return f
+}

@@ -1,0 +1,106 @@
+package sched
+
+import "fmt"
+
+// Mutex is a scheduler-managed lock with the priority inheritance
+// protocol: while a task is blocked on the lock, the owner's effective
+// priority is raised to the blocked task's (transitively through
+// chains of locks), bounding priority inversion.
+//
+// Mutexes are manipulated exclusively through TaskContext.Lock and
+// TaskContext.Unlock from inside task bodies.
+type Mutex struct {
+	name    string
+	owner   *Task
+	waiters []*Task
+}
+
+// NewMutex creates a named mutex belonging to this scheduler.
+func (s *Scheduler) NewMutex(name string) *Mutex {
+	return &Mutex{name: name}
+}
+
+// Name returns the mutex name.
+func (m *Mutex) Name() string { return m.name }
+
+// lock handles a callLock syscall.
+func (s *Scheduler) lock(c *call) {
+	t, m := c.task, c.m
+	if m.owner == nil {
+		m.owner = t
+		t.held[m] = true
+		c.err <- nil
+		return
+	}
+	if m.owner == t {
+		c.err <- fmt.Errorf("sched: task %q locking mutex %q it already holds", t.name, m.name)
+		return
+	}
+	m.waiters = append(m.waiters, t)
+	t.blockedOn = m
+	t.state = stateBlocked
+	s.emit(EventBlock, t, "on "+m.name)
+	s.inherit(t)
+	s.running = nil
+	c.err <- errWouldBlock
+}
+
+// unlock handles a callUnlock syscall; the caller keeps the CPU.
+func (s *Scheduler) unlock(t *Task, m *Mutex) error {
+	if m.owner != t {
+		owner := "<nobody>"
+		if m.owner != nil {
+			owner = m.owner.name
+		}
+		return fmt.Errorf("sched: task %q unlocking mutex %q held by %s", t.name, m.name, owner)
+	}
+	delete(t.held, m)
+	m.owner = nil
+	s.recomputeEffective(t)
+	if len(m.waiters) == 0 {
+		return nil
+	}
+	// Wake the highest effective-priority waiter, FIFO within a level.
+	best := 0
+	for i := 1; i < len(m.waiters); i++ {
+		if m.waiters[i].effPrio > m.waiters[best].effPrio {
+			best = i
+		}
+	}
+	w := m.waiters[best]
+	m.waiters = append(m.waiters[:best], m.waiters[best+1:]...)
+	m.owner = w
+	w.held[m] = true
+	w.blockedOn = nil
+	s.emit(EventUnblock, w, "acquired "+m.name)
+	s.makeReady(w)
+	return nil
+}
+
+// inherit propagates t's effective priority through the chain of lock
+// owners t is transitively blocked on.
+func (s *Scheduler) inherit(t *Task) {
+	p := t.effPrio
+	for m := t.blockedOn; m != nil; {
+		o := m.owner
+		if o == nil || o.effPrio >= p {
+			return
+		}
+		o.effPrio = p
+		m = o.blockedOn
+	}
+}
+
+// recomputeEffective resets t's effective priority to its base plus
+// any inheritance still owed to waiters of locks it continues to hold.
+func (s *Scheduler) recomputeEffective(t *Task) {
+	eff := t.prio
+	for m := range t.held {
+		for _, w := range m.waiters {
+			if w.effPrio > eff {
+				eff = w.effPrio
+			}
+		}
+	}
+	t.effPrio = eff
+}

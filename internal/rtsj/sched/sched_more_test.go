@@ -1,0 +1,357 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"soleil/internal/rtsj/clock"
+)
+
+// TestMutexWakesHighestPriorityWaiter: three tasks of different
+// priorities contend for one lock; the holder releases and the
+// highest-priority waiter must acquire first.
+func TestMutexWakesHighestPriorityWaiter(t *testing.T) {
+	s := New()
+	m := s.NewMutex("m")
+	var acquisitions []string
+
+	_, err := s.NewTask(TaskConfig{
+		Name: "holder", Priority: 35,
+		Release: Release{Kind: Aperiodic},
+		Body: func(tc *TaskContext) {
+			if err := tc.Lock(m); err != nil {
+				return
+			}
+			// Hold long enough for all waiters to queue.
+			if err := tc.Consume(5 * ms); err != nil {
+				return
+			}
+			_ = tc.Unlock(m)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiter := func(name string, prio Priority, start clock.Duration) {
+		_, err := s.NewTask(TaskConfig{
+			Name: name, Priority: prio,
+			Release: Release{Kind: Aperiodic, Start: start},
+			Body: func(tc *TaskContext) {
+				if err := tc.Lock(m); err != nil {
+					return
+				}
+				acquisitions = append(acquisitions, name)
+				_ = tc.Unlock(m)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	waiter("low", 12, ms)
+	waiter("mid", 18, 2*ms)
+	waiter("high", 25, 3*ms)
+	if err := s.Run(50 * ms); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"high", "mid", "low"}
+	if len(acquisitions) != 3 {
+		t.Fatalf("acquisitions = %v", acquisitions)
+	}
+	for i := range want {
+		if acquisitions[i] != want[i] {
+			t.Fatalf("acquisition order = %v, want %v", acquisitions, want)
+		}
+	}
+}
+
+// TestSporadicBacklog: arrivals landing while the sporadic task is
+// busy queue up and are served in order.
+func TestSporadicBacklog(t *testing.T) {
+	s := New()
+	var served int
+	sp, err := s.NewTask(TaskConfig{
+		Name: "worker", Priority: 15,
+		Release: Release{Kind: Sporadic},
+		Body: func(tc *TaskContext) {
+			for {
+				served++
+				if err := tc.Consume(3 * ms); err != nil {
+					return
+				}
+				if !tc.WaitForRelease() {
+					return
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.NewTask(TaskConfig{
+		Name: "burst", Priority: 30,
+		Release: Release{Kind: Aperiodic},
+		Body: func(tc *TaskContext) {
+			for i := 0; i < 4; i++ {
+				if err := tc.Fire(sp); err != nil {
+					return
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(50 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if served != 4 {
+		t.Fatalf("served = %d, want 4 (backlog lost)", served)
+	}
+	if got := sp.Stats().Releases; got != 4 {
+		t.Fatalf("releases = %d", got)
+	}
+}
+
+// TestPeriodicOverrunReleasesImmediately: a job longer than its period
+// re-releases immediately after completion rather than skipping.
+func TestPeriodicOverrunReleasesImmediately(t *testing.T) {
+	s := New()
+	var n int64
+	task, err := s.NewTask(TaskConfig{
+		Name: "over", Priority: 20,
+		Release: Release{Kind: Periodic, Period: 10 * ms},
+		Body:    periodicBody(15*ms, &n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(65 * ms); err != nil {
+		t.Fatal(err)
+	}
+	// Completions at 15,30,45,60: four full jobs in 65ms.
+	if got := task.Stats().Completions; got != 4 {
+		t.Fatalf("completions = %d", got)
+	}
+	// Every release after the first missed its (implicit) deadline.
+	if got := task.Stats().Misses; got < 3 {
+		t.Fatalf("misses = %d", got)
+	}
+}
+
+// TestConsumedNeverExceedsHorizon: across random task sets, total
+// consumed CPU never exceeds the virtual horizon (the scheduler is a
+// single CPU), and idle+consumed accounts for the horizon when any
+// work exists.
+func TestConsumedNeverExceedsHorizonProperty(t *testing.T) {
+	f := func(p1, p2, c1, c2 uint8) bool {
+		s := New()
+		mk := func(name string, prio Priority, p, c uint8) bool {
+			period := clock.Duration(int(p%30)+5) * ms
+			cost := clock.Duration(int(c)%int(period/ms)+1) * ms / 2
+			var n int64
+			_, err := s.NewTask(TaskConfig{
+				Name: name, Priority: prio,
+				Release: Release{Kind: Periodic, Period: period},
+				Body:    periodicBody(cost, &n),
+			})
+			return err == nil
+		}
+		if !mk("a", 25, p1, c1) || !mk("b", 20, p2, c2) {
+			return false
+		}
+		const horizon = 200 * ms
+		if err := s.Run(horizon); err != nil {
+			return false
+		}
+		var consumed clock.Duration
+		for _, task := range s.Tasks() {
+			consumed += task.Stats().Consumed
+		}
+		return consumed <= horizon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReleaseJitterUnderLoad: a low-priority periodic task's start
+// latency is bounded by the higher-priority demand in its period.
+func TestReleaseJitterUnderLoad(t *testing.T) {
+	s := New()
+	var hi, lo int64
+	_, err := s.NewTask(TaskConfig{
+		Name: "hi", Priority: 30,
+		Release: Release{Kind: Periodic, Period: 5 * ms},
+		Body:    periodicBody(2*ms, &hi),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := s.NewTask(TaskConfig{
+		Name: "lo", Priority: 15,
+		Release: Release{Kind: Periodic, Period: 20 * ms},
+		Body:    periodicBody(ms, &lo),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(200 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if got := low.Stats().MaxStartLatency; got != 2*ms {
+		t.Fatalf("low start latency = %v, want 2ms (one hi job)", got)
+	}
+	if low.Stats().Misses != 0 {
+		t.Fatalf("low misses = %d", low.Stats().Misses)
+	}
+}
+
+// TestTwoLocksTransitiveInheritance: H blocks on m2 held by M, which
+// blocks on m1 held by L; L must inherit H's priority transitively.
+func TestTwoLocksTransitiveInheritance(t *testing.T) {
+	s := New()
+	m1 := s.NewMutex("m1")
+	m2 := s.NewMutex("m2")
+	_, err := s.NewTask(TaskConfig{
+		Name: "L", Priority: 12,
+		Release: Release{Kind: Aperiodic},
+		Body: func(tc *TaskContext) {
+			if err := tc.Lock(m1); err != nil {
+				return
+			}
+			if err := tc.Consume(10 * ms); err != nil {
+				return
+			}
+			_ = tc.Unlock(m1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.NewTask(TaskConfig{
+		Name: "M", Priority: 16,
+		Release: Release{Kind: Aperiodic, Start: ms},
+		Body: func(tc *TaskContext) {
+			if err := tc.Lock(m2); err != nil {
+				return
+			}
+			if err := tc.Lock(m1); err != nil { // blocks on L
+				return
+			}
+			_ = tc.Unlock(m1)
+			if err := tc.Consume(2 * ms); err != nil {
+				return
+			}
+			_ = tc.Unlock(m2)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A middle-priority CPU hog that would starve L without
+	// transitive inheritance.
+	_, err = s.NewTask(TaskConfig{
+		Name: "hog", Priority: 20,
+		Release: Release{Kind: Aperiodic, Start: 3 * ms},
+		Body: func(tc *TaskContext) {
+			_ = tc.Consume(30 * ms)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := s.NewTask(TaskConfig{
+		Name: "H", Priority: 28,
+		Release: Release{Kind: Aperiodic, Start: 2 * ms},
+		Body: func(tc *TaskContext) {
+			if err := tc.Lock(m2); err != nil { // blocks on M, which blocks on L
+				return
+			}
+			if err := tc.Consume(ms); err != nil {
+				return
+			}
+			_ = tc.Unlock(m2)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100 * ms); err != nil {
+		t.Fatal(err)
+	}
+	// With transitive inheritance: H waits for L's 9ms remaining +
+	// M's 2ms + its own 1ms ≈ 12ms. Without it, the 30ms hog
+	// interposes (response ≈ 40ms).
+	if got := high.Stats().MaxResponse; got > 15*ms {
+		t.Fatalf("H response %v — transitive inheritance broken", got)
+	}
+}
+
+// TestSporadicDeadlineMonitoring: sporadic releases with explicit
+// deadlines are monitored per arrival.
+func TestSporadicDeadlineMonitoring(t *testing.T) {
+	s := New()
+	sp, err := s.NewTask(TaskConfig{
+		Name: "slow", Priority: 15,
+		Release: Release{Kind: Sporadic, Deadline: 2 * ms},
+		Body: func(tc *TaskContext) {
+			for {
+				if err := tc.Consume(5 * ms); err != nil {
+					return
+				}
+				if !tc.WaitForRelease() {
+					return
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.NewTask(TaskConfig{
+		Name: "trigger", Priority: 30,
+		Release: Release{Kind: Aperiodic},
+		Body: func(tc *TaskContext) {
+			_ = tc.Fire(sp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(30 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Stats().Misses; got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+}
+
+func TestSchedulerTasksAccessor(t *testing.T) {
+	s := New()
+	if _, err := s.NewTask(TaskConfig{
+		Name: "a", Priority: 10, Release: Release{Kind: Aperiodic},
+		Body: func(*TaskContext) {},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Tasks()); got != 1 {
+		t.Fatalf("tasks = %d", got)
+	}
+	if s.Tasks()[0].Name() != "a" || s.Tasks()[0].Priority() != 10 {
+		t.Fatal("task accessors")
+	}
+	if s.Tasks()[0].Release().Kind != Aperiodic {
+		t.Fatal("release accessor")
+	}
+	if err := s.Run(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewTask(TaskConfig{
+		Name: "late", Priority: 10, Release: Release{Kind: Aperiodic},
+		Body: func(*TaskContext) {},
+	}); err == nil {
+		t.Fatal("task added after run")
+	}
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+
+	"soleil/internal/rtsj/clock"
+)
+
+// EventKind classifies scheduler trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EventRelease EventKind = iota + 1
+	EventDispatch
+	EventPreempt
+	EventComplete
+	EventMiss
+	EventOverrun
+	EventBlock
+	EventUnblock
+)
+
+// String returns the event name.
+func (k EventKind) String() string {
+	switch k {
+	case EventRelease:
+		return "release"
+	case EventDispatch:
+		return "dispatch"
+	case EventPreempt:
+		return "preempt"
+	case EventComplete:
+		return "complete"
+	case EventMiss:
+		return "miss"
+	case EventOverrun:
+		return "overrun"
+	case EventBlock:
+		return "block"
+	case EventUnblock:
+		return "unblock"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one scheduling decision in the execution trace.
+type TraceEvent struct {
+	Time clock.Time
+	Kind EventKind
+	Task string
+	// Detail carries event-specific context (e.g. the lock name for
+	// block/unblock, the overrun amount).
+	Detail string
+}
+
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("[%12v] %-8s %s", e.Time, e.Kind, e.Task)
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// EnableTrace turns on the execution trace, keeping at most capacity
+// events (0 = unbounded). Call before Run.
+func (s *Scheduler) EnableTrace(capacity int) {
+	s.traceOn = true
+	s.traceCap = capacity
+	if capacity > 0 {
+		s.trace = make([]TraceEvent, 0, capacity)
+	}
+}
+
+// Trace returns a copy of the recorded events. Call after Run.
+func (s *Scheduler) Trace() []TraceEvent {
+	out := make([]TraceEvent, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+// WriteTrace renders the recorded schedule chronologically.
+func (s *Scheduler) WriteTrace(w io.Writer) error {
+	for _, e := range s.trace {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit records one trace event (kernel goroutine only).
+func (s *Scheduler) emit(kind EventKind, task *Task, detail string) {
+	if !s.traceOn {
+		return
+	}
+	if s.traceCap > 0 && len(s.trace) >= s.traceCap {
+		return
+	}
+	s.trace = append(s.trace, TraceEvent{
+		Time: s.clk.Now(), Kind: kind, Task: task.name, Detail: detail,
+	})
+}

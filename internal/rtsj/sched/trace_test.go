@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCostOverrunDetection(t *testing.T) {
+	s := New()
+	var overruns []OverrunInfo
+	task, err := s.NewTask(TaskConfig{
+		Name: "greedy", Priority: 20,
+		Release: Release{Kind: Periodic, Period: 10 * ms, Cost: 2 * ms},
+		Body: func(tc *TaskContext) {
+			for {
+				if err := tc.Consume(3 * ms); err != nil {
+					return
+				}
+				if !tc.WaitForNextPeriod() {
+					return
+				}
+			}
+		},
+		OnOverrun: func(oi OverrunInfo) { overruns = append(overruns, oi) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(35 * ms); err != nil {
+		t.Fatal(err)
+	}
+	st := task.Stats()
+	// Releases at 0,10,20,30; each consumes 3ms of its 2ms budget.
+	if st.Overruns < 3 {
+		t.Fatalf("overruns = %d", st.Overruns)
+	}
+	if int64(len(overruns)) != st.Overruns {
+		t.Fatalf("handler saw %d, stats %d", len(overruns), st.Overruns)
+	}
+	oi := overruns[0]
+	if oi.Task != "greedy" || oi.Budget != 2*ms || oi.Consumed <= oi.Budget {
+		t.Fatalf("overrun info = %+v", oi)
+	}
+	// No misses: the 3ms job fits the 10ms implicit deadline.
+	if st.Misses != 0 {
+		t.Fatalf("misses = %d", st.Misses)
+	}
+}
+
+func TestNoOverrunWithinBudget(t *testing.T) {
+	s := New()
+	task, err := s.NewTask(TaskConfig{
+		Name: "frugal", Priority: 20,
+		Release: Release{Kind: Periodic, Period: 10 * ms, Cost: 5 * ms},
+		Body: func(tc *TaskContext) {
+			for {
+				if err := tc.Consume(2 * ms); err != nil {
+					return
+				}
+				if !tc.WaitForNextPeriod() {
+					return
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(35 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if got := task.Stats().Overruns; got != 0 {
+		t.Fatalf("overruns = %d", got)
+	}
+}
+
+func TestTraceRecordsScheduleDecisions(t *testing.T) {
+	s := New()
+	s.EnableTrace(0)
+	var n1, n2 int64
+	if _, err := s.NewTask(TaskConfig{
+		Name: "hi", Priority: 30,
+		Release: Release{Kind: Periodic, Period: 10 * ms},
+		Body:    periodicBody(ms, &n1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewTask(TaskConfig{
+		Name: "lo", Priority: 20,
+		Release: Release{Kind: Periodic, Period: 10 * ms, Deadline: ms},
+		Body:    periodicBody(2*ms, &n2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(25 * ms); err != nil {
+		t.Fatal(err)
+	}
+	trace := s.Trace()
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range trace {
+		kinds[e.Kind]++
+	}
+	for _, want := range []EventKind{EventRelease, EventDispatch, EventComplete, EventMiss} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v events in trace", want)
+		}
+	}
+	// Releases: 3 per task over 25ms.
+	if kinds[EventRelease] != 6 {
+		t.Errorf("release events = %d", kinds[EventRelease])
+	}
+	// The trace is chronological.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Time < trace[i-1].Time {
+			t.Fatalf("trace out of order at %d: %v after %v", i, trace[i], trace[i-1])
+		}
+	}
+	// Rendering mentions the tasks and kinds.
+	var sb strings.Builder
+	if err := s.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"release", "dispatch", "complete", "miss", "hi", "lo"} {
+		if !strings.Contains(sb.String(), frag) {
+			t.Errorf("rendered trace missing %q", frag)
+		}
+	}
+}
+
+func TestTraceCapacity(t *testing.T) {
+	s := New()
+	s.EnableTrace(5)
+	var n int64
+	if _, err := s.NewTask(TaskConfig{
+		Name: "p", Priority: 20,
+		Release: Release{Kind: Periodic, Period: ms},
+		Body:    periodicBody(0, &n),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(50 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Trace()); got != 5 {
+		t.Fatalf("trace length = %d, want capped 5", got)
+	}
+}
+
+// TestDeterministicSchedule: two identical schedulers produce
+// identical traces — the determinism guarantee of the simulation.
+func TestDeterministicSchedule(t *testing.T) {
+	build := func() *Scheduler {
+		s := New()
+		s.EnableTrace(0)
+		var n1, n2, n3 int64
+		mustTask := func(cfg TaskConfig) {
+			if _, err := s.NewTask(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustTask(TaskConfig{Name: "a", Priority: 30,
+			Release: Release{Kind: Periodic, Period: 7 * ms}, Body: periodicBody(2*ms, &n1)})
+		mustTask(TaskConfig{Name: "b", Priority: 25,
+			Release: Release{Kind: Periodic, Period: 12 * ms}, Body: periodicBody(3*ms, &n2)})
+		mustTask(TaskConfig{Name: "c", Priority: 20,
+			Release: Release{Kind: Periodic, Period: 20 * ms}, Body: periodicBody(5*ms, &n3)})
+		return s
+	}
+	s1, s2 := build(), build()
+	if err := s1.Run(200 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run(200 * ms); err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := s1.Trace(), s2.Trace()
+	if len(t1) != len(t2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, t1[i], t2[i])
+		}
+	}
+	_ = time.Millisecond
+}

@@ -1,0 +1,237 @@
+package thread
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"soleil/internal/rtsj/memory"
+	"soleil/internal/rtsj/sched"
+)
+
+const ms = time.Millisecond
+
+func newRuntime() *Runtime {
+	return NewRuntime(sched.New(), memory.NewRuntime())
+}
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Regular, Realtime, NoHeap} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("bogus kind parsed")
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	r := newRuntime()
+	run := func(*Env) {}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no body", Config{Name: "t", Kind: Regular, Priority: 5,
+			Release: sched.Release{Kind: sched.Aperiodic}, InitialArea: r.Memory().Heap()}},
+		{"no area", Config{Name: "t", Kind: Regular, Priority: 5,
+			Release: sched.Release{Kind: sched.Aperiodic}, Run: run}},
+		{"regular with RT priority", Config{Name: "t", Kind: Regular, Priority: 20,
+			Release: sched.Release{Kind: sched.Aperiodic}, InitialArea: r.Memory().Heap(), Run: run}},
+		{"RT with regular priority", Config{Name: "t", Kind: Realtime, Priority: 5,
+			Release: sched.Release{Kind: sched.Aperiodic}, InitialArea: r.Memory().Heap(), Run: run}},
+		{"NHRT with regular priority", Config{Name: "t", Kind: NoHeap, Priority: 5,
+			Release: sched.Release{Kind: sched.Aperiodic}, InitialArea: r.Memory().Immortal(), Run: run}},
+		{"NHRT starting in heap", Config{Name: "t", Kind: NoHeap, Priority: 20,
+			Release: sched.Release{Kind: sched.Aperiodic}, InitialArea: r.Memory().Heap(), Run: run}},
+		{"unknown kind", Config{Name: "t", Kind: Kind(99), Priority: 5,
+			Release: sched.Release{Kind: sched.Aperiodic}, InitialArea: r.Memory().Heap(), Run: run}},
+	}
+	for _, c := range cases {
+		if _, err := r.Spawn(c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestNHRTRules(t *testing.T) {
+	r := newRuntime()
+	var loadErr error
+	heapCtx, err := memory.NewContext(r.Memory().Heap(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heapCtx.Close()
+	heapObj, err := heapCtx.Alloc(8, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := r.Spawn(Config{
+		Name: "nhrt", Kind: NoHeap, Priority: 30,
+		Release:     sched.Release{Kind: sched.Aperiodic},
+		InitialArea: r.Memory().Immortal(),
+		Run: func(e *Env) {
+			if !e.Mem().NoHeap() {
+				t.Error("NHRT context allows heap")
+			}
+			_, loadErr = e.Mem().Load(heapObj)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Scheduler().Run(10 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if th.Err() != nil {
+		t.Fatalf("thread error: %v", th.Err())
+	}
+	var access *memory.MemoryAccessError
+	if !errors.As(loadErr, &access) {
+		t.Fatalf("heap load from NHRT: %v, want MemoryAccessError", loadErr)
+	}
+}
+
+func TestPeriodicNHRTInScope(t *testing.T) {
+	r := newRuntime()
+	scope, err := r.Memory().NewScoped("work", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iterations int
+	th, err := r.Spawn(Config{
+		Name: "p", Kind: NoHeap, Priority: 30,
+		Release:     sched.Release{Kind: sched.Periodic, Period: 10 * ms},
+		InitialArea: r.Memory().Immortal(),
+		Run: func(e *Env) {
+			for {
+				err := e.Mem().Enter(scope, func() error {
+					_, err := e.Mem().Alloc(128, nil)
+					return err
+				})
+				if err != nil {
+					t.Errorf("scope enter: %v", err)
+					return
+				}
+				iterations++
+				if err := e.Sched().Consume(ms); err != nil {
+					return
+				}
+				if !e.Sched().WaitForNextPeriod() {
+					return
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Scheduler().Run(55 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if th.Err() != nil {
+		t.Fatal(th.Err())
+	}
+	if iterations != 6 {
+		t.Fatalf("iterations = %d, want 6", iterations)
+	}
+	if scope.Consumed() != 0 {
+		t.Fatalf("scope not reclaimed: %d", scope.Consumed())
+	}
+	if got := th.Task().Stats().Releases; got != 6 {
+		t.Fatalf("releases = %d", got)
+	}
+	if th.Kind() != NoHeap || th.Name() != "p" {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestRegularThreadUsesHeap(t *testing.T) {
+	r := newRuntime()
+	var ok bool
+	_, err := r.Spawn(Config{
+		Name: "reg", Kind: Regular, Priority: 5,
+		Release:     sched.Release{Kind: sched.Aperiodic},
+		InitialArea: r.Memory().Heap(),
+		Run: func(e *Env) {
+			ref, err := e.Mem().Alloc(16, "data")
+			if err != nil {
+				t.Errorf("heap alloc: %v", err)
+				return
+			}
+			v, err := e.Mem().Load(ref)
+			ok = err == nil && v == "data"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Scheduler().Run(10 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("regular thread could not use heap")
+	}
+}
+
+func TestCrossThreadCommunicationRespectPriorities(t *testing.T) {
+	// A NHRT producer fires a lower-priority sporadic RT consumer —
+	// the shape of the paper's ProductionLine -> MonitoringSystem hop.
+	r := newRuntime()
+	var consumed int
+	consumer, err := r.Spawn(Config{
+		Name: "monitor", Kind: NoHeap, Priority: 25,
+		Release:     sched.Release{Kind: sched.Sporadic},
+		InitialArea: r.Memory().Immortal(),
+		Run: func(e *Env) {
+			for {
+				consumed++
+				if err := e.Sched().Consume(500 * time.Microsecond); err != nil {
+					return
+				}
+				if !e.Sched().WaitForRelease() {
+					return
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, err := r.Spawn(Config{
+		Name: "line", Kind: NoHeap, Priority: 30,
+		Release:     sched.Release{Kind: sched.Periodic, Period: 10 * ms},
+		InitialArea: r.Memory().Immortal(),
+		Run: func(e *Env) {
+			for {
+				if err := e.Sched().Fire(consumer.Task()); err != nil {
+					return
+				}
+				if err := e.Sched().Consume(ms); err != nil {
+					return
+				}
+				if !e.Sched().WaitForNextPeriod() {
+					return
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Scheduler().Run(95 * ms); err != nil {
+		t.Fatal(err)
+	}
+	if producer.Err() != nil || consumer.Err() != nil {
+		t.Fatalf("errors: %v / %v", producer.Err(), consumer.Err())
+	}
+	if consumed != 10 {
+		t.Fatalf("consumed = %d, want 10", consumed)
+	}
+	// The consumer starts only after the producer's 1ms of work.
+	if got := consumer.Task().Stats().MaxStartLatency; got != ms {
+		t.Fatalf("consumer start latency = %v, want 1ms", got)
+	}
+}

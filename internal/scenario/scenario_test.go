@@ -1,0 +1,261 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"soleil/internal/membrane"
+	"soleil/internal/rtsj/memory"
+	"soleil/internal/rtsj/thread"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	for seq := int64(1); seq <= 64; seq++ {
+		a, b := Synthesize(seq), Synthesize(seq)
+		if a != b {
+			t.Fatalf("Synthesize(%d) non-deterministic: %v vs %v", seq, a, b)
+		}
+	}
+}
+
+func TestAnomalyEverySixteenth(t *testing.T) {
+	anomalies := 0
+	for seq := int64(1); seq <= 160; seq++ {
+		m := Measurement{Seq: seq, Value: Synthesize(seq)}
+		if m.Anomalous() {
+			anomalies++
+			if seq%16 != 15 {
+				t.Fatalf("unexpected anomaly at seq %d (value %v)", seq, m.Value)
+			}
+		}
+	}
+	if anomalies != 10 {
+		t.Fatalf("anomalies = %d, want 10", anomalies)
+	}
+}
+
+func TestEvaluateAndAuditFoldDeterministic(t *testing.T) {
+	f := func(seq int64, sum uint64) bool {
+		m := Measurement{Seq: seq, Value: Synthesize(seq % 1024)}
+		return Evaluate(m) == Evaluate(m) && AuditFold(sum, m) == AuditFold(sum, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageDeepCopies(t *testing.T) {
+	m := Measurement{Seq: 1, Value: 2, Station: 3}
+	if got := m.DeepCopy().(Measurement); got != m {
+		t.Fatalf("measurement copy = %+v", got)
+	}
+	a := Alert{Seq: 1, Value: 2, Station: 3, Text: "x"}
+	if got := a.DeepCopy().(Alert); got != a {
+		t.Fatalf("alert copy = %+v", got)
+	}
+}
+
+// recordingPort captures Send/Call traffic for content tests.
+type recordingPort struct {
+	sends []AsyncRecord
+	calls []AsyncRecord
+	fail  error
+}
+
+// AsyncRecord is one captured operation.
+type AsyncRecord struct {
+	Op  string
+	Arg any
+}
+
+func (p *recordingPort) Send(env *thread.Env, op string, arg any) error {
+	if p.fail != nil {
+		return p.fail
+	}
+	p.sends = append(p.sends, AsyncRecord{Op: op, Arg: arg})
+	return nil
+}
+
+func (p *recordingPort) Call(env *thread.Env, op string, arg any) (any, error) {
+	if p.fail != nil {
+		return nil, p.fail
+	}
+	p.calls = append(p.calls, AsyncRecord{Op: op, Arg: arg})
+	return nil, nil
+}
+
+func testServices(t *testing.T, name string, ports map[string]membrane.Port) *membrane.Services {
+	t.Helper()
+	bc := membrane.NewBindingController(name)
+	for itf, p := range ports {
+		if err := bc.Bind(itf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return membrane.NewServices(name, bc)
+}
+
+func testEnv(t *testing.T) (*thread.Env, *memory.Runtime) {
+	t.Helper()
+	rt := memory.NewRuntime()
+	ctx, err := memory.NewContext(rt.Immortal(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctx.Close)
+	return thread.NewEnv(nil, ctx), rt
+}
+
+func TestProductionLineActivate(t *testing.T) {
+	env, _ := testEnv(t)
+	monitor := &recordingPort{}
+	pl := NewProductionLine()
+	if err := pl.Init(testServices(t, "pl", map[string]membrane.Port{ItfMonitor: monitor})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := pl.Activate(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pl.Produced() != 3 || len(monitor.sends) != 3 {
+		t.Fatalf("produced %d, sent %d", pl.Produced(), len(monitor.sends))
+	}
+	if monitor.sends[0].Op != OpReport {
+		t.Fatalf("op = %s", monitor.sends[0].Op)
+	}
+	m := monitor.sends[2].Arg.(Measurement)
+	if m.Seq != 3 || m.Value != Synthesize(3) {
+		t.Fatalf("measurement = %+v", m)
+	}
+	if _, err := pl.Invoke(env, "x", "y", nil); err == nil {
+		t.Fatal("production line served an interface")
+	}
+	// Init without the port is refused.
+	if err := NewProductionLine().Init(testServices(t, "pl", nil)); err == nil {
+		t.Fatal("init without iMonitor accepted")
+	}
+}
+
+func TestMonitoringSystemRouting(t *testing.T) {
+	env, _ := testEnv(t)
+	console := &recordingPort{}
+	audit := &recordingPort{}
+	ms := NewMonitoringSystem()
+	err := ms.Init(testServices(t, "ms", map[string]membrane.Port{
+		ItfConsole: console, ItfLog: audit,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal measurement: audit only.
+	if _, err := ms.Invoke(env, ItfMonitor, OpReport, Measurement{Seq: 1, Value: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if len(console.calls) != 0 || len(audit.sends) != 1 {
+		t.Fatalf("normal routing: console %d, audit %d", len(console.calls), len(audit.sends))
+	}
+	// Anomalous measurement: console then audit.
+	if _, err := ms.Invoke(env, ItfMonitor, OpReport, Measurement{Seq: 2, Value: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if len(console.calls) != 1 || len(audit.sends) != 2 {
+		t.Fatalf("anomaly routing: console %d, audit %d", len(console.calls), len(audit.sends))
+	}
+	alert := console.calls[0].Arg.(Alert)
+	if alert.Seq != 2 || alert.Value != 99 {
+		t.Fatalf("alert = %+v", alert)
+	}
+	if ms.Evaluated() != 2 || ms.Alerts() != 1 {
+		t.Fatalf("stats: evaluated %d alerts %d", ms.Evaluated(), ms.Alerts())
+	}
+	if ms.LastScore() == 0 {
+		t.Fatal("evaluation work elided")
+	}
+	// Wrong interface and wrong payload are refused.
+	if _, err := ms.Invoke(env, "zz", OpReport, Measurement{}); err == nil {
+		t.Fatal("wrong interface accepted")
+	}
+	if _, err := ms.Invoke(env, ItfMonitor, OpReport, "not a measurement"); err == nil {
+		t.Fatal("wrong payload accepted")
+	}
+	// Console failures propagate.
+	console.fail = errors.New("console down")
+	if _, err := ms.Invoke(env, ItfMonitor, OpReport, Measurement{Seq: 3, Value: 99}); err == nil {
+		t.Fatal("console failure swallowed")
+	}
+}
+
+func TestConsoleRendersIntoCurrentArea(t *testing.T) {
+	env, rt := testEnv(t)
+	c := NewConsole()
+	if err := c.Init(nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Invoke(env, ItfConsole, OpDisplay, Alert{Seq: 7, Value: 95, Text: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := res.(int); !ok || n <= 0 {
+		t.Fatalf("render length = %v", res)
+	}
+	if c.Displayed() != 1 || c.LastSeq() != 7 {
+		t.Fatalf("stats: %d / %d", c.Displayed(), c.LastSeq())
+	}
+	if rt.Immortal().Consumed() == 0 {
+		t.Fatal("render did not allocate in the current area")
+	}
+	if _, err := c.Invoke(env, ItfConsole, OpDisplay, 42); err == nil {
+		t.Fatal("wrong payload accepted")
+	}
+	if _, err := c.Invoke(env, "zz", OpDisplay, Alert{}); err == nil {
+		t.Fatal("wrong interface accepted")
+	}
+}
+
+func TestAuditChecksumMatchesFold(t *testing.T) {
+	env, _ := testEnv(t)
+	a := NewAudit()
+	if err := a.Init(nil); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := int64(1); i <= 5; i++ {
+		m := Measurement{Seq: i, Value: Synthesize(i)}
+		want = AuditFold(want, m)
+		if _, err := a.Invoke(env, ItfLog, OpLog, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Logged() != 5 || a.Checksum() != want {
+		t.Fatalf("logged %d checksum %d want %d", a.Logged(), a.Checksum(), want)
+	}
+	if _, err := a.Invoke(env, ItfLog, OpLog, "junk"); err == nil {
+		t.Fatal("wrong payload accepted")
+	}
+	if _, err := a.Invoke(env, "zz", OpLog, Measurement{}); err == nil {
+		t.Fatal("wrong interface accepted")
+	}
+}
+
+func TestContentsRegisterFailsOnDuplicate(t *testing.T) {
+	c := NewContents()
+	reg := &fakeRegistry{classes: map[string]bool{"ConsoleImpl": true}}
+	if err := c.Register(reg); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+type fakeRegistry struct {
+	classes map[string]bool
+}
+
+func (r *fakeRegistry) Register(class string, f func() membrane.Content) error {
+	if r.classes[class] {
+		return fmt.Errorf("duplicate %s", class)
+	}
+	r.classes[class] = true
+	return nil
+}

@@ -1,0 +1,44 @@
+package validate
+
+import (
+	"fmt"
+
+	"soleil/internal/model"
+	"soleil/internal/patterns"
+)
+
+// ApplySuggestedPatterns fills in the communication pattern of every
+// binding that crosses memory areas but has none selected, using the
+// validator's suggestion (patterns.Select). It mirrors the design
+// flow's "possible solutions proposed" step (Sect. 3.2) and returns
+// the bindings it changed.
+func ApplySuggestedPatterns(a *model.Architecture) ([]*model.Binding, error) {
+	var changed []*model.Binding
+	for _, b := range a.Bindings() {
+		if b.Pattern != "" {
+			continue
+		}
+		cli, ok := a.Component(b.Client.Component)
+		if !ok {
+			return nil, fmt.Errorf("validate: binding %s references unknown client", b)
+		}
+		srv, ok := a.Component(b.Server.Component)
+		if !ok {
+			return nil, fmt.Errorf("validate: binding %s references unknown server", b)
+		}
+		cliArea, err := a.EffectiveMemoryArea(cli)
+		if err != nil {
+			return nil, fmt.Errorf("validate: binding %s: %w", b, err)
+		}
+		srvArea, err := a.EffectiveMemoryArea(srv)
+		if err != nil {
+			return nil, fmt.Errorf("validate: binding %s: %w", b, err)
+		}
+		x := patterns.Crossing{Client: cliArea, Server: srvArea}
+		if pat := patterns.Select(x, b.Protocol); pat != patterns.None {
+			b.Pattern = string(pat)
+			changed = append(changed, b)
+		}
+	}
+	return changed, nil
+}

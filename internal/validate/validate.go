@@ -1,0 +1,384 @@
+// Package validate implements the RTSJ conformance verification the
+// paper runs during the design process (Sect. 3.1-3.2): compositions
+// that violate RTSJ are identified with immediate feedback, and the
+// points where cross-scope glue code must be deployed are marked with
+// a suggested communication pattern.
+package validate
+
+import (
+	"fmt"
+	"sort"
+
+	"soleil/internal/model"
+	"soleil/internal/patterns"
+	"soleil/internal/rtsj/analysis"
+	"soleil/internal/rtsj/sched"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities.
+const (
+	Info Severity = iota + 1
+	Warning
+	Error
+)
+
+// String returns the severity name.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one finding of the conformance checker.
+type Diagnostic struct {
+	// Rule identifies the violated rule (e.g. "RT01").
+	Rule     string
+	Severity Severity
+	// Subject is the component or binding the finding refers to.
+	Subject string
+	Message string
+	// Suggestion, when set, proposes a concrete fix (e.g. the
+	// communication pattern to deploy).
+	Suggestion string
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s [%s] %s: %s", d.Severity, d.Rule, d.Subject, d.Message)
+	if d.Suggestion != "" {
+		s += " (suggestion: " + d.Suggestion + ")"
+	}
+	return s
+}
+
+// Report is the outcome of validating an architecture.
+type Report struct {
+	Diagnostics []Diagnostic
+}
+
+// OK reports whether the architecture is RTSJ-compliant (no
+// error-severity findings).
+func (r Report) OK() bool {
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			return false
+		}
+	}
+	return true
+}
+
+// Errors returns the error-severity findings.
+func (r Report) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByRule returns the findings for one rule.
+func (r Report) ByRule(rule string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Rule == rule {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// The rule catalog. Each entry documents one conformance rule the
+// paper's design flow enforces.
+var Rules = map[string]string{
+	"RT01": "every active component is deployed in exactly one ThreadDomain",
+	"RT02": "ThreadDomain components are not nested inside other ThreadDomains",
+	"RT03": "an NHRT ThreadDomain must not encapsulate heap memory (its components may not resolve to a heap MemoryArea)",
+	"RT04": "every functional primitive resolves to exactly one nearest MemoryArea",
+	"RT05": "ThreadDomains contain only active components",
+	"RT06": "ThreadDomain priorities lie in the band of their thread kind (regular 1-10, RT/NHRT 11-38)",
+	"RT07": "bindings crossing memory areas carry an applicable cross-scope communication pattern",
+	"RT08": "synchronous bindings from no-heap domains must not reach heap-allocated servers",
+	"RT09": "heap or immortal MemoryAreas are not nested inside scoped areas",
+	"RT10": "asynchronous bindings terminate at sporadic active components",
+	"RT11": "functional primitives declare a content class (needed for infrastructure generation)",
+	"RT12": "periodic components with cost budgets pass response-time analysis within their ThreadDomain priorities",
+	"RT13": "asynchronous binding rates are compatible with their buffer capacities (periodic producers vs server release rate)",
+}
+
+// Validate checks the architecture against the full rule catalog.
+func Validate(a *model.Architecture) Report {
+	v := &validator{arch: a}
+	v.checkThreadDomains()
+	v.checkMemoryAreas()
+	v.checkFunctional()
+	v.checkBindings()
+	v.checkSchedulability()
+	return Report{Diagnostics: v.diags}
+}
+
+type validator struct {
+	arch  *model.Architecture
+	diags []Diagnostic
+}
+
+func (v *validator) add(rule string, sev Severity, subject, msg, suggestion string) {
+	v.diags = append(v.diags, Diagnostic{
+		Rule: rule, Severity: sev, Subject: subject, Message: msg, Suggestion: suggestion,
+	})
+}
+
+// --- thread domains -----------------------------------------------------------
+
+func (v *validator) checkThreadDomains() {
+	for _, td := range v.arch.ComponentsOfKind(model.ThreadDomain) {
+		d := td.Domain()
+		// RT02: no nesting of thread domains.
+		for _, s := range td.Supers() {
+			if s.Kind() == model.ThreadDomain {
+				v.add("RT02", Error, td.Name(),
+					fmt.Sprintf("ThreadDomain is nested inside ThreadDomain %q; thread domains cannot nest", s.Name()),
+					"deploy both domains side by side inside a MemoryArea")
+			}
+		}
+		// RT05: children must be active.
+		for _, sub := range td.Subs() {
+			if sub.Kind() != model.Active {
+				v.add("RT05", Error, td.Name(),
+					fmt.Sprintf("contains %s component %q; ThreadDomains encapsulate active components only",
+						sub.Kind(), sub.Name()),
+					"move the component into a MemoryArea or a functional composite")
+			}
+		}
+		// RT06: priority band.
+		prio := sched.Priority(d.Priority)
+		switch d.Kind {
+		case model.RegularThread:
+			if !prio.Valid() || prio.RealTime() {
+				v.add("RT06", Error, td.Name(),
+					fmt.Sprintf("regular thread domain has priority %d outside the regular band [%d,%d]",
+						d.Priority, sched.MinPriority, sched.MaxRegularPriority), "")
+			}
+		default:
+			if !prio.RealTime() {
+				v.add("RT06", Error, td.Name(),
+					fmt.Sprintf("%s thread domain has priority %d outside the real-time band [%d,%d]",
+						d.Kind, d.Priority, sched.MinRTPriority, sched.MaxPriority), "")
+			}
+		}
+		// RT03: NHRT domains must not resolve to heap areas.
+		if d.Kind == model.NoHeapRealtimeThread {
+			if ma, err := v.arch.EffectiveMemoryArea(td); err == nil && ma.Area().Kind == model.HeapMemory {
+				v.add("RT03", Error, td.Name(),
+					fmt.Sprintf("NHRT thread domain is deployed in heap MemoryArea %q", ma.Name()),
+					"deploy the domain in immortal or scoped memory")
+			}
+			for _, sub := range td.Subs() {
+				ma, err := v.arch.EffectiveMemoryArea(sub)
+				if err != nil {
+					continue // RT04 reports it
+				}
+				if ma.Area().Kind == model.HeapMemory {
+					v.add("RT03", Error, sub.Name(),
+						fmt.Sprintf("component of NHRT domain %q resolves to heap MemoryArea %q",
+							td.Name(), ma.Name()),
+						"allocate the component in immortal or scoped memory")
+				}
+			}
+		}
+	}
+}
+
+// --- memory areas ---------------------------------------------------------------
+
+func (v *validator) checkMemoryAreas() {
+	for _, ma := range v.arch.ComponentsOfKind(model.MemoryArea) {
+		kind := ma.Area().Kind
+		if kind == model.ScopedMemory {
+			continue // scoped areas nest arbitrarily
+		}
+		for _, s := range ma.Supers() {
+			if s.Kind() == model.MemoryArea && s.Area().Kind == model.ScopedMemory {
+				v.add("RT09", Error, ma.Name(),
+					fmt.Sprintf("%s MemoryArea is nested inside scoped area %q", kind, s.Name()),
+					"heap and immortal memory are roots of the memory hierarchy")
+			}
+		}
+	}
+}
+
+// --- functional components ---------------------------------------------------
+
+func (v *validator) checkFunctional() {
+	for _, c := range v.arch.Components() {
+		switch c.Kind() {
+		case model.Active:
+			if _, err := v.arch.EffectiveThreadDomain(c); err != nil {
+				v.add("RT01", Error, c.Name(), err.Error(),
+					"deploy the component in exactly one ThreadDomain")
+			}
+			v.checkPrimitive(c)
+		case model.Passive:
+			v.checkPrimitive(c)
+		}
+	}
+}
+
+func (v *validator) checkPrimitive(c *model.Component) {
+	if _, err := v.arch.EffectiveMemoryArea(c); err != nil {
+		v.add("RT04", Error, c.Name(), err.Error(),
+			"deploy the component (or its ThreadDomain) in a MemoryArea")
+	}
+	if c.Content() == "" {
+		v.add("RT11", Warning, c.Name(),
+			"primitive component has no content class; infrastructure generation will emit a stub", "")
+	}
+}
+
+// --- bindings -------------------------------------------------------------------
+
+func (v *validator) checkBindings() {
+	for _, b := range v.arch.Bindings() {
+		subject := b.String()
+		cli, _ := v.arch.Component(b.Client.Component)
+		srv, _ := v.arch.Component(b.Server.Component)
+		cliArea, errC := v.arch.EffectiveMemoryArea(cli)
+		srvArea, errS := v.arch.EffectiveMemoryArea(srv)
+		if errC != nil || errS != nil {
+			continue // RT04 reports the missing deployment
+		}
+		x := patterns.Crossing{Client: cliArea, Server: srvArea}
+
+		// RT07: pattern presence and applicability.
+		pat, err := patterns.ParseKind(b.Pattern)
+		if err != nil {
+			v.add("RT07", Error, subject, err.Error(),
+				fmt.Sprintf("use pattern %q", patterns.Select(x, b.Protocol)))
+		} else if err := patterns.Legal(pat, x, b.Protocol); err != nil {
+			sev := Error
+			suggestion := ""
+			if pat == patterns.None && x.Crosses() {
+				// Missing pattern: the validator can choose one, as
+				// the paper's design flow proposes solutions.
+				suggestion = fmt.Sprintf("use pattern %q", patterns.Select(x, b.Protocol))
+			}
+			v.add("RT07", sev, subject, err.Error(), suggestion)
+		}
+
+		// RT08: no-heap clients must not call synchronously into heap.
+		if td, err := v.arch.EffectiveThreadDomain(cli); err == nil &&
+			td.Domain().Kind == model.NoHeapRealtimeThread &&
+			srvArea.Area().Kind == model.HeapMemory &&
+			b.Protocol == model.Synchronous {
+			v.add("RT08", Error, subject,
+				fmt.Sprintf("synchronous call from NHRT domain %q into heap-allocated %q", td.Name(), srv.Name()),
+				"use an asynchronous binding with a non-heap buffer (deep-copy pattern)")
+		}
+
+		// RT10: async servers must be sporadic actives.
+		if b.Protocol == model.Asynchronous {
+			if srv.Kind() != model.Active {
+				v.add("RT10", Error, subject,
+					fmt.Sprintf("asynchronous binding terminates at %s component %q, which has no thread to process messages",
+						srv.Kind(), srv.Name()),
+					"make the server a sporadic active component")
+			} else if srv.Activation().Kind != model.SporadicActivation {
+				v.add("RT10", Warning, subject,
+					fmt.Sprintf("asynchronous binding terminates at %s active component %q; arrivals will not trigger releases",
+						srv.Activation().Kind, srv.Name()),
+					"make the server sporadic so message arrivals release it")
+			}
+			v.checkRates(b, cli, srv, subject)
+		}
+	}
+}
+
+// checkRates applies RT13: a bounded buffer must absorb the worst-case
+// arrival backlog implied by the endpoints' release parameters.
+func (v *validator) checkRates(b *model.Binding, cli, srv *model.Component, subject string) {
+	cliAct, srvAct := cli.Activation(), srv.Activation()
+	if cliAct == nil || cliAct.Kind != model.PeriodicActivation || cliAct.Period <= 0 {
+		return // only periodic producers have a statically known rate
+	}
+	if srvAct == nil {
+		return
+	}
+	switch srvAct.Kind {
+	case model.SporadicActivation:
+		// A sporadic server's minimum interarrival time (its Period
+		// field) defers releases: a producer faster than the MIT grows
+		// the backlog without bound.
+		if mit := srvAct.Period; mit > cliAct.Period {
+			v.add("RT13", Warning, subject,
+				fmt.Sprintf("producer period %v is shorter than the server's minimum interarrival time %v; the backlog grows without bound",
+					cliAct.Period, mit),
+				"lengthen the producer period, shorten the interarrival time, or accept message loss")
+		}
+	case model.PeriodicActivation:
+		// A periodic server drains at its own period boundaries: the
+		// buffer must hold one server period's worth of arrivals.
+		if srvAct.Period <= 0 {
+			return
+		}
+		backlog := int((srvAct.Period + cliAct.Period - 1) / cliAct.Period)
+		if backlog > b.BufferSize {
+			v.add("RT13", Warning, subject,
+				fmt.Sprintf("up to %d messages arrive per server period %v but the buffer holds %d",
+					backlog, srvAct.Period, b.BufferSize),
+				fmt.Sprintf("raise bufferSize to at least %d", backlog))
+		}
+	}
+}
+
+// --- schedulability -----------------------------------------------------------
+
+func (v *validator) checkSchedulability() {
+	var tasks []analysis.Task
+	for _, c := range v.arch.ComponentsOfKind(model.Active) {
+		act := c.Activation()
+		if act.Kind != model.PeriodicActivation || act.Cost <= 0 {
+			continue
+		}
+		td, err := v.arch.EffectiveThreadDomain(c)
+		if err != nil {
+			continue
+		}
+		tasks = append(tasks, analysis.Task{
+			Name:     c.Name(),
+			Period:   act.Period,
+			Cost:     act.Cost,
+			Deadline: act.Deadline,
+			Priority: td.Domain().Priority,
+		})
+	}
+	if len(tasks) == 0 {
+		return
+	}
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].Priority > tasks[j].Priority })
+	rs, err := analysis.ResponseTimeAnalysis(tasks)
+	if err != nil {
+		v.add("RT12", Warning, v.arch.Name(),
+			fmt.Sprintf("response-time analysis not applicable: %v", err), "")
+		return
+	}
+	for _, r := range rs {
+		if !r.Schedulable {
+			v.add("RT12", Error, r.Task,
+				fmt.Sprintf("worst-case response %v exceeds deadline %v", r.WorstCase, r.Deadline),
+				"raise the component's priority, lengthen its period, or reduce its cost")
+		} else {
+			v.add("RT12", Info, r.Task,
+				fmt.Sprintf("schedulable: worst-case response %v within deadline %v", r.WorstCase, r.Deadline), "")
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package views implements the paper's design methodology (Sect. 3.2,
+// Fig. 3): three views — Business, Thread Management, Memory
+// Management — are applied stepwise to grow an RTSJ-compliant RT
+// system architecture, with conformance verified after every step so
+// the designer gets immediate feedback.
+//
+// Because the views are separate documents, the same business view can
+// be combined with different thread/memory views to tailor one
+// functional system for differently constrained real-time conditions
+// (the paper's "smoothly changed execution characteristics").
+package views
+
+import (
+	"fmt"
+
+	"soleil/internal/model"
+	"soleil/internal/validate"
+)
+
+// BusinessComponent declares one functional component of the business
+// view.
+type BusinessComponent struct {
+	Name string
+	Kind model.Kind // Active, Passive or Composite
+	// Activation configures active components.
+	Activation model.Activation
+	// Content names the content class of primitives.
+	Content    string
+	Interfaces []model.Interface
+	// Children lists sub-component names (composites only).
+	Children []string
+}
+
+// BusinessView is the functional architecture: components, hierarchy
+// and bindings, with no real-time concern.
+type BusinessView struct {
+	Name       string
+	Components []BusinessComponent
+	Bindings   []model.Binding
+}
+
+// DomainAssignment deploys active components into one ThreadDomain.
+type DomainAssignment struct {
+	Name    string
+	Desc    model.DomainDesc
+	Members []string
+}
+
+// ThreadView is the thread management view: the partition of active
+// components into ThreadDomains.
+type ThreadView struct {
+	Domains []DomainAssignment
+}
+
+// AreaAssignment deploys components (functional components or
+// ThreadDomains) into one MemoryArea. Areas may nest via Parent.
+type AreaAssignment struct {
+	Name    string
+	Desc    model.AreaDesc
+	Parent  string // enclosing MemoryArea, "" for a root area
+	Members []string
+}
+
+// MemoryView is the memory management view: the partition of the
+// system into MemoryAreas.
+type MemoryView struct {
+	Areas []AreaAssignment
+}
+
+// Stage tracks the design flow's progress.
+type Stage int
+
+// Design flow stages.
+const (
+	StageBusiness Stage = iota + 1
+	StageThreads
+	StageMemory
+)
+
+// stageRules lists the conformance rules meaningfully checkable at
+// each stage; later-stage rules would fire spuriously on an
+// architecture that legitimately has no memory areas yet.
+var stageRules = map[Stage][]string{
+	StageThreads: {"RT01", "RT02", "RT05", "RT06"},
+	StageMemory:  nil, // nil = every rule
+}
+
+// Flow is one execution of the design methodology.
+type Flow struct {
+	arch  *model.Architecture
+	stage Stage
+}
+
+// NewFlow starts the design flow from a business view.
+func NewFlow(b BusinessView) (*Flow, error) {
+	a := model.NewArchitecture(b.Name)
+	for _, bc := range b.Components {
+		var c *model.Component
+		var err error
+		switch bc.Kind {
+		case model.Active:
+			c, err = a.NewActive(bc.Name, bc.Activation)
+		case model.Passive:
+			c, err = a.NewPassive(bc.Name)
+		case model.Composite:
+			c, err = a.NewComposite(bc.Name)
+		default:
+			err = fmt.Errorf("views: business component %q has non-functional kind %v", bc.Name, bc.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, itf := range bc.Interfaces {
+			if err := c.AddInterface(itf); err != nil {
+				return nil, err
+			}
+		}
+		if bc.Content != "" {
+			if err := c.SetContent(bc.Content); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, bc := range b.Components {
+		if len(bc.Children) == 0 {
+			continue
+		}
+		parent, _ := a.Component(bc.Name)
+		for _, childName := range bc.Children {
+			child, ok := a.Component(childName)
+			if !ok {
+				return nil, fmt.Errorf("views: composite %q references unknown child %q", bc.Name, childName)
+			}
+			if err := a.AddChild(parent, child); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, b := range b.Bindings {
+		if _, err := a.Bind(b); err != nil {
+			return nil, err
+		}
+	}
+	return &Flow{arch: a, stage: StageBusiness}, nil
+}
+
+// Architecture exposes the in-progress architecture.
+func (f *Flow) Architecture() *model.Architecture { return f.arch }
+
+// Stage returns the flow's current stage.
+func (f *Flow) Stage() Stage { return f.stage }
+
+// report runs full validation and filters to the rules relevant for
+// the stage.
+func (f *Flow) report(stage Stage) validate.Report {
+	full := validate.Validate(f.arch)
+	allowed := stageRules[stage]
+	if allowed == nil {
+		return full
+	}
+	set := make(map[string]bool, len(allowed))
+	for _, r := range allowed {
+		set[r] = true
+	}
+	var out validate.Report
+	for _, d := range full.Diagnostics {
+		if set[d.Rule] {
+			out.Diagnostics = append(out.Diagnostics, d)
+		}
+	}
+	return out
+}
+
+// ApplyThreadView deploys active components into ThreadDomains and
+// verifies the thread-related conformance rules. The returned report
+// carries the immediate designer feedback of Fig. 3; a non-OK report
+// leaves the flow usable so the designer can inspect the problem, but
+// ApplyMemoryView refuses to proceed past errors.
+func (f *Flow) ApplyThreadView(tv ThreadView) (validate.Report, error) {
+	if f.stage != StageBusiness {
+		return validate.Report{}, fmt.Errorf("views: thread view must follow the business view (stage %d)", f.stage)
+	}
+	for _, da := range tv.Domains {
+		td, err := f.arch.NewThreadDomain(da.Name, da.Desc)
+		if err != nil {
+			return validate.Report{}, err
+		}
+		for _, m := range da.Members {
+			c, ok := f.arch.Component(m)
+			if !ok {
+				return validate.Report{}, fmt.Errorf("views: thread domain %q references unknown component %q", da.Name, m)
+			}
+			if err := f.arch.AddChild(td, c); err != nil {
+				return validate.Report{}, err
+			}
+		}
+	}
+	f.stage = StageThreads
+	return f.report(StageThreads), nil
+}
+
+// ApplyMemoryView deploys the system into MemoryAreas, auto-selects
+// communication patterns for bindings that cross areas, and verifies
+// the full rule catalog.
+func (f *Flow) ApplyMemoryView(mv MemoryView) (validate.Report, error) {
+	if f.stage != StageThreads {
+		return validate.Report{}, fmt.Errorf("views: memory view must follow the thread view (stage %d)", f.stage)
+	}
+	if r := f.report(StageThreads); !r.OK() {
+		return r, fmt.Errorf("views: thread view left %d unresolved errors", len(r.Errors()))
+	}
+	for _, aa := range mv.Areas {
+		if _, err := f.arch.NewMemoryArea(aa.Name, aa.Desc); err != nil {
+			return validate.Report{}, err
+		}
+	}
+	for _, aa := range mv.Areas {
+		ma, _ := f.arch.Component(aa.Name)
+		if aa.Parent != "" {
+			parent, ok := f.arch.Component(aa.Parent)
+			if !ok || parent.Kind() != model.MemoryArea {
+				return validate.Report{}, fmt.Errorf("views: area %q has unknown parent area %q", aa.Name, aa.Parent)
+			}
+			if err := f.arch.AddChild(parent, ma); err != nil {
+				return validate.Report{}, err
+			}
+		}
+		for _, m := range aa.Members {
+			c, ok := f.arch.Component(m)
+			if !ok {
+				return validate.Report{}, fmt.Errorf("views: area %q references unknown component %q", aa.Name, m)
+			}
+			if err := f.arch.AddChild(ma, c); err != nil {
+				return validate.Report{}, err
+			}
+		}
+	}
+	if _, err := validate.ApplySuggestedPatterns(f.arch); err != nil {
+		return validate.Report{}, err
+	}
+	f.stage = StageMemory
+	return f.report(StageMemory), nil
+}
+
+// Finalize returns the completed RT system architecture. It fails if
+// the flow has not absorbed all three views or if conformance errors
+// remain.
+func (f *Flow) Finalize() (*model.Architecture, validate.Report, error) {
+	if f.stage != StageMemory {
+		return nil, validate.Report{}, fmt.Errorf("views: design flow incomplete (stage %d)", f.stage)
+	}
+	r := f.report(StageMemory)
+	if !r.OK() {
+		return nil, r, fmt.Errorf("views: architecture violates RTSJ: %d errors", len(r.Errors()))
+	}
+	return f.arch, r, nil
+}

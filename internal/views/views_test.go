@@ -1,0 +1,278 @@
+package views
+
+import (
+	"testing"
+	"time"
+
+	"soleil/internal/model"
+)
+
+const ms = time.Millisecond
+
+// factoryBusiness is the motivation example's business view.
+func factoryBusiness() BusinessView {
+	return BusinessView{
+		Name: "factory-monitoring",
+		Components: []BusinessComponent{
+			{
+				Name: "ProductionLine", Kind: model.Active,
+				Activation: model.Activation{Kind: model.PeriodicActivation, Period: 10 * ms},
+				Content:    "ProductionLineImpl",
+				Interfaces: []model.Interface{{Name: "iMonitor", Role: model.ClientRole, Signature: "IMonitor"}},
+			},
+			{
+				Name: "MonitoringSystem", Kind: model.Active,
+				Activation: model.Activation{Kind: model.SporadicActivation},
+				Content:    "MonitoringSystemImpl",
+				Interfaces: []model.Interface{
+					{Name: "iMonitor", Role: model.ServerRole, Signature: "IMonitor"},
+					{Name: "iConsole", Role: model.ClientRole, Signature: "IConsole"},
+					{Name: "iLog", Role: model.ClientRole, Signature: "ILog"},
+				},
+			},
+			{
+				Name: "Console", Kind: model.Passive,
+				Content:    "ConsoleImpl",
+				Interfaces: []model.Interface{{Name: "iConsole", Role: model.ServerRole, Signature: "IConsole"}},
+			},
+			{
+				Name: "Audit", Kind: model.Active,
+				Activation: model.Activation{Kind: model.SporadicActivation},
+				Content:    "AuditImpl",
+				Interfaces: []model.Interface{{Name: "iLog", Role: model.ServerRole, Signature: "ILog"}},
+			},
+			{
+				Name: "FactoryMonitoring", Kind: model.Composite,
+				Children: []string{"ProductionLine", "MonitoringSystem", "Console", "Audit"},
+			},
+		},
+		Bindings: []model.Binding{
+			{
+				Client:   model.Endpoint{Component: "ProductionLine", Interface: "iMonitor"},
+				Server:   model.Endpoint{Component: "MonitoringSystem", Interface: "iMonitor"},
+				Protocol: model.Asynchronous, BufferSize: 10,
+			},
+			{
+				Client:   model.Endpoint{Component: "MonitoringSystem", Interface: "iConsole"},
+				Server:   model.Endpoint{Component: "Console", Interface: "iConsole"},
+				Protocol: model.Synchronous,
+			},
+			{
+				Client:   model.Endpoint{Component: "MonitoringSystem", Interface: "iLog"},
+				Server:   model.Endpoint{Component: "Audit", Interface: "iLog"},
+				Protocol: model.Asynchronous, BufferSize: 16,
+			},
+		},
+	}
+}
+
+func factoryThreads() ThreadView {
+	return ThreadView{Domains: []DomainAssignment{
+		{Name: "NHRT1", Desc: model.DomainDesc{Kind: model.NoHeapRealtimeThread, Priority: 30},
+			Members: []string{"ProductionLine"}},
+		{Name: "NHRT2", Desc: model.DomainDesc{Kind: model.NoHeapRealtimeThread, Priority: 25},
+			Members: []string{"MonitoringSystem"}},
+		{Name: "reg1", Desc: model.DomainDesc{Kind: model.RegularThread, Priority: 5},
+			Members: []string{"Audit"}},
+	}}
+}
+
+func factoryMemory() MemoryView {
+	return MemoryView{Areas: []AreaAssignment{
+		{Name: "Imm1", Desc: model.AreaDesc{Kind: model.ImmortalMemory, Size: 600 << 10},
+			Members: []string{"NHRT1", "NHRT2"}},
+		{Name: "S1", Desc: model.AreaDesc{Kind: model.ScopedMemory, ScopeName: "cscope", Size: 28 << 10},
+			Members: []string{"Console"}},
+		{Name: "H1", Desc: model.AreaDesc{Kind: model.HeapMemory},
+			Members: []string{"reg1"}},
+	}}
+}
+
+func TestFullDesignFlow(t *testing.T) {
+	flow, err := NewFlow(factoryBusiness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow.Stage() != StageBusiness {
+		t.Fatal("stage after business view")
+	}
+	r, err := flow.ApplyThreadView(factoryThreads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("thread view rejected: %v", r.Errors())
+	}
+	if flow.Stage() != StageThreads {
+		t.Fatal("stage after thread view")
+	}
+	r, err = flow.ApplyMemoryView(factoryMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("memory view rejected: %v", r.Errors())
+	}
+	arch, report, err := flow.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("final report: %v", report.Errors())
+	}
+	// Patterns were auto-selected for the crossing bindings.
+	var consoleBinding, auditBinding *model.Binding
+	for _, b := range arch.Bindings() {
+		switch b.Server.Component {
+		case "Console":
+			consoleBinding = b
+		case "Audit":
+			auditBinding = b
+		}
+	}
+	if consoleBinding.Pattern != "scope-enter" {
+		t.Fatalf("console binding pattern = %q", consoleBinding.Pattern)
+	}
+	if auditBinding.Pattern != "deep-copy" {
+		t.Fatalf("audit binding pattern = %q", auditBinding.Pattern)
+	}
+	// Sharing: ProductionLine has the composite and NHRT1 as parents.
+	pl, _ := arch.Component("ProductionLine")
+	if got := len(pl.Supers()); got != 2 {
+		t.Fatalf("ProductionLine parents = %d", got)
+	}
+}
+
+func TestThreadViewFeedback(t *testing.T) {
+	flow, err := NewFlow(factoryBusiness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forget to deploy Audit: the step report flags RT01 immediately.
+	tv := ThreadView{Domains: factoryThreads().Domains[:2]}
+	r, err := flow.ApplyThreadView(tv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK() {
+		t.Fatal("incomplete thread view accepted")
+	}
+	found := false
+	for _, d := range r.ByRule("RT01") {
+		if d.Subject == "Audit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no RT01 for Audit: %v", r.Diagnostics)
+	}
+	// Memory-stage rules are not reported yet (no RT04 noise).
+	if got := len(r.ByRule("RT04")); got != 0 {
+		t.Fatalf("premature RT04 findings: %d", got)
+	}
+	// Proceeding past errors is refused.
+	if _, err := flow.ApplyMemoryView(factoryMemory()); err == nil {
+		t.Fatal("memory view applied over unresolved thread errors")
+	}
+}
+
+func TestFlowStageOrdering(t *testing.T) {
+	flow, err := NewFlow(factoryBusiness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flow.ApplyMemoryView(factoryMemory()); err == nil {
+		t.Fatal("memory view before thread view accepted")
+	}
+	if _, _, err := flow.Finalize(); err == nil {
+		t.Fatal("finalize before completion accepted")
+	}
+	if _, err := flow.ApplyThreadView(factoryThreads()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flow.ApplyThreadView(factoryThreads()); err == nil {
+		t.Fatal("double thread view accepted")
+	}
+}
+
+func TestNewFlowValidation(t *testing.T) {
+	if _, err := NewFlow(BusinessView{Components: []BusinessComponent{
+		{Name: "td", Kind: model.ThreadDomain},
+	}}); err == nil {
+		t.Fatal("non-functional kind in business view accepted")
+	}
+	if _, err := NewFlow(BusinessView{Components: []BusinessComponent{
+		{Name: "c", Kind: model.Composite, Children: []string{"ghost"}},
+	}}); err == nil {
+		t.Fatal("dangling child accepted")
+	}
+	if _, err := NewFlow(BusinessView{Bindings: []model.Binding{{}}}); err == nil {
+		t.Fatal("bad binding accepted")
+	}
+}
+
+func TestViewReferenceErrors(t *testing.T) {
+	flow, err := NewFlow(factoryBusiness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flow.ApplyThreadView(ThreadView{Domains: []DomainAssignment{
+		{Name: "td", Desc: model.DomainDesc{Kind: model.RealtimeThread, Priority: 20}, Members: []string{"ghost"}},
+	}}); err == nil {
+		t.Fatal("dangling thread member accepted")
+	}
+
+	flow2, _ := NewFlow(factoryBusiness())
+	if _, err := flow2.ApplyThreadView(factoryThreads()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flow2.ApplyMemoryView(MemoryView{Areas: []AreaAssignment{
+		{Name: "m", Desc: model.AreaDesc{Kind: model.ImmortalMemory}, Members: []string{"ghost"}},
+	}}); err == nil {
+		t.Fatal("dangling area member accepted")
+	}
+
+	flow3, _ := NewFlow(factoryBusiness())
+	if _, err := flow3.ApplyThreadView(factoryThreads()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flow3.ApplyMemoryView(MemoryView{Areas: []AreaAssignment{
+		{Name: "m", Desc: model.AreaDesc{Kind: model.ImmortalMemory}, Parent: "ghost"},
+	}}); err == nil {
+		t.Fatal("dangling area parent accepted")
+	}
+}
+
+// TestTailoring demonstrates the paper's claim that one business view
+// combines with different thread/memory views: the same functional
+// system deployed fully in heap with regular threads (soft real-time
+// tailoring).
+func TestTailoringSoftRealtime(t *testing.T) {
+	flow, err := NewFlow(factoryBusiness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := flow.ApplyThreadView(ThreadView{Domains: []DomainAssignment{
+		{Name: "regAll", Desc: model.DomainDesc{Kind: model.RegularThread, Priority: 5},
+			Members: []string{"ProductionLine", "MonitoringSystem", "Audit"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("soft thread view rejected: %v", r.Errors())
+	}
+	r, err = flow.ApplyMemoryView(MemoryView{Areas: []AreaAssignment{
+		{Name: "H", Desc: model.AreaDesc{Kind: model.HeapMemory},
+			Members: []string{"regAll", "Console"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("soft memory view rejected: %v", r.Errors())
+	}
+	if _, _, err := flow.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}

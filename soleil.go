@@ -1,0 +1,217 @@
+// Package soleil is a component framework for Java-style real-time
+// embedded systems, reproducing Plsek, Loiret, Merle & Seinturier,
+// "A Component Framework for Java-based Real-Time Embedded Systems"
+// (Middleware 2008) in Go.
+//
+// The framework lets you describe a real-time system as a hierarchical
+// component architecture with sharing, where the RTSJ concerns —
+// which thread flavour runs a component (ThreadDomain: regular,
+// real-time, or no-heap real-time) and which memory area it lives in
+// (MemoryArea: heap, immortal, or scoped) — are first-class
+// architectural entities, separate from the functional (business)
+// architecture. The framework then:
+//
+//   - verifies the composition against the RTSJ rules (single parent
+//     rule, NHRT×heap prohibition, cross-scope binding patterns, ...)
+//     with immediate feedback during a three-view design flow;
+//   - deploys the architecture onto a simulated RTSJ runtime
+//     (priority-preemptive scheduling, scoped/immortal memory with
+//     dynamic assignment-rule checking) in one of three
+//     infrastructure modes — SOLEIL (fully reified membranes),
+//     MERGE-ALL (membranes merged into their components), and
+//     ULTRA-MERGE (one static unit);
+//   - or generates the equivalent infrastructure as Go source code;
+//   - and supports runtime adaptation (introspection, rebinding,
+//     lifecycle) with RTSJ-safety checks.
+//
+// # Quick start
+//
+//	fw := soleil.New()
+//	arch, err := fw.LoadADL("factory.xml")          // Fig. 4 dialect
+//	report := fw.Validate(arch)                     // RTSJ conformance
+//	_ = fw.Register("ConsoleImpl", newConsole)      // content classes
+//	sys, err := fw.Deploy(arch, soleil.Soleil)      // or MergeAll, UltraMerge
+//	err = sys.RunFor(100 * time.Millisecond)        // simulated time
+//
+// See examples/ for complete programs, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+package soleil
+
+import (
+	"net"
+
+	"soleil/internal/assembly"
+	"soleil/internal/core"
+	"soleil/internal/dist"
+	"soleil/internal/membrane"
+	"soleil/internal/model"
+	"soleil/internal/reconfig"
+	"soleil/internal/rtsj/thread"
+	"soleil/internal/validate"
+	"soleil/internal/views"
+)
+
+// Framework is the main entry point; create one with New.
+type Framework = core.Framework
+
+// New creates a framework instance.
+func New() *Framework { return core.New() }
+
+// Architecture modelling (Fig. 2 metamodel).
+type (
+	// Architecture is a complete RT system architecture.
+	Architecture = model.Architecture
+	// Component is a node of the architecture.
+	Component = model.Component
+	// Interface is a functional access point of a component.
+	Interface = model.Interface
+	// Binding connects a client interface to a server interface.
+	Binding = model.Binding
+	// Endpoint identifies one side of a binding.
+	Endpoint = model.Endpoint
+	// Activation describes an active component's release parameters.
+	Activation = model.Activation
+	// DomainDesc carries a ThreadDomain's RTSJ properties.
+	DomainDesc = model.DomainDesc
+	// AreaDesc carries a MemoryArea's RTSJ properties.
+	AreaDesc = model.AreaDesc
+)
+
+// NewArchitecture creates an empty architecture.
+func NewArchitecture(name string) *Architecture { return model.NewArchitecture(name) }
+
+// Metamodel enumerations.
+const (
+	// Component kinds (for view declarations).
+	ActiveKind    = model.Active
+	PassiveKind   = model.Passive
+	CompositeKind = model.Composite
+
+	PeriodicActivation  = model.PeriodicActivation
+	SporadicActivation  = model.SporadicActivation
+	AperiodicActivation = model.AperiodicActivation
+
+	RegularThread        = model.RegularThread
+	RealtimeThread       = model.RealtimeThread
+	NoHeapRealtimeThread = model.NoHeapRealtimeThread
+
+	HeapMemory     = model.HeapMemory
+	ImmortalMemory = model.ImmortalMemory
+	ScopedMemory   = model.ScopedMemory
+
+	ClientRole = model.ClientRole
+	ServerRole = model.ServerRole
+
+	Synchronous  = model.Synchronous
+	Asynchronous = model.Asynchronous
+)
+
+// Design methodology (Fig. 3).
+type (
+	// BusinessView is the functional architecture.
+	BusinessView = views.BusinessView
+	// BusinessComponent declares one functional component.
+	BusinessComponent = views.BusinessComponent
+	// ThreadView partitions active components into ThreadDomains.
+	ThreadView = views.ThreadView
+	// DomainAssignment deploys components into one ThreadDomain.
+	DomainAssignment = views.DomainAssignment
+	// MemoryView partitions the system into MemoryAreas.
+	MemoryView = views.MemoryView
+	// AreaAssignment deploys components into one MemoryArea.
+	AreaAssignment = views.AreaAssignment
+	// DesignFlow is one execution of the design methodology.
+	DesignFlow = views.Flow
+)
+
+// NewDesignFlow starts the stepwise design flow from a business view.
+func NewDesignFlow(b BusinessView) (*DesignFlow, error) { return views.NewFlow(b) }
+
+// Validation.
+type (
+	// Report is the outcome of RTSJ conformance validation.
+	Report = validate.Report
+	// Diagnostic is one finding of the conformance checker.
+	Diagnostic = validate.Diagnostic
+)
+
+// Validate checks an architecture against the RTSJ conformance rules.
+func Validate(a *Architecture) Report { return validate.Validate(a) }
+
+// ApplySuggestedPatterns fills in the cross-scope communication
+// pattern of every binding that crosses memory areas but has none
+// selected — the design flow's "possible solutions proposed" step.
+func ApplySuggestedPatterns(a *Architecture) ([]*Binding, error) {
+	return validate.ApplySuggestedPatterns(a)
+}
+
+// Deployment (Fig. 5, Sect. 4.3).
+type (
+	// System is a deployed, runnable system.
+	System = assembly.System
+	// Mode selects the infrastructure mode.
+	Mode = assembly.Mode
+	// Node is the executable form of one functional component.
+	Node = assembly.Node
+)
+
+// Infrastructure modes.
+const (
+	Soleil     = assembly.Soleil
+	MergeAll   = assembly.MergeAll
+	UltraMerge = assembly.UltraMerge
+)
+
+// Content authoring: implement Content (and ActiveContent for active
+// components), then register the class with Framework.Register.
+type (
+	// Content is the user-implemented functional code of a primitive
+	// component.
+	Content = membrane.Content
+	// ActiveContent is content with its own activation logic.
+	ActiveContent = membrane.ActiveContent
+	// Services is the execution support handed to content at Init.
+	Services = membrane.Services
+	// Port is a client interface as seen by content.
+	Port = membrane.Port
+	// Env is the execution environment of a running thread.
+	Env = thread.Env
+)
+
+// Runtime adaptation (Sect. 4.2).
+type (
+	// Adapter drives runtime adaptation of a deployed system.
+	Adapter = reconfig.Manager
+	// Snapshot is an introspection view of a deployed system.
+	Snapshot = reconfig.Snapshot
+)
+
+// Distribution support (the paper's future-work extension): join two
+// deployed systems with a distributed asynchronous binding.
+type (
+	// Transport carries serialized messages between systems.
+	Transport = dist.Transport
+	// Importer dispatches transported messages into a local
+	// component.
+	Importer = dist.Importer
+)
+
+// NewPipeTransport creates a connected in-process transport pair.
+func NewPipeTransport() (Transport, Transport) { return dist.NewPipe() }
+
+// NewConnTransport frames a stream connection as a transport.
+func NewConnTransport(conn net.Conn) Transport { return dist.NewConn(conn) }
+
+// RegisterPayload registers a message type for the wire encoding.
+func RegisterPayload(v any) { dist.RegisterPayload(v) }
+
+// Export routes a client interface of sys onto a transport.
+func Export(sys *System, client, clientItf, serverItf string, t Transport) error {
+	return dist.Export(sys, client, clientItf, serverItf, t)
+}
+
+// Import attaches a transport to a server component of sys.
+func Import(sys *System, server string, t Transport) (*Importer, error) {
+	return dist.Import(sys, server, t)
+}

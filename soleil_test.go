@@ -1,0 +1,287 @@
+package soleil_test
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"soleil"
+)
+
+// counter is a minimal content implementation for API tests.
+type counter struct {
+	svc  *soleil.Services
+	hits int
+}
+
+func (c *counter) Init(svc *soleil.Services) error { c.svc = svc; return nil }
+
+func (c *counter) Invoke(env *soleil.Env, itf, op string, arg any) (any, error) {
+	c.hits++
+	return arg, nil
+}
+
+// emitter is a periodic producer for API tests.
+type emitter struct {
+	counter
+}
+
+func (e *emitter) Activate(env *soleil.Env) error {
+	port, err := e.svc.Port("out")
+	if err != nil {
+		return err
+	}
+	return port.Send(env, "tick", e.hits)
+}
+
+// buildAPIArch assembles a minimal valid architecture via the public
+// API.
+func buildAPIArch(t *testing.T) *soleil.Architecture {
+	t.Helper()
+	arch := soleil.NewArchitecture("api-test")
+	src, err := arch.NewActive("Src", soleil.Activation{
+		Kind: soleil.PeriodicActivation, Period: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := arch.NewActive("Dst", soleil.Activation{Kind: soleil.SporadicActivation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.AddInterface(soleil.Interface{Name: "out", Role: soleil.ClientRole, Signature: "I"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.AddInterface(soleil.Interface{Name: "in", Role: soleil.ServerRole, Signature: "I"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetContent("SrcImpl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SetContent("DstImpl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arch.Bind(soleil.Binding{
+		Client:   soleil.Endpoint{Component: "Src", Interface: "out"},
+		Server:   soleil.Endpoint{Component: "Dst", Interface: "in"},
+		Protocol: soleil.Asynchronous, BufferSize: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	td, err := arch.NewThreadDomain("rt", soleil.DomainDesc{Kind: soleil.RealtimeThread, Priority: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imm, err := arch.NewMemoryArea("imm", soleil.AreaDesc{Kind: soleil.ImmortalMemory, Size: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []struct{ p, c *soleil.Component }{{imm, td}, {td, src}, {td, dst}} {
+		if err := arch.AddChild(e.p, e.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return arch
+}
+
+func TestPublicAPIDeployAndRun(t *testing.T) {
+	arch := buildAPIArch(t)
+	if r := soleil.Validate(arch); !r.OK() {
+		t.Fatalf("refused: %v", r.Errors())
+	}
+	fw := soleil.New()
+	dst := &counter{}
+	if err := fw.Register("SrcImpl", func() soleil.Content { return &emitter{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Register("DstImpl", func() soleil.Content { return dst }); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []soleil.Mode{soleil.Soleil, soleil.MergeAll, soleil.UltraMerge} {
+		dst.hits = 0
+		fw2 := soleil.New()
+		consumer := &counter{}
+		if err := fw2.Register("SrcImpl", func() soleil.Content { return &emitter{} }); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw2.Register("DstImpl", func() soleil.Content { return consumer }); err != nil {
+			t.Fatal(err)
+		}
+		arch2 := buildAPIArch(t)
+		sys, err := fw2.Deploy(arch2, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if err := sys.RunFor(55 * time.Millisecond); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if consumer.hits != 6 {
+			t.Errorf("%v: consumer hits = %d, want 6", mode, consumer.hits)
+		}
+	}
+}
+
+func TestPublicAPISuggestedPatterns(t *testing.T) {
+	arch := soleil.NewArchitecture("cross")
+	cli, _ := arch.NewActive("Cli", soleil.Activation{Kind: soleil.SporadicActivation})
+	srv, _ := arch.NewActive("Srv", soleil.Activation{Kind: soleil.SporadicActivation})
+	_ = cli.AddInterface(soleil.Interface{Name: "out", Role: soleil.ClientRole, Signature: "I"})
+	_ = srv.AddInterface(soleil.Interface{Name: "in", Role: soleil.ServerRole, Signature: "I"})
+	_ = cli.SetContent("C")
+	_ = srv.SetContent("S")
+	if _, err := arch.Bind(soleil.Binding{
+		Client:   soleil.Endpoint{Component: "Cli", Interface: "out"},
+		Server:   soleil.Endpoint{Component: "Srv", Interface: "in"},
+		Protocol: soleil.Asynchronous, BufferSize: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tdc, _ := arch.NewThreadDomain("tdc", soleil.DomainDesc{Kind: soleil.RealtimeThread, Priority: 20})
+	tds, _ := arch.NewThreadDomain("tds", soleil.DomainDesc{Kind: soleil.RegularThread, Priority: 5})
+	imm, _ := arch.NewMemoryArea("imm", soleil.AreaDesc{Kind: soleil.ImmortalMemory})
+	heap, _ := arch.NewMemoryArea("heap", soleil.AreaDesc{Kind: soleil.HeapMemory})
+	for _, e := range []struct{ p, c *soleil.Component }{
+		{imm, tdc}, {tdc, cli}, {heap, tds}, {tds, srv},
+	} {
+		if err := arch.AddChild(e.p, e.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if soleil.Validate(arch).OK() {
+		t.Fatal("crossing without pattern accepted")
+	}
+	changed, err := soleil.ApplySuggestedPatterns(arch)
+	if err != nil || len(changed) != 1 {
+		t.Fatalf("apply: %v, %d changed", err, len(changed))
+	}
+	if !soleil.Validate(arch).OK() {
+		t.Fatal("still refused after applying suggestions")
+	}
+}
+
+// TestExamplesRun executes every example program end to end.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn go run")
+	}
+	cases := map[string]string{
+		"quickstart":  "logger received 10 records",
+		"distributed": "ground station received 8 frames over TCP",
+		"factory":     "produced=16 evaluated=16 alerts=2 logged=16",
+		"adaptive":    "primary displayed 3, backup displayed 3",
+		"tailoring":   "source ticks=10 stage relayed=10 sink received=10",
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("output missing %q:\n%s", want, out)
+			}
+		})
+	}
+}
+
+// TestCLIsRun executes the two command-line tools end to end.
+func TestCLIsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLIs spawn go run")
+	}
+	t.Run("soleil-validate", func(t *testing.T) {
+		t.Parallel()
+		out, err := exec.Command("go", "run", "./cmd/soleil",
+			"validate", "examples/factory/factory.xml").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "RTSJ-compliant") {
+			t.Fatalf("unexpected output:\n%s", out)
+		}
+	})
+	t.Run("soleil-run", func(t *testing.T) {
+		t.Parallel()
+		out, err := exec.Command("go", "run", "./cmd/soleil",
+			"run", "-mode", "SOLEIL", "-duration", "50ms", "examples/factory/factory.xml").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"ProductionLine", "releases=6", "buffer"} {
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+	t.Run("soleil-genreport", func(t *testing.T) {
+		t.Parallel()
+		out, err := exec.Command("go", "run", "./cmd/soleil",
+			"genreport", "examples/factory/factory.xml").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if strings.Contains(string(out), "MISS") {
+			t.Fatalf("requirements missed:\n%s", out)
+		}
+	})
+	t.Run("rtbench-small", func(t *testing.T) {
+		t.Parallel()
+		out, err := exec.Command("go", "run", "./cmd/rtbench",
+			"-panel", "b", "-observations", "200", "-warmup", "50").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"OO", "SOLEIL", "MERGE-ALL", "ULTRA-MERGE"} {
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+}
+
+// Example of driving the framework's design flow from the public API.
+func ExampleNewDesignFlow() {
+	flow, err := soleil.NewDesignFlow(soleil.BusinessView{
+		Name: "example",
+		Components: []soleil.BusinessComponent{
+			{Name: "Worker", Kind: soleil.ActiveKind,
+				Activation: soleil.Activation{Kind: soleil.SporadicActivation},
+				Content:    "WorkerImpl"},
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	report, err := flow.ApplyThreadView(soleil.ThreadView{Domains: []soleil.DomainAssignment{
+		{Name: "rt", Desc: soleil.DomainDesc{Kind: soleil.RealtimeThread, Priority: 20},
+			Members: []string{"Worker"}},
+	}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("thread view ok:", report.OK())
+	report, err = flow.ApplyMemoryView(soleil.MemoryView{Areas: []soleil.AreaAssignment{
+		{Name: "imm", Desc: soleil.AreaDesc{Kind: soleil.ImmortalMemory}, Members: []string{"rt"}},
+	}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_, final, err := flow.Finalize()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("memory view ok:", report.OK())
+	fmt.Println("final ok:", final.OK())
+	// Output:
+	// thread view ok: true
+	// memory view ok: true
+	// final ok: true
+}
