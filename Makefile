@@ -1,0 +1,35 @@
+# Tier-1+ verification gate. `make check` is what CI and reviewers
+# run: vet, build, the full test suite under the race detector, and
+# the fault-tolerance soak scenario.
+
+GO ?= go
+
+.PHONY: all check vet build test race soak bench clean
+
+all: check
+
+check: vet build race soak
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The soak scenario: two systems over a lossy transport with a
+# panicking component, supervised end to end (zero crashes, no
+# goroutine leaks). -count=2 re-runs it to shake out ordering effects.
+soak:
+	$(GO) test -race -run TestSoakDistributedSupervision -count=2 ./internal/fault/
+
+bench:
+	$(GO) test -bench Fig7 -benchmem
+
+clean:
+	$(GO) clean ./...

@@ -18,8 +18,11 @@ import (
 
 	"soleil/internal/adl"
 	"soleil/internal/assembly"
+	"soleil/internal/fault"
 	"soleil/internal/generate"
+	"soleil/internal/membrane"
 	"soleil/internal/model"
+	"soleil/internal/reconfig"
 	"soleil/internal/rtsj/analysis"
 	"soleil/internal/validate"
 )
@@ -206,6 +209,8 @@ func cmdRun(args []string) error {
 	modeName := fs.String("mode", "SOLEIL", "infrastructure mode")
 	duration := fs.Duration("duration", 100*time.Millisecond, "virtual-time horizon")
 	traceN := fs.Int("trace", 0, "print the first N scheduling events (0 = off)")
+	faults := fs.String("faults", "",
+		"run under injected faults, e.g. \"panic=0.05,seed=42\"; deploys panic guards, resilient threads and a restarting supervisor (SOLEIL mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -217,15 +222,59 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := assembly.Deploy(arch, assembly.Config{Mode: mode, AllowStubs: true})
+	cfg := assembly.Config{Mode: mode, AllowStubs: true}
+	var spec fault.Spec
+	var flog *fault.Log
+	if *faults != "" {
+		if spec, err = fault.ParseSpec(*faults); err != nil {
+			return err
+		}
+		if mode != assembly.Soleil {
+			return fmt.Errorf("soleil: -faults needs the SOLEIL mode (membranes carry the panic guards)")
+		}
+		flog = fault.NewLog(0)
+		cfg.Resilient = true
+		cfg.Interceptors = func(component string) []membrane.Interceptor {
+			ints := []membrane.Interceptor{fault.NewPanicInterceptor(component, flog, nil)}
+			if spec.Panic > 0 {
+				ints = append(ints, fault.NewChaosInterceptor(spec.Panic, spec.Seed))
+			}
+			return ints
+		}
+	}
+	sys, err := assembly.Deploy(arch, cfg)
 	if err != nil {
 		return err
 	}
 	if *traceN > 0 {
 		sys.Scheduler().EnableTrace(*traceN)
 	}
+	var sup *fault.Supervisor
+	if *faults != "" {
+		mgr, err := reconfig.NewManager(sys)
+		if err != nil {
+			return err
+		}
+		if sup, err = fault.NewSupervisor(mgr, fault.WithLog(flog)); err != nil {
+			return err
+		}
+		for _, c := range arch.Components() {
+			if c.Kind() != model.Active && c.Kind() != model.Passive {
+				continue
+			}
+			name := c.Name()
+			sup.Watch(name, fault.Policy{Directive: fault.RestartOneForOne, MaxRestarts: 10, Window: time.Second},
+				fault.FailureProbe(func() (bool, error) { return sys.ComponentFailed(name) }))
+		}
+		sup.Start(time.Millisecond)
+		defer sup.Close()
+	}
 	if err := sys.RunFor(*duration); err != nil {
 		return err
+	}
+	if sup != nil {
+		sup.Close()
+		sup.Poll() // one final pass over anything recorded late
 	}
 	if *traceN > 0 {
 		fmt.Println("schedule trace:")
@@ -248,8 +297,21 @@ func cmdRun(args []string) error {
 		f.ImmortalBytes, f.HeapBytes, f.ScopedBudget, f.Allocations)
 	for _, b := range sys.Buffers() {
 		st := b.Stats()
-		fmt.Printf("  buffer %-40s enq=%-5d deq=%-5d dropped=%-3d maxDepth=%d\n",
-			b.Name(), st.Enqueued, st.Dequeued, st.Dropped, st.MaxDepth)
+		fmt.Printf("  buffer %-40s enq=%-5d deq=%-5d dropped=%-3d maxDepth=%d overflow=%.1f%%\n",
+			b.Name(), st.Enqueued, st.Dequeued, st.Dropped, st.MaxDepth, st.OverflowRate()*100)
+	}
+	if sup != nil {
+		fmt.Printf("  faults: %d recorded (%d panics); system errors absorbed: %d\n",
+			flog.Total(), flog.CountByKind(fault.Panic), len(sys.Errors()))
+		actions := sup.Actions()
+		fmt.Printf("  supervisor: %d action(s)\n", len(actions))
+		for i, a := range actions {
+			if i >= 10 {
+				fmt.Printf("    ... %d more\n", len(actions)-10)
+				break
+			}
+			fmt.Printf("    %s\n", a)
+		}
 	}
 	return nil
 }

@@ -83,6 +83,9 @@ func (n *soleilNode) Activate(env *thread.Env) error {
 	if !ok {
 		return fmt.Errorf("assembly: component %q has no activation logic", n.Name())
 	}
+	if failed, cause := n.m.Lifecycle().Failure(); failed {
+		return fmt.Errorf("%w: %q: %v", membrane.ErrFailed, n.Name(), cause)
+	}
 	if !n.m.Lifecycle().Started() {
 		return fmt.Errorf("assembly: component %q is stopped", n.Name())
 	}

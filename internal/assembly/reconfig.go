@@ -150,3 +150,22 @@ func (s *System) ComponentStarted(name string) (bool, error) {
 	}
 	return sn.m.Lifecycle().Started(), nil
 }
+
+// ComponentFailed reports whether a component's lifecycle is in the
+// FAILED state, and the recorded cause (SOLEIL mode). It is the
+// supervisor's pull-side health signal.
+func (s *System) ComponentFailed(name string) (bool, error) {
+	n, ok := s.nodes[name]
+	if !ok {
+		return false, fmt.Errorf("assembly: unknown component %q", name)
+	}
+	sn, ok := n.(*soleilNode)
+	if !ok {
+		return false, fmt.Errorf("assembly: component %q has no membrane", name)
+	}
+	failed, cause := sn.m.Lifecycle().Failure()
+	if !failed {
+		return false, nil
+	}
+	return true, cause
+}

@@ -25,6 +25,18 @@ type Config struct {
 	// AllowStubs deploys StubContent for primitives without a
 	// registered content class instead of failing.
 	AllowStubs bool
+	// Interceptors, when set, contributes extra membrane interceptors
+	// per component, deployed outermost on the server-side chain —
+	// the extension hook fault tolerance uses to install panic guards
+	// and chaos injection. SOLEIL mode only (the merged modes have no
+	// membrane to deploy them on).
+	Interceptors func(component string) []membrane.Interceptor
+	// Resilient turns thread-body errors and panics into recorded
+	// faults instead of thread termination: a failing component
+	// degrades (its errors appear in Errors()) while the rest of the
+	// system keeps running — the execution mode supervised systems
+	// run under.
+	Resilient bool
 }
 
 // System is a deployed, runnable system.
@@ -47,11 +59,13 @@ type System struct {
 	areaComs   []*MemoryAreaComponent
 	composites []*CompositeComponent
 
-	started bool
-	ran     bool
+	started   bool
+	ran       bool
+	resilient bool
 
-	errMu sync.Mutex
-	errs  []error
+	errMu       sync.Mutex
+	errs        []error
+	errsDropped int64
 }
 
 // Deploy validates the architecture and builds its execution
@@ -82,13 +96,14 @@ func Deploy(arch *model.Architecture, cfg Config) (*System, error) {
 	}
 
 	s := &System{
-		arch:    arch,
-		mode:    cfg.Mode,
-		sch:     sched.New(),
-		areas:   make(map[string]*memory.Area),
-		nodes:   make(map[string]Node),
-		threads: make(map[string]*thread.Thread),
-		holders: make(map[string]*taskHolder),
+		arch:      arch,
+		mode:      cfg.Mode,
+		sch:       sched.New(),
+		areas:     make(map[string]*memory.Area),
+		nodes:     make(map[string]Node),
+		threads:   make(map[string]*thread.Thread),
+		holders:   make(map[string]*taskHolder),
+		resilient: cfg.Resilient,
 	}
 	if err := s.buildMemory(); err != nil {
 		return nil, err
@@ -194,12 +209,20 @@ func (s *System) NewEnv(noHeap bool) (*thread.Env, func(), error) {
 	return thread.NewEnv(nil, ctx), ctx.Close, nil
 }
 
+// maxRecordedErrs bounds the error record so a resilient system
+// degrading under sustained faults cannot grow it without limit.
+const maxRecordedErrs = 1024
+
 func (s *System) recordErr(err error) {
 	if err == nil {
 		return
 	}
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
+	if len(s.errs) >= maxRecordedErrs {
+		s.errsDropped++
+		return
+	}
 	s.errs = append(s.errs, err)
 }
 
@@ -210,6 +233,14 @@ func (s *System) Errors() []error {
 	out := make([]error, len(s.errs))
 	copy(out, s.errs)
 	return out
+}
+
+// ErrorsDropped returns how many errors were discarded after the
+// record filled up.
+func (s *System) ErrorsDropped() int64 {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.errsDropped
 }
 
 // --- build phases ----------------------------------------------------------------
@@ -309,6 +340,9 @@ func (s *System) buildNodes(cfg Config) error {
 		switch s.mode {
 		case Soleil:
 			var ints []membrane.Interceptor
+			if cfg.Interceptors != nil {
+				ints = append(ints, cfg.Interceptors(c.Name())...)
+			}
 			if active {
 				ints = append(ints, &membrane.ActiveInterceptor{})
 			}
@@ -495,6 +529,32 @@ func (s *System) buildThreads() error {
 	return nil
 }
 
+// step runs one thread-body operation. In resilient mode a panic is
+// converted into an error, and any error is recorded but does not
+// terminate the thread — the component degrades while the rest of the
+// system keeps running. The return value reports whether the loop
+// must stop.
+func (s *System) step(name string, fn func() error) (stop bool) {
+	var err error
+	if s.resilient {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("panic: %v", r)
+				}
+			}()
+			err = fn()
+		}()
+	} else {
+		err = fn()
+	}
+	if err != nil {
+		s.recordErr(fmt.Errorf("%s: %w", name, err))
+		return !s.resilient
+	}
+	return false
+}
+
 // threadBody produces the generated activation loop of an active
 // component: periodic components run their own logic every period,
 // sporadic components drain their inbound messages on every release,
@@ -508,12 +568,10 @@ func (s *System) threadBody(node Node, kind model.ActivationKind) func(*thread.E
 				// from asynchronous bindings at each period boundary
 				// (arrivals do not release them — the validator's
 				// RT10 warning), then run their own logic.
-				if _, err := node.Deliver(env); err != nil {
-					s.recordErr(fmt.Errorf("%s: %w", node.Name(), err))
+				if s.step(node.Name(), func() error { _, err := node.Deliver(env); return err }) {
 					return
 				}
-				if err := node.Activate(env); err != nil {
-					s.recordErr(fmt.Errorf("%s: %w", node.Name(), err))
+				if s.step(node.Name(), func() error { return node.Activate(env) }) {
 					return
 				}
 				if !env.Sched().WaitForNextPeriod() {
@@ -524,8 +582,7 @@ func (s *System) threadBody(node Node, kind model.ActivationKind) func(*thread.E
 	case model.SporadicActivation:
 		return func(env *thread.Env) {
 			for {
-				if _, err := node.Deliver(env); err != nil {
-					s.recordErr(fmt.Errorf("%s: %w", node.Name(), err))
+				if s.step(node.Name(), func() error { _, err := node.Deliver(env); return err }) {
 					return
 				}
 				if !env.Sched().WaitForRelease() {
@@ -535,9 +592,7 @@ func (s *System) threadBody(node Node, kind model.ActivationKind) func(*thread.E
 		}
 	default:
 		return func(env *thread.Env) {
-			if err := node.Activate(env); err != nil {
-				s.recordErr(fmt.Errorf("%s: %w", node.Name(), err))
-			}
+			s.step(node.Name(), func() error { return node.Activate(env) })
 		}
 	}
 }
@@ -641,7 +696,9 @@ func (s *System) RunFor(d time.Duration) error {
 			s.recordErr(err)
 		}
 	}
-	if errs := s.Errors(); len(errs) > 0 {
+	// A resilient system absorbs component failures as degradation:
+	// they stay inspectable through Errors() but do not fail the run.
+	if errs := s.Errors(); len(errs) > 0 && !s.resilient {
 		return fmt.Errorf("assembly: %d thread errors; first: %w", len(errs), errs[0])
 	}
 	return nil

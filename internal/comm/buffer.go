@@ -41,6 +41,17 @@ type Stats struct {
 	MaxDepth int
 }
 
+// OverflowRate is the fraction of offered messages the buffer
+// dropped, in [0,1] — the health signal supervision watches for a
+// receiver that cannot keep up.
+func (s Stats) OverflowRate() float64 {
+	offered := s.Enqueued + s.Dropped
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(offered)
+}
+
 // Buffer is a bounded FIFO ring buffer. It is safe for concurrent
 // use.
 type Buffer struct {

@@ -106,6 +106,16 @@ func (f *Framework) DeployWithStubs(arch *model.Architecture, mode assembly.Mode
 	return assembly.Deploy(arch, assembly.Config{Mode: mode, Registry: f.registry, AllowStubs: true})
 }
 
+// DeployConfig deploys with full control over the assembly
+// configuration (extra interceptors, resilient execution, buffer
+// sizing). The framework's registry is used when cfg.Registry is nil.
+func (f *Framework) DeployConfig(arch *model.Architecture, cfg assembly.Config) (*assembly.System, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = f.registry
+	}
+	return assembly.Deploy(arch, cfg)
+}
+
 // Adapt returns a reconfiguration manager for a deployed system.
 func (f *Framework) Adapt(sys *assembly.System) (*reconfig.Manager, error) {
 	return reconfig.NewManager(sys)

@@ -95,6 +95,8 @@ type Importer struct {
 
 	mu        sync.Mutex
 	delivered int64
+	dropped   int64
+	onError   func(error) bool
 
 	done chan struct{}
 	err  error
@@ -129,6 +131,22 @@ func (i *Importer) Delivered() int64 {
 	return i.delivered
 }
 
+// Dropped returns the number of messages Serve discarded because a
+// delivery error was absorbed by the error handler.
+func (i *Importer) Dropped() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.dropped
+}
+
+// SetErrorHandler installs the self-healing hook of the binding:
+// when Serve hits a delivery or decode error it consults h, and
+// continues pumping if h returns true (the message is counted as
+// dropped) instead of terminating. Without a handler — or when h
+// returns false — Serve stops on the error, the original behaviour.
+// Install the handler before Serve starts.
+func (i *Importer) SetErrorHandler(h func(error) bool) { i.onError = h }
+
 // PumpOne receives and dispatches exactly one message. It reports
 // false (with a nil error) when the transport has closed.
 func (i *Importer) PumpOne() (bool, error) {
@@ -139,9 +157,12 @@ func (i *Importer) PumpOne() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	// A decode failure (corrupt frame, unregistered payload type)
+	// consumes the message but leaves the transport usable: report it
+	// with ok=true so a resilient server can absorb it and pump on.
 	e, err := decode(payload)
 	if err != nil {
-		return false, err
+		return true, err
 	}
 	if _, err := i.node.Invoke(i.env, e.Interface, e.Op, e.Arg); err != nil {
 		return true, fmt.Errorf("dist: deliver %s.%s: %w", e.Interface, e.Op, err)
@@ -161,6 +182,12 @@ func (i *Importer) Serve() {
 	for {
 		ok, err := i.PumpOne()
 		if err != nil {
+			if ok && i.onError != nil && i.onError(err) {
+				i.mu.Lock()
+				i.dropped++
+				i.mu.Unlock()
+				continue
+			}
 			i.mu.Lock()
 			i.err = err
 			i.mu.Unlock()

@@ -19,10 +19,31 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned by transport operations after Close.
 var ErrClosed = errors.New("dist: transport closed")
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrame — on
+// Send for oversized payloads, on Receive for oversized (or corrupt)
+// length prefixes. After a Receive failure the stream is no longer
+// framed; the caller must close the transport.
+var ErrFrameTooLarge = errors.New("dist: frame exceeds size limit")
+
+// ErrBackpressure is returned by a bounded-wait Send when the peer
+// has not drained the pipe within the send deadline: the receiver is
+// stalled and the message was not accepted.
+var ErrBackpressure = errors.New("dist: backpressure: receiver stalled")
+
+// MaxFrame is the largest frame a transport accepts (16 MiB). A
+// length prefix above it is treated as corrupt, so a malformed or
+// hostile peer cannot make Receive allocate unboundedly.
+const MaxFrame = 1 << 24
+
+// DefaultSendWait is how long a pipe Send waits on a full buffer
+// before failing with ErrBackpressure.
+const DefaultSendWait = 2 * time.Second
 
 // Transport carries opaque serialized messages between two systems.
 type Transport interface {
@@ -39,21 +60,38 @@ type Transport interface {
 // --- in-process pipe ---------------------------------------------------------------
 
 type pipeEnd struct {
-	out    chan []byte
-	in     chan []byte
-	mu     sync.Mutex
-	closed chan struct{}
-	once   sync.Once
-	peer   *pipeEnd
+	out      chan []byte
+	in       chan []byte
+	mu       sync.Mutex
+	closed   chan struct{}
+	once     sync.Once
+	peer     *pipeEnd
+	sendWait time.Duration
 }
 
 // NewPipe creates a connected in-process transport pair, useful for
-// tests and single-process multi-system deployments.
+// tests and single-process multi-system deployments. Sends on a full
+// pipe wait at most DefaultSendWait before failing with
+// ErrBackpressure.
 func NewPipe() (Transport, Transport) {
-	ab := make(chan []byte, 64)
-	ba := make(chan []byte, 64)
-	a := &pipeEnd{out: ab, in: ba, closed: make(chan struct{})}
-	b := &pipeEnd{out: ba, in: ab, closed: make(chan struct{})}
+	return NewBoundedPipe(64, DefaultSendWait)
+}
+
+// NewBoundedPipe creates a pipe pair with an explicit per-direction
+// buffer capacity and send deadline: a Send finding the buffer full
+// waits at most sendWait for the receiver to drain it, then fails
+// with ErrBackpressure instead of wedging the sender forever.
+func NewBoundedPipe(capacity int, sendWait time.Duration) (Transport, Transport) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if sendWait <= 0 {
+		sendWait = DefaultSendWait
+	}
+	ab := make(chan []byte, capacity)
+	ba := make(chan []byte, capacity)
+	a := &pipeEnd{out: ab, in: ba, closed: make(chan struct{}), sendWait: sendWait}
+	b := &pipeEnd{out: ba, in: ab, closed: make(chan struct{}), sendWait: sendWait}
 	a.peer, b.peer = b, a
 	return a, b
 }
@@ -69,6 +107,7 @@ func (p *pipeEnd) Send(payload []byte) error {
 		return ErrClosed
 	default:
 	}
+	// Fast path: buffer slot available without arming a timer.
 	select {
 	case <-p.closed:
 		return ErrClosed
@@ -76,6 +115,19 @@ func (p *pipeEnd) Send(payload []byte) error {
 		return ErrClosed
 	case p.out <- cp:
 		return nil
+	default:
+	}
+	timer := time.NewTimer(p.sendWait)
+	defer timer.Stop()
+	select {
+	case <-p.closed:
+		return ErrClosed
+	case <-p.peer.closed:
+		return ErrClosed
+	case p.out <- cp:
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("%w (after %v)", ErrBackpressure, p.sendWait)
 	}
 }
 
@@ -124,8 +176,8 @@ func (t *connTransport) Send(payload []byte) error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
 	var hdr [4]byte
-	if len(payload) > 1<<24 {
-		return fmt.Errorf("dist: message of %d bytes exceeds the frame limit", len(payload))
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: sending %d bytes (limit %d)", ErrFrameTooLarge, len(payload), MaxFrame)
 	}
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := t.conn.Write(hdr[:]); err != nil {
@@ -143,6 +195,11 @@ func (t *connTransport) Receive() ([]byte, error) {
 		return nil, mapClosed(err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		// An oversized prefix is indistinguishable from a corrupt
+		// one; refuse before allocating n bytes on a peer's say-so.
+		return nil, fmt.Errorf("%w: length prefix claims %d bytes (limit %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(t.conn, payload); err != nil {
 		return nil, mapClosed(err)

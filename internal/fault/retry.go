@@ -1,0 +1,408 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"soleil/internal/assembly"
+	"soleil/internal/dist"
+	"soleil/internal/membrane"
+	"soleil/internal/rtsj/thread"
+)
+
+// ErrTimeout is returned by TimeoutPort when a call exceeds its
+// per-call deadline.
+var ErrTimeout = errors.New("fault: call deadline exceeded")
+
+// ErrCircuitOpen is returned by BreakerPort while the circuit is
+// open: the binding is failing fast instead of hammering a broken
+// peer.
+var ErrCircuitOpen = errors.New("fault: circuit open")
+
+// --- retry -----------------------------------------------------------------------
+
+// Backoff parameterizes retry-with-exponential-backoff.
+type Backoff struct {
+	// Attempts is the maximum number of tries (default 3).
+	Attempts int
+	// Base is the first retry delay (default 1ms); each further
+	// retry doubles it up to Max.
+	Base time.Duration
+	// Max caps the delay (default 100ms).
+	Max time.Duration
+	// Sleep is the wait hook (default time.Sleep); tests inject a
+	// recorder here.
+	Sleep func(time.Duration)
+	// Retryable reports whether an error is worth retrying. The
+	// default retries everything except ErrCircuitOpen and
+	// dist.ErrClosed (retrying a closed transport or an open breaker
+	// cannot succeed).
+	Retryable func(error) bool
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = 3
+	}
+	if b.Base <= 0 {
+		b.Base = time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 100 * time.Millisecond
+	}
+	if b.Sleep == nil {
+		b.Sleep = time.Sleep
+	}
+	if b.Retryable == nil {
+		b.Retryable = func(err error) bool {
+			return !errors.Is(err, ErrCircuitOpen) && !errors.Is(err, dist.ErrClosed)
+		}
+	}
+	return b
+}
+
+// RetryPort wraps a port with retry-with-exponential-backoff on both
+// Send and Call.
+type RetryPort struct {
+	inner   membrane.Port
+	backoff Backoff
+
+	mu      sync.Mutex
+	retries int64
+}
+
+var _ membrane.Port = (*RetryPort)(nil)
+
+// NewRetryPort wraps p.
+func NewRetryPort(p membrane.Port, b Backoff) (*RetryPort, error) {
+	if p == nil {
+		return nil, fmt.Errorf("fault: retry port needs an inner port")
+	}
+	return &RetryPort{inner: p, backoff: b.withDefaults()}, nil
+}
+
+// Retries returns the number of retries performed (excluding first
+// attempts).
+func (p *RetryPort) Retries() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retries
+}
+
+func (p *RetryPort) do(op func() error) error {
+	delay := p.backoff.Base
+	var err error
+	for attempt := 0; attempt < p.backoff.Attempts; attempt++ {
+		if attempt > 0 {
+			p.mu.Lock()
+			p.retries++
+			p.mu.Unlock()
+			p.backoff.Sleep(delay)
+			if delay *= 2; delay > p.backoff.Max {
+				delay = p.backoff.Max
+			}
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		if !p.backoff.Retryable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("fault: %d attempts exhausted: %w", p.backoff.Attempts, err)
+}
+
+// Send implements membrane.Port.
+func (p *RetryPort) Send(env *thread.Env, op string, arg any) error {
+	return p.do(func() error { return p.inner.Send(env, op, arg) })
+}
+
+// Call implements membrane.Port.
+func (p *RetryPort) Call(env *thread.Env, op string, arg any) (any, error) {
+	var res any
+	err := p.do(func() error {
+		var err error
+		res, err = p.inner.Call(env, op, arg)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// --- per-call timeout ------------------------------------------------------------
+
+// TimeoutPort bounds each Send/Call with a deadline. The inner call
+// keeps running on its own goroutine after a timeout (it cannot be
+// cancelled), but the caller is released; with bounded transports the
+// stray goroutine finishes once the transport's own deadline fires.
+type TimeoutPort struct {
+	inner membrane.Port
+	d     time.Duration
+
+	mu       sync.Mutex
+	timeouts int64
+}
+
+var _ membrane.Port = (*TimeoutPort)(nil)
+
+// NewTimeoutPort wraps p with a per-call deadline d.
+func NewTimeoutPort(p membrane.Port, d time.Duration) (*TimeoutPort, error) {
+	if p == nil {
+		return nil, fmt.Errorf("fault: timeout port needs an inner port")
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("fault: timeout port needs a positive deadline, got %v", d)
+	}
+	return &TimeoutPort{inner: p, d: d}, nil
+}
+
+// Timeouts returns the number of calls that hit the deadline.
+func (p *TimeoutPort) Timeouts() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.timeouts
+}
+
+type callResult struct {
+	res any
+	err error
+}
+
+func (p *TimeoutPort) bound(op func() (any, error)) (any, error) {
+	done := make(chan callResult, 1)
+	go func() {
+		res, err := op()
+		done <- callResult{res, err}
+	}()
+	timer := time.NewTimer(p.d)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.res, r.err
+	case <-timer.C:
+		p.mu.Lock()
+		p.timeouts++
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w (after %v)", ErrTimeout, p.d)
+	}
+}
+
+// Send implements membrane.Port.
+func (p *TimeoutPort) Send(env *thread.Env, op string, arg any) error {
+	_, err := p.bound(func() (any, error) { return nil, p.inner.Send(env, op, arg) })
+	return err
+}
+
+// Call implements membrane.Port.
+func (p *TimeoutPort) Call(env *thread.Env, op string, arg any) (any, error) {
+	return p.bound(func() (any, error) { return p.inner.Call(env, op, arg) })
+}
+
+// --- circuit breaker -------------------------------------------------------------
+
+// BreakerState is the circuit breaker's state.
+type BreakerState int
+
+// Breaker states.
+const (
+	// Closed passes calls through (normal operation).
+	Closed BreakerState = iota
+	// Open fails calls fast with ErrCircuitOpen.
+	Open
+	// HalfOpen admits one trial call after the cooldown.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold
+// failures in a row open the circuit; after Cooldown one trial call
+// is admitted (half-open) and its outcome closes or re-opens it.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	trips    int64
+}
+
+// NewBreaker creates a breaker (threshold default 5, cooldown default
+// 100ms).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 100 * time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock injects the breaker's clock (tests).
+func (b *Breaker) SetClock(now func() time.Time) { b.now = now }
+
+// State returns the current state, applying the cooldown transition.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
+}
+
+// Trips returns how many times the circuit has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+func (b *Breaker) stateLocked() BreakerState {
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = HalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a call may proceed now.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked() != Open
+}
+
+// Observe records a call outcome and updates the state machine.
+func (b *Breaker) Observe(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	state := b.stateLocked()
+	if err == nil {
+		b.failures = 0
+		b.state = Closed
+		return
+	}
+	b.failures++
+	if state == HalfOpen || b.failures >= b.threshold {
+		if b.state != Open {
+			b.trips++
+		}
+		b.state = Open
+		b.openedAt = b.now()
+		b.failures = 0
+	}
+}
+
+// BreakerPort guards a port with a circuit breaker.
+type BreakerPort struct {
+	inner   membrane.Port
+	breaker *Breaker
+}
+
+var _ membrane.Port = (*BreakerPort)(nil)
+
+// NewBreakerPort wraps p with br (a fresh default breaker when nil).
+func NewBreakerPort(p membrane.Port, br *Breaker) (*BreakerPort, error) {
+	if p == nil {
+		return nil, fmt.Errorf("fault: breaker port needs an inner port")
+	}
+	if br == nil {
+		br = NewBreaker(0, 0)
+	}
+	return &BreakerPort{inner: p, breaker: br}, nil
+}
+
+// Breaker returns the guarding breaker.
+func (p *BreakerPort) Breaker() *Breaker { return p.breaker }
+
+// Send implements membrane.Port.
+func (p *BreakerPort) Send(env *thread.Env, op string, arg any) error {
+	if !p.breaker.Allow() {
+		return fmt.Errorf("%w (%s)", ErrCircuitOpen, op)
+	}
+	err := p.inner.Send(env, op, arg)
+	p.breaker.Observe(err)
+	return err
+}
+
+// Call implements membrane.Port.
+func (p *BreakerPort) Call(env *thread.Env, op string, arg any) (any, error) {
+	if !p.breaker.Allow() {
+		return nil, fmt.Errorf("%w (%s)", ErrCircuitOpen, op)
+	}
+	res, err := p.inner.Call(env, op, arg)
+	p.breaker.Observe(err)
+	return res, err
+}
+
+// --- composition -----------------------------------------------------------------
+
+// HardenOptions selects the wrappers Harden applies, innermost to
+// outermost: per-call timeout, circuit breaker, retry.
+type HardenOptions struct {
+	// Timeout bounds each call (0 = no timeout wrapper).
+	Timeout time.Duration
+	// Breaker guards the binding (nil = no breaker wrapper unless
+	// BreakerThreshold > 0).
+	Breaker *Breaker
+	// Retry enables the retry wrapper when Attempts > 1 or any field
+	// is set.
+	Retry *Backoff
+}
+
+// Harden layers the configured fault-tolerance wrappers around p.
+func Harden(p membrane.Port, opts HardenOptions) (membrane.Port, error) {
+	out := p
+	var err error
+	if opts.Timeout > 0 {
+		if out, err = NewTimeoutPort(out, opts.Timeout); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Breaker != nil {
+		if out, err = NewBreakerPort(out, opts.Breaker); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Retry != nil {
+		if out, err = NewRetryPort(out, *opts.Retry); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ExportHardened routes a client interface onto a transport like
+// dist.Export, but with the remote port hardened: retry with
+// exponential backoff around a circuit breaker around a per-call
+// timeout. It returns the installed port for introspection.
+func ExportHardened(sys *assembly.System, client, clientItf, serverItf string, t dist.Transport, opts HardenOptions) (membrane.Port, error) {
+	remote, err := dist.NewRemotePort(t, serverItf)
+	if err != nil {
+		return nil, err
+	}
+	hardened, err := Harden(remote, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.BindPort(client, clientItf, hardened); err != nil {
+		return nil, err
+	}
+	return hardened, nil
+}

@@ -12,12 +12,19 @@
 package membrane
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"soleil/internal/rtsj/thread"
 )
+
+// ErrFailed is returned by Dispatch on a component whose lifecycle
+// state is FAILED: a fault interceptor recorded a contract violation
+// (typically a panic in the content) and isolated the component.
+// Start clears the state — the supervisor's restart path.
+var ErrFailed = errors.New("membrane: component failed")
 
 // Invocation is one operation travelling through a membrane. It
 // carries the calling thread's execution environment so interceptors
@@ -146,7 +153,19 @@ func New(name string, content Content, interceptors ...Interceptor) (*Membrane, 
 		m.lifecycle,
 		m.binding,
 	}
+	for _, i := range interceptors {
+		if la, ok := i.(LifecycleAware); ok {
+			la.AttachLifecycle(m.lifecycle)
+		}
+	}
 	return m, nil
+}
+
+// LifecycleAware is implemented by interceptors that act on the
+// component's lifecycle (e.g. a fault interceptor flipping the state
+// to FAILED). New hands them the lifecycle controller at assembly.
+type LifecycleAware interface {
+	AttachLifecycle(*LifecycleController)
 }
 
 // Name returns the component name.
@@ -187,6 +206,9 @@ func (m *Membrane) Interceptors() []Interceptor {
 // and into the content. Invocations on stopped components are
 // refused — the lifecycle controller's guarantee to reconfiguration.
 func (m *Membrane) Dispatch(inv *Invocation) (any, error) {
+	if failed, cause := m.lifecycle.Failure(); failed {
+		return nil, fmt.Errorf("%w: %q: %v", ErrFailed, m.name, cause)
+	}
 	if !m.lifecycle.Started() {
 		return nil, fmt.Errorf("membrane: component %q is stopped", m.name)
 	}
@@ -220,12 +242,15 @@ func (c *NameController) ControllerName() string { return "name-controller" }
 // Name returns the component name.
 func (c *NameController) Name() string { return c.name }
 
-// LifecycleController manages the component's started/stopped state.
+// LifecycleController manages the component's lifecycle state:
+// stopped, started, or failed (isolated after a recorded fault).
 type LifecycleController struct {
 	owner *Membrane
 
 	mu      sync.Mutex
 	started bool
+	failed  bool
+	cause   error
 }
 
 // ControllerName implements Controller.
@@ -238,8 +263,28 @@ func (c *LifecycleController) Started() bool {
 	return c.started
 }
 
+// Failure reports whether the component is in the FAILED state and
+// the recorded cause.
+func (c *LifecycleController) Failure() (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed, c.cause
+}
+
+// Fail moves the component to the FAILED state: it is closed for
+// invocations until restarted, and Dispatch reports cause. Fault
+// interceptors call this instead of letting a panic escape.
+func (c *LifecycleController) Fail(cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.started = false
+	c.failed = true
+	c.cause = cause
+}
+
 // Start initializes the content (once) and opens the component for
-// invocations.
+// invocations. Starting a FAILED component clears the failure — the
+// supervisor's restart path.
 func (c *LifecycleController) Start() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -250,6 +295,8 @@ func (c *LifecycleController) Start() error {
 		return fmt.Errorf("membrane: starting %q: %w", c.owner.name, err)
 	}
 	c.started = true
+	c.failed = false
+	c.cause = nil
 	return nil
 }
 

@@ -426,3 +426,64 @@ func TestErrorPropagationThroughChain(t *testing.T) {
 		t.Fatal("scope leaked after error")
 	}
 }
+
+// lifecycleFlipper flips the lifecycle to FAILED on a marker op — a
+// minimal fault interceptor standing in for internal/fault's.
+type lifecycleFlipper struct {
+	lc *LifecycleController
+}
+
+func (f *lifecycleFlipper) Name() string                            { return "flipper" }
+func (f *lifecycleFlipper) AttachLifecycle(lc *LifecycleController) { f.lc = lc }
+
+func (f *lifecycleFlipper) Invoke(inv *Invocation, next Handler) (any, error) {
+	if inv.Op == "fail" {
+		cause := errors.New("contract violated")
+		f.lc.Fail(cause)
+		return nil, cause
+	}
+	return next(inv)
+}
+
+func TestFailedStateIsolatesAndRestartClears(t *testing.T) {
+	content := &echoContent{}
+	flipper := &lifecycleFlipper{}
+	m, err := New("c", content, flipper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New attaches the lifecycle controller to LifecycleAware
+	// interceptors automatically.
+	if flipper.lc != m.Lifecycle() {
+		t.Fatal("lifecycle not attached to LifecycleAware interceptor")
+	}
+	if err := m.Lifecycle().Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Dispatch(&Invocation{Interface: "in", Op: "fail"}); err == nil {
+		t.Fatal("marker op succeeded")
+	}
+	if failed, cause := m.Lifecycle().Failure(); !failed || cause == nil {
+		t.Fatalf("failure = %v, %v", failed, cause)
+	}
+	if m.Lifecycle().Started() {
+		t.Fatal("FAILED component still reports started")
+	}
+	// Dispatch reports the failure cause via ErrFailed, taking
+	// priority over the plain stopped refusal.
+	_, err = m.Dispatch(&Invocation{Interface: "in", Op: "echo"})
+	if !errors.Is(err, ErrFailed) || !strings.Contains(err.Error(), "contract violated") {
+		t.Fatalf("dispatch while failed: %v", err)
+	}
+	// Start is the supervisor's restart path: failure cleared,
+	// content re-initialized, invocations served again.
+	if err := m.Lifecycle().Start(); err != nil {
+		t.Fatal(err)
+	}
+	if failed, cause := m.Lifecycle().Failure(); failed || cause != nil {
+		t.Fatalf("failure survives restart: %v, %v", failed, cause)
+	}
+	if _, err := m.Dispatch(&Invocation{Interface: "in", Op: "echo"}); err != nil {
+		t.Fatalf("dispatch after restart: %v", err)
+	}
+}

@@ -82,11 +82,29 @@ func (m *Manager) Start(component string) error {
 	return err
 }
 
+// Restart stops then starts a component — the supervisor's
+// one-for-one recovery path. Starting clears a FAILED lifecycle
+// state, so a component isolated by a fault interceptor comes back
+// accepting invocations. The restart is recorded as one operation.
+func (m *Manager) Restart(component string) error {
+	err := m.sys.SetStarted(component, false)
+	if err == nil {
+		err = m.sys.SetStarted(component, true)
+	}
+	m.record("restart", component, err)
+	return err
+}
+
 // ComponentState is the introspected state of one component.
 type ComponentState struct {
 	Name    string
 	Kind    model.Kind
 	Started bool
+	// Failed reports the FAILED lifecycle state (a fault interceptor
+	// isolated the component); FailureCause carries the recorded
+	// cause.
+	Failed       bool
+	FailureCause error
 	// HasMembrane reports whether the component's membrane is
 	// reified (SOLEIL mode).
 	HasMembrane bool
@@ -118,6 +136,10 @@ func (m *Manager) Introspect() Snapshot {
 			cs.HasMembrane = true
 			cs.Started = started
 			cs.Controllers = m.sys.ControllerNames(n.Name())
+			if failed, cause := m.sys.ComponentFailed(n.Name()); failed {
+				cs.Failed = true
+				cs.FailureCause = cause
+			}
 		}
 		snap.Components = append(snap.Components, cs)
 	}

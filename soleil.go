@@ -40,10 +40,12 @@ package soleil
 
 import (
 	"net"
+	"time"
 
 	"soleil/internal/assembly"
 	"soleil/internal/core"
 	"soleil/internal/dist"
+	"soleil/internal/fault"
 	"soleil/internal/membrane"
 	"soleil/internal/model"
 	"soleil/internal/reconfig"
@@ -200,6 +202,12 @@ type (
 // NewPipeTransport creates a connected in-process transport pair.
 func NewPipeTransport() (Transport, Transport) { return dist.NewPipe() }
 
+// NewBoundedPipeTransport creates a pipe pair with explicit buffer
+// capacity and send deadline (ErrBackpressure on a stalled receiver).
+func NewBoundedPipeTransport(capacity int, sendWait time.Duration) (Transport, Transport) {
+	return dist.NewBoundedPipe(capacity, sendWait)
+}
+
 // NewConnTransport frames a stream connection as a transport.
 func NewConnTransport(conn net.Conn) Transport { return dist.NewConn(conn) }
 
@@ -214,4 +222,63 @@ func Export(sys *System, client, clientItf, serverItf string, t Transport) error
 // Import attaches a transport to a server component of sys.
 func Import(sys *System, server string, t Transport) (*Importer, error) {
 	return dist.Import(sys, server, t)
+}
+
+// Fault tolerance: deterministic fault injection, panic isolation,
+// self-healing bindings and supervision (internal/fault).
+type (
+	// FaultSpec parameterizes deterministic fault injection.
+	FaultSpec = fault.Spec
+	// FaultLog is the fault subsystem's flight recorder.
+	FaultLog = fault.Log
+	// Supervisor watches component health and applies restart
+	// policies through a reconfiguration manager.
+	Supervisor = fault.Supervisor
+	// SupervisionPolicy is one component's supervision policy.
+	SupervisionPolicy = fault.Policy
+	// Breaker is a circuit breaker guarding a distributed binding.
+	Breaker = fault.Breaker
+	// HardenOptions selects timeout / breaker / retry wrappers for a
+	// hardened distributed binding.
+	HardenOptions = fault.HardenOptions
+	// DeployOptions gives full control over deployment (extra
+	// interceptors, resilient execution); see Framework.DeployConfig.
+	DeployOptions = assembly.Config
+)
+
+// Supervision directives.
+const (
+	RestartOneForOne    = fault.RestartOneForOne
+	QuarantineDirective = fault.Quarantine
+	EscalateDirective   = fault.Escalate
+)
+
+// ParseFaultSpec parses "drop=0.02,dup=0.01,corrupt=0.01,seed=42".
+func ParseFaultSpec(s string) (FaultSpec, error) { return fault.ParseSpec(s) }
+
+// NewFaultLog creates a bounded fault log.
+func NewFaultLog(capacity int) *FaultLog { return fault.NewLog(capacity) }
+
+// InjectFaults wraps a transport with seeded, replayable fault
+// injection.
+func InjectFaults(t Transport, spec FaultSpec, log *FaultLog) (Transport, error) {
+	return fault.InjectTransport(t, spec, log)
+}
+
+// NewSupervisor creates a supervisor restarting components through
+// adapter.
+func NewSupervisor(adapter *Adapter, opts ...fault.SupervisorOption) (*Supervisor, error) {
+	return fault.NewSupervisor(adapter, opts...)
+}
+
+// NewPanicInterceptor creates the membrane interceptor that converts
+// component panics into recorded faults and a FAILED lifecycle state.
+func NewPanicInterceptor(component string, log *FaultLog, notify func(string, fault.Fault)) *fault.PanicInterceptor {
+	return fault.NewPanicInterceptor(component, log, notify)
+}
+
+// ExportHardened exports a client interface onto a transport with the
+// remote port hardened (retry + circuit breaker + per-call timeout).
+func ExportHardened(sys *System, client, clientItf, serverItf string, t Transport, opts HardenOptions) (Port, error) {
+	return fault.ExportHardened(sys, client, clientItf, serverItf, t, opts)
 }
