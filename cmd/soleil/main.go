@@ -6,6 +6,12 @@
 //	soleil genreport <arch.xml>                Sect. 5.2 requirements report
 //	soleil suggest <arch.xml>                  apply suggested patterns, emit completed ADL
 //	soleil run -mode M -duration D <arch.xml>  deploy (stub contents) and simulate
+//	soleil top ADDR                            one-shot snapshot of a serving system
+//
+// run accepts -metrics ADDR to serve live observability endpoints
+// (/metrics, /healthz, /arch, /top, /trace), -trace-json FILE to
+// write a Chrome trace_event file of the run, and -hold D to keep the
+// endpoints up after the simulation finishes.
 //
 // Modes: SOLEIL, MERGE-ALL, ULTRA-MERGE.
 package main
@@ -13,6 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -22,6 +30,7 @@ import (
 	"soleil/internal/generate"
 	"soleil/internal/membrane"
 	"soleil/internal/model"
+	"soleil/internal/obs"
 	"soleil/internal/reconfig"
 	"soleil/internal/rtsj/analysis"
 	"soleil/internal/validate"
@@ -51,9 +60,30 @@ func run(args []string) error {
 		return cmdSuggest(args[1:])
 	case "run":
 		return cmdRun(args[1:])
+	case "top":
+		return cmdTop(args[1:])
 	default:
 		return fmt.Errorf("soleil: unknown command %q", args[0])
 	}
+}
+
+// cmdTop fetches the one-shot textual snapshot from a system serving
+// its observability endpoints (soleil run -metrics ADDR, or any
+// program calling obs.Serve).
+func cmdTop(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: soleil top HOST:PORT")
+	}
+	resp, err := http.Get("http://" + args[0] + "/top")
+	if err != nil {
+		return fmt.Errorf("soleil: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("soleil: %s returned %s", args[0], resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 // cmdSuggest applies the validator's cross-scope pattern suggestions
@@ -211,6 +241,12 @@ func cmdRun(args []string) error {
 	traceN := fs.Int("trace", 0, "print the first N scheduling events (0 = off)")
 	faults := fs.String("faults", "",
 		"run under injected faults, e.g. \"panic=0.05,seed=42\"; deploys panic guards, resilient threads and a restarting supervisor (SOLEIL mode)")
+	metricsAddr := fs.String("metrics", "",
+		"serve live observability endpoints (/metrics, /healthz, /arch, /top, /trace) on HOST:PORT (\":0\" picks a free port)")
+	traceJSON := fs.String("trace-json", "",
+		"write a Chrome trace_event JSON file of the run (open in Perfetto or chrome://tracing)")
+	hold := fs.Duration("hold", 0,
+		"keep the observability endpoints up this long after the run (needs -metrics)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -223,6 +259,15 @@ func cmdRun(args []string) error {
 		return err
 	}
 	cfg := assembly.Config{Mode: mode, AllowStubs: true}
+	observing := *metricsAddr != "" || *traceJSON != ""
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if observing {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(0)
+		cfg.Metrics = reg
+		cfg.Tracer = tracer
+	}
 	var spec fault.Spec
 	var flog *fault.Log
 	if *faults != "" {
@@ -248,14 +293,20 @@ func cmdRun(args []string) error {
 	}
 	if *traceN > 0 {
 		sys.Scheduler().EnableTrace(*traceN)
+	} else if *traceJSON != "" {
+		sys.Scheduler().EnableTrace(0) // unbounded: the whole schedule joins the exported trace
+	}
+	mgr, err := reconfig.NewManager(sys)
+	if err != nil {
+		return err
 	}
 	var sup *fault.Supervisor
 	if *faults != "" {
-		mgr, err := reconfig.NewManager(sys)
-		if err != nil {
-			return err
+		supOpts := []fault.SupervisorOption{fault.WithLog(flog)}
+		if reg != nil {
+			supOpts = append(supOpts, fault.WithRegistry(reg))
 		}
-		if sup, err = fault.NewSupervisor(mgr, fault.WithLog(flog)); err != nil {
+		if sup, err = fault.NewSupervisor(mgr, supOpts...); err != nil {
 			return err
 		}
 		for _, c := range arch.Components() {
@@ -263,14 +314,52 @@ func cmdRun(args []string) error {
 				continue
 			}
 			name := c.Name()
+			probes := []fault.Probe{
+				fault.FailureProbe(func() (bool, error) { return sys.ComponentFailed(name) }),
+			}
+			if reg != nil {
+				// The shared registry doubles as the supervisor's
+				// health source: deadline-miss bursts trip a restart.
+				probes = append(probes, fault.MetricsMissProbe(reg.Component(name), 3))
+			}
 			sup.Watch(name, fault.Policy{Directive: fault.RestartOneForOne, MaxRestarts: 10, Window: time.Second},
-				fault.FailureProbe(func() (bool, error) { return sys.ComponentFailed(name) }))
+				probes...)
 		}
 		sup.Start(time.Millisecond)
 		defer sup.Close()
 	}
+	if *metricsAddr != "" {
+		bound, shutdown, err := obs.Serve(*metricsAddr, obs.HandlerOptions{
+			Registry: reg,
+			Tracer:   tracer,
+			Arch:     archView(mgr),
+		})
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Printf("observability: http://%s/{metrics,healthz,arch,top,trace}\n", bound)
+	}
+	epoch := time.Now()
 	if err := sys.RunFor(*duration); err != nil {
 		return err
+	}
+	if observing {
+		sys.FlushSchedTrace(epoch)
+	}
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace spans to %s\n", tracer.Total(), *traceJSON)
 	}
 	if sup != nil {
 		sup.Close()
@@ -313,5 +402,56 @@ func cmdRun(args []string) error {
 			fmt.Printf("    %s\n", a)
 		}
 	}
+	if reg != nil {
+		fmt.Println()
+		if err := reg.WriteTop(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *metricsAddr != "" && *hold > 0 {
+		fmt.Printf("holding observability endpoints for %v (try: soleil top HOST:PORT)\n", *hold)
+		time.Sleep(*hold)
+	}
 	return nil
+}
+
+// archView adapts the reconfiguration manager's introspection
+// snapshot into the JSON the /arch endpoint serves.
+func archView(mgr *reconfig.Manager) func() any {
+	type component struct {
+		Name         string   `json:"name"`
+		Kind         string   `json:"kind"`
+		Started      bool     `json:"started"`
+		Failed       bool     `json:"failed,omitempty"`
+		FailureCause string   `json:"failureCause,omitempty"`
+		Membrane     bool     `json:"membrane"`
+		Controllers  []string `json:"controllers,omitempty"`
+	}
+	type view struct {
+		Mode       string      `json:"mode"`
+		Components []component `json:"components"`
+		Domains    []string    `json:"threadDomains,omitempty"`
+		Areas      []string    `json:"memoryAreas,omitempty"`
+		Composites []string    `json:"composites,omitempty"`
+	}
+	return func() any {
+		snap := mgr.Introspect()
+		v := view{
+			Mode:       snap.Mode.String(),
+			Domains:    snap.Domains,
+			Areas:      snap.Areas,
+			Composites: snap.Composites,
+		}
+		for _, c := range snap.Components {
+			cc := component{
+				Name: c.Name, Kind: c.Kind.String(), Started: c.Started,
+				Failed: c.Failed, Membrane: c.HasMembrane, Controllers: c.Controllers,
+			}
+			if c.FailureCause != nil {
+				cc.FailureCause = c.FailureCause.Error()
+			}
+			v.Components = append(v.Components, cc)
+		}
+		return v
+	}
 }

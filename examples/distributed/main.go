@@ -8,10 +8,16 @@
 // interface is exported over a loopback TCP transport; the consumer
 // imports it into its sink component.
 //
+// Both systems share one metrics registry and one tracer, so the
+// observability endpoints aggregate them and each telemetry frame
+// renders as a single causal trace spanning both systems.
+//
 //	go run ./examples/distributed
+//	go run ./examples/distributed -metrics 127.0.0.1:9090 -trace-json trace.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"net"
 	"os"
@@ -62,7 +68,7 @@ func (g *groundStation) Invoke(env *soleil.Env, itf, op string, arg any) (any, e
 	return nil, nil
 }
 
-func buildProducerSystem(content soleil.Content) (*soleil.System, error) {
+func buildProducerSystem(content soleil.Content, reg *soleil.MetricsRegistry, tr *soleil.Tracer) (*soleil.System, error) {
 	arch := soleil.NewArchitecture("spacecraft")
 	src, err := arch.NewActive("Telemetry", soleil.Activation{Kind: soleil.SporadicActivation})
 	if err != nil {
@@ -92,10 +98,10 @@ func buildProducerSystem(content soleil.Content) (*soleil.System, error) {
 	if err := fw.Register("TelemetryImpl", func() soleil.Content { return content }); err != nil {
 		return nil, err
 	}
-	return fw.Deploy(arch, soleil.Soleil)
+	return fw.DeployConfig(arch, soleil.DeployOptions{Mode: soleil.Soleil, Metrics: reg, Tracer: tr})
 }
 
-func buildConsumerSystem(content soleil.Content) (*soleil.System, error) {
+func buildConsumerSystem(content soleil.Content, reg *soleil.MetricsRegistry, tr *soleil.Tracer) (*soleil.System, error) {
 	arch := soleil.NewArchitecture("ground")
 	snk, err := arch.NewPassive("Station")
 	if err != nil {
@@ -118,7 +124,7 @@ func buildConsumerSystem(content soleil.Content) (*soleil.System, error) {
 	if err := fw.Register("StationImpl", func() soleil.Content { return content }); err != nil {
 		return nil, err
 	}
-	return fw.Deploy(arch, soleil.Soleil)
+	return fw.DeployConfig(arch, soleil.DeployOptions{Mode: soleil.Soleil, Metrics: reg, Tracer: tr})
 }
 
 func main() {
@@ -129,17 +135,40 @@ func main() {
 }
 
 func run() error {
+	metricsAddr := flag.String("metrics", "",
+		"serve the shared observability endpoints on HOST:PORT (\":0\" picks a free port)")
+	traceJSON := flag.String("trace-json", "",
+		"write a Chrome trace_event JSON file of the cross-system run")
+	flag.Parse()
+
 	dist.RegisterPayload(telemetry{})
+
+	// One registry and one tracer shared by both deployments: the
+	// exposition aggregates the two systems, and spans recorded on
+	// either side of the wire land in the same ring.
+	reg := soleil.NewMetricsRegistry()
+	tr := soleil.NewTracer(0)
 
 	prodContent := &producer{}
 	station := &groundStation{}
-	producerSys, err := buildProducerSystem(prodContent)
+	producerSys, err := buildProducerSystem(prodContent, reg, tr)
 	if err != nil {
 		return err
 	}
-	consumerSys, err := buildConsumerSystem(station)
+	consumerSys, err := buildConsumerSystem(station, reg, tr)
 	if err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		bound, shutdown, err := soleil.ServeObservability(*metricsAddr, soleil.ObservabilityOptions{
+			Registry: reg, Tracer: tr,
+		})
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Printf("observability: http://%s/{metrics,healthz,top,trace}\n", bound)
 	}
 
 	// Join the two systems over loopback TCP.
@@ -201,6 +230,22 @@ func run() error {
 	fmt.Printf("ground station received %d frames over TCP:\n", len(station.received))
 	for _, t := range station.received {
 		fmt.Printf("  frame %d: reading %.1f\n", t.Seq, t.Reading)
+	}
+
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace spans to %s (one causal tree per frame, spanning both systems)\n",
+			tr.Total(), *traceJSON)
 	}
 	return nil
 }

@@ -3,9 +3,11 @@ package assembly
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"soleil/internal/comm"
 	"soleil/internal/membrane"
+	"soleil/internal/obs"
 	"soleil/internal/patterns"
 	"soleil/internal/rtsj/memory"
 	"soleil/internal/rtsj/sched"
@@ -70,6 +72,13 @@ type soleilNode struct {
 	m         *membrane.Membrane
 	skeletons []*membrane.AsyncSkeleton
 	active    bool
+
+	// Observability wiring of an instrumented deployment (nil
+	// otherwise): activations are metered and become the root spans
+	// that activation-driven sends parent under.
+	system string
+	cm     *obs.ComponentMetrics
+	tracer *obs.Tracer
 }
 
 var _ Node = (*soleilNode)(nil)
@@ -89,7 +98,40 @@ func (n *soleilNode) Activate(env *thread.Env) error {
 	if !n.m.Lifecycle().Started() {
 		return fmt.Errorf("assembly: component %q is stopped", n.Name())
 	}
-	return ac.Activate(env)
+	if n.cm == nil {
+		return ac.Activate(env)
+	}
+
+	s := n.cm.Series("activation", "run")
+	s.Invocations.Inc()
+	cur := obs.NewSpanContext(env.Span())
+	prev := env.SetSpan(cur)
+	start := time.Now()
+	panicked := true
+	errored := false
+	defer func() {
+		d := time.Since(start)
+		s.Latency.Observe(d)
+		if panicked {
+			s.Panics.Inc()
+		}
+		env.SetSpan(prev)
+		if n.tracer != nil {
+			n.tracer.Record(obs.Span{
+				Trace: cur.TraceID, ID: cur.SpanID, Parent: prev.SpanID,
+				System: n.system, Component: n.Name(),
+				Interface: "activation", Op: "run",
+				Start: start, Duration: d, Err: errored || panicked,
+			})
+		}
+	}()
+	err := ac.Activate(env)
+	panicked = false
+	if err != nil {
+		errored = true
+		s.Errors.Inc()
+	}
+	return err
 }
 
 func (n *soleilNode) Deliver(env *thread.Env) (int, error) {

@@ -1,0 +1,110 @@
+package assembly
+
+import (
+	"testing"
+	"time"
+
+	"soleil/internal/fixture"
+	"soleil/internal/obs"
+	"soleil/internal/scenario"
+)
+
+// TestSoleilDeployAutoAttachesMetrics runs the factory in SOLEIL mode
+// against a shared registry and tracer, then checks the deployment
+// wired observability in end to end: per-operation series populated
+// by real dispatches, binding buffers registered as queues, spans in
+// the tracer, and the scheduler timeline bridged into the same trace.
+func TestSoleilDeployAutoAttachesMetrics(t *testing.T) {
+	arch, err := fixture.MotivationExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	contents := scenario.NewContents()
+	reg := NewRegistry()
+	if err := contents.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	sys, err := Deploy(arch, Config{Mode: Soleil, Registry: reg, Metrics: metrics, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Metrics() != metrics || sys.Tracer() != tracer {
+		t.Fatal("system accessors lost the registry/tracer")
+	}
+	sys.Scheduler().EnableTrace(0)
+	if err := sys.RunFor(55 * ms); err != nil {
+		t.Fatal(err)
+	}
+
+	comps := metrics.Components()
+	if len(comps) == 0 {
+		t.Fatal("no components registered")
+	}
+	var invocations int64
+	for _, c := range comps {
+		for _, s := range c.SeriesList() {
+			invocations += s.Invocations.Load()
+			if s.Invocations.Load() != s.Latency.Count() {
+				t.Errorf("%s %s.%s: %d invocations, %d latencies",
+					c.Name(), s.Interface, s.Op, s.Invocations.Load(), s.Latency.Count())
+			}
+		}
+	}
+	if invocations == 0 {
+		t.Error("no invocations metered across the run")
+	}
+	if !metrics.Healthy() {
+		t.Error("clean run left the registry unhealthy")
+	}
+	if len(metrics.QueueNames()) == 0 {
+		t.Error("no binding buffers registered as queues")
+	}
+	for _, qn := range metrics.QueueNames() {
+		stats, ok := metrics.Queue(qn)
+		if !ok {
+			t.Fatalf("queue %s vanished", qn)
+		}
+		if q := stats(); q.Capacity <= 0 {
+			t.Errorf("queue %s capacity = %d", qn, q.Capacity)
+		}
+	}
+
+	if tracer.Total() == 0 {
+		t.Error("no spans recorded")
+	}
+	// Invocation spans and the scheduler timeline share the tracer.
+	epoch := time.Now()
+	bridged := sys.FlushSchedTrace(epoch)
+	if bridged == 0 {
+		t.Fatal("scheduler trace bridged no events")
+	}
+	var instants int
+	for _, sp := range tracer.Spans() {
+		if sp.Kind == obs.SpanInstant {
+			instants++
+			if sp.Interface != "sched" {
+				t.Errorf("instant span interface = %s", sp.Interface)
+			}
+			if sp.Start.Before(epoch) {
+				t.Errorf("bridged event at %v predates epoch %v", sp.Start, epoch)
+			}
+		}
+	}
+	if instants != bridged {
+		t.Errorf("instants = %d, bridged = %d", instants, bridged)
+	}
+}
+
+// TestMergedDeployWithoutMetrics checks observability stays optional:
+// deployments without a registry run exactly as before.
+func TestMergedDeployWithoutMetrics(t *testing.T) {
+	sys, _ := runFactory(t, MergeAll)
+	if sys.Metrics() != nil || sys.Tracer() != nil {
+		t.Fatal("metrics attached without being configured")
+	}
+	if got := sys.FlushSchedTrace(time.Now()); got != 0 {
+		t.Fatalf("flush without tracer bridged %d events", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"soleil/internal/comm"
 	"soleil/internal/membrane"
 	"soleil/internal/model"
+	"soleil/internal/obs"
 	"soleil/internal/patterns"
 	"soleil/internal/rtsj/memory"
 	"soleil/internal/rtsj/sched"
@@ -37,6 +38,19 @@ type Config struct {
 	// system keeps running — the execution mode supervised systems
 	// run under.
 	Resilient bool
+	// Metrics, when set, instruments the deployment: in SOLEIL mode a
+	// MetricsInterceptor is deployed outermost on every membrane and
+	// the membrane's lifecycle signals are attached to the registry;
+	// in every mode asynchronous buffers are registered as queue
+	// gauges and deadline misses are counted per component. Sharing
+	// one registry across several deployed systems aggregates them
+	// into one exposition surface.
+	Metrics *obs.Registry
+	// Tracer, when set (with Metrics), receives a causal span per
+	// dispatch and per activation. Sharing one tracer across systems
+	// joined by distributed bindings yields a single cross-system
+	// trace.
+	Tracer *obs.Tracer
 }
 
 // System is a deployed, runnable system.
@@ -62,6 +76,9 @@ type System struct {
 	started   bool
 	ran       bool
 	resilient bool
+
+	metrics *obs.Registry
+	tracer  *obs.Tracer
 
 	errMu       sync.Mutex
 	errs        []error
@@ -104,6 +121,8 @@ func Deploy(arch *model.Architecture, cfg Config) (*System, error) {
 		threads:   make(map[string]*thread.Thread),
 		holders:   make(map[string]*taskHolder),
 		resilient: cfg.Resilient,
+		metrics:   cfg.Metrics,
+		tracer:    cfg.Tracer,
 	}
 	if err := s.buildMemory(); err != nil {
 		return nil, err
@@ -170,6 +189,40 @@ func (s *System) Buffers() []*comm.RTBuffer {
 func (s *System) Area(name string) (*memory.Area, bool) {
 	a, ok := s.areas[name]
 	return a, ok
+}
+
+// Metrics returns the metrics registry the system was deployed with,
+// or nil for an uninstrumented deployment.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// Tracer returns the tracer the system was deployed with, if any.
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
+
+// FlushSchedTrace bridges the simulated scheduler's execution trace
+// (recorded in virtual time; enable it with
+// Scheduler().EnableTrace before the run) into the system's tracer as
+// instant events, mapping virtual time onto a wall-clock timeline
+// anchored at epoch — the same timeline invocation spans use when
+// epoch is taken just before RunFor. It returns the number of events
+// bridged. Scheduling decisions and invocation spans then interleave
+// in one exported trace.
+func (s *System) FlushSchedTrace(epoch time.Time) int {
+	if s.tracer == nil {
+		return 0
+	}
+	events := s.sch.Trace()
+	for _, e := range events {
+		s.tracer.Record(obs.Span{
+			System:    s.arch.Name(),
+			Component: e.Task,
+			Interface: "sched",
+			Op:        e.Kind.String(),
+			Start:     epoch.Add(time.Duration(e.Time)),
+			Err:       e.Kind == sched.EventMiss || e.Kind == sched.EventOverrun,
+			Kind:      obs.SpanInstant,
+		})
+	}
+	return len(events)
 }
 
 // Domains returns the reified ThreadDomain components (SOLEIL mode
@@ -340,6 +393,14 @@ func (s *System) buildNodes(cfg Config) error {
 		switch s.mode {
 		case Soleil:
 			var ints []membrane.Interceptor
+			var cm *obs.ComponentMetrics
+			if cfg.Metrics != nil {
+				// Metrics outermost: it observes the component as its
+				// clients do, and panics converted to errors by inner
+				// guards surface as errors rather than raw panics.
+				cm = cfg.Metrics.Component(c.Name())
+				ints = append(ints, membrane.NewMetricsInterceptor(s.arch.Name(), cm, cfg.Tracer))
+			}
 			if cfg.Interceptors != nil {
 				ints = append(ints, cfg.Interceptors(c.Name())...)
 			}
@@ -350,7 +411,10 @@ func (s *System) buildNodes(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			node = &soleilNode{m: m, active: active}
+			if cm != nil {
+				m.AttachMetrics(cm)
+			}
+			node = &soleilNode{m: m, active: active, system: s.arch.Name(), cm: cm, tracer: cfg.Tracer}
 		case MergeAll:
 			node = newMergedNode(c.Name(), content, active, true)
 		case UltraMerge:
@@ -401,6 +465,15 @@ func (s *System) buildBindings(cfg Config) error {
 				return err
 			}
 			s.buffers = append(s.buffers, buf)
+			if cfg.Metrics != nil {
+				cfg.Metrics.RegisterQueue(buf.Name(), func() obs.QueueStats {
+					st := buf.Stats()
+					return obs.QueueStats{
+						Enqueued: st.Enqueued, Dequeued: st.Dequeued, Dropped: st.Dropped,
+						Depth: st.Depth, HighWatermark: st.MaxDepth, Capacity: buf.Cap(),
+					}
+				})
+			}
 			stub, err := membrane.NewAsyncStub(buf, b.Server.Interface)
 			if err != nil {
 				return err
@@ -512,6 +585,11 @@ func (s *System) buildThreads() error {
 		node := s.nodes[c.Name()]
 		act := c.Activation()
 		body := s.threadBody(node, act.Kind)
+		var onMiss func(sched.MissInfo)
+		if s.metrics != nil {
+			cm := s.metrics.Component(c.Name())
+			onMiss = func(sched.MissInfo) { cm.Misses.Inc() }
+		}
 		th, err := s.trt.Spawn(thread.Config{
 			Name:        c.Name(),
 			Kind:        threadKindOf(td.Domain().Kind),
@@ -519,6 +597,7 @@ func (s *System) buildThreads() error {
 			Release:     releaseOf(act),
 			InitialArea: area,
 			Run:         body,
+			OnMiss:      onMiss,
 		})
 		if err != nil {
 			return fmt.Errorf("assembly: spawning %q: %w", c.Name(), err)

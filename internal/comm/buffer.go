@@ -39,6 +39,8 @@ type Stats struct {
 	Dequeued int64
 	Dropped  int64
 	MaxDepth int
+	// Depth is the queue length at the moment Stats was taken.
+	Depth int
 }
 
 // OverflowRate is the fraction of offered messages the buffer
@@ -103,7 +105,9 @@ func (b *Buffer) Len() int {
 func (b *Buffer) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.stats
+	s := b.stats
+	s.Depth = b.count
+	return s
 }
 
 // OnEnqueue registers a callback invoked (outside the lock) after each

@@ -286,3 +286,23 @@ func TestRTBufferDropOldestSlotReuse(t *testing.T) {
 		t.Fatalf("drop-oldest kept %v, %v; want 4, 5", v1, v2)
 	}
 }
+
+func TestStatsReportsInstantDepth(t *testing.T) {
+	b, _ := NewBuffer("b", 4, Refuse)
+	if got := b.Stats().Depth; got != 0 {
+		t.Fatalf("empty depth = %d", got)
+	}
+	_ = b.Enqueue(1)
+	_ = b.Enqueue(2)
+	_ = b.Enqueue(3)
+	if st := b.Stats(); st.Depth != 3 || st.MaxDepth != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	b.Dequeue()
+	b.Dequeue()
+	// Depth tracks the instantaneous length; MaxDepth stays the high
+	// watermark.
+	if st := b.Stats(); st.Depth != 1 || st.MaxDepth != 3 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}

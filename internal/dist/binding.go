@@ -9,14 +9,19 @@ import (
 
 	"soleil/internal/assembly"
 	"soleil/internal/membrane"
+	"soleil/internal/obs"
 	"soleil/internal/rtsj/thread"
 )
 
 // envelope is the wire representation of one asynchronous invocation.
+// Trace carries the sender's span context across the wire, so a
+// distributed call chain renders as one causal trace even though its
+// halves run in different systems (typically different processes).
 type envelope struct {
 	Interface string
 	Op        string
 	Arg       any
+	Trace     obs.SpanContext
 }
 
 // RegisterPayload registers a message payload type for the wire
@@ -59,9 +64,10 @@ func NewRemotePort(t Transport, itf string) (*RemotePort, error) {
 	return &RemotePort{transport: t, itf: itf}, nil
 }
 
-// Send implements membrane.Port.
+// Send implements membrane.Port. The sender's current span rides in
+// the envelope so the remote dispatch joins the sender's trace.
 func (p *RemotePort) Send(env *thread.Env, op string, arg any) error {
-	payload, err := encode(envelope{Interface: p.itf, Op: op, Arg: arg})
+	payload, err := encode(envelope{Interface: p.itf, Op: op, Arg: arg, Trace: env.Span()})
 	if err != nil {
 		return err
 	}
@@ -164,7 +170,12 @@ func (i *Importer) PumpOne() (bool, error) {
 	if err != nil {
 		return true, err
 	}
-	if _, err := i.node.Invoke(i.env, e.Interface, e.Op, e.Arg); err != nil {
+	// Adopt the sender's span for the delivery so the local dispatch
+	// parents into the remote caller's trace.
+	prev := i.env.SetSpan(e.Trace)
+	_, err = i.node.Invoke(i.env, e.Interface, e.Op, e.Arg)
+	i.env.SetSpan(prev)
+	if err != nil {
 		return true, fmt.Errorf("dist: deliver %s.%s: %w", e.Interface, e.Op, err)
 	}
 	i.mu.Lock()

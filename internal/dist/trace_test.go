@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"testing"
+
+	"soleil/internal/assembly"
+	"soleil/internal/membrane"
+	"soleil/internal/model"
+	"soleil/internal/obs"
+)
+
+// TestCausalTraceSpansBothSystems drives activations across a
+// distributed binding with both systems deployed against one shared
+// registry and tracer, then checks each frame renders as a single
+// causal tree: an activation root recorded in the producer system and
+// a child span recorded in the consumer system, joined by trace and
+// parent IDs carried over the wire.
+func TestCausalTraceSpansBothSystems(t *testing.T) {
+	RegisterPayload(tick{})
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+
+	deploy := func(build func() *model.Architecture, impl string, content membrane.Content) *assembly.System {
+		a := build()
+		r := assembly.NewRegistry()
+		if err := r.Register(impl, func() membrane.Content { return content }); err != nil {
+			t.Fatal(err)
+		}
+		sys, err := assembly.Deploy(a, assembly.Config{
+			Mode: assembly.Soleil, Registry: r, Metrics: reg, Tracer: tracer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	src := &sourceContent{}
+	snk := &sinkContent{}
+	producer := deploy(func() *model.Architecture {
+		a := model.NewArchitecture("producer")
+		s, _ := a.NewActive("Source", model.Activation{Kind: model.SporadicActivation})
+		_ = s.AddInterface(model.Interface{Name: "out", Role: model.ClientRole, Signature: "ITick"})
+		_ = s.SetContent("SourceImpl")
+		td, _ := a.NewThreadDomain("rt", model.DomainDesc{Kind: model.RealtimeThread, Priority: 20})
+		imm, _ := a.NewMemoryArea("imm", model.AreaDesc{Kind: model.ImmortalMemory})
+		_ = a.AddChild(imm, td)
+		_ = a.AddChild(td, s)
+		return a
+	}, "SourceImpl", src)
+	consumer := deploy(func() *model.Architecture {
+		a := model.NewArchitecture("consumer")
+		s, _ := a.NewPassive("Sink")
+		_ = s.AddInterface(model.Interface{Name: "in", Role: model.ServerRole, Signature: "ITick"})
+		_ = s.SetContent("SinkImpl")
+		imm, _ := a.NewMemoryArea("imm", model.AreaDesc{Kind: model.ImmortalMemory})
+		_ = a.AddChild(imm, s)
+		return a
+	}, "SinkImpl", snk)
+
+	pa, pb := NewPipe()
+	if err := Export(producer, "Source", "out", "in", pa); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := Import(consumer, "Sink", pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer imp.Close()
+	if err := producer.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	env, closeEnv, err := producer.NewEnv(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeEnv()
+	node, _ := producer.Node("Source")
+	const frames = 4
+	for i := 0; i < frames; i++ {
+		if err := node.Activate(env); err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := imp.PumpOne(); err != nil || !ok {
+			t.Fatalf("pump %d: %v, %v", i, ok, err)
+		}
+	}
+	if len(snk.got) != frames {
+		t.Fatalf("sink got %v", snk.got)
+	}
+
+	roots := map[uint64]obs.Span{} // trace ID -> producer-side activation root
+	var children []obs.Span
+	for _, sp := range tracer.Spans() {
+		switch sp.System {
+		case "producer":
+			if sp.Interface == "activation" {
+				roots[sp.Trace] = sp
+			}
+		case "consumer":
+			children = append(children, sp)
+		}
+	}
+	if len(roots) != frames {
+		t.Fatalf("producer activation roots = %d, want %d", len(roots), frames)
+	}
+	if len(children) != frames {
+		t.Fatalf("consumer spans = %d, want %d", len(children), frames)
+	}
+	for _, c := range children {
+		root, ok := roots[c.Trace]
+		if !ok {
+			t.Fatalf("consumer span %x not in any producer trace", c.ID)
+		}
+		if c.Parent != root.ID {
+			t.Errorf("consumer span parent = %x, want producer root %x", c.Parent, root.ID)
+		}
+		if c.Component != "Sink" || c.Interface != "in" {
+			t.Errorf("consumer span identity = %s/%s", c.Component, c.Interface)
+		}
+	}
+
+	// The shared registry aggregated both sides.
+	if got := reg.Component("Sink").Series("in", "tick").Invocations.Load(); got != frames {
+		t.Errorf("sink invocations = %d, want %d", got, frames)
+	}
+}

@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"soleil/internal/obs"
+)
+
+// WithRegistry mirrors the supervisor's decisions into a metrics
+// registry: successful restarts increment the component's restart
+// counter and quarantines mark it unhealthy, so /healthz and /metrics
+// reflect supervision without extra wiring.
+func WithRegistry(reg *obs.Registry) SupervisorOption {
+	return func(s *Supervisor) { s.metrics = reg }
+}
+
+// MetricsLatencyProbe watches an operation's latency distribution in
+// the shared registry: unhealthy when its p99 exceeds bound. It reads
+// the same histogram the MetricsInterceptor feeds, so supervision and
+// exposition observe one set of numbers.
+func MetricsLatencyProbe(series *obs.OpSeries, bound time.Duration) Probe {
+	return func() Health {
+		if series == nil || series.Latency.Count() == 0 {
+			return healthyState
+		}
+		if p99 := series.Latency.Quantile(0.99); p99 > bound {
+			return Health{Reason: fmt.Sprintf("%s.%s p99 %v exceeds bound %v",
+				series.Interface, series.Op, p99, bound)}
+		}
+		return healthyState
+	}
+}
+
+// MetricsMissProbe watches a component's deadline-miss counter in the
+// shared registry between polls: unhealthy when more than maxNew
+// misses arrived since the last poll.
+func MetricsMissProbe(cm *obs.ComponentMetrics, maxNew int64) Probe {
+	return MissProbe(cm.Misses.Load, maxNew)
+}
+
+// MetricsOverflowProbe watches a registered queue's drop rate between
+// polls: unhealthy when more than maxRate of the messages offered
+// since the last poll were dropped. The queue is resolved lazily so
+// the probe can be installed before the binding registers its buffer.
+func MetricsOverflowProbe(reg *obs.Registry, queue string, maxRate float64) Probe {
+	var last obs.QueueStats
+	var mu sync.Mutex
+	return func() Health {
+		stats, ok := reg.Queue(queue)
+		if !ok {
+			return healthyState
+		}
+		cur := stats()
+		mu.Lock()
+		offered := (cur.Enqueued + cur.Dropped) - (last.Enqueued + last.Dropped)
+		dropped := cur.Dropped - last.Dropped
+		last = cur
+		mu.Unlock()
+		if offered <= 0 {
+			return healthyState
+		}
+		if rate := float64(dropped) / float64(offered); rate > maxRate {
+			return Health{Reason: fmt.Sprintf("queue %s overflow rate %.1f%% (max %.1f%%)",
+				queue, rate*100, maxRate*100)}
+		}
+		return healthyState
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"soleil/internal/comm"
+	"soleil/internal/obs"
 	"soleil/internal/trace"
 )
 
@@ -112,6 +113,7 @@ type Supervisor struct {
 	log        *Log
 	now        func() time.Time
 	onEscalate func(component, reason string)
+	metrics    *obs.Registry
 
 	mu      sync.Mutex
 	watches map[string]*watch
@@ -286,6 +288,17 @@ func (s *Supervisor) apply(component string, w *watch, reason string) Action {
 		} else {
 			a.Kind = "restart"
 			a.Err = s.restarter.Restart(component)
+		}
+	}
+	if s.metrics != nil {
+		cm := s.metrics.Component(component)
+		switch a.Kind {
+		case "restart":
+			if a.Err == nil {
+				cm.Restarts.Inc()
+			}
+		case "quarantine":
+			cm.SetHealthy(false)
 		}
 	}
 	return a

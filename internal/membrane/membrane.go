@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"soleil/internal/obs"
 	"soleil/internal/rtsj/thread"
 )
 
@@ -38,6 +39,10 @@ type Invocation struct {
 	Arg any
 	// Env is the calling thread's environment.
 	Env *thread.Env
+	// Trace is the caller's span context when the invocation crossed
+	// an asynchronous or distributed boundary; a zero value means the
+	// caller's span travels in Env instead.
+	Trace obs.SpanContext
 }
 
 // Handler consumes an invocation.
@@ -128,6 +133,15 @@ type Membrane struct {
 
 	lifecycle *LifecycleController
 	binding   *BindingController
+
+	// chain is the interceptor chain composed once at assembly:
+	// Dispatch runs it without building closures, keeping the dispatch
+	// hot path allocation-free.
+	chain Handler
+
+	// metrics, when attached, receives the membrane's lifecycle
+	// signals (failures, rejected dispatches, health).
+	metrics *obs.ComponentMetrics
 }
 
 // New assembles a membrane around content. The interceptors form the
@@ -156,6 +170,15 @@ func New(name string, content Content, interceptors ...Interceptor) (*Membrane, 
 	for _, i := range interceptors {
 		if la, ok := i.(LifecycleAware); ok {
 			la.AttachLifecycle(m.lifecycle)
+		}
+	}
+	m.chain = func(inv *Invocation) (any, error) {
+		return m.content.Invoke(inv.Env, inv.Interface, inv.Op, inv.Arg)
+	}
+	for i := len(interceptors) - 1; i >= 0; i-- {
+		ic, next := interceptors[i], m.chain
+		m.chain = func(inv *Invocation) (any, error) {
+			return ic.Invoke(inv, next)
 		}
 	}
 	return m, nil
@@ -202,26 +225,28 @@ func (m *Membrane) Interceptors() []Interceptor {
 	return out
 }
 
+// AttachMetrics connects the membrane's lifecycle signals to a
+// component metric family: failures, rejected dispatches and the
+// health gauge become visible in the registry.
+func (m *Membrane) AttachMetrics(cm *obs.ComponentMetrics) { m.metrics = cm }
+
+// Metrics returns the attached component metric family, if any.
+func (m *Membrane) Metrics() *obs.ComponentMetrics { return m.metrics }
+
 // Dispatch runs an incoming invocation through the interceptor chain
 // and into the content. Invocations on stopped components are
 // refused — the lifecycle controller's guarantee to reconfiguration.
 func (m *Membrane) Dispatch(inv *Invocation) (any, error) {
 	if failed, cause := m.lifecycle.Failure(); failed {
+		if m.metrics != nil {
+			m.metrics.Rejected.Inc()
+		}
 		return nil, fmt.Errorf("%w: %q: %v", ErrFailed, m.name, cause)
 	}
 	if !m.lifecycle.Started() {
 		return nil, fmt.Errorf("membrane: component %q is stopped", m.name)
 	}
-	return m.dispatchFrom(0, inv)
-}
-
-func (m *Membrane) dispatchFrom(i int, inv *Invocation) (any, error) {
-	if i >= len(m.interceptors) {
-		return m.content.Invoke(inv.Env, inv.Interface, inv.Op, inv.Arg)
-	}
-	return m.interceptors[i].Invoke(inv, func(next *Invocation) (any, error) {
-		return m.dispatchFrom(i+1, next)
-	})
+	return m.chain(inv)
 }
 
 // Controller is a control component of a membrane.
@@ -276,10 +301,14 @@ func (c *LifecycleController) Failure() (bool, error) {
 // interceptors call this instead of letting a panic escape.
 func (c *LifecycleController) Fail(cause error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.started = false
 	c.failed = true
 	c.cause = cause
+	c.mu.Unlock()
+	if cm := c.owner.metrics; cm != nil {
+		cm.Failures.Inc()
+		cm.SetHealthy(false)
+	}
 }
 
 // Start initializes the content (once) and opens the component for
@@ -297,6 +326,9 @@ func (c *LifecycleController) Start() error {
 	c.started = true
 	c.failed = false
 	c.cause = nil
+	if cm := c.owner.metrics; cm != nil {
+		cm.SetHealthy(true)
+	}
 	return nil
 }
 

@@ -1,0 +1,92 @@
+package membrane
+
+import (
+	"time"
+
+	"soleil/internal/obs"
+)
+
+// MetricsInterceptor is the membrane's observability interceptor: it
+// records latency, error and panic signals for every dispatch into a
+// shared metric registry and maintains the causal trace — deriving a
+// child span from the caller's context and installing it as the
+// thread's current span for the duration of the dispatch.
+//
+// Deployed outermost it observes the component as its clients do:
+// time spent in inner interceptors (run-to-completion serialization,
+// memory-pattern copies, fault guards) is part of the recorded
+// latency, and panics converted to errors by an inner guard surface
+// as errors rather than raw panics.
+//
+// The hot path performs only atomic updates and a ring-slot copy — no
+// allocation — so the interceptor is safe on real-time paths and in
+// steady state costs a few hundred nanoseconds per dispatch.
+type MetricsInterceptor struct {
+	system  string
+	metrics *obs.ComponentMetrics
+	tracer  *obs.Tracer
+}
+
+// NewMetricsInterceptor builds the interceptor for one component.
+// tracer may be nil to meter without tracing.
+func NewMetricsInterceptor(system string, cm *obs.ComponentMetrics, tracer *obs.Tracer) *MetricsInterceptor {
+	return &MetricsInterceptor{system: system, metrics: cm, tracer: tracer}
+}
+
+// Name implements Interceptor.
+func (mi *MetricsInterceptor) Name() string { return "metrics-interceptor" }
+
+// Invoke implements Interceptor.
+func (mi *MetricsInterceptor) Invoke(inv *Invocation, next Handler) (any, error) {
+	s := mi.metrics.Series(inv.Interface, inv.Op)
+	s.Invocations.Inc()
+
+	// The parent span arrives either explicitly on the invocation
+	// (asynchronous and distributed boundaries re-attach it there) or
+	// implicitly as the calling thread's current span.
+	parent := inv.Trace
+	env := inv.Env
+	if !parent.Valid() && env != nil {
+		parent = env.Span()
+	}
+	cur := obs.NewSpanContext(parent)
+	var prev obs.SpanContext
+	if env != nil {
+		prev = env.SetSpan(cur)
+	}
+
+	start := time.Now()
+	panicked := true
+	errored := false
+	defer func() {
+		d := time.Since(start)
+		s.Latency.Observe(d)
+		if panicked {
+			s.Panics.Inc()
+		}
+		if env != nil {
+			env.SetSpan(prev)
+		}
+		if mi.tracer != nil {
+			mi.tracer.Record(obs.Span{
+				Trace:     cur.TraceID,
+				ID:        cur.SpanID,
+				Parent:    parent.SpanID,
+				System:    mi.system,
+				Component: mi.metrics.Name(),
+				Interface: inv.Interface,
+				Op:        inv.Op,
+				Start:     start,
+				Duration:  d,
+				Err:       errored || panicked,
+			})
+		}
+	}()
+	out, err := next(inv)
+	panicked = false
+	if err != nil {
+		errored = true
+		s.Errors.Inc()
+	}
+	return out, err
+}

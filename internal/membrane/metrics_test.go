@@ -1,0 +1,251 @@
+package membrane
+
+import (
+	"errors"
+	"testing"
+
+	"soleil/internal/obs"
+	"soleil/internal/rtsj/memory"
+	"soleil/internal/rtsj/thread"
+)
+
+// faultyContent returns a fixed error or panics on demand.
+type faultyContent struct {
+	err       error
+	panicWith any
+}
+
+func (c *faultyContent) Init(*Services) error { return nil }
+
+func (c *faultyContent) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
+	if c.panicWith != nil {
+		panic(c.panicWith)
+	}
+	return arg, c.err
+}
+
+func newMeteredMembrane(t *testing.T, content Content, tracer *obs.Tracer) (*Membrane, *obs.ComponentMetrics) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cm := reg.Component("m")
+	m, err := New("m", content, NewMetricsInterceptor("sys", cm, tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachMetrics(cm)
+	if err := m.Lifecycle().Start(); err != nil {
+		t.Fatal(err)
+	}
+	return m, cm
+}
+
+func TestMetricsInterceptorCounts(t *testing.T) {
+	rt := memory.NewRuntime()
+	env := testEnv(t, rt, false)
+	content := &faultyContent{}
+	m, cm := newMeteredMembrane(t, content, nil)
+
+	for i := 0; i < 3; i++ {
+		if _, err := m.Dispatch(&Invocation{Interface: "i", Op: "op", Arg: i, Env: env}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	content.err = errors.New("boom")
+	if _, err := m.Dispatch(&Invocation{Interface: "i", Op: "op", Env: env}); err == nil {
+		t.Fatal("error swallowed")
+	}
+
+	s := cm.Series("i", "op")
+	if got := s.Invocations.Load(); got != 4 {
+		t.Errorf("invocations = %d, want 4", got)
+	}
+	if got := s.Errors.Load(); got != 1 {
+		t.Errorf("errors = %d, want 1", got)
+	}
+	if got := s.Panics.Load(); got != 0 {
+		t.Errorf("panics = %d, want 0", got)
+	}
+	if got := s.Latency.Count(); got != 4 {
+		t.Errorf("latency count = %d, want 4", got)
+	}
+}
+
+func TestMetricsInterceptorRawPanic(t *testing.T) {
+	rt := memory.NewRuntime()
+	env := testEnv(t, rt, false)
+	m, cm := newMeteredMembrane(t, &faultyContent{panicWith: "blown fuse"}, nil)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic swallowed by metrics interceptor")
+			}
+		}()
+		_, _ = m.Dispatch(&Invocation{Interface: "i", Op: "op", Env: env})
+	}()
+
+	s := cm.Series("i", "op")
+	if got := s.Panics.Load(); got != 1 {
+		t.Errorf("panics = %d, want 1", got)
+	}
+	if got := s.Latency.Count(); got != 1 {
+		t.Errorf("latency count = %d, want 1 (panicking dispatch still timed)", got)
+	}
+}
+
+func TestFailedDispatchCountsRejected(t *testing.T) {
+	rt := memory.NewRuntime()
+	env := testEnv(t, rt, false)
+	m, cm := newMeteredMembrane(t, &faultyContent{}, nil)
+
+	m.Lifecycle().Fail(errors.New("isolated"))
+	if cm.Healthy() {
+		t.Error("health still up after Fail")
+	}
+	if got := cm.Failures.Load(); got != 1 {
+		t.Errorf("failures = %d, want 1", got)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Dispatch(&Invocation{Interface: "i", Op: "op", Env: env}); !errors.Is(err, ErrFailed) {
+			t.Fatalf("dispatch on FAILED component = %v, want ErrFailed", err)
+		}
+	}
+	if got := cm.Rejected.Load(); got != 2 {
+		t.Errorf("rejected = %d, want 2", got)
+	}
+
+	// Restarting clears the failure and restores health.
+	if err := m.Lifecycle().Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !cm.Healthy() {
+		t.Error("health not restored by restart")
+	}
+	if _, err := m.Dispatch(&Invocation{Interface: "i", Op: "op", Env: env}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsInterceptorTracePropagation(t *testing.T) {
+	rt := memory.NewRuntime()
+	env := testEnv(t, rt, false)
+	tracer := obs.NewTracer(16)
+	m, _ := newMeteredMembrane(t, &faultyContent{}, tracer)
+
+	root := obs.NewSpanContext(obs.SpanContext{})
+	env.SetSpan(root)
+	if _, err := m.Dispatch(&Invocation{Interface: "i", Op: "op", Env: env}); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Span(); got != root {
+		t.Errorf("caller span not restored: %v != %v", got, root)
+	}
+	spans := tracer.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Trace != root.TraceID {
+		t.Errorf("span left the trace: %x != %x", sp.Trace, root.TraceID)
+	}
+	if sp.Parent != root.SpanID {
+		t.Errorf("span parent = %x, want caller %x", sp.Parent, root.SpanID)
+	}
+	if sp.Component != "m" || sp.Interface != "i" || sp.Op != "op" {
+		t.Errorf("span identity = %s/%s/%s", sp.Component, sp.Interface, sp.Op)
+	}
+
+	// An explicit Invocation.Trace (the async/dist re-attachment path)
+	// takes precedence over the thread's current span.
+	wire := obs.NewSpanContext(obs.SpanContext{})
+	if _, err := m.Dispatch(&Invocation{Interface: "i", Op: "op", Env: env, Trace: wire}); err != nil {
+		t.Fatal(err)
+	}
+	spans = tracer.Spans()
+	if sp := spans[len(spans)-1]; sp.Trace != wire.TraceID || sp.Parent != wire.SpanID {
+		t.Errorf("wire trace not adopted: trace=%x parent=%x, want %x/%x",
+			sp.Trace, sp.Parent, wire.TraceID, wire.SpanID)
+	}
+}
+
+// TestDispatchAllocs proves the fully metered dispatch path — chain,
+// metrics interceptor, tracer — allocates nothing per invocation.
+func TestDispatchAllocs(t *testing.T) {
+	rt := memory.NewRuntime()
+	env := testEnv(t, rt, false)
+	tracer := obs.NewTracer(64)
+	m, _ := newMeteredMembrane(t, &faultyContent{}, tracer)
+
+	inv := &Invocation{Interface: "i", Op: "op", Arg: 1, Env: env}
+	if _, err := m.Dispatch(inv); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.Dispatch(inv); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("metered dispatch allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+func benchMembrane(b *testing.B, interceptors ...Interceptor) *Membrane {
+	b.Helper()
+	m, err := New("m", &faultyContent{}, interceptors...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Lifecycle().Start(); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchEnv(b *testing.B) *thread.Env {
+	b.Helper()
+	rt := memory.NewRuntime()
+	ctx, err := memory.NewContext(rt.Immortal(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(ctx.Close)
+	return thread.NewEnv(nil, ctx)
+}
+
+func BenchmarkDispatchBare(b *testing.B) {
+	m := benchMembrane(b)
+	inv := &Invocation{Interface: "i", Op: "op", Arg: 1, Env: benchEnv(b)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Dispatch(inv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDispatchMetered(b *testing.B) {
+	cm := obs.NewRegistry().Component("m")
+	m := benchMembrane(b, NewMetricsInterceptor("sys", cm, nil))
+	inv := &Invocation{Interface: "i", Op: "op", Arg: 1, Env: benchEnv(b)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Dispatch(inv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDispatchMeteredTraced(b *testing.B) {
+	cm := obs.NewRegistry().Component("m")
+	m := benchMembrane(b, NewMetricsInterceptor("sys", cm, obs.NewTracer(0)))
+	inv := &Invocation{Interface: "i", Op: "op", Arg: 1, Env: benchEnv(b)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Dispatch(inv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

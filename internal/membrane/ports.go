@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"soleil/internal/comm"
+	"soleil/internal/obs"
 	"soleil/internal/rtsj/sched"
 	"soleil/internal/rtsj/thread"
 )
@@ -42,16 +43,18 @@ func (p *FirePort) Send(env *thread.Env, op string, arg any) error {
 }
 
 // AsyncMessage is the unit queued on asynchronous bindings: the
-// target interface and operation plus the (deep-copied) argument.
+// target interface and operation plus the (deep-copied) argument and
+// the sender's span context, so the causal trace survives the queue.
 type AsyncMessage struct {
 	Interface string
 	Op        string
 	Arg       any
+	Trace     obs.SpanContext
 }
 
 // DeepCopy implements patterns.Copier.
 func (m AsyncMessage) DeepCopy() any {
-	return AsyncMessage{Interface: m.Interface, Op: m.Op, Arg: deepCopyArg(m.Arg)}
+	return AsyncMessage{Interface: m.Interface, Op: m.Op, Arg: deepCopyArg(m.Arg), Trace: m.Trace}
 }
 
 func deepCopyArg(v any) any {
@@ -120,9 +123,11 @@ func NewAsyncStub(buf *comm.RTBuffer, itf string) (*AsyncStub, error) {
 	return &AsyncStub{buf: buf, itf: itf}, nil
 }
 
-// Send implements Port.
+// Send implements Port. The sender's current span rides along in the
+// message, so the receiving dispatch parents correctly even though it
+// runs later, on the server's thread.
 func (p *AsyncStub) Send(env *thread.Env, op string, arg any) error {
-	return p.buf.Enqueue(env.Mem(), AsyncMessage{Interface: p.itf, Op: op, Arg: arg})
+	return p.buf.Enqueue(env.Mem(), AsyncMessage{Interface: p.itf, Op: op, Arg: arg, Trace: env.Span()})
 }
 
 // Call implements Port; asynchronous bindings cannot return results.
@@ -164,7 +169,7 @@ func (s *AsyncSkeleton) DrainOne(env *thread.Env) (bool, error) {
 		return true, fmt.Errorf("membrane: foreign message %T on %s", v, s.buf.Name())
 	}
 	_, err = s.target.Dispatch(&Invocation{
-		Interface: msg.Interface, Op: msg.Op, Arg: msg.Arg, Env: env,
+		Interface: msg.Interface, Op: msg.Op, Arg: msg.Arg, Env: env, Trace: msg.Trace,
 	})
 	return true, err
 }

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// seconds renders nanoseconds as a Prometheus-style float.
+func seconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (0.0.4). Scrapes read counters atomically and
+// poll queue gauges; the hot paths being scraped pay nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+
+	b.WriteString("# HELP soleil_invocations_total Invocations dispatched into a component operation.\n")
+	b.WriteString("# TYPE soleil_invocations_total counter\n")
+	comps := r.Components()
+	series := func(emit func(s *OpSeries)) {
+		for _, c := range comps {
+			for _, s := range c.SeriesList() {
+				emit(s)
+			}
+		}
+	}
+	series(func(s *OpSeries) {
+		fmt.Fprintf(&b, "soleil_invocations_total{component=\"%s\",interface=\"%s\",op=\"%s\"} %d\n",
+			escapeLabel(s.Component), escapeLabel(s.Interface), escapeLabel(s.Op), s.Invocations.Load())
+	})
+
+	b.WriteString("# HELP soleil_invocation_errors_total Invocations that returned an error.\n")
+	b.WriteString("# TYPE soleil_invocation_errors_total counter\n")
+	series(func(s *OpSeries) {
+		fmt.Fprintf(&b, "soleil_invocation_errors_total{component=\"%s\",interface=\"%s\",op=\"%s\"} %d\n",
+			escapeLabel(s.Component), escapeLabel(s.Interface), escapeLabel(s.Op), s.Errors.Load())
+	})
+
+	b.WriteString("# HELP soleil_invocation_panics_total Raw panics that unwound through the metrics layer.\n")
+	b.WriteString("# TYPE soleil_invocation_panics_total counter\n")
+	series(func(s *OpSeries) {
+		fmt.Fprintf(&b, "soleil_invocation_panics_total{component=\"%s\",interface=\"%s\",op=\"%s\"} %d\n",
+			escapeLabel(s.Component), escapeLabel(s.Interface), escapeLabel(s.Op), s.Panics.Load())
+	})
+
+	b.WriteString("# HELP soleil_invocation_latency_seconds Dispatch latency distribution.\n")
+	b.WriteString("# TYPE soleil_invocation_latency_seconds histogram\n")
+	bounds := BucketBounds()
+	series(func(s *OpSeries) {
+		snap := s.Latency.Snapshot()
+		labels := fmt.Sprintf("component=\"%s\",interface=\"%s\",op=\"%s\"",
+			escapeLabel(s.Component), escapeLabel(s.Interface), escapeLabel(s.Op))
+		var cum int64
+		for i, bound := range bounds {
+			cum += snap.Counts[i]
+			fmt.Fprintf(&b, "soleil_invocation_latency_seconds_bucket{%s,le=%q} %d\n",
+				labels, seconds(bound), cum)
+		}
+		cum += snap.Counts[len(bounds)]
+		fmt.Fprintf(&b, "soleil_invocation_latency_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, cum)
+		fmt.Fprintf(&b, "soleil_invocation_latency_seconds_sum{%s} %s\n", labels, seconds(snap.Sum))
+		fmt.Fprintf(&b, "soleil_invocation_latency_seconds_count{%s} %d\n", labels, snap.Count)
+	})
+
+	component := func(name, help, kind string, value func(c *ComponentMetrics) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, c := range comps {
+			fmt.Fprintf(&b, "%s{component=\"%s\"} %d\n", name, escapeLabel(c.Name()), value(c))
+		}
+	}
+	component("soleil_component_healthy", "Component health (1 healthy, 0 not).", "gauge",
+		func(c *ComponentMetrics) int64 { return c.healthy.Load() })
+	component("soleil_component_failures_total", "FAILED lifecycle transitions.", "counter",
+		func(c *ComponentMetrics) int64 { return c.Failures.Load() })
+	component("soleil_component_rejected_invocations_total", "Dispatches refused while FAILED.", "counter",
+		func(c *ComponentMetrics) int64 { return c.Rejected.Load() })
+	component("soleil_component_restarts_total", "Supervisor restarts.", "counter",
+		func(c *ComponentMetrics) int64 { return c.Restarts.Load() })
+	component("soleil_deadline_misses_total", "Deadline misses of the component's task.", "counter",
+		func(c *ComponentMetrics) int64 { return c.Misses.Load() })
+
+	queues := r.QueueNames()
+	queue := func(name, help, kind string, value func(q QueueStats) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, qn := range queues {
+			fn, ok := r.Queue(qn)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%s{queue=\"%s\"} %d\n", name, escapeLabel(qn), value(fn()))
+		}
+	}
+	queue("soleil_queue_depth", "Current queue length of an asynchronous binding buffer.", "gauge",
+		func(q QueueStats) int64 { return int64(q.Depth) })
+	queue("soleil_queue_high_watermark", "Maximum queue depth ever reached.", "gauge",
+		func(q QueueStats) int64 { return int64(q.HighWatermark) })
+	queue("soleil_queue_capacity", "Queue capacity.", "gauge",
+		func(q QueueStats) int64 { return int64(q.Capacity) })
+	queue("soleil_queue_enqueued_total", "Messages enqueued.", "counter",
+		func(q QueueStats) int64 { return q.Enqueued })
+	queue("soleil_queue_dequeued_total", "Messages dequeued.", "counter",
+		func(q QueueStats) int64 { return q.Dequeued })
+	queue("soleil_queue_dropped_total", "Messages dropped on overflow.", "counter",
+		func(q QueueStats) int64 { return q.Dropped })
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTop renders the one-shot textual snapshot behind `soleil top`:
+// component health and invocation pressure, then queue pressure.
+func (r *Registry) WriteTop(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "COMPONENT\tHEALTH\tINVOC\tERR\tPANIC\tFAIL\tREJECT\tRESTART\tMISS\tP50\tP99\tMAX")
+	for _, c := range r.Components() {
+		var inv, errs, panics int64
+		var p50, p99, max time.Duration
+		var n int64
+		for _, s := range c.SeriesList() {
+			inv += s.Invocations.Load()
+			errs += s.Errors.Load()
+			panics += s.Panics.Load()
+			if cnt := s.Latency.Count(); cnt > n {
+				// Report the busiest series' distribution.
+				n = cnt
+				p50, p99, max = s.Latency.Quantile(0.50), s.Latency.Quantile(0.99), s.Latency.Max()
+			}
+		}
+		health := "ok"
+		if !c.Healthy() {
+			health = "FAIL"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\t%v\t%v\n",
+			c.Name(), health, inv, errs, panics,
+			c.Failures.Load(), c.Rejected.Load(), c.Restarts.Load(), c.Misses.Load(),
+			p50, p99, max)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	queues := r.QueueNames()
+	if len(queues) == 0 {
+		return nil
+	}
+	fmt.Fprintln(w)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "QUEUE\tDEPTH\tHWM\tCAP\tENQ\tDEQ\tDROP")
+	for _, qn := range queues {
+		fn, ok := r.Queue(qn)
+		if !ok {
+			continue
+		}
+		q := fn()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			qn, q.Depth, q.HighWatermark, q.Capacity, q.Enqueued, q.Dequeued, q.Dropped)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// HandlerOptions wires the live introspection endpoint. Registry is
+// required; Tracer and Arch are optional (their endpoints 404 when
+// absent).
+type HandlerOptions struct {
+	// Registry backs /metrics, /healthz and /top.
+	Registry *Registry
+	// Tracer backs /trace (Chrome trace_event JSON of the retained
+	// spans).
+	Tracer *Tracer
+	// Arch, when set, backs /arch: it is called per request and its
+	// result rendered as JSON — typically a reconfiguration manager's
+	// introspection snapshot.
+	Arch func() any
+	// Health, when set, contributes an extra process-level health
+	// verdict ANDed with the registry's per-component health.
+	Health func() (ok bool, detail string)
+}
+
+// componentHealth is one component's row in the /healthz body.
+type componentHealth struct {
+	Healthy  bool  `json:"healthy"`
+	Failures int64 `json:"failures"`
+	Rejected int64 `json:"rejected"`
+	Restarts int64 `json:"restarts"`
+	Misses   int64 `json:"misses"`
+}
+
+// healthReport is the /healthz body.
+type healthReport struct {
+	Healthy    bool                       `json:"healthy"`
+	Detail     string                     `json:"detail,omitempty"`
+	Components map[string]componentHealth `json:"components"`
+}
+
+// NewHandler builds the observability HTTP handler:
+//
+//	/metrics  Prometheus text exposition
+//	/healthz  200/503 + JSON per-component health
+//	/arch     architecture introspection snapshot (JSON)
+//	/top      one-shot textual snapshot (the `soleil top` view)
+//	/trace    Chrome trace_event JSON of the retained spans
+func NewHandler(opts HandlerOptions) http.Handler {
+	reg := opts.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		report := healthReport{Healthy: true, Components: make(map[string]componentHealth)}
+		for _, c := range reg.Components() {
+			h := componentHealth{
+				Healthy:  c.Healthy(),
+				Failures: c.Failures.Load(),
+				Rejected: c.Rejected.Load(),
+				Restarts: c.Restarts.Load(),
+				Misses:   c.Misses.Load(),
+			}
+			if !h.Healthy {
+				report.Healthy = false
+			}
+			report.Components[c.Name()] = h
+		}
+		if opts.Health != nil {
+			if ok, detail := opts.Health(); !ok {
+				report.Healthy = false
+				report.Detail = detail
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !report.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(report)
+	})
+
+	mux.HandleFunc("/arch", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.Arch == nil {
+			http.Error(w, "no architecture introspection wired", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(opts.Arch())
+	})
+
+	mux.HandleFunc("/top", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteTop(w)
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.Tracer == nil {
+			http.Error(w, "no tracer wired", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = opts.Tracer.WriteChromeTrace(w)
+	})
+
+	return mux
+}
+
+// Serve listens on addr (host:port; ":0" picks a free port) and
+// serves the observability endpoints in the background. It returns
+// the bound address and a shutdown function.
+func Serve(addr string, opts HandlerOptions) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(opts)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,175 @@
+// Package obs is the framework's runtime observability layer: an
+// allocation-free metrics core safe to update from real-time paths,
+// a causal tracer whose span contexts travel through membranes,
+// across asynchronous buffers and over distributed bindings, and an
+// exposition surface (Prometheus text, health, architecture
+// introspection, Chrome trace_event export).
+//
+// The paper's membrane reifies every non-functional concern as a
+// controller or interceptor; obs is the concern the membrane attaches
+// for "seeing what a running system is doing". The package depends
+// only on the standard library so every layer of the framework —
+// including the RTSJ thread runtime — can carry its types.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. Updates are
+// single atomic adds with no allocation, so counters are safe to
+// bump from real-time paths.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, health). Like
+// Counter, updates are single atomic operations.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// latencyBounds are the histogram bucket upper bounds in nanoseconds.
+// They are fixed at compile time — the RTSJ discipline applied to
+// measurement: no allocation, no resizing, bounded work per update.
+var latencyBounds = [...]int64{
+	1_000, 2_000, 5_000, // 1µs .. 5µs
+	10_000, 20_000, 50_000, // 10µs .. 50µs
+	100_000, 200_000, 500_000, // 100µs .. 500µs
+	1_000_000, 2_000_000, 5_000_000, // 1ms .. 5ms
+	10_000_000, 20_000_000, 50_000_000, // 10ms .. 50ms
+	100_000_000, 500_000_000, // 100ms, 500ms
+	1_000_000_000, 5_000_000_000, // 1s, 5s
+}
+
+// histBuckets is the bucket count including the overflow bucket.
+const histBuckets = len(latencyBounds) + 1
+
+// BucketBounds returns a copy of the histogram bucket upper bounds in
+// nanoseconds (exposition uses it to render `le` labels).
+func BucketBounds() []int64 {
+	out := make([]int64, len(latencyBounds))
+	copy(out, latencyBounds[:])
+	return out
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe performs a
+// bounded scan over the compile-time bucket bounds plus a handful of
+// atomic adds — zero allocations, no locks — so it can sit on the
+// membrane dispatch hot path.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	n      atomic.Int64
+	max    atomic.Int64 // nanoseconds, high watermark
+}
+
+// Observe records one latency observation.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < len(latencyBounds) && ns > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+	h.n.Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile: the
+// upper bound of the bucket holding the q-ranked observation, or the
+// maximum observation for ranks landing in the overflow bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(latencyBounds) {
+				// Clamp the bucket bound to the observed maximum so a
+				// quantile never reads above the largest observation.
+				if ub := time.Duration(latencyBounds[i]); ub < h.Max() {
+					return ub
+				}
+			}
+			return h.Max()
+		}
+	}
+	return h.Max()
+}
+
+// HistogramSnapshot is a consistent-enough copy for exposition
+// (buckets are read one by one; scrapes tolerate the skew).
+type HistogramSnapshot struct {
+	Counts [histBuckets]int64
+	Sum    int64 // nanoseconds
+	Count  int64
+	Max    int64 // nanoseconds
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Count = h.n.Load()
+	s.Max = h.max.Load()
+	return s
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{500 * time.Nanosecond, 3 * time.Microsecond, 40 * time.Millisecond} {
+		h.Observe(d)
+	}
+	h.Observe(-time.Second) // clamped to 0
+	if got := h.Count(); got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+	if got := h.Max(); got != 40*time.Millisecond {
+		t.Errorf("max = %v, want 40ms", got)
+	}
+	if h.Mean() <= 0 {
+		t.Errorf("mean = %v, want > 0", h.Mean())
+	}
+	snap := h.Snapshot()
+	var total int64
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("snapshot buckets sum to %d, want 4", total)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	h.Observe(2 * time.Second)
+	if p50 := h.Quantile(0.50); p50 > 10*time.Microsecond {
+		t.Errorf("p50 = %v, want <= 10µs", p50)
+	}
+	if p999 := h.Quantile(0.999); p999 < time.Second {
+		t.Errorf("p99.9 = %v, want >= 1s", p999)
+	}
+	// A quantile never reads above the largest observation.
+	var h2 Histogram
+	h2.Observe(300 * time.Nanosecond)
+	if got := h2.Quantile(0.5); got != 300*time.Nanosecond {
+		t.Errorf("quantile clamped to max: got %v, want 300ns", got)
+	}
+}
+
+func TestRegistrySeries(t *testing.T) {
+	r := NewRegistry()
+	cm := r.Component("Pump")
+	if !cm.Healthy() {
+		t.Error("new component not healthy")
+	}
+	s1 := cm.Series("iFlow", "read")
+	s2 := cm.Series("iFlow", "read")
+	if s1 != s2 {
+		t.Error("series not interned")
+	}
+	cm.Series("iFlow", "write")
+	cm.Series("aCtl", "set")
+	list := cm.SeriesList()
+	if len(list) != 3 {
+		t.Fatalf("series list = %d, want 3", len(list))
+	}
+	if list[0].Interface != "aCtl" || list[1].Op != "read" {
+		t.Errorf("series not sorted: %v %v", list[0], list[1])
+	}
+	if r.Component("Pump") != cm {
+		t.Error("component not interned")
+	}
+}
+
+func TestRegistryHealth(t *testing.T) {
+	r := NewRegistry()
+	a := r.Component("A")
+	r.Component("B")
+	if !r.Healthy() {
+		t.Error("all-healthy registry reports unhealthy")
+	}
+	a.SetHealthy(false)
+	if r.Healthy() {
+		t.Error("registry healthy with a failed component")
+	}
+	a.SetHealthy(true)
+	if !r.Healthy() {
+		t.Error("recovery not reflected")
+	}
+}
+
+func TestSpanContextDerivation(t *testing.T) {
+	root := NewSpanContext(SpanContext{})
+	if !root.Valid() {
+		t.Fatal("root span invalid")
+	}
+	child := NewSpanContext(root)
+	if child.TraceID != root.TraceID {
+		t.Error("child left the trace")
+	}
+	if child.SpanID == root.SpanID {
+		t.Error("child reused the parent span id")
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 6; i++ {
+		tr.Record(Span{ID: uint64(i)})
+	}
+	if got := tr.Total(); got != 6 {
+		t.Errorf("total = %d, want 6", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained = %d, want 4", len(spans))
+	}
+	if spans[0].ID != 3 || spans[3].ID != 6 {
+		t.Errorf("ring order wrong: first=%d last=%d", spans[0].ID, spans[3].ID)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	cm := r.Component(`odd"name`)
+	s := cm.Series("iFlow", "read")
+	s.Invocations.Add(3)
+	s.Errors.Inc()
+	s.Latency.Observe(5 * time.Microsecond)
+	cm.Misses.Add(2)
+	r.RegisterQueue("q1", func() QueueStats {
+		return QueueStats{Enqueued: 10, Dequeued: 9, Depth: 1, HighWatermark: 4, Capacity: 16}
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`soleil_invocations_total{component="odd\"name",interface="iFlow",op="read"} 3`,
+		`soleil_invocation_errors_total{component="odd\"name",interface="iFlow",op="read"} 1`,
+		`soleil_invocation_latency_seconds_bucket`,
+		`le="+Inf"} 1`,
+		`soleil_deadline_misses_total{component="odd\"name"} 2`,
+		`soleil_queue_depth{queue="q1"} 1`,
+		`soleil_queue_high_watermark{queue="q1"} 4`,
+		`soleil_component_healthy{component="odd\"name"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTop(t *testing.T) {
+	r := NewRegistry()
+	cm := r.Component("Pump")
+	cm.Series("iFlow", "read").Invocations.Add(5)
+	cm.SetHealthy(false)
+	var b strings.Builder
+	if err := r.WriteTop(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Pump") || !strings.Contains(b.String(), "FAIL") {
+		t.Errorf("top output missing component or health:\n%s", b.String())
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(16)
+	base := time.Unix(1000, 0)
+	tr.Record(Span{
+		Trace: 1, ID: 2, System: "sysA", Component: "Prod",
+		Interface: "activation", Op: "run", Start: base, Duration: time.Millisecond,
+	})
+	tr.Record(Span{
+		Trace: 1, ID: 3, Parent: 2, System: "sysB", Component: "Cons",
+		Interface: "uplink", Op: "push", Start: base.Add(time.Millisecond), Duration: time.Millisecond, Err: true,
+	})
+	tr.Record(Span{
+		System: "sysA", Component: "Prod", Interface: "sched", Op: "release",
+		Start: base, Kind: SpanInstant,
+	})
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &file); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	pids := map[float64]bool{}
+	for _, e := range file.TraceEvents {
+		phases[e["ph"].(string)]++
+		pids[e["pid"].(float64)] = true
+	}
+	if phases["X"] != 2 || phases["i"] != 1 {
+		t.Errorf("phases = %v, want 2 X and 1 i", phases)
+	}
+	// The cross-system parent link must materialize as a flow pair.
+	if phases["s"] != 1 || phases["f"] != 1 {
+		t.Errorf("phases = %v, want one s/f flow pair", phases)
+	}
+	if len(pids) != 2 {
+		t.Errorf("process lanes = %d, want 2", len(pids))
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	cm := r.Component("Pump")
+	tr := NewTracer(8)
+	h := NewHandler(HandlerOptions{
+		Registry: r,
+		Tracer:   tr,
+		Arch:     func() any { return map[string]string{"mode": "SOLEIL"} },
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "soleil_component_healthy") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"healthy":true`) {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	cm.SetHealthy(false)
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, `"healthy":false`) {
+		t.Errorf("unhealthy /healthz = %d %q", code, body)
+	}
+	if code, body := get("/arch"); code != 200 || !strings.Contains(body, "SOLEIL") {
+		t.Errorf("/arch = %d %q", code, body)
+	}
+	if code, body := get("/top"); code != 200 || !strings.Contains(body, "Pump") {
+		t.Errorf("/top = %d %q", code, body)
+	}
+	if code, body := get("/trace"); code != 200 || !strings.Contains(body, "traceEvents") {
+		t.Errorf("/trace = %d %q", code, body)
+	}
+
+	// Absent wiring 404s instead of serving empties.
+	bare := httptest.NewServer(NewHandler(HandlerOptions{Registry: NewRegistry()}))
+	defer bare.Close()
+	for _, path := range []string{"/arch", "/trace"} {
+		resp, err := http.Get(bare.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s on bare handler = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServe(t *testing.T) {
+	addr, shutdown, err := Serve("127.0.0.1:0", HandlerOptions{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}
+
+// TestHotPathAllocs proves the metrics primitives are allocation-free
+// in steady state — the property that makes them safe on RT paths.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	cm := r.Component("Pump")
+	cm.Series("iFlow", "read") // intern outside the measured loop
+	tr := NewTracer(64)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { cm.Failures.Inc() }},
+		{"Gauge.Set", func() { cm.SetHealthy(true) }},
+		{"Histogram.Observe", func() { cm.Series("iFlow", "read").Latency.Observe(3 * time.Microsecond) }},
+		{"Series lookup", func() { cm.Series("iFlow", "read").Invocations.Inc() }},
+		{"Tracer.Record", func() {
+			tr.Record(Span{Trace: 1, ID: 2, System: "s", Component: "c", Interface: "i", Op: "o"})
+		}},
+		{"NewSpanContext", func() { _ = NewSpanContext(SpanContext{TraceID: 1, SpanID: 2}) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects per op, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// OpSeries is the metric family of one operation on one component
+// interface — the (component, interface, op) key the issue tracker of
+// a running system is organized around. All fields are updated with
+// single atomic operations.
+type OpSeries struct {
+	Component string
+	Interface string
+	Op        string
+
+	// Invocations counts dispatches that entered the operation.
+	Invocations Counter
+	// Errors counts dispatches that returned a non-nil error
+	// (recovered panics surface here as errors once a panic guard has
+	// converted them).
+	Errors Counter
+	// Panics counts raw panics that unwound through the metrics layer
+	// (i.e. no panic interceptor was deployed inside it).
+	Panics Counter
+	// Latency is the dispatch latency distribution.
+	Latency Histogram
+}
+
+// opKey keys a series without string concatenation, so steady-state
+// lookups allocate nothing.
+type opKey struct{ itf, op string }
+
+// ComponentMetrics aggregates one component's signals: its per-op
+// series plus the lifecycle and scheduling counters supervision
+// watches.
+type ComponentMetrics struct {
+	name string
+
+	// Failures counts FAILED lifecycle transitions (a fault
+	// interceptor isolated the component).
+	Failures Counter
+	// Rejected counts dispatches refused while the component was in
+	// the FAILED state.
+	Rejected Counter
+	// Restarts counts supervisor restarts.
+	Restarts Counter
+	// Misses counts deadline misses of the component's task.
+	Misses Counter
+
+	healthy Gauge // 1 healthy, 0 not
+
+	mu     sync.RWMutex
+	series map[opKey]*OpSeries
+}
+
+// Name returns the component name.
+func (c *ComponentMetrics) Name() string { return c.name }
+
+// SetHealthy flips the component health gauge.
+func (c *ComponentMetrics) SetHealthy(ok bool) {
+	if ok {
+		c.healthy.Set(1)
+	} else {
+		c.healthy.Set(0)
+	}
+}
+
+// Healthy reports the component health gauge.
+func (c *ComponentMetrics) Healthy() bool { return c.healthy.Load() == 1 }
+
+// Series returns the metric family of (itf, op), creating it on first
+// use. Steady-state lookups take a read lock and allocate nothing.
+func (c *ComponentMetrics) Series(itf, op string) *OpSeries {
+	k := opKey{itf: itf, op: op}
+	c.mu.RLock()
+	s := c.series[k]
+	c.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s = c.series[k]; s == nil {
+		s = &OpSeries{Component: c.name, Interface: itf, Op: op}
+		c.series[k] = s
+	}
+	return s
+}
+
+// SeriesList returns the component's series sorted by interface then
+// op.
+func (c *ComponentMetrics) SeriesList() []*OpSeries {
+	c.mu.RLock()
+	out := make([]*OpSeries, 0, len(c.series))
+	for _, s := range c.series {
+		out = append(out, s)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Interface != out[j].Interface {
+			return out[i].Interface < out[j].Interface
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// QueueStats is the registry's view of one bounded buffer — queue
+// pressure made visible before overflow.
+type QueueStats struct {
+	Enqueued int64
+	Dequeued int64
+	Dropped  int64
+	// Depth is the current queue length.
+	Depth int
+	// HighWatermark is the maximum depth ever reached.
+	HighWatermark int
+	// Capacity is the buffer capacity.
+	Capacity int
+}
+
+// Registry is the shared metrics root of one process: component
+// families keyed by name plus queue gauges polled at scrape time.
+// Everything reachable from it is safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	components map[string]*ComponentMetrics
+	queues     map[string]func() QueueStats
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		components: make(map[string]*ComponentMetrics),
+		queues:     make(map[string]func() QueueStats),
+	}
+}
+
+// Component returns the named component's metric family, creating it
+// (healthy) on first use.
+func (r *Registry) Component(name string) *ComponentMetrics {
+	r.mu.RLock()
+	c := r.components[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.components[name]; c == nil {
+		c = &ComponentMetrics{name: name, series: make(map[opKey]*OpSeries)}
+		c.healthy.Set(1)
+		r.components[name] = c
+	}
+	return c
+}
+
+// Components returns the registered component families sorted by
+// name.
+func (r *Registry) Components() []*ComponentMetrics {
+	r.mu.RLock()
+	out := make([]*ComponentMetrics, 0, len(r.components))
+	for _, c := range r.components {
+		out = append(out, c)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// RegisterQueue registers a buffer under name; stats is polled at
+// scrape time, so the buffer's hot path pays nothing for being
+// observable.
+func (r *Registry) RegisterQueue(name string, stats func() QueueStats) {
+	if stats == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queues[name] = stats
+}
+
+// Queue returns the stats poller of a registered queue.
+func (r *Registry) Queue(name string) (func() QueueStats, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.queues[name]
+	return fn, ok
+}
+
+// QueueNames returns the registered queue names, sorted.
+func (r *Registry) QueueNames() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.queues))
+	for n := range r.queues {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Healthy reports whether every registered component is healthy — the
+// /healthz aggregate.
+func (r *Registry) Healthy() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.components {
+		if !c.Healthy() {
+			return false
+		}
+	}
+	return true
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"soleil/internal/obs"
 	"soleil/internal/rtsj/memory"
 	"soleil/internal/rtsj/sched"
 )
@@ -86,6 +87,11 @@ func (r *Runtime) Memory() *memory.Runtime { return r.mem }
 type Env struct {
 	tc  *sched.TaskContext
 	mem *memory.Context
+
+	// span is the current trace span of the executing thread. It is
+	// owned by that thread alone (each thread has its own Env), so
+	// plain reads and writes suffice.
+	span obs.SpanContext
 }
 
 // NewEnv assembles an environment from its parts. Spawn builds
@@ -102,6 +108,31 @@ func (e *Env) Sched() *sched.TaskContext { return e.tc }
 
 // Mem returns the memory allocation context (Enter, Alloc, ...).
 func (e *Env) Mem() *memory.Context { return e.mem }
+
+// Span returns the thread's current trace span context. A nil Env
+// (infrastructure driven without an environment) has no span.
+func (e *Env) Span() obs.SpanContext {
+	if e == nil {
+		return obs.SpanContext{}
+	}
+	return e.span
+}
+
+// SetSpan installs s as the current span and returns the previous one
+// so callers can restore it with stack discipline:
+//
+//	prev := env.SetSpan(child)
+//	defer env.SetSpan(prev)
+//
+// SetSpan on a nil Env is a no-op.
+func (e *Env) SetSpan(s obs.SpanContext) (prev obs.SpanContext) {
+	if e == nil {
+		return obs.SpanContext{}
+	}
+	prev = e.span
+	e.span = s
+	return prev
+}
 
 // Config describes a thread to spawn.
 type Config struct {

@@ -48,6 +48,7 @@ import (
 	"soleil/internal/fault"
 	"soleil/internal/membrane"
 	"soleil/internal/model"
+	"soleil/internal/obs"
 	"soleil/internal/reconfig"
 	"soleil/internal/rtsj/thread"
 	"soleil/internal/validate"
@@ -282,3 +283,50 @@ func NewPanicInterceptor(component string, log *FaultLog, notify func(string, fa
 func ExportHardened(sys *System, client, clientItf, serverItf string, t Transport, opts HardenOptions) (Port, error) {
 	return fault.ExportHardened(sys, client, clientItf, serverItf, t, opts)
 }
+
+// Runtime observability (internal/obs): allocation-free metrics on the
+// membrane dispatch path, causal tracing across asynchronous and
+// distributed bindings, and a live HTTP introspection surface. Set
+// DeployOptions.Metrics (and Tracer) to instrument a deployment; share
+// one registry and tracer across several systems to aggregate them.
+type (
+	// MetricsRegistry is the shared metrics root of one process.
+	MetricsRegistry = obs.Registry
+	// ComponentMetrics aggregates one component's signals.
+	ComponentMetrics = obs.ComponentMetrics
+	// Tracer records causal spans into a fixed ring.
+	Tracer = obs.Tracer
+	// SpanContext identifies one span within a causal trace.
+	SpanContext = obs.SpanContext
+	// ObservabilityOptions wires the HTTP introspection endpoints.
+	ObservabilityOptions = obs.HandlerOptions
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer creates a tracer retaining the last capacity spans
+// (capacity <= 0 selects the default).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// ServeObservability serves /metrics, /healthz, /arch, /top and
+// /trace on addr (":0" picks a free port) and returns the bound
+// address plus a shutdown function.
+func ServeObservability(addr string, opts ObservabilityOptions) (string, func() error, error) {
+	return obs.Serve(addr, opts)
+}
+
+// Registry-backed supervision: probes reading the same metrics the
+// exposition serves, and the option mirroring supervisor decisions
+// back into the registry.
+var (
+	// WithSupervisorRegistry mirrors restarts and quarantines into a
+	// registry (pass to NewSupervisor).
+	WithSupervisorRegistry = fault.WithRegistry
+	// MetricsLatencyProbe trips when an operation's p99 exceeds a bound.
+	MetricsLatencyProbe = fault.MetricsLatencyProbe
+	// MetricsMissProbe trips on deadline-miss bursts.
+	MetricsMissProbe = fault.MetricsMissProbe
+	// MetricsOverflowProbe trips on queue drop-rate bursts.
+	MetricsOverflowProbe = fault.MetricsOverflowProbe
+)
