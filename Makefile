@@ -1,10 +1,16 @@
 # Tier-1+ verification gate. `make check` is what CI and reviewers
 # run: vet, build, the full test suite under the race detector, and
-# the fault-tolerance soak scenario.
+# the fault-tolerance soak scenario. `make lint` and `make benchcheck`
+# are the static and empirical halves of the same no-allocation,
+# no-blocking claim on the hot paths.
 
 GO ?= go
 
-.PHONY: all check vet build test race soak bench clean
+# The packages `soleil vet` self-applies to: every package on a
+# dispatch or real-time hot path.
+LINT_PKGS = ./internal/membrane/... ./internal/obs/... ./internal/comm/... ./internal/rtsj/...
+
+.PHONY: all check vet build test race soak lint benchcheck bench clean
 
 all: check
 
@@ -27,6 +33,21 @@ race:
 # goroutine leaks). -count=2 re-runs it to shake out ordering effects.
 soak:
 	$(GO) test -race -run TestSoakDistributedSupervision -count=2 ./internal/fault/
+
+# Source-level RTSJ conformance (rules SA01-SA04) over the hot paths.
+# Exit 1 means unsuppressed findings; fix them or justify with
+# //soleil:ignore in the same change.
+lint:
+	$(GO) run ./cmd/soleil-vet $(LINT_PKGS)
+
+# Empirical counterpart of the //soleil:noheap annotations: run the
+# metered-dispatch and observability hot-path benchmarks with -benchmem
+# and fail if any reports a non-zero allocs/op.
+benchcheck:
+	@out=$$($(GO) test -run NONE -bench 'HotPath|DispatchMetered' -benchmem -benchtime 1000x \
+		./internal/obs/ ./internal/membrane/) || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | awk '/allocs\/op/ && $$(NF-1)+0 > 0 { bad=1; print "benchcheck: " $$1 " allocates on the hot path" } END { exit bad+0 }'
 
 bench:
 	$(GO) test -bench Fig7 -benchmem

@@ -1,0 +1,121 @@
+// Command soleil-vet runs the source-level RTSJ conformance suite
+// (internal/lint: SA01 noheapalloc, SA02 scoperef, SA03 rtblock, SA04
+// archconform) over Go packages. It works in two modes:
+//
+// Standalone, on `go list` package patterns:
+//
+//	soleil-vet [-json] [-adl arch.xml] [-analyzers a,b] [-max-severity sev] ./...
+//
+// As a vet tool, speaking the cmd/go vet-tool protocol (-V=full and
+// -flags handshakes, then one <unit>.cfg per package):
+//
+//	go vet -vettool=$(which soleil-vet) ./...
+//
+// In vet-tool mode the architecture for archconform comes from the
+// SOLEIL_VET_ADL environment variable, since go vet does not forward
+// arbitrary file arguments.
+//
+// Exit status: 0 when clean, 1 on findings at or above -max-severity
+// (standalone) , 2 on findings (vet-tool mode, the exit code cmd/go
+// expects) or an internal error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"soleil/internal/lint"
+	"soleil/internal/validate"
+)
+
+func main() {
+	fs := flag.NewFlagSet("soleil-vet", flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit (vet-tool handshake)")
+	printFlags := fs.Bool("flags", false, "print flag descriptors as JSON and exit (vet-tool handshake)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout (the soleil validate -json schema)")
+	adlPath := fs.String("adl", os.Getenv("SOLEIL_VET_ADL"),
+		"architecture file for the archconform pass (default $SOLEIL_VET_ADL)")
+	analyzers := fs.String("analyzers", "", "comma-separated analyzer selection (default: all)")
+	maxSev := fs.String("max-severity", "warning",
+		"lowest severity that makes the exit status non-zero (info, warning, error)")
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *version != "":
+		// cmd/go derives a tool id from this line; the shape must be
+		// "<name> version <version>".
+		fmt.Printf("soleil-vet version v1.0.0\n")
+		return
+	case *printFlags:
+		// cmd/go asks which analyzer flags the tool supports so it can
+		// forward the ones the user passed to `go vet`.
+		type flagDesc struct {
+			Name  string `json:"Name"`
+			Bool  bool   `json:"Bool"`
+			Usage string `json:"Usage"`
+		}
+		descs := []flagDesc{}
+		fs.VisitAll(func(f *flag.Flag) {
+			if f.Name == "V" || f.Name == "flags" {
+				return
+			}
+			isBool := false
+			if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+				isBool = b.IsBoolFlag()
+			}
+			descs = append(descs, flagDesc{Name: f.Name, Bool: isBool, Usage: f.Usage})
+		})
+		json.NewEncoder(os.Stdout).Encode(descs)
+		return
+	}
+
+	threshold, err := validate.ParseSeverity(*maxSev)
+	if err != nil {
+		fatal(err)
+	}
+	selected, err := lint.ByName(*analyzers)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], *adlPath, selected, *jsonOut)
+		return
+	}
+
+	diags, err := lint.Run(lint.Options{Patterns: args, ADL: *adlPath, Analyzers: selected})
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if *jsonOut {
+		if err := validate.EncodeJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+	}
+	if n := countAtLeast(diags, threshold); n > 0 {
+		fmt.Fprintf(os.Stderr, "soleil-vet: %d finding(s) at or above severity %v\n", n, threshold)
+		os.Exit(1)
+	}
+}
+
+func countAtLeast(diags []validate.Diagnostic, threshold validate.Severity) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity >= threshold {
+			n++
+		}
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soleil-vet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"soleil/internal/adl"
+	"soleil/internal/lint"
+	"soleil/internal/model"
+)
+
+// unitConfig is the JSON configuration cmd/go hands a vet tool for
+// each compilation unit (the `vetConfig` struct in
+// cmd/go/internal/work). Only the fields this tool consumes are
+// declared; unknown fields are ignored by encoding/json.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one compilation unit described by a .cfg file, per
+// the cmd/go vet-tool protocol: type-check the unit against the
+// export data cmd/go already built, run the analyzers, print findings
+// to stderr (or JSON to stdout) and exit 2 when there are findings.
+func runUnit(cfgPath, adlPath string, analyzers []*lint.Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %v", cfgPath, err))
+	}
+	// The tool owns the facts file; this suite keeps no cross-package
+	// facts, but cmd/go still expects the file to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, g := range cfg.GoFiles {
+		if !filepath.IsAbs(g) {
+			g = filepath.Join(cfg.Dir, g)
+		}
+		f, err := parser.ParseFile(fset, g, nil, parser.ParseComments)
+		if err != nil {
+			typecheckFailed(cfg, err)
+			return
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, cfg.Compiler, lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		typecheckFailed(cfg, err)
+		return
+	}
+
+	var arch *model.Architecture
+	if adlPath != "" {
+		if arch, err = adl.DecodeFile(adlPath); err != nil {
+			fatal(err)
+		}
+	}
+	pkg := &lint.Package{
+		ImportPath: cfg.ImportPath, Fset: fset, Files: files, Pkg: tpkg, Info: info,
+	}
+	diags, err := lint.RunPackage(pkg, arch, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	if jsonOut {
+		// The cmd/go JSON convention: {"pkg": {"analyzer": [diag...]}}.
+		// The diag objects themselves use the shared soleil schema.
+		out := map[string]map[string]any{cfg.ImportPath: {"soleil": diags}}
+		json.NewEncoder(os.Stdout).Encode(out)
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	os.Exit(2)
+}
+
+func typecheckFailed(cfg unitConfig, err error) {
+	if cfg.SucceedOnTypecheckFailure {
+		return
+	}
+	fatal(fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err))
+}

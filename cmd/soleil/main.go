@@ -1,12 +1,19 @@
 // Command soleil is the framework's toolchain front end:
 //
-//	soleil validate <arch.xml>                 RTSJ conformance check
+//	soleil validate [-json] [-max-severity S] <arch.xml>  RTSJ conformance check (ADL level)
+//	soleil vet [-json] [-adl arch.xml] [packages]         RTSJ conformance check (source level)
 //	soleil analyze <arch.xml>                  schedulability analysis
 //	soleil generate -mode M -out DIR <arch.xml>  emit infrastructure source
 //	soleil genreport <arch.xml>                Sect. 5.2 requirements report
 //	soleil suggest <arch.xml>                  apply suggested patterns, emit completed ADL
 //	soleil run -mode M -duration D <arch.xml>  deploy (stub contents) and simulate
 //	soleil top ADDR                            one-shot snapshot of a serving system
+//
+// validate and vet print human-readable diagnostics on stderr; with
+// -json the machine-readable form — one shared {rule, severity,
+// subject, message, suggestion, pos} schema for both — goes to
+// stdout. -max-severity picks the severity that makes the exit status
+// non-zero, so CI can gate on warnings when desired.
 //
 // run accepts -metrics ADDR to serve live observability endpoints
 // (/metrics, /healthz, /arch, /top, /trace), -trace-json FILE to
@@ -28,6 +35,7 @@ import (
 	"soleil/internal/assembly"
 	"soleil/internal/fault"
 	"soleil/internal/generate"
+	"soleil/internal/lint"
 	"soleil/internal/membrane"
 	"soleil/internal/model"
 	"soleil/internal/obs"
@@ -45,11 +53,13 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: soleil <validate|analyze|generate|genreport|run> [flags] <arch.xml>")
+		return fmt.Errorf("usage: soleil <validate|vet|analyze|generate|genreport|suggest|run|top> [flags] [args]")
 	}
 	switch args[0] {
 	case "validate":
 		return cmdValidate(args[1:])
+	case "vet":
+		return cmdVet(args[1:])
 	case "analyze":
 		return cmdAnalyze(args[1:])
 	case "generate":
@@ -118,21 +128,94 @@ func loadArch(args []string) (*model.Architecture, error) {
 }
 
 func cmdValidate(args []string) error {
-	arch, err := loadArch(args)
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false,
+		"emit diagnostics as JSON on stdout (shared schema with soleil vet -json)")
+	maxSev := fs.String("max-severity", "error",
+		"lowest severity that makes the exit status non-zero (info, warning, error)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	threshold, err := validate.ParseSeverity(*maxSev)
+	if err != nil {
+		return err
+	}
+	arch, err := loadArch(fs.Args())
 	if err != nil {
 		return err
 	}
 	report := validate.Validate(arch)
+	// Human-readable diagnostics go to stderr; stdout is reserved for
+	// the machine-readable form.
 	for _, d := range report.Diagnostics {
-		fmt.Println(d)
+		fmt.Fprintln(os.Stderr, d)
 	}
-	if !report.OK() {
-		return fmt.Errorf("soleil: architecture %q violates RTSJ (%d errors)",
-			arch.Name(), len(report.Errors()))
+	if *jsonOut {
+		if err := validate.EncodeJSON(os.Stdout, report.Diagnostics); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("architecture %q is RTSJ-compliant (%d components, %d bindings)\n",
+	if n := countAtLeast(report.Diagnostics, threshold); n > 0 {
+		return fmt.Errorf("soleil: architecture %q has %d finding(s) at or above severity %v",
+			arch.Name(), n, threshold)
+	}
+	fmt.Fprintf(os.Stderr, "architecture %q is RTSJ-compliant (%d components, %d bindings)\n",
 		arch.Name(), len(arch.Components()), len(arch.Bindings()))
 	return nil
+}
+
+// cmdVet runs the source-level conformance suite (internal/lint) over
+// Go packages: the static counterpart of cmdValidate's model checks.
+func cmdVet(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false,
+		"emit diagnostics as JSON on stdout (shared schema with soleil validate -json)")
+	adlPath := fs.String("adl", "",
+		"architecture file for the archconform pass (omit to skip SA04)")
+	analyzers := fs.String("analyzers", "", "comma-separated analyzer selection (default: all)")
+	maxSev := fs.String("max-severity", "warning",
+		"lowest severity that makes the exit status non-zero (info, warning, error)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	threshold, err := validate.ParseSeverity(*maxSev)
+	if err != nil {
+		return err
+	}
+	selected, err := lint.ByName(*analyzers)
+	if err != nil {
+		return err
+	}
+	diags, err := lint.Run(lint.Options{
+		Patterns:  fs.Args(),
+		ADL:       *adlPath,
+		Analyzers: selected,
+	})
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if *jsonOut {
+		if err := validate.EncodeJSON(os.Stdout, diags); err != nil {
+			return err
+		}
+	}
+	if n := countAtLeast(diags, threshold); n > 0 {
+		return fmt.Errorf("soleil: %d finding(s) at or above severity %v", n, threshold)
+	}
+	return nil
+}
+
+func countAtLeast(diags []validate.Diagnostic, threshold validate.Severity) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity >= threshold {
+			n++
+		}
+	}
+	return n
 }
 
 func cmdAnalyze(args []string) error {

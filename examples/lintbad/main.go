@@ -1,0 +1,110 @@
+// Package main is the demonstration corpus for `soleil vet`: a small
+// hydraulics system written to compile, vet and race cleanly while
+// violating every source-level conformance rule the suite checks.
+//
+//	go run ./cmd/soleil vet -json -adl examples/lintbad/lintbad.xml ./examples/lintbad
+//
+// exits non-zero with at least one finding per rule:
+//
+//	SA01 — pump.sample is marked //soleil:noheap but allocates
+//	SA02 — pump.calibrate stores a scope-allocated buffer into the
+//	       longer-lived receiver
+//	SA03 — pump.Invoke sleeps and blocks on a channel inside its
+//	       run-to-completion section
+//	SA04 — the registrations disagree with lintbad.xml: "valve" is
+//	       declared but never registered, "gauge" is registered but
+//	       not declared, active Pump's content has no Activate method,
+//	       passive Panel's content has one, and Panel's server
+//	       interface iPanel is never dispatched on
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"soleil/internal/assembly"
+	"soleil/internal/membrane"
+	"soleil/internal/rtsj/memory"
+	"soleil/internal/rtsj/thread"
+)
+
+// pump drives the architecture's active Pump component. It implements
+// membrane.Content only — no Activate — so registering it for an
+// active component is an SA04 error.
+type pump struct {
+	readings []float64
+	buf      []float64
+	cmds     chan int
+}
+
+func (p *pump) Init(svc *membrane.Services) error {
+	p.cmds = make(chan int, 1)
+	return nil
+}
+
+func (p *pump) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
+	if itf == "iFlow" {
+		time.Sleep(time.Millisecond) // SA03: sleeping in a run-to-completion section
+		cmd := <-p.cmds              // SA03: bare receive may block forever
+		return cmd, nil
+	}
+	return nil, fmt.Errorf("pump: unknown interface %q", itf)
+}
+
+// sample claims the no-heap contract and breaks it.
+//
+//soleil:noheap
+func (p *pump) sample(v float64) string {
+	p.readings = append(p.readings, v)   // SA01: append may grow onto the heap
+	return fmt.Sprintf("%v", p.readings) // SA01: fmt allocates (and boxes)
+}
+
+// calibrate runs a measurement inside a temporary scope and leaks the
+// scratch buffer out of it through the receiver.
+func (p *pump) calibrate(ctx *memory.Context, scratch *memory.Area) error {
+	return ctx.Enter(scratch, func() error {
+		p.buf = make([]float64, 16) // SA02: scoped allocation stored into longer-lived state
+		return nil
+	})
+}
+
+// panel backs the passive Panel component but declares an Activate
+// method that will never run (SA04 warning).
+type panel struct{}
+
+func (panel) Init(svc *membrane.Services) error { return nil }
+func (panel) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
+	return nil, nil
+}
+func (panel) Activate(env *thread.Env) error { return nil }
+
+// gauge is registered below but appears nowhere in lintbad.xml (SA04
+// warning).
+type gauge struct{}
+
+func (gauge) Init(svc *membrane.Services) error { return nil }
+func (gauge) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
+	return nil, nil
+}
+
+func register(r *assembly.Registry) error {
+	// "valve" is declared by lintbad.xml but never registered (SA04 error).
+	if err := r.Register("pump", func() membrane.Content { return &pump{} }); err != nil {
+		return err
+	}
+	if err := r.Register("panel", func() membrane.Content { return panel{} }); err != nil {
+		return err
+	}
+	return r.Register("gauge", func() membrane.Content { return gauge{} })
+}
+
+func main() {
+	r := assembly.NewRegistry()
+	if err := register(r); err != nil {
+		fmt.Println("lintbad:", err)
+		return
+	}
+	p := &pump{}
+	_ = p.sample(1.0)
+	fmt.Println("lintbad: registered a deliberately non-conforming system; run soleil vet on it")
+}

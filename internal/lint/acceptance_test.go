@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"soleil/internal/lint"
+	"soleil/internal/validate"
+)
+
+// TestLintbadDemonstratesEveryRule is the suite's acceptance gate:
+// the deliberately non-conforming examples/lintbad package (which
+// builds, vets and races cleanly) must trigger every SA rule, with at
+// least one error-severity finding so `soleil vet` exits non-zero on
+// it.
+func TestLintbadDemonstratesEveryRule(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(lint.Options{
+		Dir:      root,
+		Patterns: []string{"./examples/lintbad"},
+		ADL:      filepath.Join(root, "examples", "lintbad", "lintbad.xml"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRule := map[string]int{}
+	for _, d := range diags {
+		byRule[d.Rule]++
+		if d.Pos == "" {
+			t.Errorf("finding without position: %v", d)
+		}
+	}
+	for _, a := range lint.All() {
+		if byRule[a.Rule] == 0 {
+			t.Errorf("rule %s (%s) not demonstrated by examples/lintbad:\n%v",
+				a.Rule, a.Name, diags)
+		}
+	}
+	if validate.MaxSeverity(diags) != validate.Error {
+		t.Errorf("lintbad must produce at least one error, got %v", diags)
+	}
+}
+
+// TestHotPathsClean pins `make lint` to zero unsuppressed findings on
+// the packages the Makefile self-applies the suite to.
+func TestHotPathsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks four package trees")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(lint.Options{
+		Dir: root,
+		Patterns: []string{
+			"./internal/membrane/...", "./internal/obs/...",
+			"./internal/comm/...", "./internal/rtsj/...",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("hot paths have %d unsuppressed findings:\n%v", len(diags), diags)
+	}
+}

@@ -1,0 +1,98 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"soleil/internal/lint"
+	"soleil/internal/lint/linttest"
+	"soleil/internal/validate"
+)
+
+func corpus(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestNoHeapAlloc(t *testing.T) {
+	diags := linttest.Run(t, corpus("noheapsrc"), lint.NoHeapAlloc, "")
+	if len(diags) == 0 {
+		t.Fatal("corpus produced no findings")
+	}
+	for _, d := range diags {
+		if d.Rule != "SA01" {
+			t.Errorf("noheapalloc produced foreign rule %s", d.Rule)
+		}
+	}
+}
+
+func TestScopeRef(t *testing.T) {
+	diags := linttest.Run(t, corpus("scopesrc"), lint.ScopeRef, "")
+	for _, d := range diags {
+		if d.Rule != "SA02" {
+			t.Errorf("scoperef produced foreign rule %s", d.Rule)
+		}
+		if d.Severity != validate.Error {
+			t.Errorf("scoperef finding %s is %v, want error", d.Message, d.Severity)
+		}
+		if d.Suggestion == "" {
+			t.Errorf("scoperef finding %q proposes no cross-scope pattern", d.Message)
+		}
+	}
+}
+
+func TestRTBlock(t *testing.T) {
+	diags := linttest.Run(t, corpus("rtblocksrc"), lint.RTBlock, "")
+	var errors, warnings int
+	for _, d := range diags {
+		switch d.Severity {
+		case validate.Error:
+			errors++
+		case validate.Warning:
+			warnings++
+		}
+	}
+	if errors == 0 || warnings == 0 {
+		t.Errorf("expected both error and warning findings, got %d errors / %d warnings",
+			errors, warnings)
+	}
+}
+
+func TestArchConform(t *testing.T) {
+	diags := linttest.Run(t, corpus("archsrc"), lint.ArchConform,
+		filepath.Join(corpus("archsrc"), "arch.xml"))
+	if len(diags) != 5 {
+		t.Errorf("expected the 5 corpus findings, got %d: %v", len(diags), diags)
+	}
+}
+
+// TestArchConformNoADL: without an architecture the analyzer must be
+// silent rather than guessing.
+func TestArchConformNoADL(t *testing.T) {
+	pkg, err := lint.LoadDir(corpus("archsrc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunPackage(pkg, nil, []*lint.Analyzer{lint.ArchConform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("archconform without -adl produced %d findings: %v", len(diags), diags)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := lint.ByName("rtblock,noheapalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "rtblock" || as[1].Name != "noheapalloc" {
+		t.Errorf("ByName selection wrong: %v", as)
+	}
+	if _, err := lint.ByName("nope"); err == nil {
+		t.Error("ByName accepted an unknown analyzer")
+	}
+	if as, err := lint.ByName(""); err != nil || len(as) != 4 {
+		t.Errorf("ByName(\"\") should return the full suite, got %v, %v", as, err)
+	}
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"soleil/internal/model"
+	"soleil/internal/validate"
+)
+
+// ArchConform (SA04) closes the loop between the architecture and the
+// implementation — the "architectural programming" gap: the ADL names
+// content classes, activation kinds and interfaces, and the code
+// registers content factories against the same vocabulary
+// (assembly.Registry.Register). The analyzer cross-checks the two
+// when an ADL file is supplied (-adl): content classes declared but
+// never registered, registrations the architecture does not know,
+// active components whose content type has no Activate method (and
+// vice versa), and server interfaces the content never references.
+// Without an ADL file the analyzer is silent.
+var ArchConform = &Analyzer{
+	Name: "archconform",
+	Rule: "SA04",
+	Doc: "cross-checks Registry.Register calls against the ADL supplied with " +
+		"-adl: missing/extra content classes, activation-kind mismatches, " +
+		"unreferenced server interfaces",
+	Run: runArchConform,
+}
+
+// registration is one Register("class", factory) call found in code.
+type registration struct {
+	class string
+	pos   token.Pos
+	typ   *types.Named // content type the factory produces, if resolvable
+}
+
+func runArchConform(p *Pass) error {
+	if p.Arch == nil {
+		return nil
+	}
+	regs := findRegistrations(p)
+	if len(regs) == 0 {
+		return nil
+	}
+	byClass := map[string]registration{}
+	for _, r := range regs {
+		byClass[r.class] = r
+	}
+	strings_ := stringLiterals(p)
+
+	// Which ADL components use which content class?
+	adlClasses := map[string][]*model.Component{}
+	for _, c := range p.Arch.Components() {
+		if c.Content() != "" {
+			adlClasses[c.Content()] = append(adlClasses[c.Content()], c)
+		}
+	}
+
+	// Classes the architecture declares but the code never registers
+	// deploy as stubs — the RT11 warning at runtime, an error here.
+	// There is no registration to point at, so the finding anchors on
+	// the package clause.
+	anchor := p.Files[0].Name.Pos()
+	for class, comps := range adlClasses {
+		if _, ok := byClass[class]; !ok {
+			p.Reportf(anchor, validate.Error, class,
+				"register the content class, or drop it from the architecture",
+				"content class %q drives component %q in the architecture but is never registered",
+				class, comps[0].Name())
+		}
+	}
+	// Registrations the architecture does not know are dead code (or
+	// a typo in one of the two vocabularies).
+	for _, r := range regs {
+		if _, ok := adlClasses[r.class]; !ok {
+			p.Reportf(r.pos, validate.Warning, r.class,
+				"add the content class to the architecture, or delete the registration",
+				"content class %q is registered but not declared by architecture %q",
+				r.class, p.Arch.Name())
+		}
+	}
+	// Activation-kind conformance and interface coverage.
+	for class, comps := range adlClasses {
+		r, ok := byClass[class]
+		if !ok || r.typ == nil {
+			continue
+		}
+		active := hasMethod(r.typ, "Activate")
+		for _, c := range comps {
+			switch c.Kind() {
+			case model.Active:
+				if !active {
+					p.Reportf(r.pos, validate.Error, class,
+						"implement Activate(env) (membrane.ActiveContent), or make the component passive",
+						"component %q is active (%s) but content type %s has no Activate method",
+						c.Name(), c.Activation().Kind, r.typ.Obj().Name())
+				}
+			case model.Passive:
+				if active {
+					p.Reportf(r.pos, validate.Warning, class,
+						"make the component active, or drop the Activate method",
+						"component %q is passive but content type %s declares an Activate method that will never run",
+						c.Name(), r.typ.Obj().Name())
+				}
+			}
+			for _, itf := range c.Interfaces() {
+				if itf.Role != model.ServerRole {
+					continue
+				}
+				if !strings_[itf.Name] {
+					p.Reportf(r.pos, validate.Warning, class,
+						"dispatch on the interface name in Invoke, or remove it from the architecture",
+						"server interface %q of component %q is never referenced by the implementation package",
+						itf.Name, c.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findRegistrations collects Register("class", factory) calls: any
+// call to a method or function named Register whose first argument is
+// a constant string. The assembly.Registry shape — but matched by
+// name, so generated assemblies and test doubles participate too.
+func findRegistrations(p *Pass) []registration {
+	var out []registration
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			var name string
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if name != "Register" {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			out = append(out, registration{
+				class: constant.StringVal(tv.Value),
+				pos:   call.Pos(),
+				typ:   factoryResult(p, call.Args[1]),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// factoryResult resolves the named content type a factory argument
+// produces: the result of a func literal's return statements, or the
+// result type of a named function.
+func factoryResult(p *Pass, arg ast.Expr) *types.Named {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		var named *types.Named
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || named != nil || len(ret.Results) == 0 {
+				return named == nil
+			}
+			named = namedOf(p.Info.TypeOf(ret.Results[0]))
+			return true
+		})
+		return named
+	default:
+		if sig, ok := p.Info.TypeOf(arg).(*types.Signature); ok && sig.Results().Len() > 0 {
+			return namedOf(sig.Results().At(0).Type())
+		}
+	}
+	return nil
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if types.IsInterface(named) {
+			return nil // the declared interface, not the concrete content
+		}
+		return named
+	}
+	return nil
+}
+
+// hasMethod reports whether *T (and thus T's full method set) has a
+// method with the given name.
+func hasMethod(named *types.Named, name string) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// stringLiterals collects every constant string mentioned in the
+// package: the vocabulary the content uses to dispatch interfaces and
+// operations.
+func stringLiterals(p *Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if tv, ok := p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				s := constant.StringVal(tv.Value)
+				if s != "" && !strings.ContainsAny(s, " \n") {
+					out[s] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+// Package lint implements the source-level half of the paper's
+// design-time RTSJ conformance story: whereas internal/validate checks
+// the *architecture* (the ADL model) and internal/rtsj/memory enforces
+// the assignment rules *dynamically* (generation tags), this package
+// analyzes the Go component code itself and moves the same classes of
+// runtime fault — IllegalAssignmentError, MemoryAccessError, heap
+// access from a no-heap thread, unbounded blocking inside a
+// run-to-completion section — to compile time.
+//
+// The package is deliberately shaped like golang.org/x/tools/go/analysis
+// (Analyzer, Pass, analysistest-style corpora) but is built on the
+// standard library only: packages are loaded through `go list -export`
+// and type-checked against gc export data, so the suite runs offline
+// with nothing but the Go toolchain.
+//
+// Four analyzers ship today, each owning one SA rule id in the
+// validate.Diagnostic vocabulary:
+//
+//	SA01 noheapalloc  heap allocation reachable from a no-heap path
+//	SA02 scoperef     scoped reference stored into longer-lived state
+//	SA03 rtblock      unbounded blocking inside run-to-completion code
+//	SA04 archconform  code vs ADL drift (registrations, activation kinds)
+//
+// Source annotations:
+//
+//	//soleil:noheap            marks a function as a no-heap root (SA01)
+//	//soleil:rtc               marks a function as run-to-completion (SA03)
+//	//soleil:ignore SAxx why   suppresses a finding on this or the next line
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"soleil/internal/model"
+	"soleil/internal/validate"
+)
+
+// An Analyzer describes one source-level conformance pass.
+type Analyzer struct {
+	// Name is the short pass name (e.g. "noheapalloc").
+	Name string
+	// Rule is the diagnostic rule id the pass owns (e.g. "SA01").
+	Rule string
+	// Doc is the one-paragraph description printed by `soleil vet -help`.
+	Doc string
+	// Run performs the pass over one package.
+	Run func(*Pass) error
+}
+
+// All is the full analyzer suite in rule order.
+func All() []*Analyzer {
+	return []*Analyzer{NoHeapAlloc, ScopeRef, RTBlock, ArchConform}
+}
+
+// ByName resolves a comma-separated analyzer selection.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// A Finding is one source-level diagnostic before it is rendered into
+// the shared validate.Diagnostic form.
+type Finding struct {
+	Pos        token.Pos
+	Rule       string
+	Severity   validate.Severity
+	Subject    string // enclosing function or content class
+	Message    string
+	Suggestion string
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Arch is the ADL model supplied via -adl; nil when absent
+	// (analyzers that need it skip themselves).
+	Arch *model.Architecture
+
+	findings    []Finding
+	suppression map[string][]suppressed // filename -> suppression comments
+}
+
+type suppressed struct {
+	line  int
+	rules map[string]bool // empty set = all rules
+}
+
+// Report records a finding unless a //soleil:ignore comment on the
+// finding's line (or the line above it) suppresses the rule.
+func (p *Pass) Report(f Finding) {
+	if f.Rule == "" {
+		f.Rule = p.Analyzer.Rule
+	}
+	if p.isSuppressed(f) {
+		return
+	}
+	p.findings = append(p.findings, f)
+}
+
+// Reportf formats and records a finding.
+func (p *Pass) Reportf(pos token.Pos, sev validate.Severity, subject, suggestion, format string, args ...any) {
+	p.Report(Finding{
+		Pos: pos, Severity: sev, Subject: subject,
+		Suggestion: suggestion, Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) isSuppressed(f Finding) bool {
+	if p.suppression == nil {
+		p.buildSuppressions()
+	}
+	pos := p.Fset.Position(f.Pos)
+	for _, s := range p.suppression[pos.Filename] {
+		if s.line != pos.Line && s.line != pos.Line-1 {
+			continue
+		}
+		if len(s.rules) == 0 || s.rules[f.Rule] {
+			return true
+		}
+	}
+	return false
+}
+
+var ignoreRE = regexp.MustCompile(`^//\s*soleil:ignore\b\s*([A-Z0-9,]*)`)
+
+func (p *Pass) buildSuppressions() {
+	p.suppression = map[string][]suppressed{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				s := suppressed{
+					line:  p.Fset.Position(c.Pos()).Line,
+					rules: map[string]bool{},
+				}
+				for _, r := range strings.Split(m[1], ",") {
+					if r = strings.TrimSpace(r); r != "" {
+						s.rules[r] = true
+					}
+				}
+				name := p.Fset.Position(c.Pos()).Filename
+				p.suppression[name] = append(p.suppression[name], s)
+			}
+		}
+	}
+}
+
+// directive reports whether fn's doc comment carries the given
+// //soleil: directive (e.g. "noheap", "rtc").
+func directive(fn *ast.FuncDecl, name string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	want := "//soleil:" + name
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcName renders a function's display name, including the receiver
+// for methods.
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := fn.Recv.List[0].Type
+	return fmt.Sprintf("(%s).%s", typeText(recv), fn.Name.Name)
+}
+
+func typeText(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeText(t.X)
+	case *ast.IndexExpr:
+		return typeText(t.X)
+	case *ast.SelectorExpr:
+		return typeText(t.X) + "." + t.Sel.Name
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

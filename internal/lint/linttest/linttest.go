@@ -1,0 +1,142 @@
+// Package linttest is the analysistest equivalent for the stdlib-only
+// analyzer suite in internal/lint: it loads a corpus package from a
+// testdata directory, runs one analyzer over it, and checks the
+// findings against `// want "regexp"` comments placed on the
+// offending lines. Several expectations may share one comment
+// (`// want "re1" "re2"`), and a line with no want comment must
+// produce no finding.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"soleil/internal/adl"
+	"soleil/internal/lint"
+	"soleil/internal/model"
+	"soleil/internal/validate"
+)
+
+// Run loads the corpus package at dir, applies the analyzer and
+// compares findings with the corpus's want comments. When archPath is
+// non-empty the ADL file is supplied to the pass (archconform).
+func Run(t *testing.T, dir string, a *lint.Analyzer, archPath string) []validate.Diagnostic {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	var arch *model.Architecture
+	if archPath != "" {
+		if arch, err = adl.DecodeFile(archPath); err != nil {
+			t.Fatalf("loading ADL %s: %v", archPath, err)
+		}
+	}
+	diags, err := lint.RunPackage(pkg, arch, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkExpectations(t, pkg, diags)
+	return diags
+}
+
+type key struct {
+	file string // base name
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	text    string
+	matched bool
+}
+
+// Run-to-ground rendering of a diagnostic for error messages.
+func render(d validate.Diagnostic) string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Rule, d.Message)
+}
+
+func checkExpectations(t *testing.T, pkg *lint.Package, diags []validate.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		file, line, ok := splitPos(d.Pos)
+		if !ok {
+			t.Errorf("finding without position: %s", render(d))
+			continue
+		}
+		k := key{file: file, line: line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Rule+" "+d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", render(d))
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, w.text)
+			}
+		}
+	}
+}
+
+func splitPos(pos string) (file string, line int, ok bool) {
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, false
+	}
+	return filepath.Base(parts[0]), n, true
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\b(.*)`)
+var wantArgRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[key][]*want {
+	t.Helper()
+	wants := map[key][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{file: filepath.Base(pos.Filename), line: pos.Line}
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					text := arg[1]
+					if text == "" {
+						unq, err := strconv.Unquote(`"` + arg[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, arg[2], err)
+						}
+						text = unq
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, text, err)
+					}
+					wants[k] = append(wants[k], &want{re: re, text: text})
+				}
+			}
+		}
+	}
+	return wants
+}

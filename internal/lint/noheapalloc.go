@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"soleil/internal/validate"
+)
+
+// NoHeapAlloc (SA01) is the static counterpart of the
+// MemoryAccessError a NoHeapRealtimeThread raises when it touches
+// heap memory: it flags heap allocations — make/new/append, slice and
+// map literals, escaping composite literals, capturing closures,
+// fmt calls, goroutine launches, and implicit interface boxing — in
+// any function reachable from a no-heap root. Roots are functions
+// annotated //soleil:noheap; reachability follows static calls within
+// the package.
+var NoHeapAlloc = &Analyzer{
+	Name: "noheapalloc",
+	Rule: "SA01",
+	Doc: "flags heap allocations (make/new/append, literals, closures, fmt, " +
+		"interface boxing, go statements) reachable from //soleil:noheap functions",
+	Run: runNoHeapAlloc,
+}
+
+func runNoHeapAlloc(p *Pass) error {
+	decls := declaredFuncs(p)
+	var roots []*ast.FuncDecl
+	for _, fn := range decls {
+		if directive(fn, "noheap") {
+			roots = append(roots, fn)
+		}
+	}
+	for fn, root := range reachable(p, decls, roots) {
+		checkNoHeapFunc(p, fn, root)
+	}
+	return nil
+}
+
+func checkNoHeapFunc(p *Pass, fn *ast.FuncDecl, root string) {
+	subject := funcName(fn)
+	via := ""
+	if subject != root {
+		via = fmt.Sprintf(" (reachable from no-heap root %s)", root)
+	}
+	sig, _ := p.Info.TypeOf(fn.Name).(*types.Signature)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkNoHeapCall(p, x, subject, via)
+		case *ast.UnaryExpr, *ast.CompositeLit, *ast.FuncLit:
+			if kind, ok := isAllocExpr(p.Info, x.(ast.Expr)); ok {
+				p.Reportf(x.Pos(), validate.Error, subject,
+					"preallocate in immortal or scoped memory, or hoist out of the no-heap path",
+					"%s allocates on a no-heap path%s", kind, via)
+				if _, isLit := x.(*ast.FuncLit); isLit {
+					return false // the closure body is charged once, at the closure
+				}
+			}
+		case *ast.GoStmt:
+			p.Reportf(x.Pos(), validate.Error, subject,
+				"launch threads at assembly time, not on the no-heap path",
+				"go statement allocates a goroutine on a no-heap path%s", via)
+		case *ast.ReturnStmt:
+			checkNoHeapReturn(p, sig, x, subject, via)
+		}
+		return true
+	})
+}
+
+func checkNoHeapCall(p *Pass, call *ast.CallExpr, subject, via string) {
+	// Builtins make/new/append.
+	if kind, ok := isAllocExpr(p.Info, call); ok {
+		p.Reportf(call.Pos(), validate.Error, subject,
+			"preallocate in immortal or scoped memory, or hoist out of the no-heap path",
+			"%s allocates on a no-heap path%s", kind, via)
+		return
+	}
+	// fmt.* formats through reflection and allocates.
+	if callee := staticCallee(p.Info, call); callee != nil {
+		if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+			p.Reportf(call.Pos(), validate.Error, subject,
+				"format off the hot path, or write into a preallocated buffer",
+				"fmt.%s allocates on a no-heap path%s", callee.Name(), via)
+			return
+		}
+	}
+	// Interface boxing at call boundaries: a non-interface value
+	// passed where an interface is expected is boxed, which may
+	// allocate.
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(x). Boxing only when T is an interface.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(p.Info, call.Args[0]) {
+			p.Reportf(call.Pos(), validate.Warning, subject,
+				"pass a pointer, or keep the value out of interfaces on this path",
+				"conversion to interface may allocate (boxing) on a no-heap path%s", via)
+		}
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt) && boxes(p.Info, arg) {
+			p.Reportf(arg.Pos(), validate.Warning, subject,
+				"pass a pointer, or keep the value out of interfaces on this path",
+				"argument is boxed into an interface and may allocate on a no-heap path%s", via)
+		}
+	}
+}
+
+func checkNoHeapReturn(p *Pass, sig *types.Signature, ret *ast.ReturnStmt, subject, via string) {
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		if types.IsInterface(sig.Results().At(i).Type()) && boxes(p.Info, res) {
+			p.Reportf(res.Pos(), validate.Warning, subject,
+				"return a pointer, or narrow the result type",
+				"return value is boxed into an interface and may allocate on a no-heap path%s", via)
+		}
+	}
+}
+
+// boxes reports whether storing e into an interface requires boxing a
+// value: its static type is neither an interface nor a pointer (and
+// not the untyped nil).
+func boxes(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}

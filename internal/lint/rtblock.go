@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"soleil/internal/validate"
+)
+
+// RTBlock (SA03) guards the ActiveInterceptor's run-to-completion
+// execution model: a component operation must run to completion
+// without unbounded blocking, or every response-time bound the
+// schedulability analysis computed is void. Roots are methods named
+// Invoke or Activate (the membrane.Content / membrane.Interceptor /
+// membrane.ActiveContent entry points) plus functions annotated
+// //soleil:rtc; reachability follows static calls within the package.
+// Flagged: time.Sleep, bare channel sends/receives, selects without a
+// default case, blocking I/O (os, net, net/http), and — at warning
+// severity, since short priority-ceiling critical sections are the
+// accepted RTSJ idiom — sync.Mutex/RWMutex locks, WaitGroup.Wait and
+// Cond.Wait.
+var RTBlock = &Analyzer{
+	Name: "rtblock",
+	Rule: "SA03",
+	Doc: "flags unbounded blocking (time.Sleep, channel ops, selects without " +
+		"default, file/network I/O, sync waits) inside run-to-completion sections",
+	Run: runRTBlock,
+}
+
+// ioPackages lists packages whose calls are treated as unbounded I/O
+// inside a run-to-completion section.
+var ioPackages = map[string]bool{
+	"os":       true,
+	"net":      true,
+	"net/http": true,
+}
+
+func runRTBlock(p *Pass) error {
+	decls := declaredFuncs(p)
+	var roots []*ast.FuncDecl
+	for _, fn := range decls {
+		if directive(fn, "rtc") ||
+			(fn.Recv != nil && (fn.Name.Name == "Invoke" || fn.Name.Name == "Activate")) {
+			roots = append(roots, fn)
+		}
+	}
+	for fn, root := range reachable(p, decls, roots) {
+		checkRTCFunc(p, fn, root)
+	}
+	return nil
+}
+
+func checkRTCFunc(p *Pass, fn *ast.FuncDecl, root string) {
+	subject := funcName(fn)
+	via := ""
+	if subject != root {
+		via = " (reachable from run-to-completion section " + root + ")"
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			// A select with a default case polls instead of blocking:
+			// its channel operations are bounded.
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					for _, stmt := range x.Body.List {
+						if body, ok := stmt.(*ast.CommClause); ok {
+							for _, s := range body.Body {
+								ast.Inspect(s, walk)
+							}
+						}
+					}
+					return false
+				}
+			}
+			p.Reportf(x.Pos(), validate.Error, subject,
+				"add a default case, or move the wait into a sporadic activation",
+				"select without default blocks a run-to-completion section%s", via)
+			return false // channel operands inside would double-report
+		case *ast.SendStmt:
+			p.Reportf(x.Pos(), validate.Error, subject,
+				"use a bounded buffer with overflow policy (internal/comm) or a select with default",
+				"channel send may block a run-to-completion section%s", via)
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				p.Reportf(x.Pos(), validate.Error, subject,
+					"use a bounded buffer with overflow policy (internal/comm) or a select with default",
+					"channel receive may block a run-to-completion section%s", via)
+			}
+		case *ast.CallExpr:
+			checkRTCCall(p, x, subject, via)
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// blockingSyncMethods maps sync method names to whether they block
+// unboundedly even in disciplined use.
+var blockingSyncMethods = map[string]bool{
+	"Lock":  true,
+	"RLock": true,
+	"Wait":  true,
+}
+
+func checkRTCCall(p *Pass, call *ast.CallExpr, subject, via string) {
+	callee := staticCallee(p.Info, call)
+	if callee == nil {
+		return // builtins, dynamic calls and interface dispatch
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return
+	}
+	switch {
+	case pkg.Path() == "time" && callee.Name() == "Sleep":
+		p.Reportf(call.Pos(), validate.Error, subject,
+			"use a periodic activation (the scheduler owns time), not an inline sleep",
+			"time.Sleep blocks a run-to-completion section%s", via)
+	case pkg.Path() == "sync" && blockingSyncMethods[callee.Name()]:
+		p.Reportf(call.Pos(), validate.Warning, subject,
+			"keep the critical section short and document the bound, or take a priority-inheriting sched.Mutex",
+			"sync.%s may block a run-to-completion section%s", recvTypeName(callee)+"."+callee.Name(), via)
+	case ioPackages[pkg.Path()]:
+		p.Reportf(call.Pos(), validate.Error, subject,
+			"move I/O to a dedicated regular-priority component and bind asynchronously",
+			"%s.%s performs unbounded I/O in a run-to-completion section%s",
+			pkg.Name(), callee.Name(), via)
+	}
+}
+
+func recvTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return f.Name()
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

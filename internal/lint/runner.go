@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"sort"
+
+	"soleil/internal/adl"
+	"soleil/internal/model"
+	"soleil/internal/validate"
+)
+
+// Options configures one run of the analyzer suite.
+type Options struct {
+	// Dir is the directory `go list` resolves patterns from; empty
+	// means the current directory.
+	Dir string
+	// Patterns are `go list` package patterns; empty means ./...
+	Patterns []string
+	// ADL, when set, is the architecture file archconform checks the
+	// code against.
+	ADL string
+	// Analyzers selects the passes to run; nil means All().
+	Analyzers []*Analyzer
+}
+
+// Run loads the requested packages, applies the analyzer suite and
+// returns the findings in the shared validate.Diagnostic form (rule
+// ids SA01–SA04, positions filled in), sorted by position.
+func Run(opts Options) ([]validate.Diagnostic, error) {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	var arch *model.Architecture
+	if opts.ADL != "" {
+		var err error
+		if arch, err = adl.DecodeFile(opts.ADL); err != nil {
+			return nil, err
+		}
+	}
+	pkgs, err := Load(opts.Dir, opts.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []validate.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(pkg, arch, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags, nil
+}
+
+// RunPackage applies the analyzers to one loaded package.
+func RunPackage(pkg *Package, arch *model.Architecture, analyzers []*Analyzer) ([]validate.Diagnostic, error) {
+	var diags []validate.Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			Arch:     arch,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+		for _, f := range pass.findings {
+			diags = append(diags, Render(pkg, f))
+		}
+	}
+	return diags, nil
+}
+
+// Render converts a source finding into the shared diagnostic form.
+func Render(pkg *Package, f Finding) validate.Diagnostic {
+	d := validate.Diagnostic{
+		Rule:       f.Rule,
+		Severity:   f.Severity,
+		Subject:    f.Subject,
+		Message:    f.Message,
+		Suggestion: f.Suggestion,
+	}
+	if f.Pos.IsValid() {
+		d.Pos = pkg.Fset.Position(f.Pos).String()
+	}
+	return d
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+
+	"soleil/internal/patterns"
+	"soleil/internal/validate"
+)
+
+// ScopeRef (SA02) is the static counterpart of the dynamic
+// generation-tag checks in internal/rtsj/memory: storing a reference
+// to scope-allocated state into anything that outlives the scope is
+// the IllegalAssignmentError the RTSJ assignment rules raise at run
+// time. The analyzer looks at every scope-entry call — a call to a
+// method named Enter or ExecuteInArea taking a function literal, the
+// shape of (*memory.Context).Enter — and flags assignments inside the
+// literal whose target is declared outside it (captured locals,
+// fields of outer objects, package-level vars) when the stored value
+// carries a reference created inside the scope. The suggestion names
+// the applicable cross-scope communication pattern from
+// internal/patterns.
+var ScopeRef = &Analyzer{
+	Name: "scoperef",
+	Rule: "SA02",
+	Doc: "flags stores of scoped-area references into longer-lived state " +
+		"inside Enter/ExecuteInArea function literals (static IllegalAssignmentError)",
+	Run: runScopeRef,
+}
+
+// scopeEntryMethods are the method names treated as running their
+// function-literal argument inside a (shorter-lived) memory scope.
+var scopeEntryMethods = map[string]bool{
+	"Enter":         true,
+	"ExecuteInArea": true,
+}
+
+func runScopeRef(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !scopeEntryMethods[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkScopeBody(p, sel.Sel.Name, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkScopeBody(p *Pass, entry string, lit *ast.FuncLit) {
+	suggestion := fmt.Sprintf(
+		"copy the value out (%q pattern) or publish it through the scope's %q",
+		patterns.DeepCopy, patterns.Portal)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			target, outer := outerTarget(p, lhs, lit)
+			if !outer {
+				continue
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if kind, ok := containsAlloc(p.Info, rhs); ok {
+				p.Reportf(as.Pos(), validate.Error, target, suggestion,
+					"%s allocated inside %s scope is stored into longer-lived %s",
+					kind, entry, target)
+				continue
+			}
+			if escapesScopedRef(p, rhs, lit) {
+				p.Reportf(as.Pos(), validate.Error, target, suggestion,
+					"reference created inside %s scope escapes into longer-lived %s",
+					entry, target)
+			}
+		}
+		return true
+	})
+}
+
+// outerTarget decides whether an assignment target outlives the scope
+// body: an identifier declared outside the literal, or a
+// field/element of such an identifier. It returns a printable name
+// for the target.
+func outerTarget(p *Pass, lhs ast.Expr, lit *ast.FuncLit) (string, bool) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return "", false
+		}
+		if declaredOutside(p.Info, x, lit, lit) {
+			if obj := p.Info.Uses[x]; obj != nil && obj.Parent() == p.Pkg.Scope() {
+				return "package-level var " + x.Name, true
+			}
+			return "captured variable " + x.Name, true
+		}
+	case *ast.SelectorExpr:
+		if base := baseIdent(x.X); base != nil && declaredOutside(p.Info, base, lit, lit) {
+			return fmt.Sprintf("field %s of outer object %s", x.Sel.Name, base.Name), true
+		}
+	case *ast.IndexExpr:
+		if base := baseIdent(x.X); base != nil && declaredOutside(p.Info, base, lit, lit) {
+			return "element of outer collection " + base.Name, true
+		}
+	case *ast.StarExpr:
+		if base := baseIdent(x.X); base != nil && declaredOutside(p.Info, base, lit, lit) {
+			return "target of outer pointer " + base.Name, true
+		}
+	}
+	return "", false
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// escapesScopedRef reports whether e is reference-carrying and refers
+// to an object declared inside the scope body — the classic "scoped
+// reference stored outside" shape.
+func escapesScopedRef(p *Pass, e ast.Expr, lit *ast.FuncLit) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil || !refCarrying(t) {
+		return false
+	}
+	escapes := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || escapes {
+			return !escapes
+		}
+		if obj := p.Info.Uses[id]; obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			if t := p.Info.TypeOf(id); t != nil && refCarrying(t) {
+				escapes = true
+			}
+		}
+		return true
+	})
+	return escapes
+}

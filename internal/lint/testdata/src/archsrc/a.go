@@ -1,0 +1,58 @@
+// Corpus for the archconform (SA04) analyzer; the matching
+// architecture lives in arch.xml next to this file. The Registry type
+// mirrors the shape of soleil/internal/assembly.Registry.
+package archsrc // want `SA04 .*content class "actuator" drives component "Actuator".*never registered`
+
+type Content interface{ Init() error }
+
+type Registry struct {
+	factories map[string]func() Content
+}
+
+func (r *Registry) Register(class string, f func() Content) error {
+	r.factories[class] = f
+	return nil
+}
+
+// Sensor drives an active component in the ADL but has no Activate
+// method: its thread would have nothing to run.
+type Sensor struct{ reading int }
+
+func (s *Sensor) Init() error { return nil }
+
+func (s *Sensor) Invoke(itf, op string) (any, error) {
+	switch itf {
+	case "iSample":
+		return s.reading, nil
+	}
+	return nil, nil
+}
+
+// Display is passive in the ADL yet declares an Activate method that
+// will never be released.
+type Display struct{}
+
+func (d *Display) Init() error     { return nil }
+func (d *Display) Activate() error { return nil }
+
+func (d *Display) Invoke(itf, op string) (any, error) {
+	if itf == "iDraw" {
+		return nil, nil
+	}
+	return nil, nil
+}
+
+// Logger is registered under a class the architecture never declares.
+type Logger struct{}
+
+func (l *Logger) Init() error { return nil }
+
+func Wire(r *Registry) error {
+	if err := r.Register("sensor", func() Content { return &Sensor{} }); err != nil { // want `SA04 .*component "Sensor" is active \(periodic\) but content type Sensor has no Activate method` `SA04 .*server interface "iCal" of component "Sensor" is never referenced`
+		return err
+	}
+	if err := r.Register("display", func() Content { return &Display{} }); err != nil { // want `SA04 .*component "Display" is passive but content type Display declares an Activate method`
+		return err
+	}
+	return r.Register("logger", func() Content { return &Logger{} }) // want `SA04 .*content class "logger" is registered but not declared by architecture "conformance-corpus"`
+}

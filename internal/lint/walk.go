@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// declaredFuncs maps every function and method object declared in the
+// package to its syntax.
+func declaredFuncs(p *Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+				out[obj] = fn
+			}
+		}
+	}
+	return out
+}
+
+// staticCallee resolves the statically known callee of a call
+// expression: a package function, a method on a concrete receiver, or
+// nil for builtins, dynamic calls and interface dispatch.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				// Interface dispatch has no static body to follow.
+				if types.IsInterface(sel.Recv()) {
+					return nil
+				}
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (fmt.Println): Uses on the Sel.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// reachable walks the static call graph from the given roots and
+// returns, for every function declared in this package that a root can
+// reach, the name of (one of) its roots. Interface dispatch,
+// cross-package calls and function values are not followed — the
+// analyzers are deliberately intraprocedural across package
+// boundaries, which keeps them fast and predictable; annotate callees
+// directly when they live elsewhere.
+func reachable(p *Pass, decls map[*types.Func]*ast.FuncDecl, roots []*ast.FuncDecl) map[*ast.FuncDecl]string {
+	out := map[*ast.FuncDecl]string{}
+	var visit func(fn *ast.FuncDecl, root string)
+	visit = func(fn *ast.FuncDecl, root string) {
+		if _, seen := out[fn]; seen {
+			return
+		}
+		out[fn] = root
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := staticCallee(p.Info, call); callee != nil {
+				if decl, ok := decls[callee]; ok {
+					visit(decl, root)
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r, funcName(r))
+	}
+	return out
+}
+
+// isAllocExpr reports whether e, on its own, allocates on the heap (or
+// must be assumed to): make/new/append calls, slice, map and pointer
+// composite literals, and closures that capture state.
+func isAllocExpr(info *types.Info, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make", "new", "append":
+					return b.Name(), true
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+			return "&composite literal", true
+		}
+	case *ast.CompositeLit:
+		if t := info.TypeOf(x); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				return "composite literal", true
+			}
+		}
+	case *ast.FuncLit:
+		if captures(info, x) {
+			return "closure", true
+		}
+	}
+	return "", false
+}
+
+// containsAlloc reports whether any subexpression of e allocates.
+func containsAlloc(info *types.Info, e ast.Expr) (string, bool) {
+	var kind string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		if sub, ok := n.(ast.Expr); ok {
+			if k, ok := isAllocExpr(info, sub); ok {
+				kind = k
+				return false
+			}
+		}
+		return true
+	})
+	return kind, kind != ""
+}
+
+// captures reports whether the function literal references any
+// variable declared outside itself (other than package-level state):
+// such closures allocate their environment.
+func captures(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+			return true // package-level: not part of the environment
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// declaredOutside reports whether the identifier's object is declared
+// outside the [lo,hi] node span — i.e. the expression refers to state
+// that outlives the span (captured variables, package-level vars).
+func declaredOutside(info *types.Info, id *ast.Ident, lo, hi ast.Node) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.Pos() == 0 {
+		return true // no syntax: imported or synthetic, certainly outside
+	}
+	return v.Pos() < lo.Pos() || v.Pos() > hi.End()
+}
+
+// refCarrying reports whether t can carry a reference across a scope
+// boundary: pointers, slices, maps, channels, functions and
+// interfaces. Plain values copied out of a scope are safe.
+func refCarrying(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}

@@ -24,8 +24,13 @@ var _ Interceptor = (*ActiveInterceptor)(nil)
 func (a *ActiveInterceptor) Name() string { return "active-interceptor" }
 
 // Invoke implements Interceptor.
+//
+//soleil:noheap
 func (a *ActiveInterceptor) Invoke(inv *Invocation, next Handler) (any, error) {
-	a.mu.Lock()
+	// Serialization is this interceptor's contract: the wait is bounded
+	// by the preceding invocation's own run-to-completion section, and
+	// priority inheritance lives in the scheduler's sched.Mutex, not here.
+	a.mu.Lock() //soleil:ignore SA03 bounded by the previous invocation's RTC section
 	defer a.mu.Unlock()
 	atomic.AddInt64(&a.invocations, 1)
 	return next(inv)

@@ -36,7 +36,11 @@ func NewMetricsInterceptor(system string, cm *obs.ComponentMetrics, tracer *obs.
 // Name implements Interceptor.
 func (mi *MetricsInterceptor) Name() string { return "metrics-interceptor" }
 
-// Invoke implements Interceptor.
+// Invoke implements Interceptor. The no-heap claim made statically
+// here is the same one `make benchcheck` enforces empirically
+// (BenchmarkDispatchMetered, 0 allocs/op).
+//
+//soleil:noheap
 func (mi *MetricsInterceptor) Invoke(inv *Invocation, next Handler) (any, error) {
 	s := mi.metrics.Series(inv.Interface, inv.Op)
 	s.Invocations.Inc()
@@ -58,7 +62,7 @@ func (mi *MetricsInterceptor) Invoke(inv *Invocation, next Handler) (any, error)
 	start := time.Now()
 	panicked := true
 	errored := false
-	defer func() {
+	defer func() { //soleil:ignore SA01 open-coded defer; 0 allocs/op verified by make benchcheck
 		d := time.Since(start)
 		s.Latency.Observe(d)
 		if panicked {

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The hot-path benchmarks below back the //soleil:noheap annotations
+// on the metric primitives: `make benchcheck` runs them with -benchmem
+// and fails the build if any reports allocations. Everything a
+// MetricsInterceptor touches per dispatch is covered: the series
+// lookup, the atomic updates, the span derivation and the ring-slot
+// record.
+
+func BenchmarkHotPathCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHotPathGaugeSet(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkHotPathHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}
+
+func BenchmarkHotPathSeriesLookup(b *testing.B) {
+	cm := NewRegistry().Component("m")
+	cm.Series("iface", "op") // steady state: the series exists
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Series("iface", "op").Invocations.Inc()
+	}
+}
+
+func BenchmarkHotPathSpanDerive(b *testing.B) {
+	parent := NewSpanContext(SpanContext{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewSpanContext(parent)
+	}
+}
+
+func BenchmarkHotPathTracerRecord(b *testing.B) {
+	tr := NewTracer(1024)
+	cur := NewSpanContext(SpanContext{})
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record(Span{
+			Trace: cur.TraceID, ID: cur.SpanID,
+			System: "sys", Component: "m", Interface: "i", Op: "op",
+			Start: start, Duration: time.Microsecond,
+		})
+	}
+}

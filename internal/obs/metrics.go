@@ -23,9 +23,13 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
+//
+//soleil:noheap
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//soleil:noheap
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Load returns the current count.
@@ -36,9 +40,13 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores v.
+//
+//soleil:noheap
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adds n.
+//
+//soleil:noheap
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Load returns the current level.
@@ -80,6 +88,8 @@ type Histogram struct {
 }
 
 // Observe records one latency observation.
+//
+//soleil:noheap
 func (h *Histogram) Observe(d time.Duration) {
 	ns := int64(d)
 	if ns < 0 {

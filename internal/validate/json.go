@@ -1,0 +1,73 @@
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MarshalJSON encodes a severity as its name, so the machine-readable
+// form reads "error" rather than 3.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts both the name and the numeric form.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err == nil {
+		sev, err := ParseSeverity(name)
+		if err != nil {
+			return err
+		}
+		*s = sev
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*s = Severity(n)
+	return nil
+}
+
+// ParseSeverity parses a severity name.
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(s) {
+	case "info":
+		return Info, nil
+	case "warning", "warn":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	default:
+		return 0, fmt.Errorf("validate: unknown severity %q (want info, warning or error)", s)
+	}
+}
+
+// EncodeJSON writes the diagnostics as a JSON array of
+// {rule, severity, subject, message, suggestion, pos} objects — the
+// one machine-readable schema shared by `soleil validate -json` and
+// `soleil vet -json`. A nil slice encodes as an empty array so
+// consumers always read a list.
+func EncodeJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// MaxSeverity returns the highest severity among the diagnostics, or
+// zero when there are none.
+func MaxSeverity(diags []Diagnostic) Severity {
+	var max Severity
+	for _, d := range diags {
+		if d.Severity > max {
+			max = d.Severity
+		}
+	}
+	return max
+}

@@ -1,0 +1,67 @@
+package validate
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEncodeJSONSchema(t *testing.T) {
+	diags := []Diagnostic{
+		{Rule: "RT07", Severity: Error, Subject: "a.i -> b.i (synchronous)",
+			Message: "needs a pattern", Suggestion: `use pattern "scope-enter"`},
+		{Rule: "SA03", Severity: Warning, Subject: "(*T).Invoke",
+			Message: "may block", Pos: "file.go:10:2"},
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	// Both rule families round-trip through the one schema.
+	var back []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != diags[0] || back[1] != diags[1] {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	// Severities encode as names, not numbers.
+	if !strings.Contains(buf.String(), `"severity": "error"`) {
+		t.Fatalf("severity not encoded by name:\n%s", buf.String())
+	}
+	// Empty fields stay out of the wire form.
+	if strings.Contains(buf.String(), `"pos": ""`) || strings.Contains(buf.String(), `"suggestion": ""`) {
+		t.Fatalf("empty optional fields encoded:\n%s", buf.String())
+	}
+}
+
+func TestEncodeJSONNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("nil diagnostics encoded as %q, want []", got)
+	}
+}
+
+func TestParseSeverityAndMax(t *testing.T) {
+	for in, want := range map[string]Severity{
+		"info": Info, "warning": Warning, "warn": Warning, "ERROR": Error,
+	} {
+		got, err := ParseSeverity(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSeverity(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity(fatal) succeeded")
+	}
+	if got := MaxSeverity([]Diagnostic{{Severity: Info}, {Severity: Error}, {Severity: Warning}}); got != Error {
+		t.Errorf("MaxSeverity = %v, want error", got)
+	}
+	if got := MaxSeverity(nil); got != 0 {
+		t.Errorf("MaxSeverity(nil) = %v, want 0", got)
+	}
+}

@@ -39,23 +39,34 @@ func (s Severity) String() string {
 	}
 }
 
-// Diagnostic is one finding of the conformance checker.
+// Diagnostic is one finding of the conformance checker. The same
+// shape carries both architecture-level findings (rules RT01–RT13,
+// produced by Validate over the ADL model) and source-level findings
+// (rules SA01–SA04, produced by internal/lint over the Go code), so
+// `soleil validate -json` and `soleil vet -json` speak one schema.
 type Diagnostic struct {
-	// Rule identifies the violated rule (e.g. "RT01").
-	Rule     string
-	Severity Severity
-	// Subject is the component or binding the finding refers to.
-	Subject string
-	Message string
+	// Rule identifies the violated rule (e.g. "RT01", "SA03").
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	// Subject is the component, binding or function the finding
+	// refers to.
+	Subject string `json:"subject"`
+	Message string `json:"message"`
 	// Suggestion, when set, proposes a concrete fix (e.g. the
 	// communication pattern to deploy).
-	Suggestion string
+	Suggestion string `json:"suggestion,omitempty"`
+	// Pos, when set, is the source position of the finding
+	// (file:line:col). Architecture-level findings have no position.
+	Pos string `json:"pos,omitempty"`
 }
 
 func (d Diagnostic) String() string {
 	s := fmt.Sprintf("%s [%s] %s: %s", d.Severity, d.Rule, d.Subject, d.Message)
 	if d.Suggestion != "" {
 		s += " (suggestion: " + d.Suggestion + ")"
+	}
+	if d.Pos != "" {
+		s = d.Pos + ": " + s
 	}
 	return s
 }
