@@ -10,11 +10,11 @@ GO ?= go
 # dispatch or real-time hot path.
 LINT_PKGS = ./internal/membrane/... ./internal/obs/... ./internal/comm/... ./internal/rtsj/...
 
-.PHONY: all check vet build test race soak lint benchcheck bench clean
+.PHONY: all check vet build test race soak soak-cluster lint benchcheck bench clean
 
 all: check
 
-check: vet build race soak
+check: vet build race soak soak-cluster
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,12 @@ race:
 # goroutine leaks). -count=2 re-runs it to shake out ordering effects.
 soak:
 	$(GO) test -race -run TestSoakDistributedSupervision -count=2 ./internal/fault/
+
+# The cluster soak: a 3-node deployment with a panicking worker; the
+# middle node is killed and restarted mid-run, and the scenario
+# requires supervised reconvergence and zero leaked goroutines.
+soak-cluster:
+	$(GO) test -race -run TestSoakClusterReconvergence -count=2 ./internal/cluster/
 
 # Source-level RTSJ conformance (rules SA01-SA04) over the hot paths.
 # Exit 1 means unsuppressed findings; fix them or justify with

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,20 +28,23 @@ import (
 )
 
 func main() {
-	panel := flag.String("panel", "all", "which Fig. 7 panel to regenerate: a, b, c or all")
+	panel := flag.String("panel", "all", "which panel to regenerate: a, b, c (Fig. 7), d (cluster) or all")
 	observations := flag.Int("observations", evaluation.DefaultObservations, "steady-state observations per variant")
 	warmup := flag.Int("warmup", evaluation.DefaultWarmup, "cold-start transactions discarded")
 	buckets := flag.Int("buckets", 20, "histogram buckets for panel a")
 	csv := flag.Bool("csv", false, "emit raw panel-(a) samples as CSV")
+	messages := flag.Int("messages", 2000, "panel-(d) round trips per scenario")
+	inflight := flag.Int("inflight", 4, "panel-(d) closed-loop window")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "panel-(d) JSON output file (empty = skip)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *panel, *observations, *warmup, *buckets, *csv); err != nil {
+	if err := run(os.Stdout, *panel, *observations, *warmup, *buckets, *csv, *messages, *inflight, *clusterOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool) error {
+func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool, messages, inflight int, clusterOut string) error {
 	wantTiming := panel == "a" || panel == "b" || panel == "all"
 	var timings []evaluation.TimingResult
 	if wantTiming {
@@ -59,6 +63,8 @@ func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool)
 		return panelB(w, timings)
 	case "c":
 		return panelC(w)
+	case "d":
+		return panelD(w, messages, inflight, clusterOut)
 	case "all":
 		if err := panelA(w, timings, buckets, csv); err != nil {
 			return err
@@ -68,9 +74,13 @@ func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool)
 			return err
 		}
 		fmt.Fprintln(w)
-		return panelC(w)
+		if err := panelC(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return panelD(w, messages, inflight, clusterOut)
 	default:
-		return fmt.Errorf("rtbench: unknown panel %q (want a, b, c or all)", panel)
+		return fmt.Errorf("rtbench: unknown panel %q (want a, b, c, d or all)", panel)
 	}
 }
 
@@ -187,5 +197,50 @@ func panelC(w io.Writer) error {
 		report := generate.CheckRequirements(files, mode)
 		fmt.Fprintf(w, "%-12s %3d files %5d lines\n", mode, report.Files, report.Lines)
 	}
+	return nil
+}
+
+// panelD extends the evaluation past the paper: the cluster
+// deployment plane's cost. The same ping-pong architecture runs once
+// on one node (async bindings over in-process RTBuffers) and once
+// partitioned across two nodes over loopback TCP; the table prices
+// the node boundary in round-trip latency and throughput. Results
+// also land in a JSON file so CI can archive the trend.
+func panelD(w io.Writer, messages, inflight int, outFile string) error {
+	fmt.Fprintln(w, "=== panel (d): cross-node links vs in-process async bindings ===")
+	fmt.Fprintf(w, "%d round trips per scenario, %d in flight\n", messages, inflight)
+	results, err := evaluation.MeasureCluster(messages, inflight)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-18s %12s %12s %14s\n", "scenario", "RTT median", "RTT p99", "round trips/s")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-18s %12v %12v %14.0f\n", r.Scenario, r.RTTMedian, r.RTTP99, r.Throughput)
+	}
+	fmt.Fprintln(w, "note: in-process RTTs include sporadic-release polling latency on both hops;")
+	fmt.Fprintln(w, "      imported link messages are invoked on receipt.")
+	if outFile == "" {
+		return nil
+	}
+	doc := struct {
+		GeneratedAt string                     `json:"generatedAt"`
+		Messages    int                        `json:"messages"`
+		Inflight    int                        `json:"inflight"`
+		Scenarios   []evaluation.ClusterResult `json:"scenarios"`
+	}{time.Now().UTC().Format(time.RFC3339), messages, inflight, results}
+	f, err := os.Create(outFile)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outFile)
 	return nil
 }

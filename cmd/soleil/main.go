@@ -7,6 +7,8 @@
 //	soleil genreport <arch.xml>                Sect. 5.2 requirements report
 //	soleil suggest <arch.xml>                  apply suggested patterns, emit completed ADL
 //	soleil run -mode M -duration D <arch.xml>  deploy (stub contents) and simulate
+//	soleil serve -node N -adl arch.xml -deploy deploy.xml   run one cluster node
+//	soleil cluster -adl arch.xml -deploy deploy.xml [-serve ADDR]   cluster-wide status
 //	soleil top ADDR                            one-shot snapshot of a serving system
 //
 // validate and vet print human-readable diagnostics on stderr; with
@@ -24,15 +26,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"soleil/internal/adl"
 	"soleil/internal/assembly"
+	"soleil/internal/cluster"
 	"soleil/internal/fault"
 	"soleil/internal/generate"
 	"soleil/internal/lint"
@@ -53,7 +59,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: soleil <validate|vet|analyze|generate|genreport|suggest|run|top> [flags] [args]")
+		return fmt.Errorf("usage: soleil <validate|vet|analyze|generate|genreport|suggest|run|serve|cluster|top> [flags] [args]")
 	}
 	switch args[0] {
 	case "validate":
@@ -70,6 +76,10 @@ func run(args []string) error {
 		return cmdSuggest(args[1:])
 	case "run":
 		return cmdRun(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "cluster":
+		return cmdCluster(args[1:])
 	case "top":
 		return cmdTop(args[1:])
 	default:
@@ -131,6 +141,8 @@ func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false,
 		"emit diagnostics as JSON on stdout (shared schema with soleil vet -json)")
+	deployPath := fs.String("deploy", "",
+		"deployment descriptor to check against the architecture (RT14/RT15 cross-node rules)")
 	maxSev := fs.String("max-severity", "error",
 		"lowest severity that makes the exit status non-zero (info, warning, error)")
 	if err := fs.Parse(args); err != nil {
@@ -145,6 +157,17 @@ func cmdValidate(args []string) error {
 		return err
 	}
 	report := validate.Validate(arch)
+	if *deployPath != "" {
+		dep, err := adl.DecodeDeploymentFile(*deployPath)
+		if err != nil {
+			return err
+		}
+		depReport, err := validate.ValidateDeployment(arch, dep)
+		if err != nil {
+			return err
+		}
+		report.Diagnostics = append(report.Diagnostics, depReport.Diagnostics...)
+	}
 	// Human-readable diagnostics go to stderr; stdout is reserved for
 	// the machine-readable form.
 	for _, d := range report.Diagnostics {
@@ -172,6 +195,8 @@ func cmdVet(args []string) error {
 		"emit diagnostics as JSON on stdout (shared schema with soleil validate -json)")
 	adlPath := fs.String("adl", "",
 		"architecture file for the archconform pass (omit to skip SA04)")
+	deployPath := fs.String("deploy", "",
+		"deployment descriptor checked against -adl (adds RT14/RT15 cross-node findings)")
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer selection (default: all)")
 	maxSev := fs.String("max-severity", "warning",
 		"lowest severity that makes the exit status non-zero (info, warning, error)")
@@ -189,6 +214,7 @@ func cmdVet(args []string) error {
 	diags, err := lint.Run(lint.Options{
 		Patterns:  fs.Args(),
 		ADL:       *adlPath,
+		Deploy:    *deployPath,
 		Analyzers: selected,
 	})
 	if err != nil {
@@ -494,6 +520,124 @@ func cmdRun(args []string) error {
 	if *metricsAddr != "" && *hold > 0 {
 		fmt.Printf("holding observability endpoints for %v (try: soleil top HOST:PORT)\n", *hold)
 		time.Sleep(*hold)
+	}
+	return nil
+}
+
+// cmdServe runs one node of a cluster deployment: the architecture is
+// partitioned by the deployment descriptor and this process brings up
+// the named node's slice — components, export/import links, fault
+// supervisor, pacer and observability endpoint — with no hand-written
+// transport wiring.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	node := fs.String("node", "", "node name from the deployment descriptor (required)")
+	adlPath := fs.String("adl", "", "architecture file (required)")
+	deployPath := fs.String("deploy", "", "deployment descriptor file (required)")
+	listen := fs.String("listen", "", "override the node's link address (\":0\" picks a free port)")
+	metricsAddr := fs.String("metrics", "", "override the node's observability address")
+	beat := fs.Duration("beat", 0, "link heartbeat interval (default 250ms)")
+	allowStubs := fs.Bool("allow-stubs", true, "deploy stub content for unregistered classes")
+	forDur := fs.Duration("for", 0, "serve this long then exit (0 = until SIGINT/SIGTERM)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node == "" || *adlPath == "" || *deployPath == "" {
+		return fmt.Errorf("usage: soleil serve -node N -adl arch.xml -deploy deploy.xml")
+	}
+	arch, err := adl.DecodeFile(*adlPath)
+	if err != nil {
+		return err
+	}
+	dep, err := adl.DecodeDeploymentFile(*deployPath)
+	if err != nil {
+		return err
+	}
+	plan, err := cluster.Compute(arch, dep)
+	if err != nil {
+		return err
+	}
+	ag, err := cluster.Start(cluster.AgentConfig{
+		Node:        *node,
+		Plan:        plan,
+		ListenAddr:  *listen,
+		MetricsAddr: *metricsAddr,
+		Beat:        *beat,
+		AllowStubs:  *allowStubs,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer ag.Close()
+	np, _ := plan.Node(*node)
+	fmt.Printf("node %s up: links on %s", *node, ag.Addr())
+	if ag.MetricsAddr() != "" {
+		fmt.Printf(", observability on http://%s/{metrics,healthz,arch,top}", ag.MetricsAddr())
+	}
+	fmt.Printf(" (%d components, %d exports, %d imports)\n",
+		len(np.Primitives), len(np.Exports), len(np.Imports))
+	if *forDur > 0 {
+		time.Sleep(*forDur)
+		return nil
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "serve: shutting down")
+	return nil
+}
+
+// cmdCluster is the coordinator face: one-shot aggregated health for
+// scripts, or -serve to keep federated /status and /metrics endpoints
+// up for scrapers.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	adlPath := fs.String("adl", "", "architecture file (required)")
+	deployPath := fs.String("deploy", "", "deployment descriptor file (required)")
+	serveAddr := fs.String("serve", "",
+		"serve the aggregated /status and /metrics on HOST:PORT instead of printing once")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *adlPath == "" || *deployPath == "" {
+		return fmt.Errorf("usage: soleil cluster -adl arch.xml -deploy deploy.xml [-serve ADDR]")
+	}
+	arch, err := adl.DecodeFile(*adlPath)
+	if err != nil {
+		return err
+	}
+	dep, err := adl.DecodeDeploymentFile(*deployPath)
+	if err != nil {
+		return err
+	}
+	plan, err := cluster.Compute(arch, dep)
+	if err != nil {
+		return err
+	}
+	coord := cluster.NewCoordinator(plan, nil)
+	if *serveAddr != "" {
+		bound, shutdown, err := coord.Serve(*serveAddr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Printf("coordinator: http://%s/{status,metrics}\n", bound)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		return nil
+	}
+	st := coord.Status()
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		return err
+	}
+	if !st.Healthy {
+		return fmt.Errorf("soleil: cluster %q is unhealthy", st.Architecture)
 	}
 	return nil
 }

@@ -1,0 +1,112 @@
+package adl
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"soleil/internal/model"
+)
+
+// The deployment descriptor is the ADL's second document type: it
+// maps the functional components of one architecture onto named
+// cluster nodes. Assignments follow the same by-name reference style
+// the containers use:
+//
+//	<Deployment architecture="iMinds">
+//	  <Node name="alpha" address="10.0.0.1:7101" metrics="10.0.0.1:9101">
+//	    <Assign component="SubscriptionManager"/>
+//	  </Node>
+//	  ...
+//	</Deployment>
+
+type xmlDeployment struct {
+	XMLName      xml.Name        `xml:"Deployment"`
+	Architecture string          `xml:"architecture,attr"`
+	Nodes        []xmlDeployNode `xml:"Node"`
+}
+
+type xmlDeployNode struct {
+	Name    string      `xml:"name,attr"`
+	Address string      `xml:"address,attr"`
+	Metrics string      `xml:"metrics,attr,omitempty"`
+	Assigns []xmlAssign `xml:"Assign"`
+}
+
+type xmlAssign struct {
+	Component string `xml:"component,attr"`
+}
+
+// DecodeDeployment parses a deployment descriptor.
+func DecodeDeployment(r io.Reader) (*model.Deployment, error) {
+	var doc xmlDeployment
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("adl: parse deployment: %w", err)
+	}
+	d := model.NewDeployment(doc.Architecture)
+	for _, xn := range doc.Nodes {
+		n := &model.DeployNode{Name: xn.Name, Addr: xn.Address, MetricsAddr: xn.Metrics}
+		for _, as := range xn.Assigns {
+			if as.Component == "" {
+				return nil, fmt.Errorf("adl: node %q has an Assign without a component", xn.Name)
+			}
+			n.Assigned = append(n.Assigned, as.Component)
+		}
+		if err := d.AddNode(n); err != nil {
+			return nil, fmt.Errorf("adl: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// DecodeDeploymentString parses a deployment descriptor held in a
+// string.
+func DecodeDeploymentString(s string) (*model.Deployment, error) {
+	return DecodeDeployment(strings.NewReader(s))
+}
+
+// DecodeDeploymentFile parses the deployment descriptor at path.
+func DecodeDeploymentFile(path string) (*model.Deployment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := DecodeDeployment(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// EncodeDeployment serializes a deployment descriptor.
+func EncodeDeployment(w io.Writer, d *model.Deployment) error {
+	doc := xmlDeployment{Architecture: d.Architecture}
+	for _, n := range d.Nodes() {
+		xn := xmlDeployNode{Name: n.Name, Address: n.Addr, Metrics: n.MetricsAddr}
+		for _, c := range n.Assigned {
+			xn.Assigns = append(xn.Assigns, xmlAssign{Component: c})
+		}
+		doc.Nodes = append(doc.Nodes, xn)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("adl: encode deployment: %w", err)
+	}
+	enc.Flush()
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// EncodeDeploymentString serializes a deployment descriptor to a
+// string.
+func EncodeDeploymentString(d *model.Deployment) (string, error) {
+	var sb strings.Builder
+	if err := EncodeDeployment(&sb, d); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,82 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+)
+
+const deployDoc = `
+<Deployment architecture="pipeline">
+  <Node name="alpha" address="127.0.0.1:7101" metrics="127.0.0.1:9101">
+    <Assign component="Front"/>
+  </Node>
+  <Node name="beta" address="127.0.0.1:7102">
+    <Assign component="Worker"/>
+    <Assign component="Cache"/>
+  </Node>
+</Deployment>`
+
+func TestDecodeDeployment(t *testing.T) {
+	d, err := DecodeDeploymentString(deployDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Architecture != "pipeline" {
+		t.Fatalf("architecture = %q", d.Architecture)
+	}
+	nodes := d.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	alpha, ok := d.Node("alpha")
+	if !ok || alpha.Addr != "127.0.0.1:7101" || alpha.MetricsAddr != "127.0.0.1:9101" {
+		t.Fatalf("alpha = %+v", alpha)
+	}
+	beta, _ := d.Node("beta")
+	if len(beta.Assigned) != 2 || beta.Assigned[0] != "Worker" {
+		t.Fatalf("beta assignments = %v", beta.Assigned)
+	}
+	if beta.MetricsAddr != "" {
+		t.Fatalf("beta metrics = %q", beta.MetricsAddr)
+	}
+}
+
+func TestDecodeDeploymentRejectsDuplicates(t *testing.T) {
+	_, err := DecodeDeploymentString(`
+<Deployment>
+  <Node name="n" address="a:1"/>
+  <Node name="n" address="a:2"/>
+</Deployment>`)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-node error, got %v", err)
+	}
+}
+
+func TestDecodeDeploymentRejectsMissingAddress(t *testing.T) {
+	_, err := DecodeDeploymentString(`<Deployment><Node name="n"/></Deployment>`)
+	if err == nil || !strings.Contains(err.Error(), "address") {
+		t.Fatalf("want missing-address error, got %v", err)
+	}
+}
+
+func TestDeploymentRoundTrip(t *testing.T) {
+	d, err := DecodeDeploymentString(deployDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := EncodeDeploymentString(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecodeDeploymentString(s)
+	if err != nil {
+		t.Fatalf("re-decode: %v\n%s", err, s)
+	}
+	if len(d2.Nodes()) != 2 || d2.Architecture != "pipeline" {
+		t.Fatalf("round trip lost data:\n%s", s)
+	}
+	b, _ := d2.Node("beta")
+	if len(b.Assigned) != 2 {
+		t.Fatalf("round trip lost assignments:\n%s", s)
+	}
+}

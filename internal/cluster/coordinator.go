@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"soleil/internal/obs"
+)
+
+// NodeStatus is one node's row in the coordinator's cluster view.
+type NodeStatus struct {
+	Node        string `json:"node"`
+	MetricsAddr string `json:"metricsAddr,omitempty"`
+	Reachable   bool   `json:"reachable"`
+	Healthy     bool   `json:"healthy"`
+	Error       string `json:"error,omitempty"`
+}
+
+// ClusterStatus aggregates every node's health verdict.
+type ClusterStatus struct {
+	Architecture string       `json:"architecture"`
+	Healthy      bool         `json:"healthy"`
+	Nodes        []NodeStatus `json:"nodes"`
+}
+
+// Coordinator is the cluster-wide observability view: it scrapes
+// each node's /healthz and /metrics and aggregates them — health
+// ANDed across nodes, metrics federated with a node label so one
+// exposition distinguishes every node's series.
+type Coordinator struct {
+	plan        *Plan
+	metricsAddr func(node string) (string, error)
+	client      *http.Client
+}
+
+// NewCoordinator builds a coordinator over the plan's nodes.
+// metricsAddr overrides where each node's observability endpoint is
+// found (deployments on ephemeral ports); nil reads the plan.
+func NewCoordinator(plan *Plan, metricsAddr func(node string) (string, error)) *Coordinator {
+	if metricsAddr == nil {
+		metricsAddr = func(node string) (string, error) {
+			np, ok := plan.Node(node)
+			if !ok {
+				return "", fmt.Errorf("cluster: plan has no node %q", node)
+			}
+			if np.MetricsAddr == "" {
+				return "", fmt.Errorf("cluster: node %s serves no metrics", node)
+			}
+			return np.MetricsAddr, nil
+		}
+	}
+	return &Coordinator{
+		plan:        plan,
+		metricsAddr: metricsAddr,
+		// Short-lived scrapes of many small endpoints: keeping
+		// connections alive would only pin dead peers' sockets.
+		client: &http.Client{
+			Timeout:   2 * time.Second,
+			Transport: &http.Transport{DisableKeepAlives: true},
+		},
+	}
+}
+
+// Status polls every node's /healthz.
+func (c *Coordinator) Status() ClusterStatus {
+	out := ClusterStatus{Architecture: c.plan.ArchName, Healthy: true}
+	for _, np := range c.plan.Nodes() {
+		st := NodeStatus{Node: np.Name}
+		addr, err := c.metricsAddr(np.Name)
+		if err == nil {
+			st.MetricsAddr = addr
+			var body struct {
+				Healthy bool `json:"healthy"`
+			}
+			code, berr := c.getJSON("http://"+addr+"/healthz", &body)
+			if berr != nil {
+				err = berr
+			} else {
+				st.Reachable = true
+				st.Healthy = body.Healthy && code == http.StatusOK
+			}
+		}
+		if err != nil {
+			st.Error = err.Error()
+		}
+		if !st.Healthy {
+			out.Healthy = false
+		}
+		out.Nodes = append(out.Nodes, st)
+	}
+	return out
+}
+
+func (c *Coordinator) getJSON(url string, v any) (int, error) {
+	resp, err := c.client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}
+
+// WriteMetrics federates every node's Prometheus exposition into one,
+// each series relabelled with node="<name>". Descriptor comments are
+// kept from the first reachable node only, so metric families are not
+// redeclared. Unreachable nodes degrade to a comment plus a
+// soleil_node_up 0 sample instead of failing the whole scrape.
+func (c *Coordinator) WriteMetrics(w io.Writer) error {
+	first := true
+	for _, np := range c.plan.Nodes() {
+		up := 0
+		if addr, err := c.metricsAddr(np.Name); err == nil {
+			if resp, err := c.client.Get("http://" + addr + "/metrics"); err == nil {
+				var buf bytes.Buffer
+				ierr := obs.InjectLabel(&buf, resp.Body, "node", np.Name)
+				resp.Body.Close()
+				if ierr == nil {
+					up = 1
+					if err := copyExposition(w, &buf, first); err != nil {
+						return err
+					}
+					first = false
+				}
+			}
+		}
+		if up == 0 {
+			fmt.Fprintf(w, "# node %s unreachable\n", np.Name)
+		}
+		fmt.Fprintf(w, "soleil_node_up{node=%q} %d\n", np.Name, up)
+	}
+	return nil
+}
+
+// copyExposition writes an exposition through, dropping comment lines
+// unless this is the first node's section.
+func copyExposition(w io.Writer, r io.Reader, keepComments bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !keepComments && (line == "" || strings.HasPrefix(line, "#")) {
+			continue
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Serve exposes the coordinator over HTTP:
+//
+//	/status   aggregated cluster health (JSON; 503 when any node is down)
+//	/metrics  federated Prometheus exposition with node labels
+//
+// It returns the bound address and a shutdown function.
+func (c *Coordinator) Serve(addr string) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		st := c.Status()
+		w.Header().Set("Content-Type", "application/json")
+		if !st.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = c.WriteMetrics(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

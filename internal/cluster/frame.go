@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soleil/internal/dist"
+)
+
+// Frame types of the cluster session protocol, carried as the first
+// byte of every dist frame. A connection opens with one hello (the
+// dialing node names itself and the link it is carrying), then
+// alternates data and heartbeat frames in both directions.
+const (
+	frameHello = 'H'
+	frameData  = 'D'
+	frameBeat  = 'B'
+)
+
+// DefaultBeat is the heartbeat interval of a session; a session that
+// hears nothing from its peer for staleFactor beats closes itself so
+// a silently dead peer cannot wedge a link forever.
+const (
+	DefaultBeat = 250 * time.Millisecond
+	staleFactor = 8
+)
+
+// hello is the handshake a dialing node sends first on a link
+// connection.
+type hello struct {
+	Node string `json:"node"`
+	Link string `json:"link"`
+}
+
+func sendHello(tr dist.Transport, h hello) error {
+	body, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("cluster: encode hello: %w", err)
+	}
+	return tr.Send(append([]byte{frameHello}, body...))
+}
+
+func readHello(tr dist.Transport) (hello, error) {
+	frame, err := tr.Receive()
+	if err != nil {
+		return hello{}, err
+	}
+	if len(frame) == 0 || frame[0] != frameHello {
+		return hello{}, fmt.Errorf("cluster: expected hello, got frame type %q", frameByte(frame))
+	}
+	var h hello
+	if err := json.Unmarshal(frame[1:], &h); err != nil {
+		return hello{}, fmt.Errorf("cluster: decode hello: %w", err)
+	}
+	if h.Node == "" || h.Link == "" {
+		return hello{}, fmt.Errorf("cluster: hello missing node or link")
+	}
+	return h, nil
+}
+
+func frameByte(frame []byte) byte {
+	if len(frame) == 0 {
+		return 0
+	}
+	return frame[0]
+}
+
+// session wraps a transport with the framed cluster protocol: Send
+// prefixes data frames, Receive strips inbound heartbeats, and a
+// background beater keeps the connection warm in both directions and
+// closes it when the peer has gone stale. A session is itself a
+// dist.Transport, so an Importer pumps it unchanged.
+type session struct {
+	tr     dist.Transport
+	beat   time.Duration
+	lastIn atomic.Int64 // unix nanos of the last inbound frame
+
+	once sync.Once
+	stop chan struct{}
+}
+
+var _ dist.Transport = (*session)(nil)
+
+func newSession(tr dist.Transport, beat time.Duration) *session {
+	if beat <= 0 {
+		beat = DefaultBeat
+	}
+	s := &session{tr: tr, beat: beat, stop: make(chan struct{})}
+	s.lastIn.Store(time.Now().UnixNano())
+	go s.beater()
+	return s
+}
+
+// beater emits one heartbeat per interval and enforces staleness: a
+// peer that has sent nothing (neither data nor beats) for staleFactor
+// intervals is presumed dead and the session closes, unblocking the
+// local reader so the owner can reconnect.
+func (s *session) beater() {
+	ticker := time.NewTicker(s.beat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if time.Since(time.Unix(0, s.lastIn.Load())) > time.Duration(staleFactor)*s.beat {
+				_ = s.Close()
+				return
+			}
+			if err := s.tr.Send([]byte{frameBeat}); err != nil {
+				_ = s.Close()
+				return
+			}
+		}
+	}
+}
+
+// Send transmits one data payload.
+func (s *session) Send(payload []byte) error {
+	return s.tr.Send(append([]byte{frameData}, payload...))
+}
+
+// Receive blocks until the next data payload, absorbing heartbeats.
+func (s *session) Receive() ([]byte, error) {
+	for {
+		frame, err := s.tr.Receive()
+		if err != nil {
+			return nil, err
+		}
+		s.lastIn.Store(time.Now().UnixNano())
+		switch frameByte(frame) {
+		case frameBeat:
+			continue
+		case frameData:
+			return frame[1:], nil
+		default:
+			return nil, fmt.Errorf("cluster: unexpected frame type %q", frameByte(frame))
+		}
+	}
+}
+
+// Close shuts the session and its transport down.
+func (s *session) Close() error {
+	var err error
+	s.once.Do(func() {
+		close(s.stop)
+		err = s.tr.Close()
+	})
+	return err
+}

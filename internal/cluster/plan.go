@@ -1,0 +1,258 @@
+// Package cluster is the deployment plane: it takes one architecture
+// plus one deployment descriptor and turns them into N cooperating
+// node runtimes with zero hand-written transport wiring. The planner
+// partitions the component graph along the descriptor's node
+// assignments, rewriting every cross-node binding into a dist
+// export/import pair with the binding's own protocol and buffer
+// semantics; node agents then serve their partitions, dialing peers
+// with backoff, heartbeating, and re-importing bindings under fault
+// supervision; a coordinator aggregates the nodes' observability
+// surfaces. The paper defers distribution to future work (Sect. 7) —
+// this package is that step taken in the declarative spirit of the
+// ADL: the topology lives in documents, not in code.
+package cluster
+
+import (
+	"fmt"
+
+	"soleil/internal/model"
+	"soleil/internal/validate"
+)
+
+// Link is one cross-node binding the planner rewrote into a dist
+// export/import pair. The client node exports the client interface
+// onto a queued transport port; the server node imports inbound
+// envelopes into the server component's dataplane. ID is the
+// rendezvous token of the link's connections (carried in the session
+// handshake).
+type Link struct {
+	ID         string
+	ClientNode string
+	ServerNode string
+	Client     model.Endpoint
+	Server     model.Endpoint
+	Protocol   model.Protocol
+	// BufferSize is the binding's declared buffer capacity; the
+	// outbound link queue preserves it (a full queue refuses the
+	// message, exactly like a full in-process RTBuffer).
+	BufferSize int
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("%s@%s -> %s@%s", l.Client, l.ClientNode, l.Server, l.ServerNode)
+}
+
+// NodePlan is one node's share of the architecture: a self-contained
+// partition architecture (deployable by assembly as-is) plus the
+// links it must export and import.
+type NodePlan struct {
+	Name        string
+	Addr        string
+	MetricsAddr string
+	// Arch is the partition: the node's primitives, every container
+	// with a member on this node, the intra-node bindings, named
+	// "<architecture>@<node>".
+	Arch *model.Architecture
+	// Primitives lists the functional primitives of the partition.
+	Primitives []string
+	// Exports are the cross-node bindings whose client side lives
+	// here; Imports those whose server side does.
+	Exports []*Link
+	Imports []*Link
+}
+
+// Plan is a complete cluster deployment plan.
+type Plan struct {
+	ArchName string
+	// Assignment maps every functional primitive to its node.
+	Assignment map[string]string
+	// Links are the rewritten cross-node bindings.
+	Links []*Link
+	nodes map[string]*NodePlan
+	order []string
+}
+
+// Node returns one node's plan.
+func (p *Plan) Node(name string) (*NodePlan, bool) {
+	np, ok := p.nodes[name]
+	return np, ok
+}
+
+// Nodes returns the node plans in descriptor order.
+func (p *Plan) Nodes() []*NodePlan {
+	out := make([]*NodePlan, 0, len(p.order))
+	for _, n := range p.order {
+		out = append(out, p.nodes[n])
+	}
+	return out
+}
+
+// Compute partitions the architecture along the deployment's node
+// assignments. It first runs the cross-node conformance rules
+// (RT14/RT15) and refuses plans that violate them; each produced
+// partition then passes the ordinary architecture validation inside
+// assembly.Deploy, because cross-node bindings have been lifted out
+// of it.
+func Compute(a *model.Architecture, d *model.Deployment) (*Plan, error) {
+	report, err := validate.ValidateDeployment(a, d)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if !report.OK() {
+		return nil, fmt.Errorf("cluster: deployment violates cross-node rules: %v", report.Errors()[0])
+	}
+	assign, err := d.Resolve(a)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+
+	p := &Plan{
+		ArchName:   a.Name(),
+		Assignment: assign,
+		nodes:      make(map[string]*NodePlan),
+	}
+	for _, n := range d.Nodes() {
+		p.nodes[n.Name] = &NodePlan{Name: n.Name, Addr: n.Addr, MetricsAddr: n.MetricsAddr}
+		p.order = append(p.order, n.Name)
+	}
+
+	// Rewrite cross-node bindings into links.
+	for _, b := range a.Bindings() {
+		cn, sn := assign[b.Client.Component], assign[b.Server.Component]
+		if cn == sn {
+			continue
+		}
+		l := &Link{
+			ID:         b.Client.String() + "->" + b.Server.String(),
+			ClientNode: cn,
+			ServerNode: sn,
+			Client:     b.Client,
+			Server:     b.Server,
+			Protocol:   b.Protocol,
+			BufferSize: b.BufferSize,
+		}
+		p.Links = append(p.Links, l)
+		p.nodes[cn].Exports = append(p.nodes[cn].Exports, l)
+		p.nodes[sn].Imports = append(p.nodes[sn].Imports, l)
+	}
+
+	// Build each node's partition.
+	for _, np := range p.nodes {
+		if err := buildPartition(a, assign, np); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// buildPartition clones the slice of a that lives on np's node: the
+// assigned primitives, every container (composite, ThreadDomain,
+// MemoryArea) with at least one member primitive on the node, the
+// membership edges among kept components, and the intra-node
+// bindings. RT14 guarantees no non-functional container is torn
+// between nodes.
+func buildPartition(a *model.Architecture, assign map[string]string, np *NodePlan) error {
+	keep := map[string]bool{}
+	for _, c := range a.Components() {
+		switch c.Kind() {
+		case model.Active, model.Passive:
+			keep[c.Name()] = assign[c.Name()] == np.Name
+		default:
+			for _, pmt := range primitivesUnder(c) {
+				if assign[pmt.Name()] == np.Name {
+					keep[c.Name()] = true
+					break
+				}
+			}
+		}
+	}
+
+	part := model.NewArchitecture(a.Name() + "@" + np.Name)
+	for _, c := range a.Components() {
+		if !keep[c.Name()] {
+			continue
+		}
+		var clone *model.Component
+		var err error
+		switch c.Kind() {
+		case model.Active:
+			clone, err = part.NewActive(c.Name(), *c.Activation())
+		case model.Passive:
+			clone, err = part.NewPassive(c.Name())
+		case model.Composite:
+			clone, err = part.NewComposite(c.Name())
+		case model.ThreadDomain:
+			clone, err = part.NewThreadDomain(c.Name(), *c.Domain())
+		case model.MemoryArea:
+			clone, err = part.NewMemoryArea(c.Name(), *c.Area())
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: partition %s: %w", part.Name(), err)
+		}
+		for _, itf := range c.Interfaces() {
+			if err := clone.AddInterface(itf); err != nil {
+				return fmt.Errorf("cluster: partition %s: %w", part.Name(), err)
+			}
+		}
+		if c.Kind().Functional() && c.Content() != "" {
+			if err := clone.SetContent(c.Content()); err != nil {
+				return fmt.Errorf("cluster: partition %s: %w", part.Name(), err)
+			}
+		}
+		if c.Kind() == model.Active || c.Kind() == model.Passive {
+			np.Primitives = append(np.Primitives, c.Name())
+		}
+	}
+
+	// Membership edges, in the original creation order.
+	for _, c := range a.Components() {
+		if !keep[c.Name()] {
+			continue
+		}
+		parent, _ := part.Component(c.Name())
+		for _, sub := range c.Subs() {
+			if !keep[sub.Name()] {
+				continue
+			}
+			child, _ := part.Component(sub.Name())
+			if err := part.AddChild(parent, child); err != nil {
+				return fmt.Errorf("cluster: partition %s: %w", part.Name(), err)
+			}
+		}
+	}
+
+	// Intra-node bindings keep their full descriptor.
+	for _, b := range a.Bindings() {
+		if assign[b.Client.Component] != np.Name || assign[b.Server.Component] != np.Name {
+			continue
+		}
+		if _, err := part.Bind(*b); err != nil {
+			return fmt.Errorf("cluster: partition %s: %w", part.Name(), err)
+		}
+	}
+
+	np.Arch = part
+	return nil
+}
+
+// primitivesUnder collects the functional primitives reachable from c
+// through membership edges.
+func primitivesUnder(c *model.Component) []*model.Component {
+	var out []*model.Component
+	seen := map[*model.Component]bool{}
+	var walk func(n *model.Component)
+	walk = func(n *model.Component) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Kind() == model.Active || n.Kind() == model.Passive {
+			out = append(out, n)
+		}
+		for _, s := range n.Subs() {
+			walk(s)
+		}
+	}
+	walk(c)
+	return out
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soleil/internal/model"
+	"soleil/internal/validate"
+)
+
+// pipelineArch is the canonical three-stage pipeline the cluster
+// tests deploy: Sensor (periodic, inside the Front composite) feeds
+// Worker feeds Sink, each stage in its own immortal area + RT domain
+// so the stages can live on different nodes. Worker also calls a
+// co-located passive Cache synchronously — an intra-node binding the
+// planner must keep intact.
+func pipelineArch(t *testing.T, proto model.Protocol) *model.Architecture {
+	t.Helper()
+	a := model.NewArchitecture("pipeline")
+
+	front, err := a.NewComposite("front")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor, err := a.NewActive("Sensor", model.Activation{Kind: model.PeriodicActivation, Period: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, sensor.AddInterface(model.Interface{Name: "out", Role: model.ClientRole, Signature: "IPut"}))
+	must(t, sensor.SetContent("SensorImpl"))
+
+	worker, err := a.NewActive("Worker", model.Activation{Kind: model.SporadicActivation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, worker.AddInterface(model.Interface{Name: "in", Role: model.ServerRole, Signature: "IPut"}))
+	must(t, worker.AddInterface(model.Interface{Name: "out", Role: model.ClientRole, Signature: "IPut"}))
+	must(t, worker.AddInterface(model.Interface{Name: "cache", Role: model.ClientRole, Signature: "ICache"}))
+	must(t, worker.SetContent("WorkerImpl"))
+
+	cache, err := a.NewPassive("Cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, cache.AddInterface(model.Interface{Name: "get", Role: model.ServerRole, Signature: "ICache"}))
+	must(t, cache.SetContent("CacheImpl"))
+
+	sink, err := a.NewActive("Sink", model.Activation{Kind: model.SporadicActivation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, sink.AddInterface(model.Interface{Name: "in", Role: model.ServerRole, Signature: "IPut"}))
+	must(t, sink.SetContent("SinkImpl"))
+
+	for _, stage := range []struct {
+		suffix  string
+		members []*model.Component
+	}{
+		{"alpha", []*model.Component{sensor}},
+		{"beta", []*model.Component{worker, cache}},
+		{"gamma", []*model.Component{sink}},
+	} {
+		imm, err := a.NewMemoryArea("imm_"+stage.suffix, model.AreaDesc{Kind: model.ImmortalMemory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := a.NewThreadDomain("td_"+stage.suffix, model.DomainDesc{Kind: model.RealtimeThread, Priority: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		must(t, a.AddChild(imm, td))
+		for _, m := range stage.members {
+			if m.Kind() == model.Active {
+				must(t, a.AddChild(td, m))
+			} else {
+				must(t, a.AddChild(imm, m))
+			}
+		}
+	}
+	must(t, a.AddChild(front, sensor))
+
+	bind := func(cComp, cItf, sComp, sItf string, p model.Protocol, pattern string, buf int) {
+		b := model.Binding{
+			Client:   model.Endpoint{Component: cComp, Interface: cItf},
+			Server:   model.Endpoint{Component: sComp, Interface: sItf},
+			Protocol: p,
+			Pattern:  pattern,
+		}
+		if p == model.Asynchronous {
+			b.BufferSize = buf
+		}
+		if _, err := a.Bind(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bind("Sensor", "out", "Worker", "in", proto, "deep-copy", 16)
+	bind("Worker", "out", "Sink", "in", proto, "deep-copy", 32)
+	bind("Worker", "cache", "Cache", "get", model.Synchronous, "", 0)
+
+	if rep := validate.Validate(a); !rep.OK() {
+		t.Fatalf("pipeline arch must be conformant on its own: %v", rep.Errors())
+	}
+	return a
+}
+
+func pipelineDeployment(t *testing.T, a *model.Architecture) *model.Deployment {
+	t.Helper()
+	d := model.NewDeployment(a.Name())
+	must(t, d.AddNode(&model.DeployNode{Name: "alpha", Addr: "127.0.0.1:7101", Assigned: []string{"front"}}))
+	must(t, d.AddNode(&model.DeployNode{Name: "beta", Addr: "127.0.0.1:7102", Assigned: []string{"Worker", "Cache"}}))
+	must(t, d.AddNode(&model.DeployNode{Name: "gamma", Addr: "127.0.0.1:7103", Assigned: []string{"Sink"}}))
+	return d
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputePartitionsPipeline(t *testing.T) {
+	a := pipelineArch(t, model.Asynchronous)
+	d := pipelineDeployment(t, a)
+	p, err := Compute(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := p.Nodes()
+	if len(nodes) != 3 || nodes[0].Name != "alpha" || nodes[1].Name != "beta" || nodes[2].Name != "gamma" {
+		t.Fatalf("node plans out of order: %v", nodes)
+	}
+
+	alpha, _ := p.Node("alpha")
+	if alpha.Arch.Name() != "pipeline@alpha" {
+		t.Fatalf("partition name = %q", alpha.Arch.Name())
+	}
+	for _, want := range []string{"Sensor", "front", "td_alpha", "imm_alpha"} {
+		if _, ok := alpha.Arch.Component(want); !ok {
+			t.Fatalf("alpha partition missing %s", want)
+		}
+	}
+	for _, reject := range []string{"Worker", "Cache", "Sink", "td_beta", "imm_gamma"} {
+		if _, ok := alpha.Arch.Component(reject); ok {
+			t.Fatalf("alpha partition leaked %s", reject)
+		}
+	}
+
+	// Every partition must be deployable on its own.
+	for _, np := range nodes {
+		if rep := validate.Validate(np.Arch); !rep.OK() {
+			t.Fatalf("partition %s not conformant: %v", np.Name, rep.Errors())
+		}
+	}
+
+	// The intra-node Worker -> Cache binding survives on beta; the
+	// cross-node ones are gone everywhere.
+	beta, _ := p.Node("beta")
+	bb := beta.Arch.Bindings()
+	if len(bb) != 1 || bb[0].Client.String() != "Worker.cache" || bb[0].Protocol != model.Synchronous {
+		t.Fatalf("beta bindings = %v", bb)
+	}
+	if n := len(alpha.Arch.Bindings()); n != 0 {
+		t.Fatalf("alpha kept %d bindings, want 0", n)
+	}
+
+	// Two links, client/server sides and buffer semantics preserved.
+	if len(p.Links) != 2 {
+		t.Fatalf("links = %v", p.Links)
+	}
+	l0 := p.Links[0]
+	if l0.ClientNode != "alpha" || l0.ServerNode != "beta" || l0.BufferSize != 16 || l0.Protocol != model.Asynchronous {
+		t.Fatalf("first link wrong: %+v", l0)
+	}
+	if len(alpha.Exports) != 1 || len(alpha.Imports) != 0 ||
+		len(beta.Exports) != 1 || len(beta.Imports) != 1 ||
+		len(nodes[2].Exports) != 0 || len(nodes[2].Imports) != 1 {
+		t.Fatal("links attached to the wrong node plans")
+	}
+	if beta.Exports[0].BufferSize != 32 {
+		t.Fatalf("Worker->Sink buffer = %d, want 32", beta.Exports[0].BufferSize)
+	}
+
+	// Assignment resolved the composite inheritance.
+	if p.Assignment["Sensor"] != "alpha" || p.Assignment["Cache"] != "beta" {
+		t.Fatalf("assignment = %v", p.Assignment)
+	}
+}
+
+func TestComputeRejectsSyncCrossNode(t *testing.T) {
+	a := pipelineArch(t, model.Synchronous)
+	d := pipelineDeployment(t, a)
+	if _, err := Compute(a, d); err == nil || !strings.Contains(err.Error(), "RT15") {
+		t.Fatalf("sync cross-node plan must fail with RT15, got %v", err)
+	}
+}
+
+func TestComputeRejectsUnresolvable(t *testing.T) {
+	a := pipelineArch(t, model.Asynchronous)
+	d := model.NewDeployment(a.Name())
+	must(t, d.AddNode(&model.DeployNode{Name: "solo", Addr: "127.0.0.1:7100", Assigned: []string{"front"}}))
+	if _, err := Compute(a, d); err == nil {
+		t.Fatal("plan with unassigned primitives must fail")
+	}
+}
+
+func TestComputeSingleNodeHasNoLinks(t *testing.T) {
+	a := pipelineArch(t, model.Asynchronous)
+	d := model.NewDeployment(a.Name())
+	must(t, d.AddNode(&model.DeployNode{Name: "solo", Addr: "127.0.0.1:7100", Assigned: []string{"front", "Worker", "Cache", "Sink"}}))
+	p, err := Compute(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Links) != 0 {
+		t.Fatalf("single-node plan grew links: %v", p.Links)
+	}
+	solo, _ := p.Node("solo")
+	if got := len(solo.Arch.Bindings()); got != 3 {
+		t.Fatalf("solo partition kept %d bindings, want all 3", got)
+	}
+	if rep := validate.Validate(solo.Arch); !rep.OK() {
+		t.Fatalf("solo partition not conformant: %v", rep.Errors())
+	}
+}

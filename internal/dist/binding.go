@@ -37,6 +37,15 @@ func encode(e envelope) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// EncodeMessage serializes one asynchronous invocation into the wire
+// envelope an Importer dispatches. It is the building block for
+// callers that queue messages off the sending thread (cluster links
+// encode at Send time, transmit from a writer goroutine) instead of
+// binding a RemotePort directly to a transport.
+func EncodeMessage(itf, op string, arg any, span obs.SpanContext) ([]byte, error) {
+	return encode(envelope{Interface: itf, Op: op, Arg: arg, Trace: span})
+}
+
 func decode(payload []byte) (envelope, error) {
 	var e envelope
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
@@ -150,7 +159,11 @@ func (i *Importer) Dropped() int64 {
 // continues pumping if h returns true (the message is counted as
 // dropped) instead of terminating. Without a handler — or when h
 // returns false — Serve stops on the error, the original behaviour.
-// Install the handler before Serve starts.
+// Terminal errors (a poisoned stream, e.g. ErrFrameTooLarge on
+// Receive) are also reported through h so a reconnecting owner can
+// observe them, but pumping cannot resume: the transport has been
+// closed and Serve returns regardless of h's verdict. Install the
+// handler before Serve starts.
 func (i *Importer) SetErrorHandler(h func(error) bool) { i.onError = h }
 
 // PumpOne receives and dispatches exactly one message. It reports
@@ -161,6 +174,13 @@ func (i *Importer) PumpOne() (bool, error) {
 		return false, nil
 	}
 	if err != nil {
+		if errors.Is(err, ErrFrameTooLarge) {
+			// After a framing failure no further frame boundary can be
+			// trusted: the stream is poisoned. Close the transport so
+			// both ends unblock and reconnect with a fresh stream
+			// instead of pumping garbage.
+			_ = i.transport.Close()
+		}
 		return false, err
 	}
 	// A decode failure (corrupt frame, unregistered payload type)
@@ -193,7 +213,10 @@ func (i *Importer) Serve() {
 	for {
 		ok, err := i.PumpOne()
 		if err != nil {
-			if ok && i.onError != nil && i.onError(err) {
+			// The handler sees every error; only resumable ones
+			// (ok=true) let it keep the pump alive.
+			absorbed := i.onError != nil && i.onError(err)
+			if ok && absorbed {
 				i.mu.Lock()
 				i.dropped++
 				i.mu.Unlock()

@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Network-facing lifecycle helpers. Before these existed every caller
+// hand-rolled net.Dial/net.Listen plus NewConn framing; Dial and
+// Listen bundle the defaults a long-lived cluster link wants — a dial
+// timeout (a dead peer must fail fast, not hang a reconnect loop),
+// retry with exponential backoff (nodes come up in arbitrary order),
+// and TCP keepalive (a silently vanished peer must eventually error
+// out of Receive instead of wedging an importer forever).
+
+// Defaults for DialConfig's zero values.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultKeepAlive   = 15 * time.Second
+	DefaultRetryBase   = 50 * time.Millisecond
+	DefaultRetryMax    = 2 * time.Second
+)
+
+// DialConfig tunes Dial. The zero value means one attempt with the
+// package defaults.
+type DialConfig struct {
+	// Timeout bounds each connection attempt (default 5s).
+	Timeout time.Duration
+	// KeepAlive is the TCP keepalive period of the connection
+	// (default 15s); negative disables it.
+	KeepAlive time.Duration
+	// Attempts is how many times to try before giving up (default 1).
+	Attempts int
+	// Base and Max bound the exponential backoff between attempts
+	// (defaults 50ms and 2s).
+	Base, Max time.Duration
+	// Sleep replaces time.Sleep between attempts (test hook).
+	Sleep func(time.Duration)
+}
+
+func (c *DialConfig) defaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultDialTimeout
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = DefaultKeepAlive
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 1
+	}
+	if c.Base <= 0 {
+		c.Base = DefaultRetryBase
+	}
+	if c.Max <= 0 {
+		c.Max = DefaultRetryMax
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+}
+
+// Dial connects to a listening transport at addr (TCP), framing the
+// connection with the package's length-prefixed protocol. It retries
+// with exponential backoff up to cfg.Attempts times and returns the
+// last error wrapped with the attempt count.
+func Dial(addr string, cfg DialConfig) (Transport, error) {
+	cfg.defaults()
+	d := net.Dialer{Timeout: cfg.Timeout, KeepAlive: cfg.KeepAlive}
+	delay := cfg.Base
+	var lastErr error
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			cfg.Sleep(delay)
+			delay *= 2
+			if delay > cfg.Max {
+				delay = cfg.Max
+			}
+		}
+		conn, err := d.Dial("tcp", addr)
+		if err == nil {
+			return NewConn(conn), nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dist: dial %s: %w (after %d attempts)", addr, lastErr, cfg.Attempts)
+}
+
+// Listener accepts framed transports from inbound connections.
+type Listener struct {
+	l         net.Listener
+	keepAlive time.Duration
+}
+
+// Listen binds a TCP listener at addr (use port 0 for an ephemeral
+// port and read it back from Addr). Accepted connections get the
+// default TCP keepalive period.
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l, keepAlive: DefaultKeepAlive}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept blocks for the next inbound connection and returns it
+// framed. After Close it returns ErrClosed.
+func (l *Listener) Accept() (Transport, error) {
+	conn, err := l.l.Accept()
+	if err != nil {
+		return nil, mapClosed(err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok && l.keepAlive > 0 {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(l.keepAlive)
+	}
+	return NewConn(conn), nil
+}
+
+// Close stops the listener; blocked Accepts return ErrClosed.
+func (l *Listener) Close() error { return l.l.Close() }

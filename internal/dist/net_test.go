@@ -1,0 +1,289 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDialListenRoundTrip(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	accepted := make(chan Transport, 1)
+	go func() {
+		tr, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		accepted <- tr
+	}()
+
+	client, err := Dial(ln.Addr(), DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	if err := client.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Receive()
+	if err != nil || string(got) != "ping" {
+		t.Fatalf("Receive = %q, %v", got, err)
+	}
+}
+
+func TestDialRetriesWithBackoff(t *testing.T) {
+	// Reserve an address, keep it closed for the first attempts, then
+	// start listening: Dial must retry through the early refusals.
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+	ln.Close()
+
+	var sleeps []time.Duration
+	var mu sync.Mutex
+	var reopened atomic.Pointer[Listener]
+	sleep := func(d time.Duration) {
+		mu.Lock()
+		sleeps = append(sleeps, d)
+		n := len(sleeps)
+		mu.Unlock()
+		if n == 2 {
+			l2, err := Listen(addr)
+			if err != nil {
+				t.Errorf("reopen %s: %v", addr, err)
+				return
+			}
+			reopened.Store(l2)
+			go func() {
+				if tr, err := l2.Accept(); err == nil {
+					tr.Close()
+				}
+			}()
+		}
+	}
+
+	tr, err := Dial(addr, DialConfig{Attempts: 6, Base: time.Millisecond, Max: 4 * time.Millisecond, Sleep: sleep})
+	if err != nil {
+		t.Fatalf("dial after reopen: %v", err)
+	}
+	tr.Close()
+	if l2 := reopened.Load(); l2 != nil {
+		l2.Close()
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sleeps) < 2 {
+		t.Fatalf("expected at least 2 backoff sleeps, got %v", sleeps)
+	}
+	if sleeps[0] != time.Millisecond || sleeps[1] != 2*time.Millisecond {
+		t.Fatalf("backoff not exponential from base: %v", sleeps)
+	}
+}
+
+func TestDialExhaustsAttempts(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+	ln.Close()
+
+	var slept int
+	_, err = Dial(addr, DialConfig{Attempts: 3, Base: time.Microsecond, Sleep: func(time.Duration) { slept++ }})
+	if err == nil {
+		t.Fatal("dial to a closed port must fail")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error should carry the attempt count: %v", err)
+	}
+	if slept != 2 {
+		t.Fatalf("3 attempts imply 2 sleeps, got %d", slept)
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Accept after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not unblock on Close")
+	}
+}
+
+// poisonedTransport simulates a stream whose framing has been lost:
+// every Receive fails with ErrFrameTooLarge until the transport is
+// closed. A correct importer must close it and stop — not spin.
+type poisonedTransport struct {
+	mu       sync.Mutex
+	receives int
+	closed   bool
+}
+
+func (p *poisonedTransport) Send([]byte) error { return nil }
+
+func (p *poisonedTransport) Receive() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.receives++
+	if p.closed {
+		return nil, ErrClosed
+	}
+	return nil, fmt.Errorf("%w: length prefix claims %d bytes (limit %d)", ErrFrameTooLarge, 1<<30, MaxFrame)
+}
+
+func (p *poisonedTransport) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	return nil
+}
+
+func (p *poisonedTransport) stats() (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.receives, p.closed
+}
+
+// TestImporterClosesPoisonedStream is the regression test for the
+// unframed-stream hazard: after ErrFrameTooLarge on Receive the
+// importer must close the transport and terminate Serve — reporting
+// the error through SetErrorHandler so a reconnecting owner can
+// self-heal with a fresh stream — rather than spinning on garbage
+// (the absorbing handler used to be consulted only for resumable
+// errors, and a Receive failure left the transport open).
+func TestImporterClosesPoisonedStream(t *testing.T) {
+	consumer := consumerSystem(t, &sinkContent{})
+	pt := &poisonedTransport{}
+	imp, err := Import(consumer, "Sink", pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var handled atomic.Int64
+	var handledErr atomic.Value
+	// An absorbing handler: returns true for everything, the way the
+	// soak scenario's resilient consumer is wired. Even so, a poisoned
+	// stream must terminate the pump.
+	imp.SetErrorHandler(func(err error) bool {
+		handled.Add(1)
+		handledErr.Store(err)
+		return true
+	})
+
+	done := make(chan struct{})
+	go func() {
+		imp.Serve()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve is spinning on the poisoned stream")
+	}
+
+	if !errors.Is(imp.Err(), ErrFrameTooLarge) {
+		t.Fatalf("Err() = %v, want ErrFrameTooLarge", imp.Err())
+	}
+	if handled.Load() != 1 {
+		t.Fatalf("error handler ran %d times, want exactly 1 (no spinning)", handled.Load())
+	}
+	if err, _ := handledErr.Load().(error); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("handler saw %v, want ErrFrameTooLarge", err)
+	}
+	receives, closed := pt.stats()
+	if !closed {
+		t.Fatal("importer left the poisoned transport open")
+	}
+	if receives != 1 {
+		t.Fatalf("importer read the poisoned stream %d times, want 1", receives)
+	}
+}
+
+// TestImporterPoisonedStreamOverTCP exercises the same hazard on the
+// real framed transport: a peer writes a corrupt (oversized) length
+// prefix straight onto the wire, and the importer must close the
+// connection — observed by the peer as EOF — and terminate.
+func TestImporterPoisonedStreamOverTCP(t *testing.T) {
+	consumer := consumerSystem(t, &sinkContent{})
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	accepted := make(chan Transport, 1)
+	go func() {
+		tr, err := ln.Accept()
+		if err == nil {
+			accepted <- tr
+		}
+	}()
+	attacker, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer attacker.Close()
+	server := <-accepted
+
+	imp, err := Import(consumer, "Sink", server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp.SetErrorHandler(func(error) bool { return true })
+	done := make(chan struct{})
+	go func() {
+		imp.Serve()
+		close(done)
+	}()
+
+	// A length prefix claiming 4 GiB: over MaxFrame, unframeable.
+	if _, err := attacker.Write([]byte{0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not terminate on the corrupt prefix")
+	}
+	if !errors.Is(imp.Err(), ErrFrameTooLarge) {
+		t.Fatalf("Err() = %v, want ErrFrameTooLarge", imp.Err())
+	}
+	// The importer closed the poisoned connection: the attacker's
+	// next read hits EOF once the close propagates.
+	attacker.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := attacker.Read(buf); err == nil {
+		t.Fatal("peer connection still open after poisoned stream")
+	}
+}

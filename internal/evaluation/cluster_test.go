@@ -1,0 +1,30 @@
+package evaluation
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasureClusterScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network-paced measurement")
+	}
+	for _, scenario := range ClusterScenarios {
+		r, err := MeasureClusterScenario(scenario, 50, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		if r.Messages < 50 {
+			t.Fatalf("%s measured only %d round trips", scenario, r.Messages)
+		}
+		if r.RTTMedian <= 0 || r.RTTP99 < r.RTTMedian {
+			t.Fatalf("%s summary incoherent: %+v", scenario, r)
+		}
+		if r.Throughput <= 0 {
+			t.Fatalf("%s throughput = %v", scenario, r.Throughput)
+		}
+		if r.RTTMedian > time.Second {
+			t.Fatalf("%s RTT median absurd: %v", scenario, r.RTTMedian)
+		}
+	}
+}

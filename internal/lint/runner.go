@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"sort"
 
 	"soleil/internal/adl"
@@ -18,6 +19,9 @@ type Options struct {
 	// ADL, when set, is the architecture file archconform checks the
 	// code against.
 	ADL string
+	// Deploy, when set, is a deployment descriptor checked against the
+	// ADL architecture (RT14/RT15 cross-node rules); requires ADL.
+	Deploy string
 	// Analyzers selects the passes to run; nil means All().
 	Analyzers []*Analyzer
 }
@@ -42,6 +46,20 @@ func Run(opts Options) ([]validate.Diagnostic, error) {
 		return nil, err
 	}
 	var diags []validate.Diagnostic
+	if opts.Deploy != "" {
+		if arch == nil {
+			return nil, fmt.Errorf("lint: -deploy needs -adl (the descriptor is checked against the architecture)")
+		}
+		dep, err := adl.DecodeDeploymentFile(opts.Deploy)
+		if err != nil {
+			return nil, err
+		}
+		report, err := validate.ValidateDeployment(arch, dep)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, report.Diagnostics...)
+	}
 	for _, pkg := range pkgs {
 		ds, err := RunPackage(pkg, arch, analyzers)
 		if err != nil {

@@ -1,0 +1,164 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Deployment maps the functional components of one architecture onto
+// named cluster nodes. It is the second document of a distributed
+// design: the architecture says *what* communicates, the deployment
+// says *where* each part runs. Assignments are sparse — assigning a
+// composite assigns its whole subtree, and a nested assignment
+// overrides the inherited one — so a typical descriptor pins each
+// top-level composite to one node and says nothing else.
+type Deployment struct {
+	// Architecture names the architecture this deployment applies to;
+	// empty matches any.
+	Architecture string
+	nodes        []*DeployNode
+	byName       map[string]*DeployNode
+}
+
+// DeployNode is one target node of a deployment.
+type DeployNode struct {
+	// Name identifies the node; link peers address each other by it.
+	Name string
+	// Addr is the node's transport listen address (host:port).
+	Addr string
+	// MetricsAddr, when set, is where the node serves its
+	// observability endpoints (/metrics, /healthz, ...).
+	MetricsAddr string
+	// Assigned lists the functional components pinned to this node.
+	Assigned []string
+}
+
+// NewDeployment creates an empty deployment for the named
+// architecture.
+func NewDeployment(architecture string) *Deployment {
+	return &Deployment{Architecture: architecture, byName: make(map[string]*DeployNode)}
+}
+
+// AddNode registers a target node; node names must be unique and
+// every node needs a transport address.
+func (d *Deployment) AddNode(n *DeployNode) error {
+	if n.Name == "" {
+		return fmt.Errorf("model: deployment node needs a name")
+	}
+	if n.Addr == "" {
+		return fmt.Errorf("model: deployment node %q needs a transport address", n.Name)
+	}
+	if _, dup := d.byName[n.Name]; dup {
+		return fmt.Errorf("model: duplicate deployment node %q", n.Name)
+	}
+	if d.byName == nil {
+		d.byName = make(map[string]*DeployNode)
+	}
+	d.nodes = append(d.nodes, n)
+	d.byName[n.Name] = n
+	return nil
+}
+
+// Nodes returns the nodes in declaration order.
+func (d *Deployment) Nodes() []*DeployNode {
+	out := make([]*DeployNode, len(d.nodes))
+	copy(out, d.nodes)
+	return out
+}
+
+// Node looks a node up by name.
+func (d *Deployment) Node(name string) (*DeployNode, bool) {
+	n, ok := d.byName[name]
+	return n, ok
+}
+
+// Resolve computes the node of every functional primitive of a. A
+// primitive's node is the assignment on itself or, failing that, on
+// its nearest assigned functional ancestor (composite membership
+// edges). It is an error when an assignment references an unknown or
+// non-functional component, when one component is assigned to two
+// nodes, when two equally-near ancestors disagree, or when a
+// primitive resolves to no node at all.
+func (d *Deployment) Resolve(a *Architecture) (map[string]string, error) {
+	if d.Architecture != "" && d.Architecture != a.Name() {
+		return nil, fmt.Errorf("model: deployment targets architecture %q, not %q", d.Architecture, a.Name())
+	}
+	if len(d.nodes) == 0 {
+		return nil, fmt.Errorf("model: deployment has no nodes")
+	}
+	assigned := make(map[string]string)
+	for _, n := range d.nodes {
+		for _, name := range n.Assigned {
+			c, ok := a.Component(name)
+			if !ok {
+				return nil, fmt.Errorf("model: node %q assigns unknown component %q", n.Name, name)
+			}
+			if !c.Kind().Functional() {
+				return nil, fmt.Errorf("model: node %q assigns %s %q; only functional components are assignable (containers follow their members)",
+					n.Name, c.Kind(), name)
+			}
+			if prev, dup := assigned[name]; dup && prev != n.Name {
+				return nil, fmt.Errorf("model: component %q is assigned to both node %q and node %q", name, prev, n.Name)
+			}
+			assigned[name] = n.Name
+		}
+	}
+
+	out := make(map[string]string)
+	for _, c := range a.Components() {
+		if c.Kind() != Active && c.Kind() != Passive {
+			continue
+		}
+		node, err := nearestAssignment(c, assigned)
+		if err != nil {
+			return nil, err
+		}
+		if node == "" {
+			return nil, fmt.Errorf("model: component %q is deployed on no node; assign it (or an enclosing composite) in the deployment", c.Name())
+		}
+		out[c.Name()] = node
+	}
+	return out, nil
+}
+
+// nearestAssignment walks the functional containment hierarchy
+// breadth-first from c and returns the assignment of the nearest
+// level carrying one. Two different assignments at the same distance
+// are ambiguous (a shared component whose parents disagree).
+func nearestAssignment(c *Component, assigned map[string]string) (string, error) {
+	level := []*Component{c}
+	seen := map[*Component]bool{c: true}
+	for len(level) > 0 {
+		found := map[string]bool{}
+		for _, n := range level {
+			if node, ok := assigned[n.Name()]; ok {
+				found[node] = true
+			}
+		}
+		if len(found) > 1 {
+			names := make([]string, 0, len(found))
+			for n := range found {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return "", fmt.Errorf("model: component %q has ambiguous node assignment %v (shared component whose parents disagree)",
+				c.Name(), names)
+		}
+		if len(found) == 1 {
+			for n := range found {
+				return n, nil
+			}
+		}
+		var next []*Component
+		for _, n := range level {
+			for _, s := range n.SupersOfKind(Composite) {
+				if !seen[s] {
+					seen[s] = true
+					next = append(next, s)
+				}
+			}
+		}
+		level = next
+	}
+	return "", nil
+}

@@ -1,0 +1,157 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// pipelineArch builds Front(active) + Worker/Cache inside composite
+// Back, with the usual containers.
+func pipelineArch(t *testing.T) *Architecture {
+	t.Helper()
+	a := NewArchitecture("pipeline")
+	front, err := a.NewActive("Front", Activation{Kind: SporadicActivation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := a.NewActive("Worker", Activation{Kind: SporadicActivation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := a.NewPassive("Cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := a.NewComposite("Back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddChild(back, worker); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddChild(back, cache); err != nil {
+		t.Fatal(err)
+	}
+	_ = front
+	return a
+}
+
+func TestResolveInheritsFromComposite(t *testing.T) {
+	a := pipelineArch(t)
+	d := NewDeployment("pipeline")
+	if err := d.AddNode(&DeployNode{Name: "alpha", Addr: "a:1", Assigned: []string{"Front"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddNode(&DeployNode{Name: "beta", Addr: "b:1", Assigned: []string{"Back"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Resolve(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"Front": "alpha", "Worker": "beta", "Cache": "beta"}
+	for c, n := range want {
+		if got[c] != n {
+			t.Errorf("%s resolved to %q, want %q", c, got[c], n)
+		}
+	}
+}
+
+func TestResolveNearestOverrides(t *testing.T) {
+	a := pipelineArch(t)
+	d := NewDeployment("")
+	_ = d.AddNode(&DeployNode{Name: "alpha", Addr: "a:1", Assigned: []string{"Front", "Cache"}})
+	_ = d.AddNode(&DeployNode{Name: "beta", Addr: "b:1", Assigned: []string{"Back"}})
+	got, err := d.Resolve(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache's own assignment beats the one inherited from Back.
+	if got["Cache"] != "alpha" || got["Worker"] != "beta" {
+		t.Fatalf("resolve = %v", got)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	a := pipelineArch(t)
+	cases := []struct {
+		name  string
+		build func() *Deployment
+		want  string
+	}{
+		{"unknown component", func() *Deployment {
+			d := NewDeployment("")
+			_ = d.AddNode(&DeployNode{Name: "n", Addr: "a:1", Assigned: []string{"Nope"}})
+			return d
+		}, "unknown component"},
+		{"unassigned primitive", func() *Deployment {
+			d := NewDeployment("")
+			_ = d.AddNode(&DeployNode{Name: "n", Addr: "a:1", Assigned: []string{"Back"}})
+			return d
+		}, "deployed on no node"},
+		{"conflicting assignment", func() *Deployment {
+			d := NewDeployment("")
+			_ = d.AddNode(&DeployNode{Name: "n1", Addr: "a:1", Assigned: []string{"Front"}})
+			_ = d.AddNode(&DeployNode{Name: "n2", Addr: "a:2", Assigned: []string{"Front", "Back"}})
+			return d
+		}, "assigned to both"},
+		{"wrong architecture", func() *Deployment {
+			d := NewDeployment("other")
+			_ = d.AddNode(&DeployNode{Name: "n", Addr: "a:1"})
+			return d
+		}, "targets architecture"},
+		{"no nodes", func() *Deployment { return NewDeployment("") }, "no nodes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.build().Resolve(a)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestResolveRejectsContainerAssignment(t *testing.T) {
+	a := NewArchitecture("x")
+	act, err := a.NewActive("A", Activation{Kind: SporadicActivation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := a.NewThreadDomain("td", DomainDesc{Kind: RealtimeThread, Priority: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddChild(td, act); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeployment("")
+	_ = d.AddNode(&DeployNode{Name: "n", Addr: "a:1", Assigned: []string{"td"}})
+	_, err = d.Resolve(a)
+	if err == nil || !strings.Contains(err.Error(), "only functional components") {
+		t.Fatalf("want functional-only error, got %v", err)
+	}
+}
+
+func TestResolveAmbiguousSharedComponent(t *testing.T) {
+	a := NewArchitecture("x")
+	p, err := a.NewPassive("Shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := a.NewComposite("C1")
+	c2, _ := a.NewComposite("C2")
+	if err := a.AddChild(c1, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddChild(c2, p); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeployment("")
+	_ = d.AddNode(&DeployNode{Name: "n1", Addr: "a:1", Assigned: []string{"C1"}})
+	_ = d.AddNode(&DeployNode{Name: "n2", Addr: "a:2", Assigned: []string{"C2"}})
+	_, err = d.Resolve(a)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("want ambiguity error, got %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// InjectLabel copies a Prometheus text exposition from r to w,
+// adding key="value" as the first label of every sample line.
+// Comment and blank lines pass through untouched. It is the
+// federation primitive: a coordinator scraping many nodes relabels
+// each node's series with its node name before aggregating, so one
+// view distinguishes soleil_invocations_total across the cluster.
+func InjectLabel(w io.Writer, r io.Reader, key, value string) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintln(w, injectLabelLine(line, key, value)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func injectLabelLine(line, key, value string) string {
+	label := key + `="` + escapeLabel(value) + `"`
+	// A sample line is `name{labels} value` or `name value`; the first
+	// '{' (if any) opens the label set, since metric names cannot
+	// contain one.
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		return line[:i+1] + label + "," + line[i+1:]
+	}
+	if i := strings.IndexByte(line, ' '); i > 0 {
+		return line[:i] + "{" + label + "}" + line[i:]
+	}
+	return line
+}

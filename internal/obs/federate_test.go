@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInjectLabel(t *testing.T) {
+	in := strings.Join([]string{
+		"# HELP soleil_invocations_total Invocations.",
+		"# TYPE soleil_invocations_total counter",
+		`soleil_invocations_total{component="Sink",op="put"} 42`,
+		"soleil_component_healthy 1",
+		"",
+	}, "\n")
+	var out strings.Builder
+	if err := InjectLabel(&out, strings.NewReader(in), "node", "beta"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"# TYPE soleil_invocations_total counter",
+		`soleil_invocations_total{node="beta",component="Sink",op="put"} 42`,
+		`soleil_component_healthy{node="beta"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestInjectLabelEscapes(t *testing.T) {
+	var out strings.Builder
+	if err := InjectLabel(&out, strings.NewReader("m 1\n"), "node", `a"b`); err != nil {
+		t.Fatal(err)
+	}
+	if want := `m{node="a\"b"} 1`; !strings.Contains(out.String(), want) {
+		t.Fatalf("got %q, want %q", out.String(), want)
+	}
+}
+
+func TestInjectLabelOnRealExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Component("Sink").Series("in", "put").Invocations.Add(3)
+	var expo strings.Builder
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := InjectLabel(&out, strings.NewReader(expo.String()), "node", "gamma"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `node="gamma",component="Sink"`) {
+		t.Fatalf("label not injected:\n%s", out.String())
+	}
+}

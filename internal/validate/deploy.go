@@ -1,0 +1,111 @@
+package validate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"soleil/internal/model"
+)
+
+// ValidateDeployment checks a deployment descriptor against an
+// architecture: the cross-node rules RT14 and RT15 of the catalog.
+// The returned error is reserved for descriptors that do not resolve
+// at all (unknown components, conflicting or missing assignments);
+// once every primitive has a node, rule findings land in the Report
+// alongside the architecture-level diagnostics vocabulary.
+//
+// The rules guard what distribution cannot virtualize: a ThreadDomain
+// is one scheduling context and a MemoryArea one allocation context,
+// so neither may straddle an address-space boundary (RT14); and the
+// transport carries serialized value messages only, so a binding that
+// crosses nodes must be asynchronous — synchronous RPC would give
+// NHRT components a reference-bearing, blocking path off-node that
+// RTSJ cannot police (RT15).
+func ValidateDeployment(a *model.Architecture, d *model.Deployment) (Report, error) {
+	assign, err := d.Resolve(a)
+	if err != nil {
+		return Report{}, err
+	}
+	v := &validator{arch: a}
+
+	// RT14: non-functional containers must not span nodes.
+	for _, kind := range []model.Kind{model.ThreadDomain, model.MemoryArea} {
+		for _, ct := range a.ComponentsOfKind(kind) {
+			nodes := map[string]bool{}
+			for _, p := range functionalPrimitivesUnder(ct) {
+				if n, ok := assign[p.Name()]; ok {
+					nodes[n] = true
+				}
+			}
+			if len(nodes) > 1 {
+				names := make([]string, 0, len(nodes))
+				for n := range nodes {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				v.add("RT14", Error, ct.Name(),
+					fmt.Sprintf("%s spans deployment nodes %s; a %s is one %s context and cannot straddle address spaces",
+						kind, strings.Join(names, ", "), kind, containerContext(kind)),
+					fmt.Sprintf("split %q into per-node containers or co-locate its members", ct.Name()))
+			}
+		}
+	}
+
+	// RT15: cross-node bindings must be asynchronous.
+	for _, b := range a.Bindings() {
+		cn, sn := assign[b.Client.Component], assign[b.Server.Component]
+		if cn == "" || sn == "" || cn == sn {
+			continue
+		}
+		if b.Protocol != model.Synchronous {
+			continue
+		}
+		subject := b.String()
+		cli, _ := a.Component(b.Client.Component)
+		if td, err := a.EffectiveThreadDomain(cli); err == nil && td.Domain().Kind == model.NoHeapRealtimeThread {
+			v.add("RT15", Error, subject,
+				fmt.Sprintf("NHRT client %q (domain %q, node %q) calls synchronously into %q on node %q; NHRT components may only cross nodes via asynchronous value messages",
+					b.Client.Component, td.Name(), cn, b.Server.Component, sn),
+				"make the binding asynchronous (deep-copy); the transport serializes the message so no reference crosses the node boundary")
+		} else {
+			v.add("RT15", Error, subject,
+				fmt.Sprintf("synchronous binding crosses from node %q to node %q; distribution is asynchronous-only (value messages over the framed transport)", cn, sn),
+				"make the binding asynchronous with a bounded buffer, or co-locate the endpoints")
+		}
+	}
+
+	return Report{Diagnostics: v.diags}, nil
+}
+
+func containerContext(k model.Kind) string {
+	if k == model.ThreadDomain {
+		return "scheduling"
+	}
+	return "allocation"
+}
+
+// functionalPrimitivesUnder collects the active/passive descendants
+// of a container through every membership edge (composites, nested
+// areas, domains).
+func functionalPrimitivesUnder(c *model.Component) []*model.Component {
+	var out []*model.Component
+	seen := map[*model.Component]bool{}
+	var walk func(n *model.Component)
+	walk = func(n *model.Component) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Kind() == model.Active || n.Kind() == model.Passive {
+			out = append(out, n)
+		}
+		for _, s := range n.Subs() {
+			walk(s)
+		}
+	}
+	for _, s := range c.Subs() {
+		walk(s)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soleil/internal/model"
+)
+
+// distArch builds a two-sided architecture: producer (periodic, RT
+// domain, immortal) async-bound to consumer (sporadic, RT domain,
+// immortal), plus one local passive.
+func distArch(t *testing.T, proto model.Protocol) *model.Architecture {
+	t.Helper()
+	a := model.NewArchitecture("dist")
+	prod, err := a.NewActive("producer", model.Activation{Kind: model.PeriodicActivation, Period: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.AddInterface(model.Interface{Name: "out", Role: model.ClientRole, Signature: "ISink"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.SetContent("ProducerImpl"); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := a.NewActive("consumer", model.Activation{Kind: model.SporadicActivation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.AddInterface(model.Interface{Name: "in", Role: model.ServerRole, Signature: "ISink"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.SetContent("ConsumerImpl"); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, side := range []struct {
+		area, domain string
+		comp         *model.Component
+	}{{"immA", "tdA", prod}, {"immB", "tdB", cons}} {
+		ma, err := a.NewMemoryArea(side.area, model.AreaDesc{Kind: model.ImmortalMemory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := a.NewThreadDomain(side.domain, model.DomainDesc{Kind: model.RealtimeThread, Priority: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AddChild(ma, td); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AddChild(td, side.comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := model.Binding{
+		Client:   model.Endpoint{Component: "producer", Interface: "out"},
+		Server:   model.Endpoint{Component: "consumer", Interface: "in"},
+		Protocol: proto,
+		Pattern:  "deep-copy",
+	}
+	if proto == model.Asynchronous {
+		b.BufferSize = 16
+	}
+	if _, err := a.Bind(b); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func twoNode(t *testing.T) *model.Deployment {
+	t.Helper()
+	d := model.NewDeployment("dist")
+	if err := d.AddNode(&model.DeployNode{Name: "alpha", Addr: "127.0.0.1:0", Assigned: []string{"producer"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddNode(&model.DeployNode{Name: "beta", Addr: "127.0.0.1:0", Assigned: []string{"consumer"}}); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValidateDeploymentAsyncCrossNodeOK(t *testing.T) {
+	a := distArch(t, model.Asynchronous)
+	r, err := ValidateDeployment(a, twoNode(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("async cross-node binding should be legal, got %v", r.Errors())
+	}
+}
+
+func TestValidateDeploymentSyncCrossNodeRT15(t *testing.T) {
+	a := distArch(t, model.Synchronous)
+	r, err := ValidateDeployment(a, twoNode(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := r.ByRule("RT15")
+	if len(diags) != 1 || diags[0].Severity != Error {
+		t.Fatalf("want one RT15 error, got %v", r.Diagnostics)
+	}
+	if !strings.Contains(diags[0].Message, "asynchronous-only") {
+		t.Fatalf("generic (non-NHRT) message expected, got %q", diags[0].Message)
+	}
+}
+
+func TestValidateDeploymentColocatedSyncOK(t *testing.T) {
+	a := distArch(t, model.Synchronous)
+	d := model.NewDeployment("dist")
+	_ = d.AddNode(&model.DeployNode{Name: "solo", Addr: "127.0.0.1:0", Assigned: []string{"producer", "consumer"}})
+	r, err := ValidateDeployment(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("co-located sync binding should be legal, got %v", r.Errors())
+	}
+}
+
+func TestValidateDeploymentUnresolvableIsError(t *testing.T) {
+	a := distArch(t, model.Asynchronous)
+	d := model.NewDeployment("dist")
+	_ = d.AddNode(&model.DeployNode{Name: "alpha", Addr: "127.0.0.1:0", Assigned: []string{"producer"}})
+	if _, err := ValidateDeployment(a, d); err == nil {
+		t.Fatal("unassigned consumer must fail resolution")
+	}
+}
+
+func TestCatalogHasCrossNodeRules(t *testing.T) {
+	for _, rule := range []string{"RT14", "RT15"} {
+		if _, ok := Rules[rule]; !ok {
+			t.Errorf("rule %s missing from the catalog", rule)
+		}
+	}
+}

@@ -66,6 +66,60 @@ func TestGoldenCorpus(t *testing.T) {
 	}
 }
 
+// TestGoldenDeploymentCorpus covers the cross-node rules the same
+// way: each fixture pair (rtXX.xml + rtXX.deploy.xml) is the smallest
+// architecture/deployment combination violating exactly its rule. The
+// architecture half must be conformant on its own — the node split is
+// the composition mistake being documented.
+func TestGoldenDeploymentCorpus(t *testing.T) {
+	cases := []struct {
+		rule     string
+		severity Severity
+		subject  string
+		message  string
+	}{
+		{"RT14", Error, "td", "spans deployment nodes"},
+		{"RT15", Error, "client.iSrv -> server.iSrv", "NHRT"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			base := filepath.Join("testdata", strings.ToLower(tc.rule))
+			a, err := adl.DecodeFile(base + ".xml")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errs := Validate(a).Errors(); len(errs) > 0 {
+				t.Fatalf("architecture half must be conformant on its own, got %v", errs)
+			}
+			d, err := adl.DecodeDeploymentFile(base + ".deploy.xml")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := ValidateDeployment(a, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var found bool
+			for _, diag := range r.ByRule(tc.rule) {
+				if diag.Severity == tc.severity &&
+					strings.Contains(diag.Subject, tc.subject) &&
+					strings.Contains(diag.Message, tc.message) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: no %s %s finding on %q in:\n%v",
+					base, tc.severity, tc.rule, tc.subject, r.Diagnostics)
+			}
+			for _, diag := range r.Errors() {
+				if diag.Rule != tc.rule {
+					t.Errorf("%s: stray %s error (want only %s): %v", base, diag.Rule, tc.rule, diag)
+				}
+			}
+		})
+	}
+}
+
 // TestGoldenCorpusCoversCatalog pins the corpus to the rule catalog:
 // adding a rule to Rules without a golden fixture (or an explicit
 // exemption) fails here.

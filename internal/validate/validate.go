@@ -125,6 +125,8 @@ var Rules = map[string]string{
 	"RT11": "functional primitives declare a content class (needed for infrastructure generation)",
 	"RT12": "periodic components with cost budgets pass response-time analysis within their ThreadDomain priorities",
 	"RT13": "asynchronous binding rates are compatible with their buffer capacities (periodic producers vs server release rate)",
+	"RT14": "a ThreadDomain or MemoryArea must not span deployment nodes (its members resolve to one node)",
+	"RT15": "bindings crossing deployment nodes are asynchronous value messages; NHRT components in particular may not call synchronously off-node",
 }
 
 // Validate checks the architecture against the full rule catalog.

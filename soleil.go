@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"soleil/internal/assembly"
+	"soleil/internal/cluster"
 	"soleil/internal/core"
 	"soleil/internal/dist"
 	"soleil/internal/fault"
@@ -330,3 +331,56 @@ var (
 	// MetricsOverflowProbe trips on queue drop-rate bursts.
 	MetricsOverflowProbe = fault.MetricsOverflowProbe
 )
+
+// Cluster deployment plane (internal/cluster): one architecture plus
+// one deployment descriptor run as N supervised nodes. The planner
+// turns every cross-node asynchronous binding into a distributed
+// link; each node agent deploys its partition, dials its peers with
+// backoff and heartbeats, and a coordinator federates health and
+// metrics across the nodes.
+type (
+	// Deployment maps component names onto named cluster nodes.
+	Deployment = model.Deployment
+	// DeployNode is one node of a deployment descriptor.
+	DeployNode = model.DeployNode
+	// ClusterPlan is the planner's partitioning of an architecture.
+	ClusterPlan = cluster.Plan
+	// ClusterLink is one cross-node binding rewritten for transport.
+	ClusterLink = cluster.Link
+	// ClusterAgent is one running node of a cluster deployment.
+	ClusterAgent = cluster.Agent
+	// ClusterAgentConfig configures StartClusterAgent.
+	ClusterAgentConfig = cluster.AgentConfig
+	// ClusterCoordinator aggregates health and metrics cluster-wide.
+	ClusterCoordinator = cluster.Coordinator
+)
+
+// NewDeployment creates an empty deployment descriptor for the named
+// architecture; decode one from XML with adl.DecodeDeploymentFile.
+func NewDeployment(arch string) *Deployment { return model.NewDeployment(arch) }
+
+// ValidateDeployment checks a descriptor against the architecture
+// (RT14: containers may not span nodes; RT15: only asynchronous
+// bindings may cross nodes).
+func ValidateDeployment(a *Architecture, d *Deployment) (Report, error) {
+	return validate.ValidateDeployment(a, d)
+}
+
+// ComputeClusterPlan partitions the architecture per the descriptor.
+func ComputeClusterPlan(a *Architecture, d *Deployment) (*ClusterPlan, error) {
+	return cluster.Compute(a, d)
+}
+
+// StartClusterAgent brings one node of a plan up: components, links,
+// fault supervision, pacing and observability, all derived from the
+// plan.
+func StartClusterAgent(cfg ClusterAgentConfig) (*ClusterAgent, error) {
+	return cluster.Start(cfg)
+}
+
+// NewClusterCoordinator builds the cluster-wide view over a plan's
+// nodes; metricsAddr overrides endpoint discovery (nil reads the
+// plan's metrics addresses).
+func NewClusterCoordinator(plan *ClusterPlan, metricsAddr func(node string) (string, error)) *ClusterCoordinator {
+	return cluster.NewCoordinator(plan, metricsAddr)
+}
