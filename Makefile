@@ -8,13 +8,13 @@ GO ?= go
 
 # The packages `soleil vet` self-applies to: every package on a
 # dispatch or real-time hot path.
-LINT_PKGS = ./internal/membrane/... ./internal/obs/... ./internal/comm/... ./internal/rtsj/...
+LINT_PKGS = ./internal/membrane/... ./internal/obs/... ./internal/comm/... ./internal/rtsj/... ./internal/qos/...
 
-.PHONY: all check vet build test race soak soak-cluster lint benchcheck bench clean
+.PHONY: all check vet build test race soak soak-cluster soak-overload lint benchcheck bench clean
 
 all: check
 
-check: vet build race soak soak-cluster
+check: vet build race soak soak-cluster soak-overload
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,15 @@ soak:
 soak-cluster:
 	$(GO) test -race -run TestSoakClusterReconvergence -count=2 ./internal/cluster/
 
+# The overload soak: two contracted pipelines offered ~40x their
+# admitted rate in wall-clock time. The gates must shed (nonzero
+# rejected counters), the degrade binding must detect its SLO breach,
+# /healthz must stay 200 throughout, and the run must end with zero
+# crashes and zero leaked goroutines. -v so CI can extract the
+# "soak-overload:" summary lines.
+soak-overload:
+	$(GO) test -race -v -run TestSoakOverloadShedding ./internal/fault/
+
 # Source-level RTSJ conformance (rules SA01-SA04) over the hot paths.
 # Exit 1 means unsuppressed findings; fix them or justify with
 # //soleil:ignore in the same change.
@@ -47,11 +56,12 @@ lint:
 	$(GO) run ./cmd/soleil-vet $(LINT_PKGS)
 
 # Empirical counterpart of the //soleil:noheap annotations: run the
-# metered-dispatch and observability hot-path benchmarks with -benchmem
-# and fail if any reports a non-zero allocs/op.
+# metered-dispatch, admission-gate and observability hot-path
+# benchmarks with -benchmem and fail if any reports a non-zero
+# allocs/op.
 benchcheck:
-	@out=$$($(GO) test -run NONE -bench 'HotPath|DispatchMetered' -benchmem -benchtime 1000x \
-		./internal/obs/ ./internal/membrane/) || { echo "$$out"; exit 1; }; \
+	@out=$$($(GO) test -run NONE -bench 'HotPath|DispatchMetered|DispatchAdmitted|GateAdmit' -benchmem -benchtime 1000x \
+		./internal/obs/ ./internal/membrane/ ./internal/qos/) || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
 	echo "$$out" | awk '/allocs\/op/ && $$(NF-1)+0 > 0 { bad=1; print "benchcheck: " $$1 " allocates on the hot path" } END { exit bad+0 }'
 

@@ -142,7 +142,7 @@ func cmdValidate(args []string) error {
 	jsonOut := fs.Bool("json", false,
 		"emit diagnostics as JSON on stdout (shared schema with soleil vet -json)")
 	deployPath := fs.String("deploy", "",
-		"deployment descriptor to check against the architecture (RT14/RT15 cross-node rules)")
+		"deployment descriptor to check against the architecture (RT14/RT15/RT17 cross-node rules)")
 	maxSev := fs.String("max-severity", "error",
 		"lowest severity that makes the exit status non-zero (info, warning, error)")
 	if err := fs.Parse(args); err != nil {
@@ -196,7 +196,7 @@ func cmdVet(args []string) error {
 	adlPath := fs.String("adl", "",
 		"architecture file for the archconform pass (omit to skip SA04)")
 	deployPath := fs.String("deploy", "",
-		"deployment descriptor checked against -adl (adds RT14/RT15 cross-node findings)")
+		"deployment descriptor checked against -adl (adds RT14/RT15/RT17 cross-node findings)")
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer selection (default: all)")
 	maxSev := fs.String("max-severity", "warning",
 		"lowest severity that makes the exit status non-zero (info, warning, error)")

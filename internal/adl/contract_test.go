@@ -1,0 +1,97 @@
+package adl
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"soleil/internal/model"
+)
+
+const contractADL = `<?xml version="1.0"?>
+<Architecture name="contracted">
+  <ActiveComponent name="client" type="sporadic">
+    <interface name="out" role="client" signature="I"/>
+    <content class="ClientImpl"/>
+  </ActiveComponent>
+  <ActiveComponent name="server" type="sporadic">
+    <interface name="in" role="server" signature="I"/>
+    <content class="ServerImpl"/>
+  </ActiveComponent>
+  <Binding>
+    <client cname="client" iname="out"/>
+    <server cname="server" iname="in"/>
+    <BindDesc protocol="asynchronous" bufferSize="8"/>
+    <Contract latencyBudget="2ms" maxRate="500" burst="8" missTolerance="3" policy="degrade"/>
+  </Binding>
+</Architecture>`
+
+func TestContractDecode(t *testing.T) {
+	a, err := DecodeString(contractADL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := a.Bindings()
+	if len(bs) != 1 {
+		t.Fatalf("bindings = %d, want 1", len(bs))
+	}
+	c := bs[0].Contract
+	if c == nil {
+		t.Fatal("contract not decoded")
+	}
+	if c.LatencyBudget != 2*time.Millisecond || c.MaxRate != 500 ||
+		c.Burst != 8 || c.MissTolerance != 3 || c.Policy != model.Degrade {
+		t.Errorf("decoded contract = %+v", c)
+	}
+}
+
+func TestContractRoundTrip(t *testing.T) {
+	a, err := DecodeString(contractADL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("re-decoding emitted ADL: %v\n%s", err, buf.String())
+	}
+	want := a.Bindings()[0].Contract
+	got := back.Bindings()[0].Contract
+	if got == nil {
+		t.Fatalf("contract lost in round trip:\n%s", buf.String())
+	}
+	if *got != *want {
+		t.Errorf("round trip changed the contract: %+v != %+v", got, want)
+	}
+}
+
+func TestContractDecodeRejectsBadValues(t *testing.T) {
+	bad := []struct{ name, attr string }{
+		{"policy", `policy="drop"`},
+		{"budget", `latencyBudget="fast"`},
+		{"rate", `maxRate="-3"`},
+	}
+	for _, tc := range bad {
+		doc := `<?xml version="1.0"?>
+<Architecture name="bad">
+  <ActiveComponent name="c" type="sporadic">
+    <interface name="out" role="client" signature="I"/>
+  </ActiveComponent>
+  <ActiveComponent name="s" type="sporadic">
+    <interface name="in" role="server" signature="I"/>
+  </ActiveComponent>
+  <Binding>
+    <client cname="c" iname="out"/>
+    <server cname="s" iname="in"/>
+    <BindDesc protocol="asynchronous" bufferSize="4"/>
+    <Contract ` + tc.attr + `/>
+  </Binding>
+</Architecture>`
+		if _, err := DecodeString(doc); err == nil {
+			t.Errorf("%s: bad contract attribute accepted: %s", tc.name, tc.attr)
+		}
+	}
+}

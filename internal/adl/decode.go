@@ -197,14 +197,41 @@ func buildBinding(a *model.Architecture, x xmlBinding) error {
 	if err != nil {
 		return err
 	}
+	contract, err := buildContract(x)
+	if err != nil {
+		return err
+	}
 	_, err = a.Bind(model.Binding{
 		Client:     model.Endpoint{Component: x.Client.Component, Interface: x.Client.Interface},
 		Server:     model.Endpoint{Component: x.Server.Component, Interface: x.Server.Interface},
 		Protocol:   proto,
 		BufferSize: x.Desc.BufferSize,
 		Pattern:    x.Desc.Pattern,
+		Contract:   contract,
 	})
 	return err
+}
+
+func buildContract(x xmlBinding) (*model.Contract, error) {
+	if x.Contract == nil {
+		return nil, nil
+	}
+	subject := x.Client.Component + "." + x.Client.Interface
+	budget, err := parseDuration(x.Contract.LatencyBudget, "contract latencyBudget", subject)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := model.ParseOverloadPolicy(x.Contract.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("adl: binding %s: %w", subject, err)
+	}
+	return &model.Contract{
+		LatencyBudget: budget,
+		MaxRate:       x.Contract.MaxRate,
+		Burst:         x.Contract.Burst,
+		MissTolerance: x.Contract.MissTolerance,
+		Policy:        policy,
+	}, nil
 }
 
 func buildDomain(a *model.Architecture, x xmlThreadDomain) (*model.Component, error) {

@@ -168,7 +168,7 @@ func areaToXML(c *model.Component) xmlMemoryArea {
 }
 
 func bindingToXML(b *model.Binding) xmlBinding {
-	return xmlBinding{
+	x := xmlBinding{
 		Client: xmlEndpoint{Component: b.Client.Component, Interface: b.Client.Interface},
 		Server: xmlEndpoint{Component: b.Server.Component, Interface: b.Server.Interface},
 		Desc: &xmlBindDesc{
@@ -177,4 +177,17 @@ func bindingToXML(b *model.Binding) xmlBinding {
 			Pattern:    b.Pattern,
 		},
 	}
+	if c := b.Contract; c != nil {
+		xc := &xmlContract{
+			MaxRate:       c.MaxRate,
+			Burst:         c.Burst,
+			MissTolerance: c.MissTolerance,
+			Policy:        c.Policy.String(),
+		}
+		if c.LatencyBudget > 0 {
+			xc.LatencyBudget = c.LatencyBudget.String()
+		}
+		x.Contract = xc
+	}
+	return x
 }

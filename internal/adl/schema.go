@@ -69,10 +69,23 @@ type xmlBindDesc struct {
 	Pattern    string `xml:"pattern,attr,omitempty"`
 }
 
+// xmlContract is the optional QoS contract of a binding: a latency
+// budget the server promises, the admission rate and burst the client
+// may demand, and the overload policy (shed | block | degrade) the
+// admission gate enforces beyond them.
+type xmlContract struct {
+	LatencyBudget string  `xml:"latencyBudget,attr,omitempty"`
+	MaxRate       float64 `xml:"maxRate,attr,omitempty"`
+	Burst         int     `xml:"burst,attr,omitempty"`
+	MissTolerance int     `xml:"missTolerance,attr,omitempty"`
+	Policy        string  `xml:"policy,attr,omitempty"`
+}
+
 type xmlBinding struct {
-	Client xmlEndpoint  `xml:"client"`
-	Server xmlEndpoint  `xml:"server"`
-	Desc   *xmlBindDesc `xml:"BindDesc"`
+	Client   xmlEndpoint  `xml:"client"`
+	Server   xmlEndpoint  `xml:"server"`
+	Desc     *xmlBindDesc `xml:"BindDesc"`
+	Contract *xmlContract `xml:"Contract"`
 }
 
 type xmlDomainDesc struct {

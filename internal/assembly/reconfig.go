@@ -70,7 +70,9 @@ func (s *System) RebindSync(clientName, clientItf, serverName, serverItf string)
 	if err != nil {
 		return err
 	}
-	newPort, err := s.syncPortTo(serverNode, serverItf, pattern, srvArea)
+	// A rebound route has no declared contract — admission is ungated
+	// until the architecture declares one.
+	newPort, err := s.syncPortTo(serverNode, serverItf, pattern, srvArea, nil)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"soleil/internal/model"
 	"soleil/internal/obs"
 	"soleil/internal/patterns"
+	"soleil/internal/qos"
 	"soleil/internal/rtsj/memory"
 	"soleil/internal/rtsj/sched"
 	"soleil/internal/rtsj/thread"
@@ -453,6 +454,7 @@ func (s *System) buildBindings(cfg Config) error {
 		if err != nil {
 			return err
 		}
+		gate := s.bindingGate(cfg, b)
 
 		switch b.Protocol {
 		case model.Asynchronous:
@@ -488,13 +490,16 @@ func (s *System) buildBindings(cfg Config) error {
 			case *mergedNode:
 				n.inbound = append(n.inbound, buf)
 			}
-			port := &notifyPort{inner: stub, target: s.holders[b.Server.Component]}
+			// The gate sits before the buffer: an over-contract message
+			// is shed (or the sender degraded/blocked) without ever
+			// consuming a slot.
+			port := membrane.NewGatedPort(gate, &notifyPort{inner: stub, target: s.holders[b.Server.Component]})
 			if err := s.bindPort(b.Client.Component, b.Client.Interface, port); err != nil {
 				return err
 			}
 
 		case model.Synchronous:
-			port, err := s.syncPortTo(serverNode, b.Server.Interface, pattern, srvArea)
+			port, err := s.syncPortTo(serverNode, b.Server.Interface, pattern, srvArea, gate)
 			if err != nil {
 				return fmt.Errorf("assembly: binding %s: %w", b, err)
 			}
@@ -506,13 +511,44 @@ func (s *System) buildBindings(cfg Config) error {
 	return nil
 }
 
+// bindingGate builds the admission gate of one contracted binding and
+// registers it with the metrics registry; uncontracted bindings get a
+// nil gate (which admits everything, for free). When metrics are on
+// and the contract has a latency budget, the gate's SLO breach probe
+// reads the server's p99 against 80% of the budget — the signal that
+// flips a Degrade-policy binding into shedding.
+func (s *System) bindingGate(cfg Config, b *model.Binding) *qos.Gate {
+	gate := qos.NewGate(b.String(), b.Contract)
+	if gate == nil {
+		return nil
+	}
+	if cfg.Metrics != nil {
+		if budget := b.Contract.LatencyBudget; budget > 0 {
+			cm := cfg.Metrics.Component(b.Server.Component)
+			itf := b.Server.Interface
+			threshold := budget * 4 / 5
+			gate.SetBreachProbe(func() bool {
+				return cm.MaxQuantileOn(itf, 0.99) > threshold
+			})
+		}
+		cfg.Metrics.RegisterGate(b.String(), membrane.GateStats(gate))
+	}
+	return gate
+}
+
 // syncPortTo builds the mode-appropriate synchronous client port to a
 // server node's interface, with the binding's memory pattern deployed
-// (as an interceptor in SOLEIL mode, inlined in the merged modes).
-func (s *System) syncPortTo(serverNode Node, itf string, pattern patterns.Kind, srvArea *memory.Area) (membrane.Port, error) {
+// (as an interceptor in SOLEIL mode, inlined in the merged modes) and
+// the binding's admission gate in front (as a pre-chain interceptor
+// next to the membrane in SOLEIL mode, as a port wrapper in the
+// merged modes).
+func (s *System) syncPortTo(serverNode Node, itf string, pattern patterns.Kind, srvArea *memory.Area, gate *qos.Gate) (membrane.Port, error) {
 	switch n := serverNode.(type) {
 	case *soleilNode:
 		var pre []membrane.Interceptor
+		if gate != nil {
+			pre = append(pre, membrane.NewAdmissionInterceptor(gate))
+		}
 		if pattern != patterns.None {
 			mi, err := membrane.NewMemoryInterceptor(pattern, scopeFor(pattern, srvArea))
 			if err != nil {
@@ -522,12 +558,12 @@ func (s *System) syncPortTo(serverNode Node, itf string, pattern patterns.Kind, 
 		}
 		return membrane.NewSyncPort(n.m, itf, pre...)
 	case *mergedNode:
-		return &directSyncPort{
+		return membrane.NewGatedPort(gate, &directSyncPort{
 			target:  serverNode,
 			itf:     itf,
 			pattern: pattern,
 			scope:   scopeFor(pattern, srvArea),
-		}, nil
+		}), nil
 	default:
 		return nil, fmt.Errorf("assembly: unknown node type %T", serverNode)
 	}

@@ -10,6 +10,7 @@ import (
 	"soleil/internal/fault"
 	"soleil/internal/membrane"
 	"soleil/internal/obs"
+	"soleil/internal/qos"
 	"soleil/internal/reconfig"
 )
 
@@ -172,7 +173,16 @@ func (a *Agent) start() error {
 	}
 	for _, l := range a.np.Exports {
 		out := newOutLink(l)
-		if err := a.sys.BindPort(l.Client.Component, l.Client.Interface, out); err != nil {
+		// A contracted link is admission-gated before its queue: the
+		// client node sheds or rate-limits locally instead of loading
+		// the wire. The SLO breach probe stays unwired — the server's
+		// latency histogram lives on the other node.
+		var port membrane.Port = out
+		if gate := qos.NewGate("link "+l.ID, l.Contract); gate != nil {
+			port = membrane.NewGatedPort(gate, out)
+			a.reg.RegisterGate("link "+l.ID, membrane.GateStats(gate))
+		}
+		if err := a.sys.BindPort(l.Client.Component, l.Client.Interface, port); err != nil {
 			return fmt.Errorf("cluster: node %s: export %s: %w", a.np.Name, l.ID, err)
 		}
 		a.outs[l.ID] = out

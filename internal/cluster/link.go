@@ -8,7 +8,9 @@ import (
 
 	"soleil/internal/dist"
 	"soleil/internal/membrane"
+	"soleil/internal/model"
 	"soleil/internal/obs"
+	"soleil/internal/qos"
 	"soleil/internal/rtsj/thread"
 )
 
@@ -18,8 +20,9 @@ import (
 // moment — after it, no reference is shared) into a bounded queue
 // with the binding's declared capacity; a writer goroutine transmits
 // from the queue so the component's release never blocks on the
-// network. A full queue refuses the message with ErrBackpressure,
-// exactly as a full in-process buffer would.
+// network. A full queue refuses the message with a preallocated typed
+// qos.Backpressure (unwrapping to qos.ErrBackpressure), exactly as a
+// full in-process buffer or a shedding admission gate would.
 type outLink struct {
 	link  *Link
 	queue chan []byte
@@ -28,6 +31,8 @@ type outLink struct {
 	sent     atomic.Int64
 	dropped  atomic.Int64
 	highWm   atomic.Int64
+
+	reject qos.Backpressure
 }
 
 var _ membrane.Port = (*outLink)(nil)
@@ -37,7 +42,15 @@ func newOutLink(l *Link) *outLink {
 	if capacity <= 0 {
 		capacity = 16
 	}
-	return &outLink{link: l, queue: make(chan []byte, capacity)}
+	policy := model.Shed
+	if l.Contract != nil && l.Contract.Policy != 0 {
+		policy = l.Contract.Policy
+	}
+	return &outLink{
+		link:   l,
+		queue:  make(chan []byte, capacity),
+		reject: qos.Backpressure{Name: "link " + l.ID, Policy: policy},
+	}
 }
 
 // Send implements membrane.Port: encode now, transmit later. The
@@ -57,7 +70,7 @@ func (o *outLink) Send(env *thread.Env, op string, arg any) error {
 		return nil
 	default:
 		o.dropped.Add(1)
-		return fmt.Errorf("cluster: link %s: %w", o.link.ID, dist.ErrBackpressure)
+		return &o.reject
 	}
 }
 
@@ -194,7 +207,7 @@ func (w *linkWriter) connect() *session {
 		select {
 		case <-w.stop:
 			return nil
-		case <-time.After(delay):
+		case <-time.After(dist.Jitter(delay)):
 		}
 		if delay *= 2; delay > maxDelay {
 			delay = maxDelay

@@ -36,6 +36,12 @@ type Link struct {
 	// outbound link queue preserves it (a full queue refuses the
 	// message, exactly like a full in-process RTBuffer).
 	BufferSize int
+	// Contract is the binding's SLO contract, carried across the
+	// rewrite so the client node can gate admission before the link
+	// queue. Cross-node gates shed and rate-limit only — the server's
+	// latency histogram is not locally visible, so the SLO breach
+	// probe stays unwired.
+	Contract *model.Contract
 }
 
 func (l *Link) String() string {
@@ -130,6 +136,10 @@ func Compute(a *model.Architecture, d *model.Deployment) (*Plan, error) {
 			Server:     b.Server,
 			Protocol:   b.Protocol,
 			BufferSize: b.BufferSize,
+		}
+		if b.Contract != nil {
+			c := *b.Contract
+			l.Contract = &c
 		}
 		p.Links = append(p.Links, l)
 		p.nodes[cn].Exports = append(p.nodes[cn].Exports, l)

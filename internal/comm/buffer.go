@@ -7,17 +7,19 @@
 package comm
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
 	"soleil/internal/patterns"
+	"soleil/internal/qos"
 	"soleil/internal/rtsj/memory"
 )
 
 // ErrFull is returned by Enqueue when the buffer is at capacity and
-// the policy is Refuse.
-var ErrFull = errors.New("comm: buffer full")
+// the policy is Refuse. It wraps the framework-wide backpressure
+// sentinel, so errors.Is(err, qos.ErrBackpressure) recognizes a full
+// buffer together with every other overload rejection.
+var ErrFull = fmt.Errorf("comm: buffer full: %w", qos.ErrBackpressure)
 
 // OverflowPolicy selects what Enqueue does on a full buffer.
 type OverflowPolicy int

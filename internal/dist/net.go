@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"time"
 )
@@ -60,10 +61,21 @@ func (c *DialConfig) defaults() {
 	}
 }
 
+// Jitter spreads a backoff delay over [d/2, d] (equal jitter), so a
+// cluster of nodes reconnecting to the same restarted peer does not
+// retry in lockstep and stampede it.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(d-half+1)
+}
+
 // Dial connects to a listening transport at addr (TCP), framing the
 // connection with the package's length-prefixed protocol. It retries
-// with exponential backoff up to cfg.Attempts times and returns the
-// last error wrapped with the attempt count.
+// with jittered exponential backoff up to cfg.Attempts times and
+// returns the last error wrapped with the attempt count.
 func Dial(addr string, cfg DialConfig) (Transport, error) {
 	cfg.defaults()
 	d := net.Dialer{Timeout: cfg.Timeout, KeepAlive: cfg.KeepAlive}
@@ -71,7 +83,7 @@ func Dial(addr string, cfg DialConfig) (Transport, error) {
 	var lastErr error
 	for attempt := 0; attempt < cfg.Attempts; attempt++ {
 		if attempt > 0 {
-			cfg.Sleep(delay)
+			cfg.Sleep(Jitter(delay))
 			delay *= 2
 			if delay > cfg.Max {
 				delay = cfg.Max

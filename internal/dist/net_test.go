@@ -92,8 +92,25 @@ func TestDialRetriesWithBackoff(t *testing.T) {
 	if len(sleeps) < 2 {
 		t.Fatalf("expected at least 2 backoff sleeps, got %v", sleeps)
 	}
-	if sleeps[0] != time.Millisecond || sleeps[1] != 2*time.Millisecond {
-		t.Fatalf("backoff not exponential from base: %v", sleeps)
+	// Sleeps are jittered over [delay/2, delay] with delay doubling
+	// from Base: 1ms then 2ms here.
+	if sleeps[0] < 500*time.Microsecond || sleeps[0] > time.Millisecond {
+		t.Fatalf("first backoff %v outside jitter window [0.5ms, 1ms]: %v", sleeps[0], sleeps)
+	}
+	if sleeps[1] < time.Millisecond || sleeps[1] > 2*time.Millisecond {
+		t.Fatalf("second backoff %v outside jitter window [1ms, 2ms]: %v", sleeps[1], sleeps)
+	}
+}
+
+func TestJitterWindow(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		d := Jitter(100 * time.Millisecond)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("Jitter(100ms) = %v, outside [50ms, 100ms]", d)
+		}
+	}
+	if Jitter(0) != 0 || Jitter(1) != 1 {
+		t.Error("degenerate delays should pass through")
 	}
 }
 

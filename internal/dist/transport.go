@@ -20,6 +20,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"soleil/internal/qos"
 )
 
 // ErrClosed is returned by transport operations after Close.
@@ -33,8 +35,10 @@ var ErrFrameTooLarge = errors.New("dist: frame exceeds size limit")
 
 // ErrBackpressure is returned by a bounded-wait Send when the peer
 // has not drained the pipe within the send deadline: the receiver is
-// stalled and the message was not accepted.
-var ErrBackpressure = errors.New("dist: backpressure: receiver stalled")
+// stalled and the message was not accepted. It is the framework-wide
+// qos.ErrBackpressure sentinel, so errors.Is recognizes a stalled
+// transport, a shedding admission gate and a full buffer alike.
+var ErrBackpressure = qos.ErrBackpressure
 
 // MaxFrame is the largest frame a transport accepts (16 MiB). A
 // length prefix above it is treated as corrupt, so a malformed or

@@ -1,0 +1,272 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"soleil/internal/assembly"
+	"soleil/internal/membrane"
+	"soleil/internal/model"
+	"soleil/internal/obs"
+	"soleil/internal/qos"
+	"soleil/internal/rtsj/thread"
+)
+
+// floodSource offers sendsPerCycle messages per wall-clock release —
+// an order of magnitude more than its binding's contract admits.
+// Backpressure is absorbed and counted (graceful shedding at the
+// sender); any other error is a real failure and propagates.
+type floodSource struct {
+	svc           *membrane.Services
+	sendsPerCycle int
+	sent          atomic.Int64
+	shed          atomic.Int64
+}
+
+func (s *floodSource) Init(svc *membrane.Services) error { s.svc = svc; return nil }
+
+func (s *floodSource) Invoke(*thread.Env, string, string, any) (any, error) {
+	return nil, errors.New("source serves nothing")
+}
+
+func (s *floodSource) Activate(env *thread.Env) error {
+	port, err := s.svc.Port("out")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.sendsPerCycle; i++ {
+		switch err := port.Send(env, "tick", i); {
+		case err == nil:
+			s.sent.Add(1)
+		case errors.Is(err, qos.ErrBackpressure):
+			s.shed.Add(1)
+		default:
+			return err
+		}
+	}
+	return nil
+}
+
+// quietSink counts deliveries.
+type quietSink struct {
+	received atomic.Int64
+}
+
+func (s *quietSink) Init(*membrane.Services) error { return nil }
+
+func (s *quietSink) Invoke(*thread.Env, string, string, any) (any, error) {
+	s.received.Add(1)
+	return nil, nil
+}
+
+// overloadArch builds two independent contracted pipelines: a
+// shed-policy binding and a degrade-policy binding (whose nanosecond
+// budget guarantees an SLO breach as soon as the server has served
+// anything).
+func overloadArch(t *testing.T) *model.Architecture {
+	t.Helper()
+	a := model.NewArchitecture("soak-overload")
+	pipelines := []struct {
+		src, snk string
+		c        *model.Contract
+	}{
+		{"ShedSrc", "ShedSink", &model.Contract{MaxRate: 500, Burst: 32, Policy: model.Shed}},
+		{"DegSrc", "DegSink", &model.Contract{
+			LatencyBudget: time.Nanosecond, MaxRate: 500, Burst: 32, Policy: model.Degrade}},
+	}
+	td, _ := a.NewThreadDomain("rt", model.DomainDesc{Kind: model.RealtimeThread, Priority: 20})
+	imm, _ := a.NewMemoryArea("imm", model.AreaDesc{Kind: model.ImmortalMemory})
+	if err := a.AddChild(imm, td); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pipelines {
+		src, err := a.NewActive(p.src, model.Activation{
+			Kind: model.PeriodicActivation, Period: time.Millisecond, Deadline: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.AddInterface(model.Interface{Name: "out", Role: model.ClientRole, Signature: "ITick"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.SetContent(p.src + "Impl"); err != nil {
+			t.Fatal(err)
+		}
+		snk, err := a.NewActive(p.snk, model.Activation{Kind: model.SporadicActivation})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := snk.AddInterface(model.Interface{Name: "in", Role: model.ServerRole, Signature: "ITick"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := snk.SetContent(p.snk + "Impl"); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AddChild(td, src); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AddChild(td, snk); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Bind(model.Binding{
+			Client:     model.Endpoint{Component: p.src, Interface: "out"},
+			Server:     model.Endpoint{Component: p.snk, Interface: "in"},
+			Protocol:   model.Asynchronous,
+			BufferSize: 64,
+			Contract:   p.c,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+// TestSoakOverloadShedding is the contract tentpole's endurance
+// scenario (`make soak-overload`): two pipelines paced in wall-clock
+// time with producers offering ~40x their contracted rate. The run
+// must shed (nonzero rejected counters on every gate), never crash
+// (no absorbed errors — backpressure is handled at the source), keep
+// the observability endpoint healthy under overload, detect the
+// degrade binding's SLO breach, and wind down without leaking a
+// goroutine.
+func TestSoakOverloadShedding(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	arch := overloadArch(t)
+	shedSrc := &floodSource{sendsPerCycle: 20}
+	degSrc := &floodSource{sendsPerCycle: 20}
+	shedSnk := &quietSink{}
+	degSnk := &quietSink{}
+	reg := assembly.NewRegistry()
+	for name, content := range map[string]membrane.Content{
+		"ShedSrcImpl": shedSrc, "DegSrcImpl": degSrc,
+		"ShedSinkImpl": shedSnk, "DegSinkImpl": degSnk,
+	} {
+		content := content
+		if err := reg.Register(name, func() membrane.Content { return content }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metrics := obs.NewRegistry()
+	sys, err := assembly.Deploy(arch, assembly.Config{
+		Mode: assembly.Soleil, Registry: reg, Metrics: metrics, Resilient: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr, shutdown, err := obs.Serve("127.0.0.1:0", obs.HandlerOptions{Registry: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pacer, err := assembly.NewPacer(sys, assembly.PacerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pacer.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overload for ~1.2s of wall-clock time, probing /healthz while
+	// the gates are actively shedding: liveness must not degrade with
+	// the load.
+	healthChecks := 0
+	for i := 0; i < 6; i++ {
+		time.Sleep(200 * time.Millisecond)
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+		if err != nil {
+			t.Fatalf("healthz under overload: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz = %d under overload, want 200", resp.StatusCode)
+		}
+		_ = resp.Body.Close()
+		healthChecks++
+	}
+
+	pacer.Close()
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero crashes: every activation ran, every overflow surfaced as
+	// typed backpressure at the source, nothing was absorbed.
+	if pacer.Errors() != 0 {
+		t.Fatalf("pacer absorbed %d errors: %v", pacer.Errors(), sys.Errors())
+	}
+
+	shedName := arch.Bindings()[0].String()
+	degName := arch.Bindings()[1].String()
+	shedStats, ok := metrics.Gate(shedName)
+	if !ok {
+		t.Fatalf("gate %q not registered: %v", shedName, metrics.GateNames())
+	}
+	degStats, ok := metrics.Gate(degName)
+	if !ok {
+		t.Fatalf("gate %q not registered: %v", degName, metrics.GateNames())
+	}
+	ss, ds := shedStats(), degStats()
+
+	// The shed pipeline rejected most of the offered load and what it
+	// admitted arrived.
+	if ss.Shed == 0 || shedSrc.shed.Load() == 0 {
+		t.Fatalf("shed gate never rejected: gate=%+v source shed=%d", ss, shedSrc.shed.Load())
+	}
+	if ss.Admitted == 0 || shedSnk.received.Load() == 0 {
+		t.Fatalf("shed gate admitted nothing: gate=%+v received=%d", ss, shedSnk.received.Load())
+	}
+	if ss.Shed < ss.Admitted {
+		t.Errorf("overload not dominant: shed %d < admitted %d at ~40x the contracted rate", ss.Shed, ss.Admitted)
+	}
+
+	// The degrade pipeline admitted over-rate traffic until the
+	// (unmeetable) budget breached, then fell back to shedding.
+	if ds.Degraded == 0 {
+		t.Fatalf("degrade gate never degraded: %+v", ds)
+	}
+	if ds.Breaches == 0 || !ds.Breached {
+		t.Fatalf("nanosecond budget never breached: %+v", ds)
+	}
+	if ds.Shed == 0 {
+		t.Fatalf("degrade gate never fell back to shedding after the breach: %+v", ds)
+	}
+
+	// The gates are visible in the exposition format.
+	var sb strings.Builder
+	if err := metrics.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if expo := sb.String(); !strings.Contains(expo, "soleil_gate_shed_total") ||
+		!strings.Contains(expo, `policy="degrade"`) {
+		t.Error("gate counters missing from the Prometheus exposition")
+	}
+
+	// No goroutine leaks: the pacer's drivers and the HTTP server have
+	// wound down.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.After(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		select {
+		case <-deadline:
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Summary lines for CI extraction (.github/workflows/ci.yml greps
+	// "soak-overload:").
+	t.Logf("soak-overload: gate=%q policy=shed admitted=%d shed=%d", shedName, ss.Admitted, ss.Shed)
+	t.Logf("soak-overload: gate=%q policy=degrade admitted=%d degraded=%d shed=%d breaches=%d",
+		degName, ds.Admitted, ds.Degraded, ds.Shed, ds.Breaches)
+	t.Logf("soak-overload: healthz=200 checks=%d offered=%d", healthChecks,
+		shedSrc.sent.Load()+shedSrc.shed.Load()+degSrc.sent.Load()+degSrc.shed.Load())
+}

@@ -1,0 +1,96 @@
+package membrane
+
+import (
+	"soleil/internal/obs"
+	"soleil/internal/qos"
+	"soleil/internal/rtsj/thread"
+)
+
+// AdmissionInterceptor enforces a binding contract's admission gate on
+// the server side of a membrane: every invocation must pass the token
+// bucket before it reaches the inner chain. Deployed next to the
+// metrics interceptor, it sheds overload at the membrane — the caller
+// gets a typed qos.Backpressure, the server never sees the message.
+//
+// Like the metrics interceptor, the hot path is allocation-free on
+// both outcomes (the rejection is preallocated inside the gate);
+// `make benchcheck` pins BenchmarkDispatchAdmitted at 0 allocs/op.
+type AdmissionInterceptor struct {
+	gate *qos.Gate
+}
+
+// NewAdmissionInterceptor wraps a gate as an interceptor. A nil gate
+// admits everything.
+func NewAdmissionInterceptor(g *qos.Gate) *AdmissionInterceptor {
+	return &AdmissionInterceptor{gate: g}
+}
+
+// Name implements Interceptor.
+func (ai *AdmissionInterceptor) Name() string { return "admission-interceptor" }
+
+// Gate returns the underlying admission gate (introspection access).
+func (ai *AdmissionInterceptor) Gate() *qos.Gate { return ai.gate }
+
+// Invoke implements Interceptor.
+//
+//soleil:noheap
+func (ai *AdmissionInterceptor) Invoke(inv *Invocation, next Handler) (any, error) {
+	if err := ai.gate.Admit(); err != nil {
+		return nil, err
+	}
+	return next(inv)
+}
+
+// GateStats adapts a gate's counters to the metric registry's polled
+// form, for obs.Registry.RegisterGate.
+func GateStats(g *qos.Gate) func() obs.GateStats {
+	return func() obs.GateStats {
+		st := g.Stats()
+		return obs.GateStats{
+			Admitted: st.Admitted,
+			Shed:     st.Shed,
+			Degraded: st.Degraded,
+			Breaches: st.Breaches,
+			Breached: st.Breached,
+			Policy:   g.Policy().String(),
+		}
+	}
+}
+
+// GatedPort wraps a client port with an admission gate: the contract
+// is enforced before the message leaves the client, which is where
+// the merged generation modes (no membrane to intercept in) and
+// asynchronous/distributed bindings (shed before enqueueing) apply
+// their contracts.
+type GatedPort struct {
+	gate  *qos.Gate
+	inner Port
+}
+
+// NewGatedPort wraps inner with a gate. A nil gate returns inner
+// unchanged — uncontracted bindings pay nothing.
+func NewGatedPort(g *qos.Gate, inner Port) Port {
+	if g == nil {
+		return inner
+	}
+	return &GatedPort{gate: g, inner: inner}
+}
+
+// Gate returns the underlying admission gate.
+func (p *GatedPort) Gate() *qos.Gate { return p.gate }
+
+// Call implements Port.
+func (p *GatedPort) Call(env *thread.Env, op string, arg any) (any, error) {
+	if err := p.gate.Admit(); err != nil {
+		return nil, err
+	}
+	return p.inner.Call(env, op, arg)
+}
+
+// Send implements Port.
+func (p *GatedPort) Send(env *thread.Env, op string, arg any) error {
+	if err := p.gate.Admit(); err != nil {
+		return err
+	}
+	return p.inner.Send(env, op, arg)
+}

@@ -1,0 +1,164 @@
+package membrane
+
+import (
+	"errors"
+	"testing"
+
+	"soleil/internal/model"
+	"soleil/internal/obs"
+	"soleil/internal/qos"
+	"soleil/internal/rtsj/memory"
+	"soleil/internal/rtsj/thread"
+)
+
+func TestAdmissionInterceptorSheds(t *testing.T) {
+	rt := memory.NewRuntime()
+	env := testEnv(t, rt, false)
+	gate := qos.NewGate("c.out -> m.in", &model.Contract{MaxRate: 1, Burst: 2, Policy: model.Shed})
+	m, err := New("m", &faultyContent{}, NewAdmissionInterceptor(gate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lifecycle().Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	inv := &Invocation{Interface: "in", Op: "op", Arg: 1, Env: env}
+	var admitted, shed int
+	var last error
+	for i := 0; i < 10; i++ {
+		if _, err := m.Dispatch(inv); err != nil {
+			shed++
+			last = err
+		} else {
+			admitted++
+		}
+	}
+	if admitted != 2 || shed != 8 {
+		t.Fatalf("admitted %d shed %d, want 2/8", admitted, shed)
+	}
+	if !errors.Is(last, qos.ErrBackpressure) {
+		t.Errorf("shed dispatch error %v does not unwrap to qos.ErrBackpressure", last)
+	}
+	if name, ok := qos.BindingName(last); !ok || name != "c.out -> m.in" {
+		t.Errorf("BindingName = %q,%v", name, ok)
+	}
+	if st := gate.Stats(); st.Admitted != 2 || st.Shed != 8 {
+		t.Errorf("gate stats = %+v", st)
+	}
+}
+
+func TestAdmissionInterceptorNilGateAdmits(t *testing.T) {
+	rt := memory.NewRuntime()
+	env := testEnv(t, rt, false)
+	m, err := New("m", &faultyContent{}, NewAdmissionInterceptor(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lifecycle().Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m.Dispatch(&Invocation{Interface: "in", Op: "op", Env: env}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// recordPort counts what reaches the inner port.
+type recordPort struct {
+	calls int
+	sends int
+}
+
+func (p *recordPort) Call(env *thread.Env, op string, arg any) (any, error) {
+	p.calls++
+	return arg, nil
+}
+
+func (p *recordPort) Send(env *thread.Env, op string, arg any) error {
+	p.sends++
+	return nil
+}
+
+func TestGatedPort(t *testing.T) {
+	inner := &recordPort{}
+	if got := NewGatedPort(nil, inner); got != Port(inner) {
+		t.Fatal("nil gate should return the inner port unchanged")
+	}
+
+	gate := qos.NewGate("b", &model.Contract{MaxRate: 1, Burst: 3})
+	p := NewGatedPort(gate, inner)
+	var shed int
+	for i := 0; i < 5; i++ {
+		if _, err := p.Call(nil, "op", i); err != nil {
+			shed++
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := p.Send(nil, "op", i); err != nil {
+			shed++
+		}
+	}
+	if inner.calls+inner.sends != 3 {
+		t.Errorf("inner port saw %d messages, want burst 3", inner.calls+inner.sends)
+	}
+	if shed != 7 {
+		t.Errorf("shed = %d, want 7", shed)
+	}
+}
+
+// TestDispatchAdmittedAllocs proves the gated, metered dispatch path
+// allocates nothing per invocation — admitted or shed.
+func TestDispatchAdmittedAllocs(t *testing.T) {
+	rt := memory.NewRuntime()
+	env := testEnv(t, rt, false)
+	cm := obs.NewRegistry().Component("m")
+	gate := qos.NewGate("b", &model.Contract{MaxRate: 1e12, Burst: 1000})
+	m, err := New("m", &faultyContent{},
+		NewMetricsInterceptor("sys", cm, nil), NewAdmissionInterceptor(gate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachMetrics(cm)
+	if err := m.Lifecycle().Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	inv := &Invocation{Interface: "i", Op: "op", Arg: 1, Env: env}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.Dispatch(inv); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("admitted dispatch allocates %.1f objects per op, want 0", allocs)
+	}
+
+	shedGate := qos.NewGate("b2", &model.Contract{MaxRate: 1e-9, Burst: 1})
+	shedGate.Admit() // drain the single token
+	sp := NewGatedPort(shedGate, &recordPort{})
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := sp.Send(env, "op", nil); err == nil {
+			t.Fatal("shed gate admitted")
+		}
+	}); allocs != 0 {
+		t.Errorf("shed send allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// BenchmarkDispatchAdmitted is the contracted sibling of
+// BenchmarkDispatchMetered: metrics plus admission gate on the chain.
+// `make benchcheck` pins it at 0 allocs/op.
+func BenchmarkDispatchAdmitted(b *testing.B) {
+	cm := obs.NewRegistry().Component("m")
+	gate := qos.NewGate("b", &model.Contract{MaxRate: 1e12, Burst: 1000})
+	m := benchMembrane(b, NewMetricsInterceptor("sys", cm, nil), NewAdmissionInterceptor(gate))
+	inv := &Invocation{Interface: "i", Op: "op", Arg: 1, Env: benchEnv(b)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Dispatch(inv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

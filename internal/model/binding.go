@@ -60,6 +60,11 @@ type Binding struct {
 	// Sect. 3.1); empty means "no cross-scope machinery needed" or
 	// "let the validator choose".
 	Pattern string
+	// Contract, when set, is the binding's QoS contract (the ADL's
+	// <Contract> element): latency budget, admission rate and overload
+	// policy. The validator checks its feasibility (RT16/RT17) and the
+	// assembly deploys an admission gate enforcing it.
+	Contract *Contract
 }
 
 func (b *Binding) String() string {
@@ -112,6 +117,11 @@ func (a *Architecture) Bind(b Binding) (*Binding, error) {
 		return nil, fmt.Errorf("model: binding %s -> %s has unknown protocol %v",
 			b.Client, b.Server, b.Protocol)
 	}
+	if b.Contract != nil {
+		if err := b.Contract.Validate(); err != nil {
+			return nil, fmt.Errorf("model: binding %s -> %s: %w", b.Client, b.Server, err)
+		}
+	}
 	for _, prev := range a.bindings {
 		if prev.Client == b.Client {
 			return nil, fmt.Errorf("model: client interface %s already bound to %s",
@@ -119,6 +129,15 @@ func (a *Architecture) Bind(b Binding) (*Binding, error) {
 		}
 	}
 	bound := b
+	if b.Contract != nil {
+		// The architecture owns its copy: later mutation of the
+		// caller's Contract must not alter the recorded binding.
+		c := *b.Contract
+		if c.Policy == 0 {
+			c.Policy = Shed
+		}
+		bound.Contract = &c
+	}
 	a.bindings = append(a.bindings, &bound)
 	return &bound, nil
 }

@@ -1,0 +1,135 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// OverloadPolicy selects what a binding's admission gate does with
+// traffic beyond the contracted rate.
+type OverloadPolicy int
+
+// Overload policies, matching the ADL's policy attribute.
+const (
+	// Shed rejects over-rate messages immediately with the typed
+	// backpressure error — the caller learns at once and the server
+	// never sees the excess.
+	Shed OverloadPolicy = iota + 1
+	// Block makes the caller wait (bounded by the latency budget) for
+	// admission capacity before rejecting. Only meaningful for clients
+	// that may block: RT17 refuses it for real-time domains.
+	Block
+	// Degrade admits over-rate traffic while the server still meets
+	// its latency SLO and falls back to shedding once the observed
+	// p99 breaches 80% of the budget.
+	Degrade
+)
+
+// String returns the ADL spelling.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case Shed:
+		return "shed"
+	case Block:
+		return "block"
+	case Degrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("OverloadPolicy(%d)", int(p))
+	}
+}
+
+// ParseOverloadPolicy parses the ADL spelling; the empty string means
+// the default policy, Shed.
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "shed":
+		return Shed, nil
+	case "block":
+		return Block, nil
+	case "degrade":
+		return Degrade, nil
+	default:
+		return 0, fmt.Errorf("model: unknown overload policy %q (want shed, block or degrade)", s)
+	}
+}
+
+// Contract is the QoS contract of one binding — the ADL's <Contract>
+// element. It states what the client may demand (rate, burst) and
+// what the server promises (latency budget, miss tolerance), and
+// picks the overload policy the admission gate enforces when demand
+// exceeds the contract. The zero value of each field means "not
+// contracted": a Contract{Policy: Shed} with no rate admits
+// everything and only tracks SLO breaches.
+type Contract struct {
+	// LatencyBudget is the end-to-end latency the server promises per
+	// admitted message; the runtime flags an SLO breach when the
+	// observed p99 exceeds 80% of it. 0 means no latency contract.
+	LatencyBudget time.Duration
+	// MaxRate is the sustained admission rate in messages per second.
+	// 0 means no rate contract (the gate admits everything).
+	MaxRate float64
+	// Burst is the token-bucket depth: how many messages above the
+	// sustained rate may arrive back to back before the gate engages.
+	// 0 means a burst of 1 (strict pacing).
+	Burst int
+	// MissTolerance is how many consecutive deadline misses the
+	// binding tolerates before supervision should consider the
+	// contract broken. 0 means none are tolerated.
+	MissTolerance int
+	// Policy is the overload policy; 0 defaults to Shed.
+	Policy OverloadPolicy
+}
+
+// EffectiveBurst returns the token-bucket depth with the default
+// applied.
+func (c *Contract) EffectiveBurst() int {
+	if c.Burst < 1 {
+		return 1
+	}
+	return c.Burst
+}
+
+// Validate checks the contract's fields for internal consistency.
+func (c *Contract) Validate() error {
+	if c.LatencyBudget < 0 {
+		return fmt.Errorf("model: contract latency budget %v is negative", c.LatencyBudget)
+	}
+	if c.MaxRate < 0 {
+		return fmt.Errorf("model: contract max rate %g is negative", c.MaxRate)
+	}
+	if c.Burst < 0 {
+		return fmt.Errorf("model: contract burst %d is negative", c.Burst)
+	}
+	if c.MissTolerance < 0 {
+		return fmt.Errorf("model: contract miss tolerance %d is negative", c.MissTolerance)
+	}
+	if c.Burst > 0 && c.MaxRate <= 0 {
+		return fmt.Errorf("model: contract burst %d without a max rate (burst bounds a rate contract)", c.Burst)
+	}
+	switch c.Policy {
+	case 0, Shed, Block, Degrade:
+	default:
+		return fmt.Errorf("model: contract has unknown overload policy %v", c.Policy)
+	}
+	if c.Policy == Degrade && c.LatencyBudget <= 0 {
+		return fmt.Errorf("model: degrade policy needs a latency budget (degradation ends at the SLO breach)")
+	}
+	return nil
+}
+
+func (c *Contract) String() string {
+	var parts []string
+	if c.LatencyBudget > 0 {
+		parts = append(parts, fmt.Sprintf("budget %v", c.LatencyBudget))
+	}
+	if c.MaxRate > 0 {
+		parts = append(parts, fmt.Sprintf("rate %g/s burst %d", c.MaxRate, c.EffectiveBurst()))
+	}
+	if c.MissTolerance > 0 {
+		parts = append(parts, fmt.Sprintf("tolerates %d misses", c.MissTolerance))
+	}
+	parts = append(parts, c.Policy.String())
+	return "contract(" + strings.Join(parts, ", ") + ")"
+}

@@ -118,6 +118,35 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	queue("soleil_queue_dropped_total", "Messages dropped on overflow.", "counter",
 		func(q QueueStats) int64 { return q.Dropped })
 
+	gates := r.GateNames()
+	gate := func(name, help, kind string, value func(g GateStats) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, gn := range gates {
+			fn, ok := r.Gate(gn)
+			if !ok {
+				continue
+			}
+			g := fn()
+			fmt.Fprintf(&b, "%s{binding=\"%s\",policy=\"%s\"} %d\n",
+				name, escapeLabel(gn), escapeLabel(g.Policy), value(g))
+		}
+	}
+	gate("soleil_gate_admitted_total", "Messages admitted within the binding contract.", "counter",
+		func(g GateStats) int64 { return g.Admitted })
+	gate("soleil_gate_shed_total", "Messages shed by the admission gate.", "counter",
+		func(g GateStats) int64 { return g.Shed })
+	gate("soleil_gate_degraded_total", "Over-rate messages a degrade-policy gate let through.", "counter",
+		func(g GateStats) int64 { return g.Degraded })
+	gate("soleil_gate_slo_breaches_total", "Met-to-breached transitions of the binding SLO.", "counter",
+		func(g GateStats) int64 { return g.Breaches })
+	gate("soleil_gate_slo_breached", "Whether the binding SLO is currently breached (1 yes).", "gauge",
+		func(g GateStats) int64 {
+			if g.Breached {
+				return 1
+			}
+			return 0
+		})
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -155,20 +184,43 @@ func (r *Registry) WriteTop(w io.Writer) error {
 	}
 
 	queues := r.QueueNames()
-	if len(queues) == 0 {
+	if len(queues) > 0 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "QUEUE\tDEPTH\tHWM\tCAP\tENQ\tDEQ\tDROP")
+		for _, qn := range queues {
+			fn, ok := r.Queue(qn)
+			if !ok {
+				continue
+			}
+			q := fn()
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				qn, q.Depth, q.HighWatermark, q.Capacity, q.Enqueued, q.Dequeued, q.Dropped)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	gates := r.GateNames()
+	if len(gates) == 0 {
 		return nil
 	}
 	fmt.Fprintln(w)
 	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "QUEUE\tDEPTH\tHWM\tCAP\tENQ\tDEQ\tDROP")
-	for _, qn := range queues {
-		fn, ok := r.Queue(qn)
+	fmt.Fprintln(tw, "GATE\tPOLICY\tADMIT\tSHED\tDEGRADE\tBREACHES\tSLO")
+	for _, gn := range gates {
+		fn, ok := r.Gate(gn)
 		if !ok {
 			continue
 		}
-		q := fn()
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
-			qn, q.Depth, q.HighWatermark, q.Capacity, q.Enqueued, q.Dequeued, q.Dropped)
+		g := fn()
+		slo := "ok"
+		if g.Breached {
+			slo = "BREACH"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			gn, g.Policy, g.Admitted, g.Shed, g.Degraded, g.Breaches, slo)
 	}
 	return tw.Flush()
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"sort"
 	"sync"
+	"time"
 )
 
 // OpSeries is the metric family of one operation on one component
@@ -106,6 +107,25 @@ func (c *ComponentMetrics) SeriesList() []*OpSeries {
 	return out
 }
 
+// MaxQuantileOn returns the highest q-quantile latency across the
+// series of one interface (zero when the interface has no samples).
+// It is allocation-free — the admission gates' SLO breach probes call
+// it, sampled, from dispatch hot paths.
+func (c *ComponentMetrics) MaxQuantileOn(itf string, q float64) time.Duration {
+	var max time.Duration
+	c.mu.RLock()
+	for k, s := range c.series {
+		if k.itf != itf {
+			continue
+		}
+		if d := s.Latency.Quantile(q); d > max {
+			max = d
+		}
+	}
+	c.mu.RUnlock()
+	return max
+}
+
 // QueueStats is the registry's view of one bounded buffer — queue
 // pressure made visible before overflow.
 type QueueStats struct {
@@ -120,13 +140,30 @@ type QueueStats struct {
 	Capacity int
 }
 
+// GateStats is the registry's view of one binding's admission gate —
+// contract pressure (admitted/shed/degraded) and the SLO breach state.
+type GateStats struct {
+	Admitted int64
+	Shed     int64
+	Degraded int64
+	// Breaches counts met-to-breached transitions of the SLO flag.
+	Breaches int64
+	// Breached reports whether the SLO is currently breached.
+	Breached bool
+	// Policy is the binding's overload policy ("shed", "block",
+	// "degrade").
+	Policy string
+}
+
 // Registry is the shared metrics root of one process: component
-// families keyed by name plus queue gauges polled at scrape time.
-// Everything reachable from it is safe for concurrent use.
+// families keyed by name plus queue and admission-gate gauges polled
+// at scrape time. Everything reachable from it is safe for concurrent
+// use.
 type Registry struct {
 	mu         sync.RWMutex
 	components map[string]*ComponentMetrics
 	queues     map[string]func() QueueStats
+	gates      map[string]func() GateStats
 }
 
 // NewRegistry creates an empty registry.
@@ -134,6 +171,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		components: make(map[string]*ComponentMetrics),
 		queues:     make(map[string]func() QueueStats),
+		gates:      make(map[string]func() GateStats),
 	}
 }
 
@@ -194,6 +232,38 @@ func (r *Registry) QueueNames() []string {
 	r.mu.RLock()
 	out := make([]string, 0, len(r.queues))
 	for n := range r.queues {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// RegisterGate registers a binding's admission gate under name; stats
+// is polled at scrape time, so admission's hot path pays nothing for
+// being observable.
+func (r *Registry) RegisterGate(name string, stats func() GateStats) {
+	if stats == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gates[name] = stats
+}
+
+// Gate returns the stats poller of a registered admission gate.
+func (r *Registry) Gate(name string) (func() GateStats, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.gates[name]
+	return fn, ok
+}
+
+// GateNames returns the registered gate names, sorted.
+func (r *Registry) GateNames() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.gates))
+	for n := range r.gates {
 		out = append(out, n)
 	}
 	r.mu.RUnlock()

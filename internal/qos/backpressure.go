@@ -1,0 +1,52 @@
+// Package qos is the runtime half of binding contracts: the typed
+// backpressure error every shed path in the framework returns, and
+// the allocation-free token-bucket admission gate the assembly
+// deploys per contracted binding. The static half lives in
+// internal/validate (rules RT16/RT17); this package only enforces
+// what validation has admitted.
+package qos
+
+import (
+	"errors"
+
+	"soleil/internal/model"
+)
+
+// ErrBackpressure is the unified backpressure sentinel: every
+// admission rejection in the framework — a gate shedding at the
+// membrane, a full in-process buffer refusing a message, a stalled
+// distributed pipe, a full cluster link queue — unwraps to it, so one
+// errors.Is(err, qos.ErrBackpressure) recognizes overload wherever it
+// surfaces. internal/dist aliases it as dist.ErrBackpressure.
+var ErrBackpressure = errors.New("qos: backpressure: admission refused")
+
+// Backpressure is a typed rejection carrying the binding or link it
+// happened on, so shed counters and logs can attribute overload per
+// binding. Gates and links return a preallocated instance: the shed
+// path allocates nothing.
+type Backpressure struct {
+	// Name is the binding or link the rejection happened on.
+	Name string
+	// Policy is the overload policy that produced the rejection.
+	Policy model.OverloadPolicy
+}
+
+// Error implements error. It formats lazily — the rejection value
+// itself is preallocated and the hot path never builds the string.
+func (e *Backpressure) Error() string {
+	return "qos: backpressure on " + e.Name + " (" + e.Policy.String() + " policy)"
+}
+
+// Unwrap makes errors.Is(err, ErrBackpressure) match.
+func (e *Backpressure) Unwrap() error { return ErrBackpressure }
+
+// BindingName attributes an error to the binding or link that shed
+// it. It reports false for errors that are not typed backpressure
+// (including the bare sentinel and untyped full-buffer refusals).
+func BindingName(err error) (string, bool) {
+	var bp *Backpressure
+	if errors.As(err, &bp) {
+		return bp.Name, true
+	}
+	return "", false
+}

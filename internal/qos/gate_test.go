@@ -1,0 +1,209 @@
+package qos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"soleil/internal/model"
+)
+
+func TestNilGateAdmitsEverything(t *testing.T) {
+	var g *Gate
+	for i := 0; i < 10; i++ {
+		if err := g.Admit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := g.Stats(); st != (GateStats{}) {
+		t.Errorf("nil gate stats = %+v", st)
+	}
+	if NewGate("b", nil) != nil {
+		t.Error("NewGate with nil contract should be nil")
+	}
+}
+
+func TestGateShedsBeyondBurst(t *testing.T) {
+	// 1 msg/s: the refill during the test is negligible, so exactly
+	// the burst is admitted and the rest sheds.
+	g := NewGate("a.out -> b.in", &model.Contract{MaxRate: 1, Burst: 4, Policy: model.Shed})
+	var admitted, shed int
+	var last error
+	for i := 0; i < 20; i++ {
+		if err := g.Admit(); err != nil {
+			shed++
+			last = err
+		} else {
+			admitted++
+		}
+	}
+	if admitted != 4 || shed != 16 {
+		t.Fatalf("admitted %d shed %d, want 4/16", admitted, shed)
+	}
+	if !errors.Is(last, ErrBackpressure) {
+		t.Errorf("shed error %v does not unwrap to ErrBackpressure", last)
+	}
+	if name, ok := BindingName(last); !ok || name != "a.out -> b.in" {
+		t.Errorf("BindingName = %q,%v", name, ok)
+	}
+	st := g.Stats()
+	if st.Admitted != 4 || st.Shed != 16 || st.Degraded != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGateRefillsAtRate(t *testing.T) {
+	g := NewGate("b", &model.Contract{MaxRate: 1000, Burst: 1})
+	if err := g.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Admit(); err == nil {
+		t.Fatal("second immediate admit should shed (burst 1)")
+	}
+	time.Sleep(5 * time.Millisecond) // 1000/s refills well within this
+	if err := g.Admit(); err != nil {
+		t.Fatalf("token not refilled after sleep: %v", err)
+	}
+}
+
+func TestGateBlockPolicyWaits(t *testing.T) {
+	g := NewGate("b", &model.Contract{
+		MaxRate: 200, Burst: 1, Policy: model.Block, LatencyBudget: 100 * time.Millisecond,
+	})
+	if err := g.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := g.Admit(); err != nil { // must wait ~5ms for the next token
+		t.Fatalf("block policy shed instead of waiting: %v", err)
+	}
+	if waited := time.Since(start); waited < time.Millisecond {
+		t.Errorf("block policy admitted after %v; expected a wait near 5ms", waited)
+	}
+
+	// An exhausted wait budget sheds.
+	tight := NewGate("b2", &model.Contract{
+		MaxRate: 0.1, Burst: 1, Policy: model.Block, LatencyBudget: 5 * time.Millisecond,
+	})
+	if err := tight.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.Admit(); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("block policy with unreachable token = %v, want backpressure", err)
+	}
+}
+
+func TestGateDegradePolicy(t *testing.T) {
+	breached := false
+	g := NewGate("b", &model.Contract{
+		MaxRate: 1, Burst: 2, Policy: model.Degrade, LatencyBudget: time.Millisecond,
+	})
+	g.SetBreachProbe(func() bool { return breached })
+
+	// SLO met: over-rate traffic degrades through.
+	for i := 0; i < 100; i++ {
+		if err := g.Admit(); err != nil {
+			t.Fatalf("degrading gate shed at %d while SLO held: %v", i, err)
+		}
+	}
+	st := g.Stats()
+	if st.Admitted != 2 || st.Degraded != 98 || st.Breached {
+		t.Fatalf("pre-breach stats = %+v", st)
+	}
+
+	// SLO breached: the sampled probe flips the gate into shedding.
+	breached = true
+	var shed int
+	for i := 0; i < 200; i++ {
+		if err := g.Admit(); err != nil {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("breached degrade gate never shed")
+	}
+	st = g.Stats()
+	if !st.Breached || st.Breaches != 1 {
+		t.Errorf("post-breach stats = %+v", st)
+	}
+
+	// Recovery: the flag clears and degradation resumes.
+	breached = false
+	for i := 0; i < 200; i++ {
+		g.Admit()
+	}
+	if st = g.Stats(); st.Breached {
+		t.Errorf("breach flag did not clear: %+v", st)
+	}
+}
+
+func TestGateConcurrentAdmission(t *testing.T) {
+	g := NewGate("b", &model.Contract{MaxRate: 1, Burst: 50})
+	var wg sync.WaitGroup
+	var admitted, shed atomic64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := g.Admit(); err != nil {
+					shed.add(1)
+				} else {
+					admitted.add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.load(); got < 50 || got > 52 {
+		t.Errorf("concurrent admitted = %d, want ~burst 50", got)
+	}
+	st := g.Stats()
+	if st.Admitted+st.Shed != 800 {
+		t.Errorf("counters lost updates: %+v", st)
+	}
+}
+
+func TestGateAdmitAllocs(t *testing.T) {
+	reject := NewGate("b", &model.Contract{MaxRate: 1e-9, Burst: 1})
+	admit := NewGate("b2", &model.Contract{MaxRate: 1e12, Burst: 1000})
+	admit.SetBreachProbe(func() bool { return false })
+	reject.Admit() // drain the single token
+	if allocs := testing.AllocsPerRun(500, func() {
+		if err := admit.Admit(); err != nil {
+			t.Fatal("admit gate shed")
+		}
+	}); allocs != 0 {
+		t.Errorf("admitted path allocates %.1f objects per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		if err := reject.Admit(); err == nil {
+			t.Fatal("reject gate admitted")
+		}
+	}); allocs != 0 {
+		t.Errorf("shed path allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// BenchmarkGateAdmitHotPath is the empirical half of the gate's
+// no-allocation claim; `make benchcheck` pins it at 0 allocs/op.
+func BenchmarkGateAdmitHotPath(b *testing.B) {
+	g := NewGate("b", &model.Contract{MaxRate: 1e12, Burst: 1000})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Admit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// atomic64 avoids importing sync/atomic types into test signatures.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

@@ -1,0 +1,289 @@
+package validate
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"soleil/internal/adl"
+	"soleil/internal/model"
+)
+
+// contractedDistArch builds producer -> consumer (async, buffer 16)
+// with the given binding contract, the producer in a domain of the
+// given desc. Named "dist" so the twoNode deployment applies.
+func contractedDistArch(t *testing.T, c *model.Contract, clientDomain model.DomainDesc, serverAct model.Activation) *model.Architecture {
+	t.Helper()
+	a := model.NewArchitecture("dist")
+	prod, err := a.NewActive("producer", model.Activation{Kind: model.PeriodicActivation, Period: 10 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.AddInterface(model.Interface{Name: "out", Role: model.ClientRole, Signature: "ISink"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.SetContent("ProducerImpl"); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := a.NewActive("consumer", serverAct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.AddInterface(model.Interface{Name: "in", Role: model.ServerRole, Signature: "ISink"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.SetContent("ConsumerImpl"); err != nil {
+		t.Fatal(err)
+	}
+	sides := []struct {
+		area, domain string
+		desc         model.DomainDesc
+		comp         *model.Component
+	}{
+		{"immA", "tdA", clientDomain, prod},
+		{"immB", "tdB", model.DomainDesc{Kind: model.RealtimeThread, Priority: 20}, cons},
+	}
+	for _, side := range sides {
+		ma, err := a.NewMemoryArea(side.area, model.AreaDesc{Kind: model.ImmortalMemory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := a.NewThreadDomain(side.domain, side.desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AddChild(ma, td); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AddChild(td, side.comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Bind(model.Binding{
+		Client:     model.Endpoint{Component: "producer", Interface: "out"},
+		Server:     model.Endpoint{Component: "consumer", Interface: "in"},
+		Protocol:   model.Asynchronous,
+		Pattern:    "deep-copy",
+		BufferSize: 16,
+		Contract:   c,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func errorsFor(r Report, rule string) int {
+	n := 0
+	for _, d := range r.ByRule(rule) {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+var rtClient = model.DomainDesc{Kind: model.RealtimeThread, Priority: 25}
+
+func TestRT16BurstExceedsBuffer(t *testing.T) {
+	a := contractedDistArch(t, &model.Contract{MaxRate: 100, Burst: 32},
+		rtClient, model.Activation{Kind: model.SporadicActivation})
+	r := Validate(a)
+	if errorsFor(r, "RT16") != 1 {
+		t.Fatalf("RT16 errors = %d: %v", errorsFor(r, "RT16"), r.Diagnostics)
+	}
+	if d := r.ByRule("RT16")[0]; !strings.Contains(d.Message, "burst 32") ||
+		!strings.Contains(d.Suggestion, "bufferSize") {
+		t.Fatalf("unexpected RT16 diagnostic: %v", d)
+	}
+	// A burst that fits the buffer raises nothing.
+	fits := contractedDistArch(t, &model.Contract{MaxRate: 100, Burst: 16},
+		rtClient, model.Activation{Kind: model.SporadicActivation})
+	if errorsFor(Validate(fits), "RT16") != 0 {
+		t.Fatal("spurious RT16 for a fitting burst")
+	}
+}
+
+func TestRT16RateExceedsCapacity(t *testing.T) {
+	// Cost 2ms per release = 500 msg/s capacity; a 1000/s contract
+	// overloads the server with traffic the gate admitted.
+	slow := model.Activation{Kind: model.SporadicActivation, Period: ms, Cost: 2 * ms}
+	a := contractedDistArch(t, &model.Contract{MaxRate: 1000}, rtClient, slow)
+	r := Validate(a)
+	if errorsFor(r, "RT16") != 1 {
+		t.Fatalf("RT16 errors = %d: %v", errorsFor(r, "RT16"), r.Diagnostics)
+	}
+	if d := r.ByRule("RT16")[0]; !strings.Contains(d.Message, "capacity 500") {
+		t.Fatalf("capacity not computed from the cost: %v", d)
+	}
+	ok := contractedDistArch(t, &model.Contract{MaxRate: 400}, rtClient, slow)
+	if errorsFor(Validate(ok), "RT16") != 0 {
+		t.Fatal("spurious RT16 for a rate within capacity")
+	}
+}
+
+// TestRT16BudgetVsWorstCaseResponse pins the analysis hand-off: the
+// latency budget is judged against the server's worst-case response
+// under interference, not its isolated cost.
+func TestRT16BudgetVsWorstCaseResponse(t *testing.T) {
+	build := func(budget time.Duration) *model.Architecture {
+		a := model.NewArchitecture("budget")
+		hi, _ := a.NewActive("hi", model.Activation{
+			Kind: model.PeriodicActivation, Period: 5 * ms, Deadline: 5 * ms, Cost: 2 * ms})
+		_ = hi.SetContent("HiImpl")
+		srv, _ := a.NewActive("srv", model.Activation{
+			Kind: model.PeriodicActivation, Period: 10 * ms, Deadline: 10 * ms, Cost: 4 * ms})
+		_ = srv.SetContent("SrvImpl")
+		_ = srv.AddInterface(model.Interface{Name: "in", Role: model.ServerRole, Signature: "I"})
+		cli, _ := a.NewActive("cli", model.Activation{Kind: model.SporadicActivation})
+		_ = cli.SetContent("CliImpl")
+		_ = cli.AddInterface(model.Interface{Name: "out", Role: model.ClientRole, Signature: "I"})
+		imm, _ := a.NewMemoryArea("imm", model.AreaDesc{Kind: model.ImmortalMemory})
+		tdHi, _ := a.NewThreadDomain("tdHi", model.DomainDesc{Kind: model.RealtimeThread, Priority: 30})
+		tdLo, _ := a.NewThreadDomain("tdLo", model.DomainDesc{Kind: model.RealtimeThread, Priority: 20})
+		for _, edge := range [][2]*model.Component{
+			{imm, tdHi}, {imm, tdLo}, {tdHi, hi}, {tdLo, srv}, {tdLo, cli},
+		} {
+			if err := a.AddChild(edge[0], edge[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := a.Bind(model.Binding{
+			Client:   model.Endpoint{Component: "cli", Interface: "out"},
+			Server:   model.Endpoint{Component: "srv", Interface: "in"},
+			Protocol: model.Synchronous,
+			Contract: &model.Contract{LatencyBudget: budget},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	// srv's worst case is 4ms + two 2ms preemptions = 8ms. A 6ms
+	// budget is unmeetable by construction; an 8ms budget is feasible.
+	r := Validate(build(6 * ms))
+	if errorsFor(r, "RT16") != 1 {
+		t.Fatalf("RT16 errors = %d: %v", errorsFor(r, "RT16"), r.Diagnostics)
+	}
+	if d := r.Errors()[0]; !strings.Contains(d.Message, "worst-case response 8ms") {
+		t.Fatalf("budget not judged against the response analysis: %v", d)
+	}
+	ok := Validate(build(8 * ms))
+	if errorsFor(ok, "RT16") != 0 {
+		t.Fatalf("spurious RT16: %v", ok.ByRule("RT16"))
+	}
+	// The feasible case is documented with an Info finding.
+	var info bool
+	for _, d := range ok.ByRule("RT16") {
+		info = info || d.Severity == Info
+	}
+	if !info {
+		t.Fatal("no RT16 info finding for the feasible budget")
+	}
+}
+
+func TestRT17BlockPolicyRealtimeClient(t *testing.T) {
+	c := &model.Contract{MaxRate: 100, Policy: model.Block}
+	a := contractedDistArch(t, c, rtClient, model.Activation{Kind: model.SporadicActivation})
+	r := Validate(a)
+	if errorsFor(r, "RT17") != 1 {
+		t.Fatalf("RT17 errors = %d: %v", errorsFor(r, "RT17"), r.Diagnostics)
+	}
+	// A regular (blockable) client domain may block.
+	reg := contractedDistArch(t, c, model.DomainDesc{Kind: model.RegularThread, Priority: 5},
+		model.Activation{Kind: model.SporadicActivation})
+	if len(Validate(reg).ByRule("RT17")) != 0 {
+		t.Fatal("RT17 fired for a regular client domain")
+	}
+}
+
+func TestRT17CrossNodeBlockPolicy(t *testing.T) {
+	regular := model.DomainDesc{Kind: model.RegularThread, Priority: 5}
+	a := contractedDistArch(t, &model.Contract{MaxRate: 100, Policy: model.Block},
+		regular, model.Activation{Kind: model.SporadicActivation})
+	if !Validate(a).OK() {
+		t.Fatal("architecture half must be clean in-process")
+	}
+	r, err := ValidateDeployment(a, twoNode(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errorsFor(r, "RT17") != 1 {
+		t.Fatalf("RT17 errors = %d: %v", errorsFor(r, "RT17"), r.Diagnostics)
+	}
+	// Co-located endpoints keep their block policy.
+	d := model.NewDeployment("dist")
+	_ = d.AddNode(&model.DeployNode{Name: "solo", Addr: "127.0.0.1:0", Assigned: []string{"producer", "consumer"}})
+	colo, err := ValidateDeployment(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(colo.ByRule("RT17")) != 0 {
+		t.Fatalf("RT17 fired for co-located endpoints: %v", colo.Diagnostics)
+	}
+}
+
+func TestRT17CrossNodeBudgetWarns(t *testing.T) {
+	a := contractedDistArch(t, &model.Contract{LatencyBudget: 2 * ms, MaxRate: 100},
+		rtClient, model.Activation{Kind: model.SporadicActivation})
+	r, err := ValidateDeployment(a, twoNode(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warningsFor(r, "RT17") != 1 {
+		t.Fatalf("RT17 warnings = %d: %v", warningsFor(r, "RT17"), r.Diagnostics)
+	}
+	if !r.OK() {
+		t.Fatalf("a shed-policy cross-node contract is legal, got %v", r.Errors())
+	}
+}
+
+// TestContractDiagnosticsJSONRoundTrip pins the new rules to the
+// shared JSON schema both `soleil validate -json` and `soleil vet
+// -json` emit.
+func TestContractDiagnosticsJSONRoundTrip(t *testing.T) {
+	arch, err := adl.DecodeFile(filepath.Join("testdata", "rt16.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Validate(arch).Diagnostics
+
+	dArch, err := adl.DecodeFile(filepath.Join("testdata", "rt17d.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := adl.DecodeDeploymentFile(filepath.Join("testdata", "rt17d.deploy.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := ValidateDeployment(dArch, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags = append(diags, dr.Diagnostics...)
+
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var back []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(diags) {
+		t.Fatalf("round trip lost findings: %d -> %d", len(diags), len(back))
+	}
+	seen := map[string]bool{}
+	for i, d := range back {
+		if d != diags[i] {
+			t.Fatalf("finding %d mutated: %+v != %+v", i, d, diags[i])
+		}
+		seen[d.Rule] = true
+	}
+	for _, rule := range []string{"RT16", "RT17"} {
+		if !seen[rule] {
+			t.Errorf("%s missing from the encoded corpus findings", rule)
+		}
+	}
+}

@@ -75,6 +75,39 @@ func ValidateDeployment(a *model.Architecture, d *model.Deployment) (Report, err
 		}
 	}
 
+	// RT17 (deployment half): a cross-node contract is enforced by a
+	// gate on the client node, over asynchronous value messages. Block
+	// admission would stall the sender on remote capacity it cannot
+	// observe, and the SLO breach probe needs the server's latency
+	// histogram, which lives on the other node.
+	for _, b := range a.Bindings() {
+		c := b.Contract
+		if c == nil {
+			continue
+		}
+		cn, sn := assign[b.Client.Component], assign[b.Server.Component]
+		if cn == "" || sn == "" || cn == sn {
+			continue
+		}
+		subject := b.String()
+		if b.Protocol == model.Synchronous {
+			v.add("RT17", Error, subject,
+				fmt.Sprintf("contract on a synchronous binding crossing nodes %q -> %q cannot be enforced; the transport carries asynchronous value messages only", cn, sn),
+				"make the binding asynchronous (the export link gates admission on the client node), or co-locate the endpoints")
+			continue
+		}
+		if c.Policy == model.Block {
+			v.add("RT17", Error, subject,
+				fmt.Sprintf("block overload policy across nodes %q -> %q would stall the sender on admission capacity it cannot observe remotely", cn, sn),
+				"use the shed or degrade policy; the export link sheds locally before the wire")
+		}
+		if c.LatencyBudget > 0 {
+			v.add("RT17", Warning, subject,
+				fmt.Sprintf("latency budget %v cannot be observed across nodes: the SLO breach probe needs the server's latency histogram, which lives on node %q", c.LatencyBudget, sn),
+				"scrape the server node's /metrics for the budget; the client-side gate enforces rate and burst only")
+		}
+	}
+
 	return Report{Diagnostics: v.diags}, nil
 }
 

@@ -33,6 +33,8 @@ func TestGoldenCorpus(t *testing.T) {
 		{"RT11", Warning, "bare", "no content class"},
 		{"RT12", Error, "slow", "exceeds deadline"},
 		{"RT13", Warning, "producer.iSink -> consumer.iSink", "backlog"},
+		{"RT16", Error, "producer.iSink -> consumer.iSink", "burst"},
+		{"RT17", Error, "producer.iSink -> consumer.iSink", "block overload policy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -77,13 +79,22 @@ func TestGoldenDeploymentCorpus(t *testing.T) {
 		severity Severity
 		subject  string
 		message  string
+		// fixture overrides the fixture base name when it differs from
+		// the lowercased rule (a rule with both an architecture-level
+		// and a deployment-level fixture).
+		fixture string
 	}{
-		{"RT14", Error, "td", "spans deployment nodes"},
-		{"RT15", Error, "client.iSrv -> server.iSrv", "NHRT"},
+		{"RT14", Error, "td", "spans deployment nodes", ""},
+		{"RT15", Error, "client.iSrv -> server.iSrv", "NHRT", ""},
+		{"RT17", Error, "producer.iSink -> consumer.iSink", "across nodes", "rt17d"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
-			base := filepath.Join("testdata", strings.ToLower(tc.rule))
+			fixture := tc.fixture
+			if fixture == "" {
+				fixture = strings.ToLower(tc.rule)
+			}
+			base := filepath.Join("testdata", fixture)
 			a, err := adl.DecodeFile(base + ".xml")
 			if err != nil {
 				t.Fatal(err)

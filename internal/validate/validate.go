@@ -8,6 +8,7 @@ package validate
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"soleil/internal/model"
 	"soleil/internal/patterns"
@@ -127,6 +128,8 @@ var Rules = map[string]string{
 	"RT13": "asynchronous binding rates are compatible with their buffer capacities (periodic producers vs server release rate)",
 	"RT14": "a ThreadDomain or MemoryArea must not span deployment nodes (its members resolve to one node)",
 	"RT15": "bindings crossing deployment nodes are asynchronous value messages; NHRT components in particular may not call synchronously off-node",
+	"RT16": "binding contracts are feasible: latency budgets cover the server's worst-case response, contracted rates fit the server's processing capacity, and bursts fit the buffer",
+	"RT17": "binding contracts are enforceable: the block policy may not stall real-time client domains, and cross-node contracts are client-side shed/degrade gates over asynchronous value messages",
 }
 
 // Validate checks the architecture against the full rule catalog.
@@ -137,12 +140,17 @@ func Validate(a *model.Architecture) Report {
 	v.checkFunctional()
 	v.checkBindings()
 	v.checkSchedulability()
+	v.checkContracts()
 	return Report{Diagnostics: v.diags}
 }
 
 type validator struct {
 	arch  *model.Architecture
 	diags []Diagnostic
+	// responses holds the response-time analysis results by component
+	// name, captured by checkSchedulability for the contract
+	// feasibility checks (RT16).
+	responses map[string]analysis.Response
 }
 
 func (v *validator) add(rule string, sev Severity, subject, msg, suggestion string) {
@@ -384,7 +392,9 @@ func (v *validator) checkSchedulability() {
 			fmt.Sprintf("response-time analysis not applicable: %v", err), "")
 		return
 	}
+	v.responses = make(map[string]analysis.Response, len(rs))
 	for _, r := range rs {
+		v.responses[r.Task] = r
 		if !r.Schedulable {
 			v.add("RT12", Error, r.Task,
 				fmt.Sprintf("worst-case response %v exceeds deadline %v", r.WorstCase, r.Deadline),
@@ -392,6 +402,88 @@ func (v *validator) checkSchedulability() {
 		} else {
 			v.add("RT12", Info, r.Task,
 				fmt.Sprintf("schedulable: worst-case response %v within deadline %v", r.WorstCase, r.Deadline), "")
+		}
+	}
+}
+
+// --- binding contracts --------------------------------------------------------
+
+// checkContracts applies RT16 (feasibility: a contract must be
+// honourable by the architecture it is written against) and the
+// architecture half of RT17 (enforceability: the admission gate must
+// be deployable without breaking the client's timing model). It runs
+// after checkSchedulability so latency budgets are judged against the
+// worst-case responses, not just the isolated costs.
+func (v *validator) checkContracts() {
+	for _, b := range v.arch.Bindings() {
+		c := b.Contract
+		if c == nil {
+			continue
+		}
+		subject := b.String()
+		cli, _ := v.arch.Component(b.Client.Component)
+		srv, _ := v.arch.Component(b.Server.Component)
+
+		// RT16: the contracted burst must fit the buffer — otherwise
+		// the gate admits messages the buffer then drops, and the
+		// sender never learns which.
+		if b.Protocol == model.Asynchronous && b.BufferSize > 0 && c.EffectiveBurst() > b.BufferSize {
+			v.add("RT16", Error, subject,
+				fmt.Sprintf("contracted burst %d exceeds the buffer capacity %d; admitted messages would be dropped silently",
+					c.EffectiveBurst(), b.BufferSize),
+				fmt.Sprintf("raise bufferSize to at least %d or lower the burst", c.EffectiveBurst()))
+		}
+
+		// RT16: the contracted rate must fit the server's processing
+		// capacity, or the admitted traffic itself overloads it.
+		if srv != nil && c.MaxRate > 0 {
+			if act := srv.Activation(); act != nil && act.Cost > 0 {
+				capacity := float64(time.Second) / float64(act.Cost)
+				if c.MaxRate > capacity {
+					v.add("RT16", Error, subject,
+						fmt.Sprintf("contracted rate %g/s exceeds the server's processing capacity %.4g/s (cost %v per release)",
+							c.MaxRate, capacity, act.Cost),
+						"lower maxRate, or reduce the server's cost")
+				}
+			}
+		}
+
+		// RT16: the latency budget must cover what the server can
+		// deliver — the worst-case response where analysis ran, the
+		// bare cost otherwise.
+		if c.LatencyBudget > 0 && srv != nil {
+			if r, ok := v.responses[srv.Name()]; ok {
+				if r.WorstCase > c.LatencyBudget {
+					v.add("RT16", Error, subject,
+						fmt.Sprintf("latency budget %v is below the server's worst-case response %v; the SLO is unmeetable by construction",
+							c.LatencyBudget, r.WorstCase),
+						"raise the budget above the worst-case response, or raise the server's priority")
+				} else {
+					v.add("RT16", Info, subject,
+						fmt.Sprintf("latency budget %v covers the server's worst-case response %v",
+							c.LatencyBudget, r.WorstCase), "")
+				}
+			} else if act := srv.Activation(); act != nil && act.Cost > c.LatencyBudget {
+				v.add("RT16", Error, subject,
+					fmt.Sprintf("latency budget %v is below the server's cost %v per release",
+						c.LatencyBudget, act.Cost),
+					"raise the budget above the server's cost")
+			}
+		}
+
+		// RT17 (architecture half): a blocking gate makes the client
+		// wait for admission capacity — a real-time client's WCET
+		// analysis cannot absorb that wait.
+		if c.Policy == model.Block && cli != nil {
+			if td, err := v.arch.EffectiveThreadDomain(cli); err == nil {
+				switch td.Domain().Kind {
+				case model.RealtimeThread, model.NoHeapRealtimeThread:
+					v.add("RT17", Error, subject,
+						fmt.Sprintf("block overload policy would stall the %s client domain %q at the admission gate; its timing analysis cannot absorb the wait",
+							td.Domain().Kind, td.Name()),
+						"use the shed or degrade policy; real-time senders must learn of overload immediately")
+				}
+			}
 		}
 	}
 }

@@ -50,6 +50,7 @@ import (
 	"soleil/internal/membrane"
 	"soleil/internal/model"
 	"soleil/internal/obs"
+	"soleil/internal/qos"
 	"soleil/internal/reconfig"
 	"soleil/internal/rtsj/thread"
 	"soleil/internal/validate"
@@ -332,6 +333,49 @@ var (
 	MetricsOverflowProbe = fault.MetricsOverflowProbe
 )
 
+// Binding contracts (internal/qos): SLOs declared in the ADL's
+// <Contract> element, checked statically (RT16/RT17) and enforced at
+// runtime by an allocation-free admission gate next to the membrane's
+// metrics interceptor.
+type (
+	// Contract is the QoS contract of one binding (latency budget,
+	// rate + burst, overload policy); set Binding.Contract or use the
+	// ADL's <Contract> element.
+	Contract = model.Contract
+	// OverloadPolicy selects what the admission gate does with
+	// over-rate traffic.
+	OverloadPolicy = model.OverloadPolicy
+	// Backpressure is the typed rejection an overloaded contracted
+	// binding returns; errors.Is(err, ErrBackpressure) matches it.
+	Backpressure = qos.Backpressure
+	// AdmissionGate is one binding's runtime token-bucket gate.
+	AdmissionGate = qos.Gate
+	// GateStats is a point-in-time snapshot of a gate's counters as
+	// the metrics registry polls it.
+	GateStats = obs.GateStats
+)
+
+// Overload policies.
+const (
+	ShedPolicy    = model.Shed
+	BlockPolicy   = model.Block
+	DegradePolicy = model.Degrade
+)
+
+// ErrBackpressure is the framework-wide overload sentinel: admission
+// gates, full buffers, saturated transports and cluster links all
+// wrap it, so one errors.Is covers local, merged and distributed
+// bindings.
+var ErrBackpressure = qos.ErrBackpressure
+
+// ParseOverloadPolicy parses the ADL spelling ("shed", "block",
+// "degrade"; empty defaults to shed).
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) { return model.ParseOverloadPolicy(s) }
+
+// BackpressureBinding extracts the binding or link name from a
+// backpressure error ("" and false for other errors).
+func BackpressureBinding(err error) (string, bool) { return qos.BindingName(err) }
+
 // Cluster deployment plane (internal/cluster): one architecture plus
 // one deployment descriptor run as N supervised nodes. The planner
 // turns every cross-node asynchronous binding into a distributed
@@ -361,7 +405,8 @@ func NewDeployment(arch string) *Deployment { return model.NewDeployment(arch) }
 
 // ValidateDeployment checks a descriptor against the architecture
 // (RT14: containers may not span nodes; RT15: only asynchronous
-// bindings may cross nodes).
+// bindings may cross nodes; RT17: cross-node contracts are
+// client-side shed/degrade gates).
 func ValidateDeployment(a *Architecture, d *Deployment) (Report, error) {
 	return validate.ValidateDeployment(a, d)
 }
