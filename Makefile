@@ -10,7 +10,7 @@ GO ?= go
 # dispatch or real-time hot path.
 LINT_PKGS = ./internal/membrane/... ./internal/obs/... ./internal/comm/... ./internal/rtsj/... ./internal/qos/...
 
-.PHONY: all check vet build test race soak soak-cluster soak-overload lint benchcheck bench clean
+.PHONY: all check vet build test race soak soak-cluster soak-overload lint sarif benchcheck bench clean
 
 all: check
 
@@ -49,11 +49,24 @@ soak-cluster:
 soak-overload:
 	$(GO) test -race -v -run TestSoakOverloadShedding ./internal/fault/
 
-# Source-level RTSJ conformance (rules SA01-SA04) over the hot paths.
-# Exit 1 means unsuppressed findings; fix them or justify with
-# //soleil:ignore in the same change.
+# Source-level RTSJ conformance over the hot paths: the per-function
+# rules (SA01-SA04), then the whole-architecture suite (SA05-SA08)
+# against the two blessed architectures — the factory line and the
+# cluster deployment. Exit 1 means unsuppressed findings; fix them or
+# justify with //soleil:ignore in the same change.
 lint:
 	$(GO) run ./cmd/soleil-vet $(LINT_PKGS)
+	$(GO) run ./cmd/soleil-vet -arch -adl examples/factory/factory.xml ./examples/factory ./internal/scenario
+	$(GO) run ./cmd/soleil-vet -arch -adl examples/cluster/cluster.xml -deploy examples/cluster/deploy.xml ./examples/cluster
+
+# SARIF export of the same runs for CI code scanning: per-function
+# findings over the hot paths plus the whole-architecture suite, merged
+# into one soleil.sarif by running the larger (per-function) suite over
+# the union of packages. Findings do not fail this target — the lint
+# target is the gate; this one only produces the upload artifact.
+sarif:
+	$(GO) run ./cmd/soleil-vet -max-severity error -sarif soleil.sarif $(LINT_PKGS) || true
+	@echo "wrote soleil.sarif"
 
 # Empirical counterpart of the //soleil:noheap annotations: run the
 # metered-dispatch, admission-gate and observability hot-path

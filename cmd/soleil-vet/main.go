@@ -4,7 +4,13 @@
 //
 // Standalone, on `go list` package patterns:
 //
-//	soleil-vet [-json] [-adl arch.xml] [-analyzers a,b] [-max-severity sev] ./...
+//	soleil-vet [-json] [-sarif FILE] [-adl arch.xml] [-analyzers a,b] [-max-severity sev] ./...
+//
+// or, with -arch, the whole-architecture suite (SA05 bindingcycle,
+// SA06 lockorder, SA07 membranebypass, SA08 costbound) over every
+// loaded package at once:
+//
+//	soleil-vet -arch -adl arch.xml [-deploy deploy.xml] ./...
 //
 // As a vet tool, speaking the cmd/go vet-tool protocol (-V=full and
 // -flags handshakes, then one <unit>.cfg per package):
@@ -39,8 +45,14 @@ func main() {
 	adlPath := fs.String("adl", os.Getenv("SOLEIL_VET_ADL"),
 		"architecture file for the archconform pass (default $SOLEIL_VET_ADL)")
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer selection (default: all)")
+	archMode := fs.Bool("arch", false,
+		"run the whole-architecture suite (SA05–SA08) instead of the per-function passes; requires -adl (standalone mode only)")
+	deployPath := fs.String("deploy", "",
+		"deployment descriptor for -arch (escalates wait cycles that span nodes)")
 	maxSev := fs.String("max-severity", "warning",
 		"lowest severity that makes the exit status non-zero (info, warning, error)")
+	sarifOut := fs.String("sarif", "",
+		"write findings as a SARIF 2.1.0 log to FILE (\"-\" for stdout; standalone mode only)")
 	fs.Parse(os.Args[1:])
 
 	switch {
@@ -76,18 +88,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	selected, err := lint.ByName(*analyzers)
-	if err != nil {
-		fatal(err)
-	}
 
 	args := fs.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		selected, err := lint.ByName(*analyzers)
+		if err != nil {
+			fatal(err)
+		}
 		runUnit(args[0], *adlPath, selected, *jsonOut)
 		return
 	}
 
-	diags, err := lint.Run(lint.Options{Patterns: args, ADL: *adlPath, Analyzers: selected})
+	opts := lint.Options{Patterns: args, ADL: *adlPath, Deploy: *deployPath}
+	var diags []validate.Diagnostic
+	if *archMode {
+		if *adlPath == "" {
+			fatal(fmt.Errorf("-arch needs -adl (the wait graph comes from the bindings)"))
+		}
+		if opts.ArchAnalyzers, err = lint.ArchByName(*analyzers); err != nil {
+			fatal(err)
+		}
+		diags, err = lint.RunArch(opts)
+	} else {
+		if opts.Analyzers, err = lint.ByName(*analyzers); err != nil {
+			fatal(err)
+		}
+		diags, err = lint.Run(opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -99,10 +126,35 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, diags); err != nil {
+			fatal(err)
+		}
+	}
 	if n := countAtLeast(diags, threshold); n > 0 {
 		fmt.Fprintf(os.Stderr, "soleil-vet: %d finding(s) at or above severity %v\n", n, threshold)
 		os.Exit(1)
 	}
+}
+
+// writeSARIF renders the findings as a SARIF 2.1.0 log with positions
+// relativized against the working directory, so CI code-scanning
+// uploads resolve the paths inside the checkout.
+func writeSARIF(path string, diags []validate.Diagnostic) error {
+	base, _ := os.Getwd()
+	opts := validate.SARIFOptions{Tool: "soleil-vet", Base: base, RuleDocs: lint.RuleDocs()}
+	if path == "-" {
+		return validate.EncodeSARIF(os.Stdout, diags, opts)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := validate.EncodeSARIF(f, diags, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func countAtLeast(diags []validate.Diagnostic, threshold validate.Severity) int {

@@ -1,7 +1,8 @@
 // Command soleil is the framework's toolchain front end:
 //
-//	soleil validate [-json] [-max-severity S] <arch.xml>  RTSJ conformance check (ADL level)
-//	soleil vet [-json] [-adl arch.xml] [packages]         RTSJ conformance check (source level)
+//	soleil validate [-json] [-sarif F] [-max-severity S] <arch.xml>  RTSJ conformance check (ADL level)
+//	soleil vet [-json] [-sarif F] [-adl arch.xml] [packages]   RTSJ conformance check (source level)
+//	soleil vet -arch -adl arch.xml [-deploy deploy.xml] [packages]   whole-architecture suite (SA05–SA08)
 //	soleil analyze <arch.xml>                  schedulability analysis
 //	soleil generate -mode M -out DIR <arch.xml>  emit infrastructure source
 //	soleil genreport <arch.xml>                Sect. 5.2 requirements report
@@ -145,6 +146,8 @@ func cmdValidate(args []string) error {
 		"deployment descriptor to check against the architecture (RT14/RT15/RT17 cross-node rules)")
 	maxSev := fs.String("max-severity", "error",
 		"lowest severity that makes the exit status non-zero (info, warning, error)")
+	sarifOut := fs.String("sarif", "",
+		"write diagnostics as a SARIF 2.1.0 log to FILE (\"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -178,6 +181,11 @@ func cmdValidate(args []string) error {
 			return err
 		}
 	}
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, report.Diagnostics, "soleil-validate", nil); err != nil {
+			return err
+		}
+	}
 	if n := countAtLeast(report.Diagnostics, threshold); n > 0 {
 		return fmt.Errorf("soleil: architecture %q has %d finding(s) at or above severity %v",
 			arch.Name(), n, threshold)
@@ -198,8 +206,12 @@ func cmdVet(args []string) error {
 	deployPath := fs.String("deploy", "",
 		"deployment descriptor checked against -adl (adds RT14/RT15/RT17 cross-node findings)")
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer selection (default: all)")
+	archMode := fs.Bool("arch", false,
+		"run the whole-architecture suite (SA05–SA08) instead of the per-function passes; requires -adl")
 	maxSev := fs.String("max-severity", "warning",
 		"lowest severity that makes the exit status non-zero (info, warning, error)")
+	sarifOut := fs.String("sarif", "",
+		"write diagnostics as a SARIF 2.1.0 log to FILE (\"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -207,16 +219,26 @@ func cmdVet(args []string) error {
 	if err != nil {
 		return err
 	}
-	selected, err := lint.ByName(*analyzers)
-	if err != nil {
-		return err
+	opts := lint.Options{
+		Patterns: fs.Args(),
+		ADL:      *adlPath,
+		Deploy:   *deployPath,
 	}
-	diags, err := lint.Run(lint.Options{
-		Patterns:  fs.Args(),
-		ADL:       *adlPath,
-		Deploy:    *deployPath,
-		Analyzers: selected,
-	})
+	var diags []validate.Diagnostic
+	if *archMode {
+		if *adlPath == "" {
+			return fmt.Errorf("soleil: vet -arch needs -adl (the wait graph comes from the bindings)")
+		}
+		if opts.ArchAnalyzers, err = lint.ArchByName(*analyzers); err != nil {
+			return err
+		}
+		diags, err = lint.RunArch(opts)
+	} else {
+		if opts.Analyzers, err = lint.ByName(*analyzers); err != nil {
+			return err
+		}
+		diags, err = lint.Run(opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -228,10 +250,35 @@ func cmdVet(args []string) error {
 			return err
 		}
 	}
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, diags, "soleil-vet", lint.RuleDocs()); err != nil {
+			return err
+		}
+	}
 	if n := countAtLeast(diags, threshold); n > 0 {
 		return fmt.Errorf("soleil: %d finding(s) at or above severity %v", n, threshold)
 	}
 	return nil
+}
+
+// writeSARIF renders diagnostics as a SARIF 2.1.0 log, relativizing
+// positions against the working directory so code-scanning uploads
+// resolve paths inside the repository checkout.
+func writeSARIF(path string, diags []validate.Diagnostic, tool string, ruleDocs map[string]string) error {
+	base, _ := os.Getwd()
+	opts := validate.SARIFOptions{Tool: tool, Base: base, RuleDocs: ruleDocs}
+	if path == "-" {
+		return validate.EncodeSARIF(os.Stdout, diags, opts)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := validate.EncodeSARIF(f, diags, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func countAtLeast(diags []validate.Diagnostic, threshold validate.Severity) int {

@@ -13,13 +13,24 @@
 //	       run-to-completion section
 //	SA04 — the registrations disagree with lintbad.xml: "valve" is
 //	       declared but never registered, "gauge" is registered but
-//	       not declared, active Pump's content has no Activate method,
-//	       passive Panel's content has one, and Panel's server
-//	       interface iPanel is never dispatched on
+//	       not declared, active Pump's content has no Activate method
+//	       and passive Panel's content has one
+//
+// and, under `soleil vet -arch`, every whole-architecture rule too:
+//
+//	SA05 — the two synchronous Pump/Panel bindings close a wait cycle
+//	       both Invokes really perform
+//	SA06 — pump.drainA and pump.drainB nest mu and iomu in opposite
+//	       orders on paths reachable from Invoke
+//	SA07 — pump hands its readings slice across the iPanel binding by
+//	       reference
+//	SA08 — Pump declares cost=1ms but its Invoke path drains the
+//	       channel in an unbounded loop and consumes 5ms of CPU
 package main
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"soleil/internal/assembly"
@@ -32,12 +43,16 @@ import (
 // membrane.Content only — no Activate — so registering it for an
 // active component is an SA04 error.
 type pump struct {
+	svc      *membrane.Services
+	mu       sync.Mutex
+	iomu     sync.Mutex
 	readings []float64
 	buf      []float64
 	cmds     chan int
 }
 
 func (p *pump) Init(svc *membrane.Services) error {
+	p.svc = svc
 	p.cmds = make(chan int, 1)
 	return nil
 }
@@ -46,9 +61,44 @@ func (p *pump) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
 	if itf == "iFlow" {
 		time.Sleep(time.Millisecond) // SA03: sleeping in a run-to-completion section
 		cmd := <-p.cmds              // SA03: bare receive may block forever
+		for len(p.cmds) > 0 {        // SA08: no constant trip count on a costed path
+			<-p.cmds
+		}
+		if err := env.Sched().Consume(5 * time.Millisecond); err != nil { // SA08: 5ms demand against cost=1ms
+			return nil, err
+		}
+		p.drainA()
+		p.drainB()
+		port, err := p.svc.Port("iPanel")
+		if err != nil {
+			return nil, err
+		}
+		// SA05: the synchronous call into Panel, whose Invoke calls back
+		// over iFlow; SA07: the readings slice crosses by reference.
+		if _, err := port.Call(env, "show", p.readings); err != nil {
+			return nil, err
+		}
 		return cmd, nil
 	}
 	return nil, fmt.Errorf("pump: unknown interface %q", itf)
+}
+
+// drainA and drainB take the pump's two mutexes in opposite orders
+// (SA06): two released threads interleaving them deadlock.
+func (p *pump) drainA() {
+	p.mu.Lock()
+	p.iomu.Lock()
+	p.readings = p.readings[:0]
+	p.iomu.Unlock()
+	p.mu.Unlock()
+}
+
+func (p *pump) drainB() {
+	p.iomu.Lock()
+	p.mu.Lock()
+	p.buf = p.buf[:0]
+	p.mu.Unlock()
+	p.iomu.Unlock()
 }
 
 // sample claims the no-heap contract and breaks it.
@@ -69,14 +119,19 @@ func (p *pump) calibrate(ctx *memory.Context, scratch *memory.Area) error {
 }
 
 // panel backs the passive Panel component but declares an Activate
-// method that will never run (SA04 warning).
-type panel struct{}
+// method that will never run (SA04 warning). Its Invoke calls back
+// into the pump over iFlow, closing the SA05 wait cycle.
+type panel struct{ svc *membrane.Services }
 
-func (panel) Init(svc *membrane.Services) error { return nil }
-func (panel) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
-	return nil, nil
+func (pn *panel) Init(svc *membrane.Services) error { pn.svc = svc; return nil }
+func (pn *panel) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
+	port, err := pn.svc.Port("iFlow")
+	if err != nil {
+		return nil, err
+	}
+	return port.Call(env, "ack", arg)
 }
-func (panel) Activate(env *thread.Env) error { return nil }
+func (pn *panel) Activate(env *thread.Env) error { return nil }
 
 // gauge is registered below but appears nowhere in lintbad.xml (SA04
 // warning).
@@ -92,7 +147,7 @@ func register(r *assembly.Registry) error {
 	if err := r.Register("pump", func() membrane.Content { return &pump{} }); err != nil {
 		return err
 	}
-	if err := r.Register("panel", func() membrane.Content { return panel{} }); err != nil {
+	if err := r.Register("panel", func() membrane.Content { return &panel{} }); err != nil {
 		return err
 	}
 	return r.Register("gauge", func() membrane.Content { return gauge{} })

@@ -1,0 +1,51 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"soleil/internal/qos"
+)
+
+// TestBackpressureAliasIsTheQosSentinel pins the alias wiring: the
+// package-level ErrBackpressure is not a second sentinel that merely
+// resembles the qos one — it IS qos.ErrBackpressure, so matching
+// either identifier matches both.
+func TestBackpressureAliasIsTheQosSentinel(t *testing.T) {
+	if ErrBackpressure != qos.ErrBackpressure {
+		t.Fatal("dist.ErrBackpressure must alias qos.ErrBackpressure, not redeclare it")
+	}
+	wrapped := fmt.Errorf("%w (after 5ms)", ErrBackpressure)
+	if !errors.Is(wrapped, qos.ErrBackpressure) {
+		t.Error("a wrapped dist.ErrBackpressure must satisfy errors.Is against the qos sentinel")
+	}
+}
+
+// TestFrameTooLargeMatchesThroughWrapping covers the two wrapping
+// layers the transport really produces — the size annotation added at
+// the frame boundary, plus any caller-side %w — and documents that a
+// == comparison against the sentinel silently misses both.
+func TestFrameTooLargeMatchesThroughWrapping(t *testing.T) {
+	once := fmt.Errorf("%w: sending %d bytes (limit %d)", ErrFrameTooLarge, MaxFrame+1, MaxFrame)
+	twice := fmt.Errorf("link n1->n2: %w", once)
+
+	for _, err := range []error{once, twice} {
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("errors.Is(%v, ErrFrameTooLarge) = false", err)
+		}
+		if err == ErrFrameTooLarge { //nolint:errorlint // deliberate: proving == fails
+			t.Errorf("wrapped error compares == to ErrFrameTooLarge; wrapping is broken")
+		}
+	}
+}
+
+// TestFrameTooLargeIsNotBackpressure keeps the two failure families
+// distinct: an oversized frame is a poisoned-stream error, never an
+// overload signal, so shed accounting must not count it.
+func TestFrameTooLargeIsNotBackpressure(t *testing.T) {
+	err := fmt.Errorf("%w: length prefix claims %d bytes (limit %d)", ErrFrameTooLarge, 1<<30, MaxFrame)
+	if errors.Is(err, qos.ErrBackpressure) {
+		t.Error("ErrFrameTooLarge must not unwrap to qos.ErrBackpressure")
+	}
+}

@@ -10,22 +10,29 @@ import (
 
 // TestLintbadDemonstratesEveryRule is the suite's acceptance gate:
 // the deliberately non-conforming examples/lintbad package (which
-// builds, vets and races cleanly) must trigger every SA rule, with at
-// least one error-severity finding so `soleil vet` exits non-zero on
-// it.
+// builds, vets and races cleanly) must trigger every SA rule — the
+// per-function suite through Run and the whole-architecture suite
+// through RunArch — with at least one error-severity finding so
+// `soleil vet` exits non-zero on it.
 func TestLintbadDemonstratesEveryRule(t *testing.T) {
 	root, err := filepath.Abs("../..")
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := lint.Run(lint.Options{
+	opts := lint.Options{
 		Dir:      root,
 		Patterns: []string{"./examples/lintbad"},
 		ADL:      filepath.Join(root, "examples", "lintbad", "lintbad.xml"),
-	})
+	}
+	diags, err := lint.Run(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	archDiags, err := lint.RunArch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags = append(diags, archDiags...)
 	byRule := map[string]int{}
 	for _, d := range diags {
 		byRule[d.Rule]++
@@ -37,6 +44,12 @@ func TestLintbadDemonstratesEveryRule(t *testing.T) {
 		if byRule[a.Rule] == 0 {
 			t.Errorf("rule %s (%s) not demonstrated by examples/lintbad:\n%v",
 				a.Rule, a.Name, diags)
+		}
+	}
+	for _, a := range lint.AllArch() {
+		if byRule[a.Rule] == 0 {
+			t.Errorf("rule %s (%s) not demonstrated by examples/lintbad:\n%v",
+				a.Rule, a.Name, archDiags)
 		}
 	}
 	if validate.MaxSeverity(diags) != validate.Error {
@@ -66,5 +79,30 @@ func TestHotPathsClean(t *testing.T) {
 	}
 	if len(diags) != 0 {
 		t.Errorf("hot paths have %d unsuppressed findings:\n%v", len(diags), diags)
+	}
+}
+
+// TestWholeRepoArchClean pins the acceptance command of the
+// whole-architecture suite: `soleil vet -arch -adl
+// examples/factory/factory.xml ./...` must exit clean — the blessed
+// factory and scenario implementations satisfy SA05–SA08.
+func TestWholeRepoArchClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunArch(lint.Options{
+		Dir:      root,
+		Patterns: []string{"./..."},
+		ADL:      filepath.Join(root, "examples", "factory", "factory.xml"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("whole-repo arch run has %d findings:\n%v", len(diags), diags)
 	}
 }

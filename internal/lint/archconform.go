@@ -41,7 +41,7 @@ func runArchConform(p *Pass) error {
 	if p.Arch == nil {
 		return nil
 	}
-	regs := findRegistrations(p)
+	regs := findRegistrations(p.Files, p.Info)
 	if len(regs) == 0 {
 		return nil
 	}
@@ -49,7 +49,7 @@ func runArchConform(p *Pass) error {
 	for _, r := range regs {
 		byClass[r.class] = r
 	}
-	strings_ := stringLiterals(p)
+	strings_ := stringLiterals(p.Files, p.Info)
 
 	// Which ADL components use which content class?
 	adlClasses := map[string][]*model.Component{}
@@ -126,9 +126,9 @@ func runArchConform(p *Pass) error {
 // call to a method or function named Register whose first argument is
 // a constant string. The assembly.Registry shape — but matched by
 // name, so generated assemblies and test doubles participate too.
-func findRegistrations(p *Pass) []registration {
+func findRegistrations(files []*ast.File, info *types.Info) []registration {
 	var out []registration
-	for _, f := range p.Files {
+	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok || len(call.Args) < 2 {
@@ -144,14 +144,14 @@ func findRegistrations(p *Pass) []registration {
 			if name != "Register" {
 				return true
 			}
-			tv, ok := p.Info.Types[call.Args[0]]
+			tv, ok := info.Types[call.Args[0]]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
 				return true
 			}
 			out = append(out, registration{
 				class: constant.StringVal(tv.Value),
 				pos:   call.Pos(),
-				typ:   factoryResult(p, call.Args[1]),
+				typ:   factoryResult(info, call.Args[1]),
 			})
 			return true
 		})
@@ -162,7 +162,7 @@ func findRegistrations(p *Pass) []registration {
 // factoryResult resolves the named content type a factory argument
 // produces: the result of a func literal's return statements, or the
 // result type of a named function.
-func factoryResult(p *Pass, arg ast.Expr) *types.Named {
+func factoryResult(info *types.Info, arg ast.Expr) *types.Named {
 	switch x := ast.Unparen(arg).(type) {
 	case *ast.FuncLit:
 		var named *types.Named
@@ -171,12 +171,12 @@ func factoryResult(p *Pass, arg ast.Expr) *types.Named {
 			if !ok || named != nil || len(ret.Results) == 0 {
 				return named == nil
 			}
-			named = namedOf(p.Info.TypeOf(ret.Results[0]))
+			named = namedOf(info.TypeOf(ret.Results[0]))
 			return true
 		})
 		return named
 	default:
-		if sig, ok := p.Info.TypeOf(arg).(*types.Signature); ok && sig.Results().Len() > 0 {
+		if sig, ok := info.TypeOf(arg).(*types.Signature); ok && sig.Results().Len() > 0 {
 			return namedOf(sig.Results().At(0).Type())
 		}
 	}
@@ -214,15 +214,15 @@ func hasMethod(named *types.Named, name string) bool {
 // stringLiterals collects every constant string mentioned in the
 // package: the vocabulary the content uses to dispatch interfaces and
 // operations.
-func stringLiterals(p *Pass) map[string]bool {
+func stringLiterals(files []*ast.File, info *types.Info) map[string]bool {
 	out := map[string]bool{}
-	for _, f := range p.Files {
+	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			e, ok := n.(ast.Expr)
 			if !ok {
 				return true
 			}
-			if tv, ok := p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
 				s := constant.StringVal(tv.Value)
 				if s != "" && !strings.ContainsAny(s, " \n") {
 					out[s] = true

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"soleil/internal/model"
+	"soleil/internal/validate"
+)
+
+// BindingCycle (SA05) builds the synchronous-binding wait graph of
+// the architecture and reports every cycle as a static deadlock. A
+// binding makes its client wait when it is synchronous (the caller
+// blocks for the reply) or asynchronous with a block overload policy
+// (the caller blocks for admission capacity); a cycle of waiting
+// edges means every component in it is waiting for the next — the
+// classic deadlock the soak scenarios can only hit at runtime, found
+// here from the description alone.
+//
+// The graph is refined by the code facts: when the client's content
+// class is registered and none of its implementations ever invokes
+// the binding's client interface from Invoke/Activate-reachable code,
+// the edge is dropped — the architecture permits the wait but the
+// implementation never performs it. Unregistered classes keep their
+// edges (conservative). Re-entrant server loops — Invoke calling
+// back into a component that is, transitively, its own caller — are
+// cycles of this graph and need no special casing.
+//
+// With a deployment descriptor, a cycle whose components straddle
+// nodes is escalated: the wait then crosses the transport, where
+// RT15/RT17 already restrict synchronous and block-policy bindings,
+// and a remote peer outage turns the deadlock into a distributed one.
+var BindingCycle = &ArchAnalyzer{
+	Name: "bindingcycle",
+	Rule: "SA05",
+	Doc: "reports cycles in the synchronous-binding wait graph (sync bindings and " +
+		"block-policy contracts, refined by the ports the code actually uses) as " +
+		"static deadlocks, escalating cycles that span deployment nodes",
+	Run: runBindingCycle,
+}
+
+// waitEdge is one client-waits-for-server edge of the graph.
+type waitEdge struct {
+	from, to string
+	binding  *model.Binding
+	anchor   token.Pos // first code site performing the wait, if known
+}
+
+func runBindingCycle(p *ArchPass) error {
+	facts := p.Facts
+	edges := map[string][]waitEdge{}
+	for _, b := range facts.Arch.Bindings() {
+		blockContract := b.Contract != nil && b.Contract.Policy == model.Block
+		if b.Protocol != model.Synchronous && !blockContract {
+			continue
+		}
+		e := waitEdge{from: b.Client.Component, to: b.Server.Component, binding: b}
+		if impls := facts.ImplsOf(b.Client.Component); len(impls) > 0 {
+			used := false
+			for _, im := range impls {
+				if pu, ok := im.UsesInterface(b.Client.Interface); ok {
+					used = true
+					if !e.anchor.IsValid() || pu.Pos < e.anchor {
+						e.anchor = pu.Pos
+					}
+				}
+			}
+			if !used {
+				continue // registered code never performs this wait
+			}
+		}
+		edges[e.from] = append(edges[e.from], e)
+	}
+
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var path []waitEdge
+	onPath := map[string]int{}
+	var dfs func(n string)
+	dfs = func(n string) {
+		for _, e := range edges[n] {
+			if i, ok := onPath[e.to]; ok {
+				cycle := append(append([]waitEdge{}, path[i:]...), e)
+				reportCycle(p, canonicalize(cycle))
+				continue
+			}
+			onPath[e.to] = len(path) + 1
+			path = append(path, e)
+			dfs(e.to)
+			path = path[:len(path)-1]
+			delete(onPath, e.to)
+		}
+	}
+	for _, n := range nodes {
+		onPath[n] = 0
+		dfs(n)
+		delete(onPath, n)
+	}
+	return nil
+}
+
+// canonicalize rotates the cycle so it starts at its
+// lexicographically smallest component, making every traversal of the
+// same cycle report identically (and exactly once, via the reported
+// set).
+func canonicalize(cycle []waitEdge) []waitEdge {
+	min := 0
+	for i, e := range cycle {
+		if e.from < cycle[min].from {
+			min = i
+		}
+	}
+	return append(append([]waitEdge{}, cycle[min:]...), cycle[:min]...)
+}
+
+func cycleKey(cycle []waitEdge) string {
+	var sb strings.Builder
+	for _, e := range cycle {
+		sb.WriteString(e.from)
+		sb.WriteString("->")
+	}
+	return sb.String()
+}
+
+func reportCycle(p *ArchPass, cycle []waitEdge) {
+	if p.reportedCycles == nil {
+		p.reportedCycles = map[string]bool{}
+	}
+	key := cycleKey(cycle)
+	if p.reportedCycles[key] {
+		return
+	}
+	p.reportedCycles[key] = true
+
+	var chain, waits []string
+	for _, e := range cycle {
+		chain = append(chain, e.from)
+		how := e.binding.Protocol.String()
+		if e.binding.Contract != nil && e.binding.Contract.Policy == model.Block {
+			how += ", block admission"
+		}
+		waits = append(waits, fmt.Sprintf("%s waits on %s (%s)", e.from, e.to, how))
+	}
+	chain = append(chain, cycle[0].from)
+	subject := strings.Join(chain, " -> ")
+
+	msg := fmt.Sprintf("static deadlock: every component in the wait cycle %s blocks on the next: %s",
+		subject, strings.Join(waits, "; "))
+
+	if len(p.Facts.Assign) > 0 {
+		nodeSet := map[string]bool{}
+		for _, e := range cycle {
+			if n := p.Facts.Assign[e.from]; n != "" {
+				nodeSet[n] = true
+			}
+		}
+		if len(nodeSet) > 1 {
+			nodes := make([]string, 0, len(nodeSet))
+			for n := range nodeSet {
+				nodes = append(nodes, n)
+			}
+			sort.Strings(nodes)
+			msg += fmt.Sprintf("; the cycle spans deployment nodes %s, so the wait crosses the transport"+
+				" (RT15/RT17 restrict these bindings) and a remote peer outage turns the deadlock distributed",
+				strings.Join(nodes, ", "))
+		}
+	}
+
+	pos := p.Facts.Anchor()
+	for _, e := range cycle {
+		if e.anchor.IsValid() {
+			pos = e.anchor
+			break
+		}
+	}
+	p.Report(Finding{
+		Pos: pos, Severity: validate.Error, Subject: subject, Message: msg,
+		Suggestion: "break the cycle: make one binding asynchronous with a shed or degrade policy, " +
+			"or collapse the mutually waiting components into one",
+	})
+}

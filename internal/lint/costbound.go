@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"time"
+
+	"soleil/internal/validate"
+)
+
+// CostBound (SA08) checks each implementation of a costed component —
+// one whose ADL activation declares cost= — against that budget. The
+// scheduler admits the component by its declared cost (the RT16
+// utilization sum cost/period), so an implementation that can demand
+// more CPU than it declared undermines the admission decision for
+// every component on the node.
+//
+// Two kinds of finding. Structural: code on an entry path whose cost
+// cannot be bounded at all — loops with no constant trip count,
+// recursion, calls through function values or non-framework interface
+// dispatch, Consume with a non-constant duration. Arithmetic: the
+// derived lower bound — the sum of constant Consume durations and
+// //soleil:cost annotations, multiplied through constant-trip loops
+// and summed over same-package static calls — exceeds the declared
+// cost. The bound is a lower bound (framework and other-package calls
+// count as zero), so exceeding it is a hard error, not a heuristic.
+//
+// A `//soleil:cost <duration>` doc directive declares a function's
+// worst-case cost; the body is then trusted and not descended into —
+// the escape hatch for measured leaf routines.
+var CostBound = &ArchAnalyzer{
+	Name: "costbound",
+	Rule: "SA08",
+	Doc: "checks implementations of cost=-annotated components against the declared " +
+		"budget: unboundable constructs (unbounded loops, recursion, dynamic calls) " +
+		"and derived Consume/annotation lower bounds exceeding the declared cost " +
+		"are errors — they undermine the RT16 admission arithmetic",
+	Run: runCostBound,
+}
+
+// exempt framework verbs: dynamic dispatch through the membrane's own
+// seams carries no application cost (Consume's is added explicitly).
+var costExemptCalls = map[string]bool{
+	"Port": true, "Call": true, "Send": true, "Consume": true, "Sched": true,
+}
+
+func runCostBound(p *ArchPass) error {
+	// costed[class] = components using the class that declare a cost.
+	type budget struct {
+		component string
+		cost      time.Duration
+		period    time.Duration
+	}
+	costed := map[string][]budget{}
+	for _, c := range p.Facts.Arch.Components() {
+		act := c.Activation()
+		if act == nil || act.Cost <= 0 || c.Content() == "" {
+			continue
+		}
+		costed[c.Content()] = append(costed[c.Content()], budget{
+			component: c.Name(), cost: act.Cost, period: act.Period,
+		})
+	}
+	for _, class := range p.Facts.Classes() {
+		budgets := costed[class]
+		if len(budgets) == 0 {
+			continue
+		}
+		for _, im := range p.Facts.Impls[class] {
+			cc := &costCalc{pass: p, impl: im, memo: map[*ast.FuncDecl]time.Duration{}, active: map[*ast.FuncDecl]bool{}}
+			for _, entry := range im.Entries {
+				bound := cc.fnCost(entry)
+				for _, b := range budgets {
+					if bound <= b.cost {
+						continue
+					}
+					util := ""
+					if b.period > 0 {
+						util = fmt.Sprintf("; the RT16 admission test charged %.1f%% utilization (%v/%v) but the code can demand at least %.1f%%",
+							100*float64(b.cost)/float64(b.period), b.cost, b.period,
+							100*float64(bound)/float64(b.period))
+					}
+					p.Reportf(entry.Pos(), validate.Error, b.component,
+						"raise cost= to cover the real demand, or move work off the costed path",
+						"%s of %s demands at least %v of CPU per release, but component %s declares cost=%v%s",
+						funcName(entry), im.Named.Obj().Name(), bound, b.component, b.cost, util)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// costCalc derives per-function cost lower bounds for one
+// implementation, reporting unboundable constructs as it walks.
+type costCalc struct {
+	pass   *ArchPass
+	impl   *Impl
+	memo   map[*ast.FuncDecl]time.Duration
+	active map[*ast.FuncDecl]bool
+	// reported dedups structural findings per position.
+	reported map[token.Pos]bool
+}
+
+func (c *costCalc) structural(pos token.Pos, format string, args ...any) {
+	if c.reported == nil {
+		c.reported = map[token.Pos]bool{}
+	}
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, validate.Error, c.impl.Class,
+		"bound the construct (constant trip counts, static calls) or declare a measured "+
+			"//soleil:cost on the enclosing function",
+		format, args...)
+}
+
+// fnCost returns the derived cost lower bound of one declared
+// function. A //soleil:cost annotation short-circuits the walk; a
+// cycle in the call graph is recursion and unboundable.
+func (c *costCalc) fnCost(fn *ast.FuncDecl) time.Duration {
+	if d, ok := c.memo[fn]; ok {
+		return d
+	}
+	if arg, ok := directiveArg(fn, "cost"); ok {
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			c.structural(fn.Pos(), "%s declares //soleil:cost %q, which is not a duration: %v",
+				funcName(fn), arg, err)
+			d = 0
+		}
+		c.memo[fn] = d
+		return d
+	}
+	if c.active[fn] {
+		c.structural(fn.Pos(), "%s is recursive (reachable from a membrane entry of %s): "+
+			"its cost cannot be statically bounded against the declared budget",
+			funcName(fn), c.impl.Named.Obj().Name())
+		return 0
+	}
+	c.active[fn] = true
+	d := c.nodeCost(fn.Body)
+	delete(c.active, fn)
+	c.memo[fn] = d
+	return d
+}
+
+// nodeCost walks one subtree, multiplying loop bodies by their
+// constant trip counts and summing call costs.
+func (c *costCalc) nodeCost(n ast.Node) time.Duration {
+	var total time.Duration
+	info := c.impl.Pkg.Info
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false // cost attaches where the value is called
+		case *ast.ForStmt:
+			trips, ok := boundedFor(info, s)
+			if !ok {
+				c.structural(s.Pos(), "loop has no constant trip count: the cost of %s cannot be "+
+					"bounded against the declared budget", funcName(enclosing(c.impl, s.Pos())))
+				trips = 1
+			}
+			if s.Init != nil {
+				total += c.nodeCost(s.Init)
+			}
+			if s.Cond != nil {
+				total += c.nodeCost(s.Cond)
+			}
+			body := c.nodeCost(s.Body)
+			if s.Post != nil {
+				body += c.nodeCost(s.Post)
+			}
+			total += time.Duration(trips) * body
+			return false
+		case *ast.RangeStmt:
+			trips, ok := boundedRange(info, s)
+			if !ok {
+				c.structural(s.Pos(), "range over a dynamically sized collection: the cost of %s "+
+					"cannot be bounded against the declared budget", funcName(enclosing(c.impl, s.Pos())))
+				trips = 1
+			}
+			total += time.Duration(trips) * c.nodeCost(s.Body)
+			return false
+		case *ast.CallExpr:
+			total += c.callCost(s)
+			return true // arguments are walked too; their calls cost on their own
+		}
+		return true
+	})
+	return total
+}
+
+// callCost prices one call: constant Consume durations count in full,
+// same-package static callees contribute their own bound, framework
+// and other-package callees are zero, and calls that cannot be
+// resolved at all are structural errors.
+func (c *costCalc) callCost(call *ast.CallExpr) time.Duration {
+	info := c.impl.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return 0 // conversion
+	}
+	name := calleeName(call)
+	if name == "Consume" {
+		return c.consumeCost(call)
+	}
+	callee := staticCallee(info, call)
+	if callee == nil {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if _, ok := info.Uses[fun].(*types.Builtin); ok {
+				return 0
+			}
+		case *ast.FuncLit:
+			return c.nodeCost(fun.Body)
+		}
+		if costExemptCalls[name] {
+			return 0
+		}
+		c.structural(call.Pos(), "call to %s cannot be resolved statically (function value or "+
+			"interface dispatch): the cost of %s cannot be bounded against the declared budget",
+			callDisplay(call, name), funcName(enclosing(c.impl, call.Pos())))
+		return 0
+	}
+	if decl, ok := c.impl.decls[callee]; ok {
+		return c.fnCost(decl)
+	}
+	return 0 // framework or stdlib: charged to the membrane, not the budget
+}
+
+// consumeCost extracts the constant duration of a Consume call.
+func (c *costCalc) consumeCost(call *ast.CallExpr) time.Duration {
+	if len(call.Args) != 1 {
+		return 0
+	}
+	tv, ok := c.impl.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		c.structural(call.Pos(), "Consume with a non-constant duration: the cost of %s cannot "+
+			"be bounded against the declared budget", funcName(enclosing(c.impl, call.Pos())))
+		return 0
+	}
+	if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+		return time.Duration(v)
+	}
+	return 0
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func callDisplay(call *ast.CallExpr, name string) string {
+	if name == "" {
+		return "a function value"
+	}
+	return name
+}
+
+// boundedFor recognizes `for i := 0; i < N; i++` (and <=) with a
+// constant N and returns the trip count.
+func boundedFor(info *types.Info, s *ast.ForStmt) (int64, bool) {
+	if s.Init == nil || s.Cond == nil || s.Post == nil {
+		return 0, false
+	}
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return 0, false
+	}
+	iv, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	start, ok := constInt(info, init.Rhs[0])
+	if !ok {
+		return 0, false
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return 0, false
+	}
+	cx, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok || cx.Name != iv.Name {
+		return 0, false
+	}
+	limit, ok := constInt(info, cond.Y)
+	if !ok {
+		return 0, false
+	}
+	post, ok := s.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok.String() != "++" {
+		return 0, false
+	}
+	px, ok := ast.Unparen(post.X).(*ast.Ident)
+	if !ok || px.Name != iv.Name {
+		return 0, false
+	}
+	var trips int64
+	switch cond.Op.String() {
+	case "<":
+		trips = limit - start
+	case "<=":
+		trips = limit - start + 1
+	default:
+		return 0, false
+	}
+	if trips < 0 {
+		trips = 0
+	}
+	return trips, true
+}
+
+// boundedRange recognizes ranges whose trip count is a compile-time
+// constant: fixed-size arrays (by value or pointer) and constant
+// integer ranges (go1.22 `range N`).
+func boundedRange(info *types.Info, s *ast.RangeStmt) (int64, bool) {
+	if n, ok := constInt(info, s.X); ok {
+		return n, true // range over constant integer
+	}
+	t := info.TypeOf(s.X)
+	if t == nil {
+		return 0, false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return arr.Len(), true
+	}
+	return 0, false
+}
+
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(tv.Value))
+}
+
+// enclosing finds the reachable declaration containing pos, for
+// naming in diagnostics.
+func enclosing(im *Impl, pos token.Pos) *ast.FuncDecl {
+	for fn := range im.Reach {
+		if fn.Pos() <= pos && pos <= fn.End() {
+			return fn
+		}
+	}
+	for _, fn := range im.Entries {
+		return fn
+	}
+	return nil
+}

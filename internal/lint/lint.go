@@ -13,19 +13,35 @@
 // and type-checked against gc export data, so the suite runs offline
 // with nothing but the Go toolchain.
 //
-// Four analyzers ship today, each owning one SA rule id in the
-// validate.Diagnostic vocabulary:
+// Two analyzer families ship today, each pass owning one SA rule id in
+// the validate.Diagnostic vocabulary. The per-function passes look at
+// one package at a time:
 //
 //	SA01 noheapalloc  heap allocation reachable from a no-heap path
 //	SA02 scoperef     scoped reference stored into longer-lived state
 //	SA03 rtblock      unbounded blocking inside run-to-completion code
 //	SA04 archconform  code vs ADL drift (registrations, activation kinds)
 //
+// The whole-architecture passes (soleil vet -arch) fuse the ADL
+// architecture, the deployment descriptor and the typed ASTs of every
+// registered implementation into one model (ArchFacts) and analyze
+// the composed system:
+//
+//	SA05 bindingcycle   synchronous-binding wait cycles (static deadlock)
+//	SA06 lockorder      inconsistent mutex acquisition order in content code
+//	SA07 membranebypass mutable state handed across a binding by reference
+//	SA08 costbound      implementation cost vs the ADL cost= budget
+//
 // Source annotations:
 //
-//	//soleil:noheap            marks a function as a no-heap root (SA01)
-//	//soleil:rtc               marks a function as run-to-completion (SA03)
-//	//soleil:ignore SAxx why   suppresses a finding on this or the next line
+//	//soleil:noheap               marks a function as a no-heap root (SA01)
+//	//soleil:rtc                  marks a function as run-to-completion (SA03)
+//	//soleil:cost 250us           declares a function's CPU cost (SA08)
+//	//soleil:ignore SAxx[,SAyy] why   suppresses findings on this or the next line
+//
+// The ignore directive names one or more comma-separated rule ids;
+// unknown ids are themselves reported (rule SA00) instead of silently
+// suppressing nothing — or worse, everything.
 package lint
 
 import (
@@ -52,7 +68,8 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// All is the full analyzer suite in rule order.
+// All is the per-function analyzer suite in rule order. The
+// whole-architecture passes live in AllArch.
 func All() []*Analyzer {
 	return []*Analyzer{NoHeapAlloc, ScopeRef, RTBlock, ArchConform}
 }
@@ -77,6 +94,39 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// RuleDocs maps every rule id in the suite (per-function and
+// whole-architecture) to the first line of its analyzer's Doc — the
+// one-liner SARIF export emits as rule metadata.
+func RuleDocs() map[string]string {
+	docs := map[string]string{}
+	add := func(rule, doc string) {
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		docs[rule] = strings.TrimSuffix(strings.TrimSpace(doc), ".")
+	}
+	for _, a := range All() {
+		add(a.Rule, a.Doc)
+	}
+	for _, a := range AllArch() {
+		add(a.Rule, a.Doc)
+	}
+	return docs
+}
+
+// KnownRules is the set of rule ids a //soleil:ignore directive may
+// name: every per-function and whole-architecture pass, plus SA00
+// (the directive-validation rule itself). The set is spelled out
+// rather than derived from All()/AllArch() — the directive parser runs
+// during analyzer construction, and deriving it would create an
+// initialization cycle; TestKnownRulesCoverSuite keeps it honest.
+func KnownRules() map[string]bool {
+	return map[string]bool{
+		"SA00": true, "SA01": true, "SA02": true, "SA03": true, "SA04": true,
+		"SA05": true, "SA06": true, "SA07": true, "SA08": true,
+	}
+}
+
 // A Finding is one source-level diagnostic before it is rendered into
 // the shared validate.Diagnostic form.
 type Finding struct {
@@ -99,13 +149,21 @@ type Pass struct {
 	// (analyzers that need it skip themselves).
 	Arch *model.Architecture
 
-	findings    []Finding
-	suppression map[string][]suppressed // filename -> suppression comments
+	findings []Finding
+	supp     *suppressionIndex
 }
 
 type suppressed struct {
 	line  int
-	rules map[string]bool // empty set = all rules
+	rules map[string]bool
+}
+
+// A suppressionIndex is the parsed //soleil:ignore directives of one
+// package, built once and shared by every pass over it, plus the SA00
+// findings for directives that failed to parse.
+type suppressionIndex struct {
+	byFile map[string][]suppressed // filename -> directives
+	bad    []Finding               // SA00: malformed or unknown-rule directives
 }
 
 // Report records a finding unless a //soleil:ignore comment on the
@@ -129,62 +187,106 @@ func (p *Pass) Reportf(pos token.Pos, sev validate.Severity, subject, suggestion
 }
 
 func (p *Pass) isSuppressed(f Finding) bool {
-	if p.suppression == nil {
-		p.buildSuppressions()
+	if p.supp == nil {
+		p.supp = buildSuppressionIndex(p.Fset, p.Files)
 	}
-	pos := p.Fset.Position(f.Pos)
-	for _, s := range p.suppression[pos.Filename] {
-		if s.line != pos.Line && s.line != pos.Line-1 {
+	return p.supp.suppresses(p.Fset, f)
+}
+
+func (s *suppressionIndex) suppresses(fset *token.FileSet, f Finding) bool {
+	pos := fset.Position(f.Pos)
+	for _, d := range s.byFile[pos.Filename] {
+		if d.line != pos.Line && d.line != pos.Line-1 {
 			continue
 		}
-		if len(s.rules) == 0 || s.rules[f.Rule] {
+		if d.rules[f.Rule] {
 			return true
 		}
 	}
 	return false
 }
 
-var ignoreRE = regexp.MustCompile(`^//\s*soleil:ignore\b\s*([A-Z0-9,]*)`)
+var ignoreRE = regexp.MustCompile(`^//\s*soleil:ignore\b(.*)`)
 
-func (p *Pass) buildSuppressions() {
-	p.suppression = map[string][]suppressed{}
-	for _, f := range p.Files {
+// buildSuppressionIndex parses every //soleil:ignore directive in the
+// files. A directive names one or more comma-separated rule ids
+// followed by a justification: `//soleil:ignore SA05,SA06 reason`.
+// Directives with no rule list, or naming a rule id the suite does not
+// own, suppress nothing and are reported under rule SA00 — a silent
+// typo in a suppression is how a real finding disappears.
+func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) *suppressionIndex {
+	idx := &suppressionIndex{byFile: map[string][]suppressed{}}
+	known := KnownRules()
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := ignoreRE.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
+				bad := func(format string, args ...any) {
+					idx.bad = append(idx.bad, Finding{
+						Pos: c.Pos(), Rule: "SA00", Severity: validate.Error,
+						Subject: "//soleil:ignore",
+						Message: fmt.Sprintf(format, args...),
+						Suggestion: "name the rules to suppress, e.g. //soleil:ignore SA03 bounded by the RTC section",
+					})
+				}
+				fields := strings.Fields(m[1])
+				if len(fields) == 0 {
+					bad("//soleil:ignore names no rule; the directive suppresses nothing")
+					continue
+				}
 				s := suppressed{
-					line:  p.Fset.Position(c.Pos()).Line,
+					line:  fset.Position(c.Pos()).Line,
 					rules: map[string]bool{},
 				}
-				for _, r := range strings.Split(m[1], ",") {
-					if r = strings.TrimSpace(r); r != "" {
-						s.rules[r] = true
+				ok := true
+				for _, id := range strings.Split(fields[0], ",") {
+					canon := strings.ToUpper(strings.TrimSpace(id))
+					if canon == "" || !known[canon] {
+						bad("//soleil:ignore names unknown rule id %q; the directive suppresses nothing", id)
+						ok = false
+						break
 					}
+					s.rules[canon] = true
 				}
-				name := p.Fset.Position(c.Pos()).Filename
-				p.suppression[name] = append(p.suppression[name], s)
+				if !ok {
+					continue
+				}
+				name := fset.Position(c.Pos()).Filename
+				idx.byFile[name] = append(idx.byFile[name], s)
 			}
 		}
 	}
+	return idx
 }
 
 // directive reports whether fn's doc comment carries the given
 // //soleil: directive (e.g. "noheap", "rtc").
 func directive(fn *ast.FuncDecl, name string) bool {
+	_, ok := directiveArg(fn, name)
+	return ok
+}
+
+// directiveArg returns the argument text of fn's //soleil:<name>
+// directive ("" when the directive is bare) and whether the directive
+// is present at all.
+func directiveArg(fn *ast.FuncDecl, name string) (string, bool) {
 	if fn == nil || fn.Doc == nil {
-		return false
+		return "", false
 	}
 	want := "//soleil:" + name
 	for _, c := range fn.Doc.List {
 		text := strings.TrimSpace(c.Text)
-		if text == want || strings.HasPrefix(text, want+" ") {
-			return true
+		if text == want {
+			return "", true
+		}
+		if strings.HasPrefix(text, want+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(text, want+" ")), true
 		}
 	}
-	return false
+	return "", false
 }
 
 // funcName renders a function's display name, including the receiver
@@ -210,4 +312,14 @@ func typeText(e ast.Expr) string {
 	default:
 		return fmt.Sprintf("%T", e)
 	}
+}
+
+// receiverObj returns the receiver variable object of a method
+// declaration, or nil for plain functions and unnamed receivers.
+func receiverObj(info *types.Info, fn *ast.FuncDecl) *types.Var {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[fn.Recv.List[0].Names[0]].(*types.Var)
+	return v
 }

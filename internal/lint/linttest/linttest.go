@@ -46,6 +46,38 @@ func Run(t *testing.T, dir string, a *lint.Analyzer, archPath string) []validate
 	return diags
 }
 
+// RunArch loads the corpus package at dir, fuses it with the ADL
+// architecture at archPath (and the deployment at deployPath, when
+// non-empty), applies one whole-architecture analyzer and compares the
+// findings with the corpus's want comments.
+func RunArch(t *testing.T, dir string, a *lint.ArchAnalyzer, archPath, deployPath string) []validate.Diagnostic {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	arch, err := adl.DecodeFile(archPath)
+	if err != nil {
+		t.Fatalf("loading ADL %s: %v", archPath, err)
+	}
+	var dep *model.Deployment
+	if deployPath != "" {
+		if dep, err = adl.DecodeDeploymentFile(deployPath); err != nil {
+			t.Fatalf("loading deployment %s: %v", deployPath, err)
+		}
+	}
+	facts, err := lint.BuildArchFacts(arch, dep, []*lint.Package{pkg})
+	if err != nil {
+		t.Fatalf("fusing facts for %s: %v", dir, err)
+	}
+	diags, err := lint.RunArchPasses(facts, []*lint.ArchAnalyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkExpectations(t, pkg, diags)
+	return diags
+}
+
 type key struct {
 	file string // base name
 	line int

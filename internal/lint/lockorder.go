@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"soleil/internal/validate"
+)
+
+// LockOrder (SA06) computes the mutex acquisition orders of each
+// registered implementation, rooted at its membrane entry points, and
+// flags pairs of mutexes taken in both orders. The RTSJ idiom the
+// suite accepts (SA03 warns rather than errors on sync.Mutex) is a
+// short priority-ceiling critical section; two such sections nesting
+// the same pair of locks in opposite orders is the one shape that
+// deadlocks two released threads of the same component — found here
+// from the static acquisition structure.
+//
+// The walk is intraprocedural across package boundaries (like every
+// pass in the suite) but follows same-package static calls from
+// Invoke/Activate, carries the held-lock set through them, ignores
+// deferred unlocks (the lock is held to the end of the function) and
+// names locks canonically by receiver type, so `p.mu` in one method
+// and `q.mu` in another are the same lock.
+var LockOrder = &ArchAnalyzer{
+	Name: "lockorder",
+	Rule: "SA06",
+	Doc: "flags mutex pairs a registered implementation acquires in both orders " +
+		"on paths reachable from Invoke/Activate — the static shape of an " +
+		"intra-component deadlock",
+	Run: runLockOrder,
+}
+
+// lockSite is one ordered acquisition: outer held while inner is
+// taken, at pos (the inner Lock call).
+type lockSite struct {
+	outer, inner string
+	pos          token.Pos
+}
+
+func runLockOrder(p *ArchPass) error {
+	for _, class := range p.Facts.Classes() {
+		for _, im := range p.Facts.Impls[class] {
+			checkImplLockOrder(p, im)
+		}
+	}
+	return nil
+}
+
+func checkImplLockOrder(p *ArchPass, im *Impl) {
+	// pairs[outer][inner] = first site acquiring inner while outer is
+	// held.
+	pairs := map[string]map[string]token.Pos{}
+	record := func(s lockSite) {
+		m, ok := pairs[s.outer]
+		if !ok {
+			m = map[string]token.Pos{}
+			pairs[s.outer] = m
+		}
+		if _, ok := m[s.inner]; !ok {
+			m[s.inner] = s.pos
+		}
+	}
+
+	visited := map[*ast.FuncDecl]bool{}
+	var walk func(fn *ast.FuncDecl, held []string)
+	walk = func(fn *ast.FuncDecl, held []string) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return false // deferred unlocks keep the lock held to the end
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // not executed inline at this point
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if key, ok := mutexKey(im, sel); ok {
+					switch sel.Sel.Name {
+					case "Lock", "RLock":
+						for _, h := range held {
+							if h != key {
+								record(lockSite{outer: h, inner: key, pos: call.Pos()})
+							}
+						}
+						held = append(held, key)
+						return true
+					case "Unlock", "RUnlock":
+						for i := len(held) - 1; i >= 0; i-- {
+							if held[i] == key {
+								held = append(held[:i:i], held[i+1:]...)
+								break
+							}
+						}
+						return true
+					}
+				}
+			}
+			if callee := staticCallee(im.Pkg.Info, call); callee != nil {
+				if decl, ok := im.decls[callee]; ok {
+					walk(decl, append([]string(nil), held...))
+				}
+			}
+			return true
+		})
+	}
+	for _, e := range im.Entries {
+		walk(e, nil)
+	}
+
+	// Inversions: (a,b) and (b,a) both recorded. Report once per
+	// unordered pair, anchored at the inversion of the canonical
+	// (smaller-first) order.
+	type inversion struct{ a, b string }
+	var found []inversion
+	for outer, inners := range pairs {
+		for inner := range inners {
+			if outer < inner {
+				if _, ok := pairs[inner][outer]; ok {
+					found = append(found, inversion{a: outer, b: inner})
+				}
+			}
+		}
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].a != found[j].a {
+			return found[i].a < found[j].a
+		}
+		return found[i].b < found[j].b
+	})
+	fset := im.Pkg.Fset
+	for _, inv := range found {
+		fwd, rev := pairs[inv.a][inv.b], pairs[inv.b][inv.a]
+		p.Report(Finding{
+			Pos:      rev,
+			Severity: validate.Error,
+			Subject:  im.Class,
+			Message: fmt.Sprintf("implementation %s of content class %q acquires %s and %s in both orders:"+
+				" %s then %s here, %s then %s at %s — two releases interleaving these sections deadlock",
+				im.Named.Obj().Name(), im.Class, inv.a, inv.b,
+				inv.b, inv.a, inv.a, inv.b, fset.Position(fwd)),
+			Suggestion: fmt.Sprintf("impose one acquisition order (always %s before %s), or merge the critical sections",
+				inv.a, inv.b),
+		})
+	}
+}
+
+// mutexKey canonicalizes the lock expression of sel.X when its type
+// is sync.Mutex or sync.RWMutex: receiver identifiers are replaced by
+// the implementation type's name so the same field is the same lock
+// in every method.
+func mutexKey(im *Impl, sel *ast.SelectorExpr) (string, bool) {
+	t := im.Pkg.Info.TypeOf(sel.X)
+	if t == nil || !isSyncMutex(t) {
+		return "", false
+	}
+	return lockExprKey(im, sel.X), true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func lockExprKey(im *Impl, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := im.Pkg.Info.Uses[x].(*types.Var); ok {
+			if named := namedOf(v.Type()); named == im.Named {
+				return im.Named.Obj().Name()
+			}
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		return lockExprKey(im, x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return lockExprKey(im, x.X)
+	case *ast.IndexExpr:
+		return lockExprKey(im, x.X) + "[i]"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

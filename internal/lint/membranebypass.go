@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"soleil/internal/model"
+	"soleil/internal/validate"
+)
+
+// MembraneBypass (SA07) catches mutable state handed across a binding
+// by reference. Every interaction between components is supposed to
+// cross the membrane — admission gates, metrics, panic isolation —
+// but a pointer, slice, map or channel argument gives the server a
+// direct line back into the client's state (and vice versa for
+// reference-typed Invoke results on synchronous bindings): later
+// mutations bypass the membrane entirely, and on a cross-node
+// deployment the alias silently stops being shared at all.
+//
+// Flagged: Call/Send arguments and, for implementations serving a
+// synchronous binding, the first Invoke result, when the static type
+// is reference-carrying (pointer, slice, map, channel — interface
+// types are not flagged: the framework's envelope is `any` and the
+// dynamic value is checked where it is built), the type does not
+// provide a DeepCopy method, and the value derives from the receiver
+// or a package-level variable. Freshly allocated locals are fine —
+// they escape on purpose.
+var MembraneBypass = &ArchAnalyzer{
+	Name: "membranebypass",
+	Rule: "SA07",
+	Doc: "flags receiver- or package-state handed across a binding by pointer, " +
+		"slice, map or channel without a DeepCopy — aliases that bypass the " +
+		"membrane's gates and break on cross-node deployments",
+	Run: runMembraneBypass,
+}
+
+func runMembraneBypass(p *ArchPass) error {
+	facts := p.Facts
+	// clientItfs[class] = set of client interface names bound for any
+	// component using the class; syncServer[class] = true when some
+	// component using the class serves a synchronous binding.
+	clientItfs := map[string]map[string]bool{}
+	syncServer := map[string]bool{}
+	contentOf := map[string]string{}
+	for _, c := range facts.Arch.Components() {
+		contentOf[c.Name()] = c.Content()
+	}
+	for _, b := range facts.Arch.Bindings() {
+		if class := contentOf[b.Client.Component]; class != "" {
+			if clientItfs[class] == nil {
+				clientItfs[class] = map[string]bool{}
+			}
+			clientItfs[class][b.Client.Interface] = true
+		}
+		if b.Protocol == model.Synchronous {
+			if class := contentOf[b.Server.Component]; class != "" {
+				syncServer[class] = true
+			}
+		}
+	}
+
+	for _, class := range facts.Classes() {
+		for _, im := range facts.Impls[class] {
+			for _, pu := range im.PortUses {
+				if !clientItfs[class][pu.Interface] {
+					continue // port not bound in this architecture
+				}
+				if len(pu.Call.Args) < 3 {
+					continue
+				}
+				checkCrossing(p, im, pu.Call.Args[2], pu.In, fmt.Sprintf(
+					"argument of %s on interface %q", callVerb(pu.Sync), pu.Interface))
+			}
+			if syncServer[class] {
+				checkInvokeResults(p, im)
+			}
+		}
+	}
+	return nil
+}
+
+func callVerb(sync bool) string {
+	if sync {
+		return "Call"
+	}
+	return "Send"
+}
+
+// checkInvokeResults applies the crossing check to the first result of
+// every return in Invoke — on a synchronous binding that value travels
+// back to the client.
+func checkInvokeResults(p *ArchPass, im *Impl) {
+	inv, ok := im.Methods["Invoke"]
+	if !ok {
+		return
+	}
+	ast.Inspect(inv.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		checkCrossing(p, im, ret.Results[0], inv,
+			"Invoke result returned over a synchronous binding")
+		return true
+	})
+}
+
+// checkCrossing reports expr when it aliases component or package
+// state with a reference-carrying type that has no DeepCopy.
+func checkCrossing(p *ArchPass, im *Impl, expr ast.Expr, in *ast.FuncDecl, what string) {
+	t := im.Pkg.Info.TypeOf(expr)
+	if t == nil || !referenceCarrying(t) {
+		return
+	}
+	if named := namedOf(t); named != nil && hasMethod(named, "DeepCopy") {
+		return
+	}
+	origin, ok := stateOrigin(im, in, expr)
+	if !ok {
+		return
+	}
+	p.Report(Finding{
+		Pos:      expr.Pos(),
+		Severity: validate.Error,
+		Subject:  im.Class,
+		Message: fmt.Sprintf("%s aliases %s through a %s: the peer component gets a live reference"+
+			" into this component's state, bypassing the membrane's admission gates, metrics and panic"+
+			" isolation — and on a cross-node deployment the alias is silently severed",
+			what, origin, typeKind(t)),
+		Suggestion: "pass a value copy (or a type with a DeepCopy method); share results, not state",
+	})
+}
+
+// referenceCarrying reports whether values of t alias backing storage
+// when handed over: pointers, slices, maps and channels. Interfaces
+// are deliberately excluded — the membrane envelope itself is `any`.
+func referenceCarrying(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Pointer:
+		return "pointer"
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "channel"
+	}
+	return "reference"
+}
+
+// stateOrigin strips the expression to its base identifier and
+// reports whether it denotes component state (the receiver of the
+// enclosing method) or a package-level variable.
+func stateOrigin(im *Impl, in *ast.FuncDecl, expr ast.Expr) (string, bool) {
+	base := stateBaseIdent(expr)
+	if base == nil {
+		return "", false
+	}
+	obj := im.Pkg.Info.Uses[base]
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return "", false
+	}
+	if recv := receiverObj(im.Pkg.Info, in); recv != nil && v == recv {
+		return fmt.Sprintf("the receiver state of %s", im.Named.Obj().Name()), true
+	}
+	// Fields reached through the receiver resolve the base ident to the
+	// receiver var itself (handled above); a package-level var has
+	// package scope as parent.
+	if v.Parent() == im.Pkg.Pkg.Scope() {
+		return fmt.Sprintf("package-level variable %s", v.Name()), true
+	}
+	return "", false
+}
+
+// stateBaseIdent unwraps &x, *x, parens, x[i], x[i:j] and x.f chains
+// down to the root identifier. (Wider than scoperef's baseIdent: the
+// address-of and slice forms matter for arguments.)
+func stateBaseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

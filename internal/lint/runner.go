@@ -24,6 +24,9 @@ type Options struct {
 	Deploy string
 	// Analyzers selects the passes to run; nil means All().
 	Analyzers []*Analyzer
+	// ArchAnalyzers selects the whole-architecture passes RunArch
+	// applies; nil means AllArch(). Ignored by Run.
+	ArchAnalyzers []*ArchAnalyzer
 }
 
 // Run loads the requested packages, applies the analyzer suite and
@@ -76,9 +79,15 @@ func Run(opts Options) ([]validate.Diagnostic, error) {
 	return diags, nil
 }
 
-// RunPackage applies the analyzers to one loaded package.
+// RunPackage applies the analyzers to one loaded package. The
+// //soleil:ignore directives are parsed once, shared by every pass,
+// and malformed directives surface as SA00 findings of their own.
 func RunPackage(pkg *Package, arch *model.Architecture, analyzers []*Analyzer) ([]validate.Diagnostic, error) {
 	var diags []validate.Diagnostic
+	supp := buildSuppressionIndex(pkg.Fset, pkg.Files)
+	for _, f := range supp.bad {
+		diags = append(diags, Render(pkg, f))
+	}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -87,6 +96,7 @@ func RunPackage(pkg *Package, arch *model.Architecture, analyzers []*Analyzer) (
 			Pkg:      pkg.Pkg,
 			Info:     pkg.Info,
 			Arch:     arch,
+			supp:     supp,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, err

@@ -1,0 +1,83 @@
+// Clean corpus for the whole-architecture suite: bounded cost, one
+// lock order, value-only membrane crossings, no wait cycle. No pass
+// may report anything here.
+package archcleansrc
+
+import (
+	"sync"
+	"time"
+)
+
+type sched interface{ Consume(d time.Duration) error }
+
+type env struct{}
+
+func (e *env) Sched() sched { return nil }
+
+type port interface {
+	Call(e *env, op string, arg any) (any, error)
+	Send(e *env, op string, arg any) error
+}
+
+type services struct{ ports map[string]port }
+
+func (s *services) Port(name string) port { return s.ports[name] }
+
+type Content interface{ Init(svc *services) error }
+
+type Registry struct{ factories map[string]func() Content }
+
+func (r *Registry) Register(class string, f func() Content) error {
+	r.factories[class] = f
+	return nil
+}
+
+const samples = 8
+
+type producerImpl struct {
+	svc *services
+	mu  sync.Mutex
+	seq int
+}
+
+func (p *producerImpl) Init(svc *services) error { p.svc = svc; return nil }
+
+func (p *producerImpl) Invoke(e *env, itf, op string, arg any) (any, error) {
+	return nil, nil
+}
+
+func (p *producerImpl) Activate(e *env) error {
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+	for i := 0; i < samples; i++ {
+		if err := e.Sched().Consume(200 * time.Microsecond); err != nil {
+			return err
+		}
+	}
+	_, err := p.svc.Port("iSink").Call(e, "store", seq)
+	return err
+}
+
+type sinkImpl struct {
+	mu    sync.Mutex
+	total int
+}
+
+func (s *sinkImpl) Init(svc *services) error { return nil }
+
+func (s *sinkImpl) Invoke(e *env, itf, op string, arg any) (any, error) {
+	s.mu.Lock()
+	s.total++
+	t := s.total
+	s.mu.Unlock()
+	return t, nil
+}
+
+func Wire(r *Registry) error {
+	if err := r.Register("producer", func() Content { return &producerImpl{} }); err != nil {
+		return err
+	}
+	return r.Register("sink", func() Content { return &sinkImpl{} })
+}

@@ -1,0 +1,102 @@
+// Corpus for the bindingcycle (SA05) analyzer; the matching
+// architecture and deployment live in arch.xml and deploy.xml next to
+// this file. The stubs mirror the soleil membrane vocabulary by name
+// (Port/Call/Send, Registry.Register) without importing the framework.
+package bindcyclesrc
+
+type env struct{}
+
+type port interface {
+	Call(e *env, op string, arg any) (any, error)
+	Send(e *env, op string, arg any) error
+}
+
+type services struct{ ports map[string]port }
+
+func (s *services) Port(name string) port { return s.ports[name] }
+
+type Content interface{ Init(svc *services) error }
+
+type Registry struct{ factories map[string]func() Content }
+
+func (r *Registry) Register(class string, f func() Content) error {
+	r.factories[class] = f
+	return nil
+}
+
+// alphaImpl and betaImpl really perform the mutual synchronous calls
+// their bindings permit: a two-component static deadlock.
+type alphaImpl struct{ svc *services }
+
+func (a *alphaImpl) Init(svc *services) error { a.svc = svc; return nil }
+
+func (a *alphaImpl) Invoke(e *env, itf, op string, arg any) (any, error) {
+	return a.svc.Port("iBeta").Call(e, "ping", 1) // want `SA05 static deadlock: every component in the wait cycle Alpha -> Beta -> Alpha`
+}
+
+type betaImpl struct{ svc *services }
+
+func (b *betaImpl) Init(svc *services) error { b.svc = svc; return nil }
+
+func (b *betaImpl) Invoke(e *env, itf, op string, arg any) (any, error) {
+	return b.svc.Port("iAlpha").Call(e, "pong", 2)
+}
+
+// gammaImpl and deltaImpl exchange asynchronous messages, but both
+// bindings carry a block-policy contract: when either buffer fills,
+// the senders wait on each other — and deploy.xml puts them on
+// different nodes.
+type gammaImpl struct{ svc *services }
+
+func (g *gammaImpl) Init(svc *services) error { g.svc = svc; return nil }
+
+func (g *gammaImpl) Invoke(e *env, itf, op string, arg any) (any, error) {
+	return nil, g.svc.Port("iDelta").Send(e, "fwd", 3)
+}
+
+type deltaImpl struct{ svc *services }
+
+func (d *deltaImpl) Init(svc *services) error { d.svc = svc; return nil }
+
+func (d *deltaImpl) Invoke(e *env, itf, op string, arg any) (any, error) {
+	return nil, d.svc.Port("iGamma").Send(e, "ack", 4) // want `SA05 static deadlock: every component in the wait cycle Delta -> Gamma -> Delta.*spans deployment nodes n1, n2`
+}
+
+// epsilonImpl calls out, but zetaImpl never touches its client port:
+// the ADL permits a cycle the code cannot perform, and refinement
+// drops the Zeta -> Epsilon edge. No finding.
+type epsilonImpl struct{ svc *services }
+
+func (p *epsilonImpl) Init(svc *services) error { p.svc = svc; return nil }
+
+func (p *epsilonImpl) Invoke(e *env, itf, op string, arg any) (any, error) {
+	return p.svc.Port("iZeta").Call(e, "fetch", 5)
+}
+
+type zetaImpl struct{ hits int }
+
+func (z *zetaImpl) Init(svc *services) error { return nil }
+
+func (z *zetaImpl) Invoke(e *env, itf, op string, arg any) (any, error) {
+	z.hits++
+	return z.hits, nil
+}
+
+func Wire(r *Registry) error {
+	if err := r.Register("alpha", func() Content { return &alphaImpl{} }); err != nil {
+		return err
+	}
+	if err := r.Register("beta", func() Content { return &betaImpl{} }); err != nil {
+		return err
+	}
+	if err := r.Register("gamma", func() Content { return &gammaImpl{} }); err != nil {
+		return err
+	}
+	if err := r.Register("delta", func() Content { return &deltaImpl{} }); err != nil {
+		return err
+	}
+	if err := r.Register("epsilon", func() Content { return &epsilonImpl{} }); err != nil {
+		return err
+	}
+	return r.Register("zeta", func() Content { return &zetaImpl{} })
+}

@@ -1,0 +1,89 @@
+// Corpus for the costbound (SA08) analyzer; the matching architecture
+// lives in arch.xml next to this file.
+package costboundsrc
+
+import "time"
+
+type sched interface{ Consume(d time.Duration) error }
+
+type env struct{}
+
+func (e *env) Sched() sched { return nil }
+
+type services struct{}
+
+type Content interface{ Init(svc *services) error }
+
+type Registry struct{ factories map[string]func() Content }
+
+func (r *Registry) Register(class string, f func() Content) error {
+	r.factories[class] = f
+	return nil
+}
+
+const batch = 4
+
+// costImpl backs Worker (cost=1ms) and demonstrates every unboundable
+// construct plus a derived bound that exceeds the declared budget:
+// 4 x 300us of Consume plus the 100us annotation is 1.3ms.
+type costImpl struct {
+	level int
+	cb    func()
+}
+
+func (c *costImpl) Init(svc *services) error { return nil }
+
+func (c *costImpl) Invoke(e *env, itf, op string, arg any) (any, error) { return nil, nil }
+
+func (c *costImpl) Activate(e *env) error { // want `SA08 \(\*costImpl\)\.Activate of costImpl demands at least 1\.3ms of CPU per release, but component Worker declares cost=1ms`
+	for c.level > 0 { // want `SA08 loop has no constant trip count`
+		c.level--
+	}
+	c.cb() // want `SA08 call to cb cannot be resolved statically`
+	for i := 0; i < batch; i++ {
+		if err := e.Sched().Consume(300 * time.Microsecond); err != nil {
+			return err
+		}
+	}
+	c.measured()
+	return c.deep(2)
+}
+
+// measured is a leaf whose worst case was profiled offline: the
+// annotation is trusted and the unbounded body is not descended into.
+//
+//soleil:cost 100us
+func (c *costImpl) measured() {
+	for c.level < 10 {
+		c.level++
+	}
+}
+
+func (c *costImpl) deep(n int) error { // want `SA08 \(\*costImpl\)\.deep is recursive`
+	if n == 0 {
+		return nil
+	}
+	return c.deep(n - 1)
+}
+
+// noBudgetImpl backs a component that declares no cost= budget: SA08
+// leaves it alone, unbounded loop and all.
+type noBudgetImpl struct{ level int }
+
+func (n *noBudgetImpl) Init(svc *services) error { return nil }
+
+func (n *noBudgetImpl) Invoke(e *env, itf, op string, arg any) (any, error) { return nil, nil }
+
+func (n *noBudgetImpl) Activate(e *env) error {
+	for n.level > 0 {
+		n.level--
+	}
+	return nil
+}
+
+func Wire(r *Registry) error {
+	if err := r.Register("worker", func() Content { return &costImpl{} }); err != nil {
+		return err
+	}
+	return r.Register("nobudget", func() Content { return &noBudgetImpl{} })
+}

@@ -1,0 +1,88 @@
+// Corpus for the lockorder (SA06) analyzer; the matching architecture
+// lives in arch.xml next to this file.
+package lockordersrc
+
+import "sync"
+
+type services struct{}
+
+type Content interface{ Init(svc *services) error }
+
+type Registry struct{ factories map[string]func() Content }
+
+func (r *Registry) Register(class string, f func() Content) error {
+	r.factories[class] = f
+	return nil
+}
+
+// lockImpl nests its two mutexes in both orders on paths reachable
+// from Invoke: two released threads interleaving drainA and drainB
+// deadlock the component.
+type lockImpl struct {
+	mu sync.Mutex
+	io sync.Mutex
+	n  int
+}
+
+func (l *lockImpl) Init(svc *services) error { return nil }
+
+func (l *lockImpl) Invoke(itf, op string, arg any) (any, error) {
+	l.drainA()
+	l.drainB()
+	return l.n, nil
+}
+
+func (l *lockImpl) drainA() {
+	l.mu.Lock()
+	l.io.Lock() // want `SA06 implementation lockImpl of content class "locker" acquires lockImpl\.io and lockImpl\.mu in both orders`
+	l.n++
+	l.io.Unlock()
+	l.mu.Unlock()
+}
+
+func (l *lockImpl) drainB() {
+	l.io.Lock()
+	l.mu.Lock()
+	l.n--
+	l.mu.Unlock()
+	l.io.Unlock()
+}
+
+// cleanImpl takes the same pair in one order everywhere (with the
+// deferred-unlock idiom on one path): no inversion, no finding.
+type cleanImpl struct {
+	mu sync.Mutex
+	io sync.Mutex
+	n  int
+}
+
+func (c *cleanImpl) Init(svc *services) error { return nil }
+
+func (c *cleanImpl) Invoke(itf, op string, arg any) (any, error) {
+	c.fill()
+	c.flush()
+	return c.n, nil
+}
+
+func (c *cleanImpl) fill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.io.Lock()
+	c.n++
+	c.io.Unlock()
+}
+
+func (c *cleanImpl) flush() {
+	c.mu.Lock()
+	c.io.Lock()
+	c.n--
+	c.io.Unlock()
+	c.mu.Unlock()
+}
+
+func Wire(r *Registry) error {
+	if err := r.Register("locker", func() Content { return &lockImpl{} }); err != nil {
+		return err
+	}
+	return r.Register("cleanlocker", func() Content { return &cleanImpl{} })
+}

@@ -1,0 +1,95 @@
+// Corpus for the membranebypass (SA07) analyzer; the matching
+// architecture lives in arch.xml next to this file.
+package membranesrc
+
+type env struct{}
+
+type port interface {
+	Call(e *env, op string, arg any) (any, error)
+	Send(e *env, op string, arg any) error
+}
+
+type services struct{ ports map[string]port }
+
+func (s *services) Port(name string) port { return s.ports[name] }
+
+type Content interface{ Init(svc *services) error }
+
+type Registry struct{ factories map[string]func() Content }
+
+func (r *Registry) Register(class string, f func() Content) error {
+	r.factories[class] = f
+	return nil
+}
+
+// records is reference-carrying but provides the deep-copy protocol
+// the membrane's deep-copy binding pattern relies on: exempt.
+type records []float64
+
+func (r records) DeepCopy() any {
+	out := make(records, len(r))
+	copy(out, r)
+	return out
+}
+
+var table = map[string]int{}
+
+// sendImpl hands its own state across the binding in every
+// reference-carrying shape; the value copies, fresh allocations and
+// deep-copy types below them are the legitimate alternatives.
+type sendImpl struct {
+	svc   *services
+	stats []float64
+	tab   map[string]int
+	count int
+	log   records
+}
+
+func (s *sendImpl) Init(svc *services) error { s.svc = svc; return nil }
+
+func (s *sendImpl) Invoke(e *env, itf, op string, arg any) (any, error) {
+	p := s.svc.Port("iRecv")
+	if _, err := p.Call(e, "stats", s.stats); err != nil { // want `SA07 argument of Call on interface "iRecv" aliases the receiver state of sendImpl through a slice`
+		return nil, err
+	}
+	if err := p.Send(e, "table", s.tab); err != nil { // want `SA07 argument of Send on interface "iRecv" aliases the receiver state of sendImpl through a map`
+		return nil, err
+	}
+	if _, err := p.Call(e, "bump", &s.count); err != nil { // want `SA07 argument of Call on interface "iRecv" aliases the receiver state of sendImpl through a pointer`
+		return nil, err
+	}
+	if _, err := p.Call(e, "global", table); err != nil { // want `SA07 argument of Call on interface "iRecv" aliases package-level variable table through a map`
+		return nil, err
+	}
+	if _, err := p.Call(e, "count", s.count); err != nil {
+		return nil, err
+	}
+	fresh := make([]float64, 2)
+	if _, err := p.Call(e, "fresh", fresh); err != nil {
+		return nil, err
+	}
+	return p.Call(e, "log", s.log)
+}
+
+// recvImpl serves the synchronous binding: a reference-typed Invoke
+// result travels back to the client just like an argument travels in.
+type recvImpl struct {
+	cache map[string]float64
+	total float64
+}
+
+func (r *recvImpl) Init(svc *services) error { return nil }
+
+func (r *recvImpl) Invoke(e *env, itf, op string, arg any) (any, error) {
+	if op == "snapshot" {
+		return r.cache, nil // want `SA07 Invoke result returned over a synchronous binding aliases the receiver state of recvImpl through a map`
+	}
+	return r.total, nil
+}
+
+func Wire(r *Registry) error {
+	if err := r.Register("sender", func() Content { return &sendImpl{} }); err != nil {
+		return err
+	}
+	return r.Register("receiver", func() Content { return &recvImpl{} })
+}

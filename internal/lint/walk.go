@@ -8,14 +8,18 @@ import (
 // declaredFuncs maps every function and method object declared in the
 // package to its syntax.
 func declaredFuncs(p *Pass) map[*types.Func]*ast.FuncDecl {
+	return declFuncsOf(p.Files, p.Info)
+}
+
+func declFuncsOf(files []*ast.File, info *types.Info) map[*types.Func]*ast.FuncDecl {
 	out := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range p.Files {
+	for _, f := range files {
 		for _, d := range f.Decls {
 			fn, ok := d.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+			if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
 				out[obj] = fn
 			}
 		}
@@ -59,6 +63,10 @@ func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 // boundaries, which keeps them fast and predictable; annotate callees
 // directly when they live elsewhere.
 func reachable(p *Pass, decls map[*types.Func]*ast.FuncDecl, roots []*ast.FuncDecl) map[*ast.FuncDecl]string {
+	return reachableFuncs(p.Info, decls, roots)
+}
+
+func reachableFuncs(info *types.Info, decls map[*types.Func]*ast.FuncDecl, roots []*ast.FuncDecl) map[*ast.FuncDecl]string {
 	out := map[*ast.FuncDecl]string{}
 	var visit func(fn *ast.FuncDecl, root string)
 	visit = func(fn *ast.FuncDecl, root string) {
@@ -71,7 +79,7 @@ func reachable(p *Pass, decls map[*types.Func]*ast.FuncDecl, roots []*ast.FuncDe
 			if !ok {
 				return true
 			}
-			if callee := staticCallee(p.Info, call); callee != nil {
+			if callee := staticCallee(info, call); callee != nil {
 				if decl, ok := decls[callee]; ok {
 					visit(decl, root)
 				}

@@ -1,0 +1,60 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"soleil/internal/model"
+)
+
+// TestTypedBackpressureUnwraps pins the typed rejection's contract:
+// a *Backpressure carries attribution (binding name, policy) but still
+// satisfies errors.Is against the bare sentinel, directly and through
+// further wrapping.
+func TestTypedBackpressureUnwraps(t *testing.T) {
+	bp := &Backpressure{Name: "sensorFeed", Policy: model.Shed}
+	if !errors.Is(bp, ErrBackpressure) {
+		t.Fatal("*Backpressure must unwrap to ErrBackpressure")
+	}
+	wrapped := fmt.Errorf("dispatch: %w", bp)
+	if !errors.Is(wrapped, ErrBackpressure) {
+		t.Error("a wrapped *Backpressure must still match ErrBackpressure")
+	}
+
+	var got *Backpressure
+	if !errors.As(wrapped, &got) || got.Name != "sensorFeed" {
+		t.Errorf("errors.As lost the typed rejection: %+v", got)
+	}
+	if name, ok := BindingName(wrapped); !ok || name != "sensorFeed" {
+		t.Errorf("BindingName(%v) = %q, %v", wrapped, name, ok)
+	}
+}
+
+// TestBareSentinelHasNoBinding documents the asymmetry BindingName
+// relies on: the bare sentinel (and anything wrapping only it) carries
+// no attribution, so per-binding shed counters must not be charged.
+func TestBareSentinelHasNoBinding(t *testing.T) {
+	for _, err := range []error{
+		ErrBackpressure,
+		fmt.Errorf("gate: %w", ErrBackpressure),
+	} {
+		if name, ok := BindingName(err); ok {
+			t.Errorf("BindingName(%v) = %q, want no attribution", err, name)
+		}
+	}
+}
+
+// TestEqualityFailsOnTypedRejection is the regression guard from the
+// error-comparison audit: comparing a typed or wrapped rejection to
+// the sentinel with == is always false, so any such comparison in the
+// tree is a dormant bug. errors.Is is the only correct spelling.
+func TestEqualityFailsOnTypedRejection(t *testing.T) {
+	var err error = &Backpressure{Name: "b", Policy: model.Shed}
+	if err == ErrBackpressure { //nolint:errorlint // deliberate: proving == fails
+		t.Fatal("typed rejection compared == to the sentinel")
+	}
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatal("typed rejection must still satisfy errors.Is")
+	}
+}

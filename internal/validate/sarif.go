@@ -1,0 +1,189 @@
+package validate
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SARIF export: the same diagnostics EncodeJSON writes, rendered as a
+// minimal SARIF 2.1.0 log so CI systems (GitHub code scanning, most
+// IDE SARIF viewers) can annotate findings in place. Only the stdlib
+// is used; the structs below cover the subset of the schema the
+// diagnostics need — one run, one tool, one result per diagnostic.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules,omitempty"`
+}
+
+type sarifRule struct {
+	ID               string        `json:"id"`
+	ShortDescription *sarifMessage `json:"shortDescription,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFOptions configures EncodeSARIF.
+type SARIFOptions struct {
+	// Tool names the driver; empty means "soleil".
+	Tool string
+	// Base, when set, is stripped from diagnostic positions so the
+	// artifact URIs are repository-relative (what GitHub code scanning
+	// needs to place annotations).
+	Base string
+	// RuleDocs optionally maps rule ids to one-line descriptions,
+	// emitted as the driver's rule metadata.
+	RuleDocs map[string]string
+}
+
+// EncodeSARIF writes the diagnostics as a SARIF 2.1.0 log. Severity
+// maps Error->error, Warning->warning, Info->note; positions of the
+// form file:line:col become physical locations with the filename
+// relativized against opts.Base. Diagnostics without a position (pure
+// architecture findings) still appear, as location-free results. A nil
+// slice encodes as a run with an empty result list.
+func EncodeSARIF(w io.Writer, diags []Diagnostic, opts SARIFOptions) error {
+	tool := opts.Tool
+	if tool == "" {
+		tool = "soleil"
+	}
+	results := make([]sarifResult, 0, len(diags))
+	ruleSet := map[string]bool{}
+	for _, d := range diags {
+		ruleSet[d.Rule] = true
+		msg := d.Message
+		if d.Suggestion != "" {
+			msg += " (" + d.Suggestion + ")"
+		}
+		res := sarifResult{
+			RuleID:  d.Rule,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: msg},
+		}
+		if uri, region, ok := sarifLocationOf(d.Pos, opts.Base); ok {
+			res.Locations = []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri},
+					Region:           region,
+				},
+			}}
+		}
+		results = append(results, res)
+	}
+	ids := make([]string, 0, len(ruleSet))
+	for id := range ruleSet {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var rules []sarifRule
+	for _, id := range ids {
+		r := sarifRule{ID: id}
+		if doc := opts.RuleDocs[id]; doc != "" {
+			r.ShortDescription = &sarifMessage{Text: doc}
+		}
+		rules = append(rules, r)
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: tool, Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// sarifLocationOf parses a "file:line:col" (or "file:line") position
+// into a SARIF physical location, relativizing the file against base.
+// Windows-style drive letters are not handled — positions come from
+// go/token on the build host.
+func sarifLocationOf(pos, base string) (string, *sarifRegion, bool) {
+	if pos == "" || pos == "-" {
+		return "", nil, false
+	}
+	file := pos
+	var region *sarifRegion
+	if i := strings.Index(pos, ":"); i > 0 {
+		file = pos[:i]
+		rest := strings.Split(pos[i+1:], ":")
+		if line, err := strconv.Atoi(rest[0]); err == nil && line > 0 {
+			region = &sarifRegion{StartLine: line}
+			if len(rest) > 1 {
+				if col, err := strconv.Atoi(rest[1]); err == nil && col > 0 {
+					region.StartColumn = col
+				}
+			}
+		}
+	}
+	if base != "" {
+		if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file), region, true
+}

@@ -1,0 +1,135 @@
+package validate
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEncodeSARIFRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Rule: "SA05", Severity: Error, Subject: "A -> B -> A",
+			Message: "static deadlock", Suggestion: "break the cycle",
+			Pos: "/repo/examples/lintbad/main.go:42:7"},
+		{Rule: "SA04", Severity: Warning, Message: "unregistered class",
+			Pos: "/repo/examples/lintbad/main.go:9"},
+		{Rule: "RT14", Severity: Info, Message: "architecture-level finding"},
+	}
+	var buf bytes.Buffer
+	err := EncodeSARIF(&buf, diags, SARIFOptions{
+		Base:     "/repo",
+		RuleDocs: map[string]string{"SA05": "binding wait cycles"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription *struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region *struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema wrong: %s %s", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "soleil" {
+		t.Errorf("default tool name: %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(run.Results))
+	}
+
+	r0 := run.Results[0]
+	if r0.RuleID != "SA05" || r0.Level != "error" {
+		t.Errorf("result 0 shape: %+v", r0)
+	}
+	if !strings.Contains(r0.Message.Text, "static deadlock") ||
+		!strings.Contains(r0.Message.Text, "break the cycle") {
+		t.Errorf("message drops content: %q", r0.Message.Text)
+	}
+	if len(r0.Locations) != 1 {
+		t.Fatalf("result 0 locations: %+v", r0.Locations)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "examples/lintbad/main.go" {
+		t.Errorf("URI not relativized: %q", loc.ArtifactLocation.URI)
+	}
+	if loc.Region == nil || loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region lost position: %+v", loc.Region)
+	}
+
+	r1 := run.Results[1]
+	if r1.Level != "warning" || r1.Locations[0].PhysicalLocation.Region.StartLine != 9 {
+		t.Errorf("result 1 shape: %+v", r1)
+	}
+	r2 := run.Results[2]
+	if r2.Level != "note" || len(r2.Locations) != 0 {
+		t.Errorf("position-free diagnostic should have no locations: %+v", r2)
+	}
+
+	foundRule := false
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "SA05" && r.ShortDescription != nil && r.ShortDescription.Text == "binding wait cycles" {
+			foundRule = true
+		}
+	}
+	if !foundRule {
+		t.Errorf("rule metadata missing: %+v", run.Tool.Driver.Rules)
+	}
+}
+
+func TestEncodeSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSARIF(&buf, nil, SARIFOptions{Tool: "soleil-vet"}); err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	runs := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(runs))
+	}
+	results := runs[0].(map[string]any)["results"].([]any)
+	if len(results) != 0 {
+		t.Errorf("nil diags must encode as an empty result list, got %v", results)
+	}
+}
