@@ -10,7 +10,7 @@ GO ?= go
 # dispatch or real-time hot path.
 LINT_PKGS = ./internal/membrane/... ./internal/obs/... ./internal/comm/... ./internal/rtsj/... ./internal/qos/...
 
-.PHONY: all check vet build test race soak soak-cluster soak-overload lint sarif benchcheck bench clean
+.PHONY: all check vet build test race soak soak-cluster soak-overload lint sarif benchcheck bench bench-obs clean
 
 all: check
 
@@ -36,18 +36,26 @@ soak:
 
 # The cluster soak: a 3-node deployment with a panicking worker; the
 # middle node is killed and restarted mid-run, and the scenario
-# requires supervised reconvergence and zero leaked goroutines.
+# requires supervised reconvergence and zero leaked goroutines. The
+# second scenario overloads a cross-node degrade contract and writes
+# the merged cross-node flight-recorder timeline
+# (flightrecorder-crossnode-degrade.json), which must show the
+# remote-breach-driven degrade transition.
 soak-cluster:
 	$(GO) test -race -run TestSoakClusterReconvergence -count=2 ./internal/cluster/
+	$(GO) test -race -v -run TestSoakOverloadCrossNodeDegrade ./internal/cluster/
 
 # The overload soak: two contracted pipelines offered ~40x their
 # admitted rate in wall-clock time. The gates must shed (nonzero
 # rejected counters), the degrade binding must detect its SLO breach,
 # /healthz must stay 200 throughout, and the run must end with zero
-# crashes and zero leaked goroutines. -v so CI can extract the
-# "soak-overload:" summary lines.
+# crashes and zero leaked goroutines. The cluster half overloads a
+# cross-node degrade contract: the server-side breach must propagate
+# over heartbeat digests and flip the client's gate to shedding. -v
+# so CI can extract the "soak-overload:" summary lines.
 soak-overload:
 	$(GO) test -race -v -run TestSoakOverloadShedding ./internal/fault/
+	$(GO) test -race -v -run TestSoakOverloadCrossNodeDegrade ./internal/cluster/
 
 # Source-level RTSJ conformance over the hot paths: the per-function
 # rules (SA01-SA04), then the whole-architecture suite (SA05-SA08)
@@ -80,6 +88,13 @@ benchcheck:
 
 bench:
 	$(GO) test -bench Fig7 -benchmem
+
+# Observability-plane panel: ns/op and allocs/op of the HDR histogram,
+# flight recorder and heartbeat digest codec, written to
+# BENCH_obs.json (the recording paths must report 0 allocs/op or the
+# panel fails).
+bench-obs:
+	$(GO) run ./cmd/rtbench -panel e
 
 clean:
 	$(GO) clean ./...

@@ -4,6 +4,8 @@
 //	rtbench -panel a    # Fig. 7(a): execution-time distributions
 //	rtbench -panel b    # Fig. 7(b): median and jitter table
 //	rtbench -panel c    # Fig. 7(c): memory footprints
+//	rtbench -panel d    # cluster links vs in-process bindings
+//	rtbench -panel e    # observability-plane hot paths (ns/op, allocs/op)
 //	rtbench -panel all  # everything
 //
 // The workload is the motivation example's complete iteration,
@@ -18,17 +20,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"testing"
 	"time"
 
 	"soleil/internal/assembly"
 	"soleil/internal/evaluation"
 	"soleil/internal/fixture"
 	"soleil/internal/generate"
+	"soleil/internal/obs"
 	"soleil/internal/trace"
 )
 
 func main() {
-	panel := flag.String("panel", "all", "which panel to regenerate: a, b, c (Fig. 7), d (cluster) or all")
+	panel := flag.String("panel", "all", "which panel to regenerate: a, b, c (Fig. 7), d (cluster), e (observability) or all")
 	observations := flag.Int("observations", evaluation.DefaultObservations, "steady-state observations per variant")
 	warmup := flag.Int("warmup", evaluation.DefaultWarmup, "cold-start transactions discarded")
 	buckets := flag.Int("buckets", 20, "histogram buckets for panel a")
@@ -36,15 +40,16 @@ func main() {
 	messages := flag.Int("messages", 2000, "panel-(d) round trips per scenario")
 	inflight := flag.Int("inflight", 4, "panel-(d) closed-loop window")
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "panel-(d) JSON output file (empty = skip)")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "panel-(e) JSON output file (empty = skip)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *panel, *observations, *warmup, *buckets, *csv, *messages, *inflight, *clusterOut); err != nil {
+	if err := run(os.Stdout, *panel, *observations, *warmup, *buckets, *csv, *messages, *inflight, *clusterOut, *obsOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool, messages, inflight int, clusterOut string) error {
+func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool, messages, inflight int, clusterOut, obsOut string) error {
 	wantTiming := panel == "a" || panel == "b" || panel == "all"
 	var timings []evaluation.TimingResult
 	if wantTiming {
@@ -65,6 +70,8 @@ func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool,
 		return panelC(w)
 	case "d":
 		return panelD(w, messages, inflight, clusterOut)
+	case "e":
+		return panelE(w, obsOut)
 	case "all":
 		if err := panelA(w, timings, buckets, csv); err != nil {
 			return err
@@ -78,9 +85,13 @@ func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool,
 			return err
 		}
 		fmt.Fprintln(w)
-		return panelD(w, messages, inflight, clusterOut)
+		if err := panelD(w, messages, inflight, clusterOut); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return panelE(w, obsOut)
 	default:
-		return fmt.Errorf("rtbench: unknown panel %q (want a, b, c, d or all)", panel)
+		return fmt.Errorf("rtbench: unknown panel %q (want a, b, c, d, e or all)", panel)
 	}
 }
 
@@ -228,6 +239,115 @@ func panelD(w io.Writer, messages, inflight int, outFile string) error {
 		Inflight    int                        `json:"inflight"`
 		Scenarios   []evaluation.ClusterResult `json:"scenarios"`
 	}{time.Now().UTC().Format(time.RFC3339), messages, inflight, results}
+	f, err := os.Create(outFile)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outFile)
+	return nil
+}
+
+// panelE prices the observability plane itself: the HDR histogram,
+// the flight recorder and the heartbeat digest codec, measured with
+// the testing harness so ns/op and allocs/op land in a JSON file CI
+// can archive next to the soak summaries. Every recording path must
+// report 0 allocs/op — the same claim `make benchcheck` enforces on
+// the dispatch interceptors.
+func panelE(w io.Writer, outFile string) error {
+	fmt.Fprintln(w, "=== panel (e): observability-plane hot paths ===")
+
+	type obsRow struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"nsPerOp"`
+		AllocsPerOp int64   `json:"allocsPerOp"`
+		BytesPerOp  int64   `json:"bytesPerOp"`
+	}
+	bench := func(name string, fn func(b *testing.B)) obsRow {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		return obsRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	var hist obs.Histogram
+	for i := 0; i < 10000; i++ {
+		hist.Observe(time.Duration(1+i%4096) * time.Microsecond)
+	}
+	snap := hist.Snapshot()
+	payload := obs.AppendDigest(nil, &snap, 0)
+	rec := obs.NewRecorder("bench", 0)
+	defer rec.Close()
+
+	rows := []obsRow{
+		bench("histogram-observe", func(b *testing.B) {
+			var h obs.Histogram
+			for i := 0; i < b.N; i++ {
+				h.Observe(time.Duration(i%4096) * time.Microsecond)
+			}
+		}),
+		bench("histogram-quantile-p99", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = hist.Quantile(0.99)
+			}
+		}),
+		bench("recorder-record", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec.Record(obs.EvDeadlineMiss, "bench", int64(i), obs.SpanContext{})
+			}
+		}),
+		bench("digest-encode", func(b *testing.B) {
+			buf := make([]byte, 0, 512)
+			for i := 0; i < b.N; i++ {
+				buf = obs.AppendDigest(buf[:0], &snap, 0)
+			}
+		}),
+		bench("digest-decode", func(b *testing.B) {
+			var s obs.HistogramSnapshot
+			for i := 0; i < b.N; i++ {
+				if _, err := obs.DecodeDigest(payload, &s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+
+	fmt.Fprintf(w, "%-24s %12s %10s %10s\n", "path", "ns/op", "allocs/op", "B/op")
+	hot := map[string]bool{"histogram-observe": true, "recorder-record": true}
+	var bad []string
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %12.1f %10d %10d\n", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		if hot[r.Name] && r.AllocsPerOp != 0 {
+			bad = append(bad, r.Name)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("rtbench: recording paths allocate: %v", bad)
+	}
+	fmt.Fprintf(w, "digest size: %d bytes for %d observations\n", len(payload), snap.Count)
+
+	if outFile == "" {
+		return nil
+	}
+	doc := struct {
+		GeneratedAt string   `json:"generatedAt"`
+		DigestBytes int      `json:"digestBytes"`
+		Paths       []obsRow `json:"paths"`
+	}{time.Now().UTC().Format(time.RFC3339), len(payload), rows}
 	f, err := os.Create(outFile)
 	if err != nil {
 		return err

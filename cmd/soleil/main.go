@@ -19,9 +19,15 @@
 // non-zero, so CI can gate on warnings when desired.
 //
 // run accepts -metrics ADDR to serve live observability endpoints
-// (/metrics, /healthz, /arch, /top, /trace), -trace-json FILE to
-// write a Chrome trace_event file of the run, and -hold D to keep the
-// endpoints up after the simulation finishes.
+// (/metrics, /healthz, /arch, /top, /trace, /debug/flightrecorder),
+// -trace-json FILE to write a Chrome trace_event file of the run,
+// -flightrecorder-json FILE to write the black-box event timeline,
+// and -hold D to keep the endpoints up after the simulation finishes.
+//
+// top works against a single node or a cluster coordinator (whose
+// /top federates every node); top -flightrecorder fetches the flight
+// recorder instead — merged cluster-wide from a coordinator. A
+// serving node also dumps its flight recorder to stderr on SIGQUIT.
 //
 // Modes: SOLEIL, MERGE-ALL, ULTRA-MERGE.
 package main
@@ -89,22 +95,47 @@ func run(args []string) error {
 }
 
 // cmdTop fetches the one-shot textual snapshot from a system serving
-// its observability endpoints (soleil run -metrics ADDR, or any
-// program calling obs.Serve).
+// its observability endpoints: a single node (soleil run -metrics
+// ADDR, soleil serve, or any program calling obs.Serve) or a cluster
+// coordinator (soleil cluster -serve ADDR), whose /top federates
+// every node's view. -flightrecorder fetches the black-box event
+// timeline instead — per-node from an agent, merged cluster-wide
+// from a coordinator.
 func cmdTop(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: soleil top HOST:PORT")
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	dump := fs.Bool("flightrecorder", false,
+		"fetch the flight-recorder timeline instead of the metrics snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	resp, err := http.Get("http://" + args[0] + "/top")
-	if err != nil {
-		return fmt.Errorf("soleil: %w", err)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: soleil top [-flightrecorder] HOST:PORT")
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("soleil: %s returned %s", args[0], resp.Status)
+	host := fs.Arg(0)
+	paths := []string{"/top"}
+	if *dump {
+		// A node agent serves /debug/flightrecorder; a coordinator
+		// serves the merged timeline on /flightrecorder. Try both so
+		// the command works against either.
+		paths = []string{"/debug/flightrecorder?format=text", "/flightrecorder?format=text"}
 	}
-	_, err = io.Copy(os.Stdout, resp.Body)
-	return err
+	var lastErr error
+	for _, p := range paths {
+		resp, err := http.Get("http://" + host + p)
+		if err != nil {
+			lastErr = fmt.Errorf("soleil: %w", err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("soleil: %s%s returned %s", host, p, resp.Status)
+			continue
+		}
+		_, err = io.Copy(os.Stdout, resp.Body)
+		resp.Body.Close()
+		return err
+	}
+	return lastErr
 }
 
 // cmdSuggest applies the validator's cross-scope pattern suggestions
@@ -401,6 +432,8 @@ func cmdRun(args []string) error {
 		"serve live observability endpoints (/metrics, /healthz, /arch, /top, /trace) on HOST:PORT (\":0\" picks a free port)")
 	traceJSON := fs.String("trace-json", "",
 		"write a Chrome trace_event JSON file of the run (open in Perfetto or chrome://tracing)")
+	frJSON := fs.String("flightrecorder-json", "",
+		"write the flight-recorder event timeline (deadline misses, over-budget dispatches, lifecycle and SLO transitions) to this JSON file")
 	hold := fs.Duration("hold", 0,
 		"keep the observability endpoints up this long after the run (needs -metrics)")
 	if err := fs.Parse(args); err != nil {
@@ -415,12 +448,16 @@ func cmdRun(args []string) error {
 		return err
 	}
 	cfg := assembly.Config{Mode: mode, AllowStubs: true}
-	observing := *metricsAddr != "" || *traceJSON != ""
+	observing := *metricsAddr != "" || *traceJSON != "" || *frJSON != ""
 	var reg *obs.Registry
 	var tracer *obs.Tracer
+	var rec *obs.Recorder
 	if observing {
 		reg = obs.NewRegistry()
 		tracer = obs.NewTracer(0)
+		rec = obs.NewRecorder(arch.Name(), 0)
+		reg.SetRecorder(rec)
+		defer rec.Close()
 		cfg.Metrics = reg
 		cfg.Tracer = tracer
 	}
@@ -488,6 +525,7 @@ func cmdRun(args []string) error {
 		bound, shutdown, err := obs.Serve(*metricsAddr, obs.HandlerOptions{
 			Registry: reg,
 			Tracer:   tracer,
+			Recorder: rec,
 			Arch:     archView(mgr),
 		})
 		if err != nil {
@@ -516,6 +554,21 @@ func cmdRun(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %d trace spans to %s\n", tracer.Total(), *traceJSON)
+	}
+	if *frJSON != "" {
+		f, err := os.Create(*frJSON)
+		if err != nil {
+			return err
+		}
+		evs := rec.Events()
+		if err := obs.WriteEventsJSON(f, evs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d flight-recorder events to %s (%d recorded)\n", len(evs), *frJSON, rec.Total())
 	}
 	if sup != nil {
 		sup.Close()
@@ -622,10 +675,25 @@ func cmdServe(args []string) error {
 	np, _ := plan.Node(*node)
 	fmt.Printf("node %s up: links on %s", *node, ag.Addr())
 	if ag.MetricsAddr() != "" {
-		fmt.Printf(", observability on http://%s/{metrics,healthz,arch,top}", ag.MetricsAddr())
+		fmt.Printf(", observability on http://%s/{metrics,healthz,arch,top,debug/flightrecorder}", ag.MetricsAddr())
 	}
 	fmt.Printf(" (%d components, %d exports, %d imports)\n",
 		len(np.Primitives), len(np.Exports), len(np.Imports))
+
+	// SIGQUIT dumps the flight recorder without stopping the node —
+	// the embedded-systems equivalent of pulling the black box.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			rec := ag.FlightRecorder()
+			rec.Trigger("sigquit")
+			fmt.Fprintf(os.Stderr, "serve: flight recorder (%d events recorded):\n", rec.Total())
+			_ = obs.WriteEventsText(os.Stderr, rec.Events())
+		}
+	}()
+
 	if *forDur > 0 {
 		time.Sleep(*forDur)
 		return nil
@@ -645,7 +713,7 @@ func cmdCluster(args []string) error {
 	adlPath := fs.String("adl", "", "architecture file (required)")
 	deployPath := fs.String("deploy", "", "deployment descriptor file (required)")
 	serveAddr := fs.String("serve", "",
-		"serve the aggregated /status and /metrics on HOST:PORT instead of printing once")
+		"serve the aggregated /status, /metrics, /top and /flightrecorder on HOST:PORT instead of printing once")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -671,7 +739,7 @@ func cmdCluster(args []string) error {
 			return err
 		}
 		defer shutdown()
-		fmt.Printf("coordinator: http://%s/{status,metrics}\n", bound)
+		fmt.Printf("coordinator: http://%s/{status,metrics,top,flightrecorder}\n", bound)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig

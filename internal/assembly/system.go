@@ -400,7 +400,18 @@ func (s *System) buildNodes(cfg Config) error {
 				// clients do, and panics converted to errors by inner
 				// guards surface as errors rather than raw panics.
 				cm = cfg.Metrics.Component(c.Name())
-				ints = append(ints, membrane.NewMetricsInterceptor(s.arch.Name(), cm, cfg.Tracer))
+				mi := membrane.NewMetricsInterceptor(s.arch.Name(), cm, cfg.Tracer)
+				// Arm over-budget flight-recorder events from the
+				// component's declared budget: cost when present,
+				// otherwise the deadline.
+				if act := c.Activation(); act != nil {
+					if act.Cost > 0 {
+						mi.SetBudget(act.Cost)
+					} else if act.Deadline > 0 {
+						mi.SetBudget(act.Deadline)
+					}
+				}
+				ints = append(ints, mi)
 			}
 			if cfg.Interceptors != nil {
 				ints = append(ints, cfg.Interceptors(c.Name())...)
@@ -531,6 +542,7 @@ func (s *System) bindingGate(cfg Config, b *model.Binding) *qos.Gate {
 				return cm.MaxQuantileOn(itf, 0.99) > threshold
 			})
 		}
+		gate.SetRecorder(cfg.Metrics.Recorder())
 		cfg.Metrics.RegisterGate(b.String(), membrane.GateStats(gate))
 	}
 	return gate
@@ -624,7 +636,11 @@ func (s *System) buildThreads() error {
 		var onMiss func(sched.MissInfo)
 		if s.metrics != nil {
 			cm := s.metrics.Component(c.Name())
-			onMiss = func(sched.MissInfo) { cm.Misses.Inc() }
+			onMiss = func(sched.MissInfo) {
+				cm.Misses.Inc()
+				// A burst of these auto-triggers a recorder dump.
+				cm.Event(obs.EvDeadlineMiss, cm.Misses.Load(), obs.SpanContext{})
+			}
 		}
 		th, err := s.trt.Spawn(thread.Config{
 			Name:        c.Name(),

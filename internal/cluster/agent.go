@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"soleil/internal/assembly"
@@ -68,11 +69,13 @@ type Agent struct {
 	sup   *fault.Supervisor
 	pacer *assembly.Pacer
 	reg   *obs.Registry
+	rec   *obs.Recorder
 	flog  *fault.Log
 
 	ln      *dist.Listener
 	writers []*linkWriter
 	outs    map[string]*outLink
+	imports map[string]*importState
 
 	metricsAddr string
 	obsShutdown func() error
@@ -96,10 +99,16 @@ func Start(cfg AgentConfig) (*Agent, error) {
 		np:       np,
 		logf:     cfg.Logf,
 		reg:      obs.NewRegistry(),
+		rec:      obs.NewRecorder(np.Name, 0),
 		flog:     fault.NewLog(256),
 		outs:     make(map[string]*outLink),
+		imports:  make(map[string]*importState),
 		sessions: make(map[dist.Transport]struct{}),
 	}
+	// Every subsystem holding a ComponentMetrics (interceptors, gates,
+	// schedulers, supervisor) reaches the node's black box through the
+	// registry.
+	a.reg.SetRecorder(a.rec)
 	if a.logf == nil {
 		a.logf = func(string, ...any) {}
 	}
@@ -147,7 +156,13 @@ func (a *Agent) start() error {
 	}
 	a.sup.Start(interval)
 
-	// The import side: listen for peers carrying our inbound links.
+	// The import side: per-link bookkeeping first (serveConn looks it
+	// up), then listen for peers carrying our inbound links.
+	for _, l := range a.np.Imports {
+		ist := &importState{link: l}
+		a.imports[l.ID] = ist
+		a.reg.RegisterLink("link "+l.ID, ist.linkStats)
+	}
 	listenAddr := a.cfg.ListenAddr
 	if listenAddr == "" {
 		listenAddr = a.np.Addr
@@ -173,22 +188,38 @@ func (a *Agent) start() error {
 	}
 	for _, l := range a.np.Exports {
 		out := newOutLink(l)
+		name := "link " + l.ID
+		// The server side of the link piggybacks its latency digest
+		// onto heartbeats; remote reconstructs it here so the gate's
+		// SLO probe can judge the server's p99 from this node.
+		var budget time.Duration
+		if l.Contract != nil {
+			budget = l.Contract.LatencyBudget
+		}
+		out.remote = newRemoteSLO(name, budget, a.cfg.Beat, a.rec)
 		// A contracted link is admission-gated before its queue: the
 		// client node sheds or rate-limits locally instead of loading
-		// the wire. The SLO breach probe stays unwired — the server's
-		// latency histogram lives on the other node.
+		// the wire. With a latency budget the breach probe is wired to
+		// the propagated server-side digest — the cross-node degrade
+		// contract RT17 could previously only warn about.
 		var port membrane.Port = out
-		if gate := qos.NewGate("link "+l.ID, l.Contract); gate != nil {
+		if gate := qos.NewGate(name, l.Contract); gate != nil {
+			gate.SetRecorder(a.rec)
+			if budget > 0 {
+				gate.SetBreachProbe(out.remote.probe)
+			}
 			port = membrane.NewGatedPort(gate, out)
-			a.reg.RegisterGate("link "+l.ID, membrane.GateStats(gate))
+			a.reg.RegisterGate(name, membrane.GateStats(gate))
 		}
 		if err := a.sys.BindPort(l.Client.Component, l.Client.Interface, port); err != nil {
 			return fmt.Errorf("cluster: node %s: export %s: %w", a.np.Name, l.ID, err)
 		}
 		a.outs[l.ID] = out
-		a.reg.RegisterQueue("link "+l.ID, out.stats)
+		a.reg.RegisterQueue(name, out.stats)
 		w := newLinkWriter(out, a.np.Name, resolve, a.cfg.Dial, a.cfg.Beat, a.logf)
+		w.rec = a.rec
 		a.writers = append(a.writers, w)
+		a.reg.RegisterLink(name, w.linkStats)
 		w.start()
 	}
 
@@ -207,6 +238,7 @@ func (a *Agent) start() error {
 	if metricsAddr != "" {
 		bound, shutdown, err := obs.Serve(metricsAddr, obs.HandlerOptions{
 			Registry: a.reg,
+			Recorder: a.rec,
 			Arch:     func() any { return a.mgr.Introspect() },
 		})
 		if err != nil {
@@ -258,12 +290,23 @@ func (a *Agent) serveConn(tr dist.Transport) {
 		_ = tr.Close()
 		return
 	}
-	sess := newSession(tr, a.cfg.Beat)
+	ist := a.imports[link.ID]
+	sess := newSession(tr, a.cfg.Beat, sessionHooks{
+		stats: a.digestProvider(link, ist),
+		onStale: func() {
+			ist.staleCloses.Add(1)
+			a.rec.Record(obs.EvLinkStale, link.ID, 0, obs.SpanContext{})
+		},
+	})
 	if !a.track(sess) {
 		_ = sess.Close()
 		return
 	}
 	defer a.untrack(sess)
+	ist.sess.Store(sess)
+	ist.sessionsUp.Add(1)
+	ist.connected.Store(true)
+	defer ist.connected.Store(false)
 	imp, err := dist.Import(a.sys, link.Server.Component, sess)
 	if err != nil {
 		a.logf("cluster: node %s: import %s: %v", a.np.Name, link.ID, err)
@@ -283,6 +326,65 @@ func (a *Agent) serveConn(tr dist.Transport) {
 	a.logf("cluster: node %s: link %s connected from %s", a.np.Name, link.ID, h.Node)
 	imp.Serve()
 	_ = sess.Close()
+}
+
+// importState is the server-side bookkeeping of one inbound link:
+// session churn and the digests piggybacked back to the client.
+type importState struct {
+	link *Link
+
+	connected   atomic.Bool
+	sessionsUp  atomic.Int64
+	staleCloses atomic.Int64
+	digestsSent atomic.Int64
+	sess        atomic.Pointer[session]
+}
+
+func (ist *importState) linkStats() obs.LinkStats {
+	st := obs.LinkStats{
+		Dir:         "import",
+		Connected:   ist.connected.Load(),
+		StaleCloses: ist.staleCloses.Load(),
+		DigestsSent: ist.digestsSent.Load(),
+	}
+	if n := ist.sessionsUp.Load(); n > 1 {
+		st.Reconnects = n - 1
+	}
+	if s := ist.sess.Load(); s != nil {
+		st.HeartbeatAge = time.Since(time.Unix(0, s.lastIn.Load()))
+	}
+	return st
+}
+
+// digestProvider builds the stats hook of one inbound link's session:
+// every beat tick it folds the server component's latency series on
+// the link's target interface into a reused snapshot, judges the
+// contract server-side (flags byte), and returns the encoded digest
+// to ride the heartbeat. Steady-state it allocates nothing — the
+// snapshot, the scratch buffer and the digest encoding are all
+// reused.
+func (a *Agent) digestProvider(link *Link, ist *importState) func() []byte {
+	cm := a.reg.Component(link.Server.Component)
+	itf := link.Server.Interface
+	var threshold time.Duration
+	if link.Contract != nil && link.Contract.LatencyBudget > 0 {
+		// Same 80%-of-budget early warning the degrade gates use.
+		threshold = link.Contract.LatencyBudget * 4 / 5
+	}
+	var snap obs.HistogramSnapshot
+	var buf []byte
+	return func() []byte {
+		if cm.SnapshotInterface(itf, &snap) == 0 || snap.Count == 0 {
+			return nil // nothing observed yet: send a plain beat
+		}
+		var flags byte
+		if threshold > 0 && snap.Quantile(0.99) > threshold {
+			flags |= obs.DigestFlagBreached
+		}
+		buf = obs.AppendDigest(buf[:0], &snap, flags)
+		ist.digestsSent.Add(1)
+		return buf
+	}
 }
 
 // track registers a live transport for teardown; it reports false
@@ -323,6 +425,9 @@ func (a *Agent) System() *assembly.System { return a.sys }
 
 // Registry exposes the node's metrics registry.
 func (a *Agent) Registry() *obs.Registry { return a.reg }
+
+// FlightRecorder exposes the node's always-on event ring.
+func (a *Agent) FlightRecorder() *obs.Recorder { return a.rec }
 
 // Delivered sums the messages all inbound links have dispatched into
 // local components.
@@ -380,5 +485,6 @@ func (a *Agent) Close() {
 	if a.obsShutdown != nil {
 		_ = a.obsShutdown()
 	}
+	a.rec.Close()
 	a.logf("cluster: node %s down", a.np.Name)
 }

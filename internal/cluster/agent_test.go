@@ -15,6 +15,7 @@ import (
 	"soleil/internal/dist"
 	"soleil/internal/membrane"
 	"soleil/internal/model"
+	"soleil/internal/obs"
 	"soleil/internal/rtsj/thread"
 )
 
@@ -53,6 +54,7 @@ type clWorker struct {
 	seen       atomic.Int64
 	inits      atomic.Int64
 	panicEvery int64
+	delay      atomic.Int64 // artificial per-message latency, ns
 }
 
 func (w *clWorker) Init(svc *membrane.Services) error { w.svc = svc; w.inits.Add(1); return nil }
@@ -61,6 +63,9 @@ func (w *clWorker) Invoke(env *thread.Env, itf, op string, arg any) (any, error)
 	n := w.seen.Add(1)
 	if w.panicEvery > 0 && n%w.panicEvery == 0 {
 		panic(fmt.Sprintf("worker fault on message %d", n))
+	}
+	if d := w.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
 	}
 	cache, err := w.svc.Port("cache")
 	if err != nil {
@@ -121,14 +126,15 @@ type testCluster struct {
 	cache  *clCache
 	sink   *clSink
 
-	mu     sync.Mutex
-	addrs  map[string]string
-	agents map[string]*Agent
+	mu        sync.Mutex
+	addrs     map[string]string
+	agents    map[string]*Agent
+	recorders []*obs.Recorder // every agent ever started, kills and restarts included
 }
 
-func newTestCluster(t *testing.T) *testCluster {
+func newTestCluster(t *testing.T, contract ...*model.Contract) *testCluster {
 	t.Helper()
-	a := pipelineArch(t, model.Asynchronous)
+	a := pipelineArch(t, model.Asynchronous, contract...)
 	d := pipelineDeployment(t, a)
 	plan, err := Compute(a, d)
 	if err != nil {
@@ -183,8 +189,24 @@ func (c *testCluster) start(t *testing.T, node string, metrics bool) *Agent {
 	c.mu.Lock()
 	c.addrs[node] = ag.Addr()
 	c.agents[node] = ag
+	c.recorders = append(c.recorders, ag.FlightRecorder())
 	c.mu.Unlock()
 	return ag
+}
+
+// mergedTimeline stitches the flight-recorder rings of every agent
+// the cluster ever started (restarted incarnations included) into one
+// cross-node timeline. Rings stay readable after Close, so this works
+// in failure cleanups too.
+func (c *testCluster) mergedTimeline() []obs.Event {
+	c.mu.Lock()
+	recs := append([]*obs.Recorder(nil), c.recorders...)
+	c.mu.Unlock()
+	batches := make([][]obs.Event, 0, len(recs))
+	for _, r := range recs {
+		batches = append(batches, r.Events())
+	}
+	return obs.MergeEvents(batches...)
 }
 
 func (c *testCluster) closeAll() {

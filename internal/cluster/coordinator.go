@@ -1,14 +1,11 @@
 package cluster
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
-	"strings"
 	"time"
 
 	"soleil/internal/obs"
@@ -111,26 +108,23 @@ func (c *Coordinator) getJSON(url string, v any) (int, error) {
 }
 
 // WriteMetrics federates every node's Prometheus exposition into one,
-// each series relabelled with node="<name>". Descriptor comments are
-// kept from the first reachable node only, so metric families are not
-// redeclared. Unreachable nodes degrade to a comment plus a
-// soleil_node_up 0 sample instead of failing the whole scrape.
+// each series relabelled with node="<name>". Family declarations are
+// deduplicated by the merger (first node to declare a family wins;
+// TYPE conflicts drop the offender with a comment). Unreachable nodes
+// degrade to a comment plus a soleil_node_up 0 sample instead of
+// failing the whole scrape.
 func (c *Coordinator) WriteMetrics(w io.Writer) error {
-	first := true
+	m := obs.NewExpoMerger(w)
 	for _, np := range c.plan.Nodes() {
 		up := 0
 		if addr, err := c.metricsAddr(np.Name); err == nil {
 			if resp, err := c.client.Get("http://" + addr + "/metrics"); err == nil {
-				var buf bytes.Buffer
-				ierr := obs.InjectLabel(&buf, resp.Body, "node", np.Name)
+				merr := m.WriteSection(np.Name, resp.Body)
 				resp.Body.Close()
-				if ierr == nil {
-					up = 1
-					if err := copyExposition(w, &buf, first); err != nil {
-						return err
-					}
-					first = false
+				if merr != nil {
+					return merr
 				}
+				up = 1
 			}
 		}
 		if up == 0 {
@@ -141,21 +135,51 @@ func (c *Coordinator) WriteMetrics(w io.Writer) error {
 	return nil
 }
 
-// copyExposition writes an exposition through, dropping comment lines
-// unless this is the first node's section.
-func copyExposition(w io.Writer, r io.Reader, keepComments bool) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if !keepComments && (line == "" || strings.HasPrefix(line, "#")) {
+// WriteTop renders every node's human-readable /top view in sequence
+// — the cluster-wide `soleil top`.
+func (c *Coordinator) WriteTop(w io.Writer) error {
+	for _, np := range c.plan.Nodes() {
+		fmt.Fprintf(w, "== node %s ==\n", np.Name)
+		addr, err := c.metricsAddr(np.Name)
+		if err != nil {
+			fmt.Fprintf(w, "unreachable: %v\n\n", err)
 			continue
 		}
-		if _, err := fmt.Fprintln(w, line); err != nil {
-			return err
+		resp, err := c.client.Get("http://" + addr + "/top")
+		if err != nil {
+			fmt.Fprintf(w, "unreachable: %v\n\n", err)
+			continue
 		}
+		_, _ = io.Copy(w, resp.Body)
+		resp.Body.Close()
+		fmt.Fprintln(w)
 	}
-	return sc.Err()
+	return nil
+}
+
+// FlightRecorderEvents collects every reachable node's flight-recorder
+// ring and merges them into one cluster-wide timeline ordered by
+// wall-clock time. Events carry their node and span context, so a
+// remote breach on the client node stitches to the server-side
+// latency that caused it.
+func (c *Coordinator) FlightRecorderEvents() []obs.Event {
+	var batches [][]obs.Event
+	for _, np := range c.plan.Nodes() {
+		addr, err := c.metricsAddr(np.Name)
+		if err != nil {
+			continue
+		}
+		resp, err := c.client.Get("http://" + addr + "/debug/flightrecorder")
+		if err != nil {
+			continue
+		}
+		var events []obs.Event
+		if err := json.NewDecoder(resp.Body).Decode(&events); err == nil && len(events) > 0 {
+			batches = append(batches, events)
+		}
+		resp.Body.Close()
+	}
+	return obs.MergeEvents(batches...)
 }
 
 // Serve exposes the coordinator over HTTP:
@@ -179,6 +203,24 @@ func (c *Coordinator) Serve(addr string) (string, func() error, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = c.WriteMetrics(w)
+	})
+	mux.HandleFunc("/top", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = c.WriteTop(w)
+	})
+	mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		events := c.FlightRecorderEvents()
+		switch r.URL.Query().Get("format") {
+		case "trace":
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteEventsChromeTrace(w, events)
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = obs.WriteEventsText(w, events)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteEventsJSON(w, events)
+		}
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -18,6 +18,11 @@ const (
 	frameHello = 'H'
 	frameData  = 'D'
 	frameBeat  = 'B'
+	// frameStats is a heartbeat that carries an obs latency digest:
+	// the server side of a link piggybacks its component's histogram
+	// (and breach state) onto the beat cadence, so the client can
+	// evaluate a cross-node SLO without scraping anything.
+	frameStats = 'S'
 )
 
 // DefaultBeat is the heartbeat interval of a session; a session that
@@ -68,14 +73,32 @@ func frameByte(frame []byte) byte {
 	return frame[0]
 }
 
+// sessionHooks customizes a session's heartbeat plane. All hooks are
+// optional; the zero value is a plain beat/stale session.
+type sessionHooks struct {
+	// stats, when set, is polled once per beat tick; a non-empty
+	// payload is sent as a frameStats heartbeat in place of the plain
+	// beat. The returned slice is only read until the send returns, so
+	// providers may reuse a buffer across calls.
+	stats func() []byte
+	// onStats receives the payload of every inbound frameStats frame.
+	// It runs on the Receive goroutine; keep it quick.
+	onStats func(payload []byte)
+	// onStale fires once, just before the session closes itself
+	// because the peer went silent for staleFactor beats.
+	onStale func()
+}
+
 // session wraps a transport with the framed cluster protocol: Send
-// prefixes data frames, Receive strips inbound heartbeats, and a
-// background beater keeps the connection warm in both directions and
-// closes it when the peer has gone stale. A session is itself a
-// dist.Transport, so an Importer pumps it unchanged.
+// prefixes data frames, Receive strips inbound heartbeats (handing
+// stats-bearing ones to the hooks), and a background beater keeps the
+// connection warm in both directions and closes it when the peer has
+// gone stale. A session is itself a dist.Transport, so an Importer
+// pumps it unchanged.
 type session struct {
 	tr     dist.Transport
 	beat   time.Duration
+	hooks  sessionHooks
 	lastIn atomic.Int64 // unix nanos of the last inbound frame
 
 	once sync.Once
@@ -84,11 +107,11 @@ type session struct {
 
 var _ dist.Transport = (*session)(nil)
 
-func newSession(tr dist.Transport, beat time.Duration) *session {
+func newSession(tr dist.Transport, beat time.Duration, hooks sessionHooks) *session {
 	if beat <= 0 {
 		beat = DefaultBeat
 	}
-	s := &session{tr: tr, beat: beat, stop: make(chan struct{})}
+	s := &session{tr: tr, beat: beat, hooks: hooks, stop: make(chan struct{})}
 	s.lastIn.Store(time.Now().UnixNano())
 	go s.beater()
 	return s
@@ -97,20 +120,33 @@ func newSession(tr dist.Transport, beat time.Duration) *session {
 // beater emits one heartbeat per interval and enforces staleness: a
 // peer that has sent nothing (neither data nor beats) for staleFactor
 // intervals is presumed dead and the session closes, unblocking the
-// local reader so the owner can reconnect.
+// local reader so the owner can reconnect. When a stats provider is
+// installed its digest rides the beat frame, so cross-node SLO
+// telemetry costs no extra connections and no extra wakeups.
 func (s *session) beater() {
 	ticker := time.NewTicker(s.beat)
 	defer ticker.Stop()
+	var frame []byte // reused across ticks; beats stay allocation-free
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-ticker.C:
 			if time.Since(time.Unix(0, s.lastIn.Load())) > time.Duration(staleFactor)*s.beat {
+				if s.hooks.onStale != nil {
+					s.hooks.onStale()
+				}
 				_ = s.Close()
 				return
 			}
-			if err := s.tr.Send([]byte{frameBeat}); err != nil {
+			frame = append(frame[:0], frameBeat)
+			if s.hooks.stats != nil {
+				if p := s.hooks.stats(); len(p) > 0 {
+					frame = append(frame[:0], frameStats)
+					frame = append(frame, p...)
+				}
+			}
+			if err := s.tr.Send(frame); err != nil {
 				_ = s.Close()
 				return
 			}
@@ -133,6 +169,11 @@ func (s *session) Receive() ([]byte, error) {
 		s.lastIn.Store(time.Now().UnixNano())
 		switch frameByte(frame) {
 		case frameBeat:
+			continue
+		case frameStats:
+			if s.hooks.onStats != nil {
+				s.hooks.onStats(frame[1:])
+			}
 			continue
 		case frameData:
 			return frame[1:], nil

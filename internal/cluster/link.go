@@ -27,6 +27,11 @@ type outLink struct {
 	link  *Link
 	queue chan []byte
 
+	// remote tracks the server component's latency from the digests
+	// piggybacked on the link's heartbeats; the link's admission gate
+	// probes it to evaluate a cross-node degrade contract.
+	remote *remoteSLO
+
 	enqueued atomic.Int64
 	sent     atomic.Int64
 	dropped  atomic.Int64
@@ -105,8 +110,11 @@ type linkWriter struct {
 	dial    dist.DialConfig
 	beat    time.Duration
 	logf    func(format string, args ...any)
+	rec     *obs.Recorder // may be nil; set before start
 
-	reconnects atomic.Int64
+	reconnects  atomic.Int64
+	staleCloses atomic.Int64
+	connected   atomic.Bool
 
 	mu   sync.Mutex
 	sess *session
@@ -138,8 +146,10 @@ func (w *linkWriter) run() {
 		if sess == nil {
 			return // stopped
 		}
-		// Nothing meaningful flows server->client, but the peer's
-		// heartbeats must be drained or they would back up the stream.
+		w.connected.Store(true)
+		// No data flows server->client, but the peer's heartbeats must
+		// be drained or they would back up the stream — and the
+		// stats-bearing ones feed the remote SLO via the session hooks.
 		go func() {
 			for {
 				if _, err := sess.Receive(); err != nil {
@@ -163,7 +173,9 @@ func (w *linkWriter) run() {
 			w.out.sent.Add(1)
 			pending = nil
 		}
-		w.reconnects.Add(1)
+		w.connected.Store(false)
+		n := w.reconnects.Add(1)
+		w.rec.Record(obs.EvLinkReconnect, w.out.link.ID, n, obs.SpanContext{})
 		w.logf("cluster: link %s: connection lost, reconnecting", w.out.link.ID)
 	}
 }
@@ -187,7 +199,13 @@ func (w *linkWriter) connect() *session {
 		}
 		tr, err := w.dialOnce()
 		if err == nil {
-			sess := newSession(tr, w.beat)
+			sess := newSession(tr, w.beat, sessionHooks{
+				onStats: w.out.remote.ingest,
+				onStale: func() {
+					w.staleCloses.Add(1)
+					w.rec.Record(obs.EvLinkStale, w.out.link.ID, 0, obs.SpanContext{})
+				},
+			})
 			w.mu.Lock()
 			stopped := false
 			select {
@@ -229,6 +247,29 @@ func (w *linkWriter) dialOnce() (dist.Transport, error) {
 		return nil, err
 	}
 	return tr, nil
+}
+
+// linkStats snapshots the export side of the link for the registry's
+// LINK table and the soleil_link_* metric families.
+func (w *linkWriter) linkStats() obs.LinkStats {
+	st := obs.LinkStats{
+		Dir:         "export",
+		Connected:   w.connected.Load(),
+		Reconnects:  w.reconnects.Load(),
+		StaleCloses: w.staleCloses.Load(),
+	}
+	w.mu.Lock()
+	if w.sess != nil {
+		st.HeartbeatAge = time.Since(time.Unix(0, w.sess.lastIn.Load()))
+	}
+	w.mu.Unlock()
+	if r := w.out.remote; r != nil {
+		st.DigestsReceived = r.digests.Load()
+		st.RemoteP99 = time.Duration(r.p99.Load())
+		st.RemoteBreached = r.breached.Load() || r.serverBreached.Load()
+		st.RemoteCount = r.count.Load()
+	}
+	return st
 }
 
 // Close stops the writer and joins it. Queued but untransmitted

@@ -15,7 +15,9 @@ import (
 // so the stages can live on different nodes. Worker also calls a
 // co-located passive Cache synchronously — an intra-node binding the
 // planner must keep intact.
-func pipelineArch(t *testing.T, proto model.Protocol) *model.Architecture {
+// An optional contract is applied to the Sensor->Worker binding —
+// the cross-node SLO the breach-propagation tests exercise.
+func pipelineArch(t *testing.T, proto model.Protocol, contract ...*model.Contract) *model.Architecture {
 	t.Helper()
 	a := model.NewArchitecture("pipeline")
 
@@ -80,12 +82,13 @@ func pipelineArch(t *testing.T, proto model.Protocol) *model.Architecture {
 	}
 	must(t, a.AddChild(front, sensor))
 
-	bind := func(cComp, cItf, sComp, sItf string, p model.Protocol, pattern string, buf int) {
+	bind := func(cComp, cItf, sComp, sItf string, p model.Protocol, pattern string, buf int, c *model.Contract) {
 		b := model.Binding{
 			Client:   model.Endpoint{Component: cComp, Interface: cItf},
 			Server:   model.Endpoint{Component: sComp, Interface: sItf},
 			Protocol: p,
 			Pattern:  pattern,
+			Contract: c,
 		}
 		if p == model.Asynchronous {
 			b.BufferSize = buf
@@ -94,9 +97,13 @@ func pipelineArch(t *testing.T, proto model.Protocol) *model.Architecture {
 			t.Fatal(err)
 		}
 	}
-	bind("Sensor", "out", "Worker", "in", proto, "deep-copy", 16)
-	bind("Worker", "out", "Sink", "in", proto, "deep-copy", 32)
-	bind("Worker", "cache", "Cache", "get", model.Synchronous, "", 0)
+	var frontContract *model.Contract
+	if len(contract) > 0 {
+		frontContract = contract[0]
+	}
+	bind("Sensor", "out", "Worker", "in", proto, "deep-copy", 16, frontContract)
+	bind("Worker", "out", "Sink", "in", proto, "deep-copy", 32, nil)
+	bind("Worker", "cache", "Cache", "get", model.Synchronous, "", 0, nil)
 
 	if rep := validate.Validate(a); !rep.OK() {
 		t.Fatalf("pipeline arch must be conformant on its own: %v", rep.Errors())

@@ -20,6 +20,16 @@ func TestSoakClusterReconvergence(t *testing.T) {
 	c.worker.panicEvery = 17
 	defer c.closeAll()
 
+	// On failure, archive the merged cross-node flight-recorder
+	// timeline: CI uploads flightrecorder-*.json as a workflow
+	// artifact, so a flaky soak leaves its last 4096 events per node
+	// behind for post-mortem.
+	t.Cleanup(func() {
+		if t.Failed() {
+			dumpTimeline(t, "reconvergence-failure", c.mergedTimeline())
+		}
+	})
+
 	alpha := c.start(t, "alpha", false)
 	beta := c.start(t, "beta", false)
 	c.start(t, "gamma", false)

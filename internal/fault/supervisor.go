@@ -296,9 +296,12 @@ func (s *Supervisor) apply(component string, w *watch, reason string) Action {
 		case "restart":
 			if a.Err == nil {
 				cm.Restarts.Inc()
+				cm.Event(obs.EvLifecycleRestart, cm.Restarts.Load(), obs.SpanContext{})
 			}
 		case "quarantine":
 			cm.SetHealthy(false)
+			cm.Event(obs.EvLifecycleQuarantine, 0, obs.SpanContext{})
+			cm.FlightRecorder().Trigger("quarantine")
 		}
 	}
 	return a

@@ -308,6 +308,10 @@ func (c *LifecycleController) Fail(cause error) {
 	if cm := c.owner.metrics; cm != nil {
 		cm.Failures.Inc()
 		cm.SetHealthy(false)
+		cm.Event(obs.EvLifecycleFailed, cm.Failures.Load(), obs.SpanContext{})
+		// A component entering FAILED is exactly what the black box
+		// exists for: capture the ring around the failure.
+		cm.FlightRecorder().Trigger("lifecycle-failed")
 	}
 }
 

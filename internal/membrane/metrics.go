@@ -25,12 +25,26 @@ type MetricsInterceptor struct {
 	system  string
 	metrics *obs.ComponentMetrics
 	tracer  *obs.Tracer
+	budget  int64 // nanoseconds; 0 = no over-budget detection
 }
 
 // NewMetricsInterceptor builds the interceptor for one component.
 // tracer may be nil to meter without tracing.
 func NewMetricsInterceptor(system string, cm *obs.ComponentMetrics, tracer *obs.Tracer) *MetricsInterceptor {
 	return &MetricsInterceptor{system: system, metrics: cm, tracer: tracer}
+}
+
+// SetBudget arms over-budget detection: a dispatch taking longer than
+// budget records an EvOverBudget flight-recorder event carrying the
+// dispatch's span IDs (so the recorder timeline aligns with the
+// trace). Typically wired from the component's declared cost or
+// deadline. Call before deployment; not safe concurrently with
+// dispatches.
+func (mi *MetricsInterceptor) SetBudget(budget time.Duration) {
+	if budget < 0 {
+		budget = 0
+	}
+	mi.budget = int64(budget)
 }
 
 // Name implements Interceptor.
@@ -67,6 +81,9 @@ func (mi *MetricsInterceptor) Invoke(inv *Invocation, next Handler) (any, error)
 		s.Latency.Observe(d)
 		if panicked {
 			s.Panics.Inc()
+		}
+		if mi.budget > 0 && int64(d) > mi.budget {
+			mi.metrics.Event(obs.EvOverBudget, int64(d), cur)
 		}
 		if env != nil {
 			env.SetSpan(prev)

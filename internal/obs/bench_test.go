@@ -56,6 +56,44 @@ func BenchmarkHotPathSpanDerive(b *testing.B) {
 	}
 }
 
+func BenchmarkHotPathRecorderAppend(b *testing.B) {
+	r := NewRecorder("node", 4096)
+	defer r.Close()
+	sc := SpanContext{TraceID: 1, SpanID: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(EvGateShed, "binding", int64(i), sc)
+	}
+}
+
+func BenchmarkHotPathHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}
+
+func BenchmarkHotPathDigestEncode(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+	var snap HistogramSnapshot
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.SnapshotInto(&snap)
+		buf = AppendDigest(buf[:0], &snap, 0)
+	}
+}
+
 func BenchmarkHotPathTracerRecord(b *testing.B) {
 	tr := NewTracer(1024)
 	cur := NewSpanContext(SpanContext{})

@@ -65,16 +65,41 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		snap := s.Latency.Snapshot()
 		labels := fmt.Sprintf("component=\"%s\",interface=\"%s\",op=\"%s\"",
 			escapeLabel(s.Component), escapeLabel(s.Interface), escapeLabel(s.Op))
+		// Re-bin the full-resolution log-linear slots into the fixed
+		// exposition bounds; emitting all 1088 slots as `le` series
+		// would bloat every scrape for no dashboard benefit.
+		var bins [len(expoBounds) + 1]int64
+		for i, c := range snap.Counts {
+			if c != 0 {
+				bins[expoBinOf[i]] += c
+			}
+		}
 		var cum int64
 		for i, bound := range bounds {
-			cum += snap.Counts[i]
+			cum += bins[i]
 			fmt.Fprintf(&b, "soleil_invocation_latency_seconds_bucket{%s,le=%q} %d\n",
 				labels, seconds(bound), cum)
 		}
-		cum += snap.Counts[len(bounds)]
+		cum += bins[len(bounds)]
 		fmt.Fprintf(&b, "soleil_invocation_latency_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, cum)
 		fmt.Fprintf(&b, "soleil_invocation_latency_seconds_sum{%s} %s\n", labels, seconds(snap.Sum))
 		fmt.Fprintf(&b, "soleil_invocation_latency_seconds_count{%s} %d\n", labels, snap.Count)
+	})
+
+	// Real quantiles come from the full HDR resolution (~3.1% relative
+	// error), not from the coarse exposition bins above.
+	b.WriteString("# HELP soleil_invocation_latency_quantile_seconds Dispatch latency quantiles from the full-resolution log-linear histogram.\n")
+	b.WriteString("# TYPE soleil_invocation_latency_quantile_seconds gauge\n")
+	quantiles := [...]struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}}
+	series(func(s *OpSeries) {
+		for _, sq := range quantiles {
+			fmt.Fprintf(&b, "soleil_invocation_latency_quantile_seconds{component=\"%s\",interface=\"%s\",op=\"%s\",quantile=\"%s\"} %s\n",
+				escapeLabel(s.Component), escapeLabel(s.Interface), escapeLabel(s.Op),
+				sq.label, seconds(int64(s.Latency.Quantile(sq.q))))
+		}
 	})
 
 	component := func(name, help, kind string, value func(c *ComponentMetrics) int64) {
@@ -147,6 +172,42 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return 0
 		})
 
+	links := r.LinkNames()
+	link := func(name, help, kind string, value func(l LinkStats) string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, ln := range links {
+			fn, ok := r.Link(ln)
+			if !ok {
+				continue
+			}
+			l := fn()
+			fmt.Fprintf(&b, "%s{link=\"%s\",dir=\"%s\"} %s\n",
+				name, escapeLabel(ln), escapeLabel(l.Dir), value(l))
+		}
+	}
+	bool01 := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	link("soleil_link_up", "Whether the cluster link session is currently established (1 yes).", "gauge",
+		func(l LinkStats) string { return bool01(l.Connected) })
+	link("soleil_link_reconnects_total", "Re-established cluster link sessions after the first.", "counter",
+		func(l LinkStats) string { return strconv.FormatInt(l.Reconnects, 10) })
+	link("soleil_link_stale_closes_total", "Cluster link sessions closed for heartbeat staleness.", "counter",
+		func(l LinkStats) string { return strconv.FormatInt(l.StaleCloses, 10) })
+	link("soleil_link_heartbeat_age_seconds", "Seconds since the last inbound frame on the link session.", "gauge",
+		func(l LinkStats) string { return seconds(int64(l.HeartbeatAge)) })
+	link("soleil_link_digests_sent_total", "Latency digests piggybacked onto outbound heartbeats.", "counter",
+		func(l LinkStats) string { return strconv.FormatInt(l.DigestsSent, 10) })
+	link("soleil_link_digests_received_total", "Latency digests received on inbound heartbeats.", "counter",
+		func(l LinkStats) string { return strconv.FormatInt(l.DigestsReceived, 10) })
+	link("soleil_link_remote_p99_seconds", "Server-side p99 from the most recent propagated digest.", "gauge",
+		func(l LinkStats) string { return seconds(int64(l.RemoteP99)) })
+	link("soleil_link_remote_slo_breached", "Whether the propagated remote digest breaches the contract (1 yes).", "gauge",
+		func(l LinkStats) string { return bool01(l.RemoteBreached) })
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -203,24 +264,53 @@ func (r *Registry) WriteTop(w io.Writer) error {
 	}
 
 	gates := r.GateNames()
-	if len(gates) == 0 {
+	if len(gates) > 0 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "GATE\tPOLICY\tADMIT\tSHED\tDEGRADE\tBREACHES\tSLO")
+		for _, gn := range gates {
+			fn, ok := r.Gate(gn)
+			if !ok {
+				continue
+			}
+			g := fn()
+			slo := "ok"
+			if g.Breached {
+				slo = "BREACH"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+				gn, g.Policy, g.Admitted, g.Shed, g.Degraded, g.Breaches, slo)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	links := r.LinkNames()
+	if len(links) == 0 {
 		return nil
 	}
 	fmt.Fprintln(w)
 	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "GATE\tPOLICY\tADMIT\tSHED\tDEGRADE\tBREACHES\tSLO")
-	for _, gn := range gates {
-		fn, ok := r.Gate(gn)
+	fmt.Fprintln(tw, "LINK\tDIR\tUP\tAGE\tRECONN\tSTALE\tDIG-TX\tDIG-RX\tR-P99\tR-SLO")
+	for _, ln := range links {
+		fn, ok := r.Link(ln)
 		if !ok {
 			continue
 		}
-		g := fn()
-		slo := "ok"
-		if g.Breached {
-			slo = "BREACH"
+		l := fn()
+		up := "down"
+		if l.Connected {
+			up = "up"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
-			gn, g.Policy, g.Admitted, g.Shed, g.Degraded, g.Breaches, slo)
+		rslo := "ok"
+		if l.RemoteBreached {
+			rslo = "BREACH"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%d\t%d\t%d\t%d\t%v\t%s\n",
+			ln, l.Dir, up, l.HeartbeatAge.Round(time.Millisecond),
+			l.Reconnects, l.StaleCloses, l.DigestsSent, l.DigestsReceived,
+			l.RemoteP99, rslo)
 	}
 	return tw.Flush()
 }

@@ -13,6 +13,10 @@ import (
 // federation primitive: a coordinator scraping many nodes relabels
 // each node's series with its node name before aggregating, so one
 // view distinguishes soleil_invocations_total across the cluster.
+// When a sample already carries the key (an injection collision —
+// e.g. federating an exposition that was itself federated), its
+// value is replaced rather than duplicated, since duplicate label
+// names make a series unparsable.
 func InjectLabel(w io.Writer, r io.Reader, key, value string) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -31,12 +35,56 @@ func InjectLabel(w io.Writer, r io.Reader, key, value string) error {
 	return sc.Err()
 }
 
+// findLabel scans a sample line's label set starting just after the
+// opening brace at open, honoring quoted values with escapes, and
+// returns the half-open span of the existing key="..." label (or
+// -1, -1).
+func findLabel(line string, open int, key string) (labStart, labEnd int) {
+	labStart, labEnd = -1, -1
+	i := open
+	for i < len(line) && line[i] != '}' {
+		start := i
+		for i < len(line) && line[i] != '=' && line[i] != '}' {
+			i++
+		}
+		if i >= len(line) || line[i] == '}' {
+			break
+		}
+		name := line[start:i]
+		i++ // consume '='
+		if i < len(line) && line[i] == '"' {
+			i++
+			for i < len(line) {
+				if line[i] == '\\' {
+					i += 2
+					continue
+				}
+				if line[i] == '"' {
+					i++
+					break
+				}
+				i++
+			}
+		}
+		if name == key {
+			labStart, labEnd = start, i
+		}
+		if i < len(line) && line[i] == ',' {
+			i++
+		}
+	}
+	return labStart, labEnd
+}
+
 func injectLabelLine(line, key, value string) string {
 	label := key + `="` + escapeLabel(value) + `"`
 	// A sample line is `name{labels} value` or `name value`; the first
 	// '{' (if any) opens the label set, since metric names cannot
 	// contain one.
 	if i := strings.IndexByte(line, '{'); i >= 0 {
+		if s, e := findLabel(line, i+1, key); s >= 0 {
+			return line[:s] + label + line[e:]
+		}
 		return line[:i+1] + label + "," + line[i+1:]
 	}
 	if i := strings.IndexByte(line, ' '); i > 0 {
@@ -44,3 +92,84 @@ func injectLabelLine(line, key, value string) string {
 	}
 	return line
 }
+
+// ExpoMerger merges several nodes' Prometheus expositions into one
+// stream: every sample line gets a node label injected (collisions
+// replaced), each metric family's HELP/TYPE comments are emitted
+// once — from the first node that declares them — and a node that
+// redeclares a family with a conflicting TYPE has the redeclaration
+// dropped (first declaration wins) and the conflict surfaced both as
+// an exposition comment and through Conflicts.
+type ExpoMerger struct {
+	w         io.Writer
+	types     map[string]string // family -> first declared TYPE kind
+	helpSeen  map[string]bool
+	conflicts []string
+}
+
+// NewExpoMerger creates a merger writing to w.
+func NewExpoMerger(w io.Writer) *ExpoMerger {
+	return &ExpoMerger{
+		w:        w,
+		types:    make(map[string]string),
+		helpSeen: make(map[string]bool),
+	}
+}
+
+// WriteSection merges one node's exposition into the stream.
+func (m *ExpoMerger) WriteSection(node string, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := m.writeComment(node, line); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintln(m.w, injectLabelLine(line, "node", node)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func (m *ExpoMerger) writeComment(node, line string) error {
+	fields := strings.Fields(line)
+	// `# TYPE <family> <kind>` / `# HELP <family> <text>`; anything
+	// else passes through (free-form comments are rare but legal).
+	if len(fields) >= 3 && fields[0] == "#" {
+		fam := fields[2]
+		switch fields[1] {
+		case "TYPE":
+			kind := ""
+			if len(fields) >= 4 {
+				kind = fields[3]
+			}
+			if prev, seen := m.types[fam]; seen {
+				if prev != kind {
+					conflict := fmt.Sprintf("node %s redeclares %s as %s (keeping %s)", node, fam, kind, prev)
+					m.conflicts = append(m.conflicts, conflict)
+					_, err := fmt.Fprintf(m.w, "# federation conflict: %s\n", conflict)
+					return err
+				}
+				return nil
+			}
+			m.types[fam] = kind
+		case "HELP":
+			if m.helpSeen[fam] {
+				return nil
+			}
+			m.helpSeen[fam] = true
+		}
+	}
+	_, err := fmt.Fprintln(m.w, line)
+	return err
+}
+
+// Conflicts returns the TYPE conflicts encountered so far.
+func (m *ExpoMerger) Conflicts() []string { return m.conflicts }

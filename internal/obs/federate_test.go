@@ -39,6 +39,100 @@ func TestInjectLabelEscapes(t *testing.T) {
 	}
 }
 
+// TestInjectLabelCollision covers the double-federation case: a line
+// that already carries the injected key gets its value replaced, not
+// duplicated (duplicate label names are unparsable).
+func TestInjectLabelCollision(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`m{node="old",op="put"} 1`, `m{node="new",op="put"} 1`},
+		{`m{op="put",node="old"} 1`, `m{op="put",node="new"} 1`},
+		{`m{node="old"} 1`, `m{node="new"} 1`},
+		// A label value containing a quoted "node=" must not confuse
+		// the scanner.
+		{`m{desc="node=\"x\",weird",node="old"} 1`, `m{desc="node=\"x\",weird",node="new"} 1`},
+		{`m{other="v"} 1`, `m{node="new",other="v"} 1`},
+	}
+	for _, tc := range cases {
+		if got := injectLabelLine(tc.in, "node", "new"); got != tc.want {
+			t.Errorf("injectLabelLine(%q):\n got %q\nwant %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestExpoMergerDeclarationsOnce merges two healthy nodes and checks
+// each family is declared exactly once while every sample survives
+// with its node label.
+func TestExpoMergerDeclarationsOnce(t *testing.T) {
+	section := func(node string) string {
+		reg := NewRegistry()
+		reg.Component("Sink").Series("in", "put").Invocations.Add(3)
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	var out strings.Builder
+	m := NewExpoMerger(&out)
+	for _, node := range []string{"alpha", "beta"} {
+		if err := m.WriteSection(node, strings.NewReader(section(node))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := out.String()
+	if n := strings.Count(got, "# TYPE soleil_invocations_total counter"); n != 1 {
+		t.Errorf("family declared %d times, want 1", n)
+	}
+	if n := strings.Count(got, "# HELP soleil_invocations_total"); n != 1 {
+		t.Errorf("help declared %d times, want 1", n)
+	}
+	for _, want := range []string{
+		`soleil_invocations_total{node="alpha",component="Sink",interface="in",op="put"} 3`,
+		`soleil_invocations_total{node="beta",component="Sink",interface="in",op="put"} 3`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("merged exposition missing %q", want)
+		}
+	}
+	if len(m.Conflicts()) != 0 {
+		t.Errorf("unexpected conflicts: %v", m.Conflicts())
+	}
+}
+
+// TestExpoMergerTypeConflict: a node redeclaring a family with a
+// different TYPE keeps the first declaration, drops the
+// redeclaration, surfaces the conflict, and still emits the samples.
+func TestExpoMergerTypeConflict(t *testing.T) {
+	alpha := "# TYPE custom_family counter\ncustom_family 1\n"
+	beta := "# TYPE custom_family gauge\ncustom_family 2\n"
+	var out strings.Builder
+	m := NewExpoMerger(&out)
+	if err := m.WriteSection("alpha", strings.NewReader(alpha)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteSection("beta", strings.NewReader(beta)); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if n := strings.Count(got, "# TYPE custom_family"); n != 1 {
+		t.Errorf("conflicting family declared %d times, want 1 (first wins)", n)
+	}
+	if !strings.Contains(got, "# TYPE custom_family counter") {
+		t.Error("first declaration not kept")
+	}
+	if !strings.Contains(got, "# federation conflict:") {
+		t.Error("conflict not surfaced as a comment")
+	}
+	for _, want := range []string{`custom_family{node="alpha"} 1`, `custom_family{node="beta"} 2`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("sample lost in conflict handling: %q", want)
+		}
+	}
+	if c := m.Conflicts(); len(c) != 1 || !strings.Contains(c[0], "custom_family") {
+		t.Errorf("Conflicts() = %v, want one custom_family entry", c)
+	}
+}
+
 func TestInjectLabelOnRealExposition(t *testing.T) {
 	reg := NewRegistry()
 	reg.Component("Sink").Series("in", "put").Invocations.Add(3)

@@ -22,6 +22,11 @@ type HandlerOptions struct {
 	// Health, when set, contributes an extra process-level health
 	// verdict ANDed with the registry's per-component health.
 	Health func() (ok bool, detail string)
+	// Recorder, when set, backs /debug/flightrecorder: the retained
+	// event ring as JSON (default), text (?format=text) or Chrome
+	// trace_event JSON (?format=trace). Requesting a dump also fires
+	// the recorder's trigger path so dump sinks observe it.
+	Recorder *Recorder
 }
 
 // componentHealth is one component's row in the /healthz body.
@@ -110,6 +115,26 @@ func NewHandler(opts HandlerOptions) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = opts.Tracer.WriteChromeTrace(w)
+	})
+
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, req *http.Request) {
+		if opts.Recorder == nil {
+			http.Error(w, "no flight recorder wired", http.StatusNotFound)
+			return
+		}
+		opts.Recorder.Trigger("http")
+		events := opts.Recorder.Events()
+		switch req.URL.Query().Get("format") {
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = WriteEventsText(w, events)
+		case "trace":
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteEventsChromeTrace(w, events)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteEventsJSON(w, events)
+		}
 	})
 
 	return mux

@@ -59,8 +59,10 @@ func TestHistogramQuantile(t *testing.T) {
 		h.Observe(10 * time.Microsecond)
 	}
 	h.Observe(2 * time.Second)
-	if p50 := h.Quantile(0.50); p50 > 10*time.Microsecond {
-		t.Errorf("p50 = %v, want <= 10µs", p50)
+	// Log-linear slots have ~3.1% worst-case relative error; the p50
+	// estimate is the upper bound of the slot holding 10µs.
+	if p50 := h.Quantile(0.50); p50 < 10*time.Microsecond || p50 > 10*time.Microsecond*1032/1000 {
+		t.Errorf("p50 = %v, want within [10µs, 10.32µs]", p50)
 	}
 	if p999 := h.Quantile(0.999); p999 < time.Second {
 		t.Errorf("p99.9 = %v, want >= 1s", p999)
@@ -168,6 +170,7 @@ func TestWritePrometheus(t *testing.T) {
 		`soleil_invocation_errors_total{component="odd\"name",interface="iFlow",op="read"} 1`,
 		`soleil_invocation_latency_seconds_bucket`,
 		`le="+Inf"} 1`,
+		`soleil_invocation_latency_quantile_seconds{component="odd\"name",interface="iFlow",op="read",quantile="0.99"}`,
 		`soleil_deadline_misses_total{component="odd\"name"} 2`,
 		`soleil_queue_depth{queue="q1"} 1`,
 		`soleil_queue_high_watermark{queue="q1"} 4`,
@@ -330,6 +333,7 @@ func TestHotPathAllocs(t *testing.T) {
 			tr.Record(Span{Trace: 1, ID: 2, System: "s", Component: "c", Interface: "i", Op: "o"})
 		}},
 		{"NewSpanContext", func() { _ = NewSpanContext(SpanContext{TraceID: 1, SpanID: 2}) }},
+		{"Histogram.Quantile", func() { _ = cm.Series("iFlow", "read").Latency.Quantile(0.99) }},
 	}
 	for _, tc := range cases {
 		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderRingOrder(t *testing.T) {
+	r := NewRecorder("alpha", 4)
+	defer r.Close()
+	for i := 1; i <= 6; i++ {
+		r.Record(EvGateShed, "b1", int64(i), SpanContext{})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(i + 3); ev.Value != want {
+			t.Errorf("event %d value = %d, want %d (oldest first)", i, ev.Value, want)
+		}
+		if ev.Node != "alpha" {
+			t.Errorf("event node = %q, want alpha", ev.Node)
+		}
+	}
+	if r.Total() != 6 {
+		t.Errorf("total = %d, want 6", r.Total())
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(EvDeadlineMiss, "x", 1, SpanContext{})
+	r.Trigger("nothing")
+	r.Close()
+	if r.Events() != nil || r.Total() != 0 || r.Node() != "" {
+		t.Error("nil recorder not inert")
+	}
+}
+
+func TestRecorderTriggerRateLimitAndSink(t *testing.T) {
+	r := NewRecorder("alpha", 64)
+	defer r.Close()
+
+	var mu sync.Mutex
+	var reasons []string
+	done := make(chan struct{}, 8)
+	r.SetDumpSink(func(reason string, events []Event) {
+		mu.Lock()
+		reasons = append(reasons, reason)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+
+	r.Record(EvGateBreach, "b1", 100, SpanContext{})
+	r.Trigger("slo-breach")
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("dump sink never ran")
+	}
+	// Immediately retriggering is rate-limited away.
+	r.Trigger("slo-breach")
+	accepted, suppressed := r.Dumps()
+	if accepted != 1 {
+		t.Errorf("accepted dumps = %d, want 1", accepted)
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed dumps = %d, want 1", suppressed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reasons) != 1 || reasons[0] != "slo-breach" {
+		t.Errorf("sink saw %v, want [slo-breach]", reasons)
+	}
+}
+
+func TestRecorderMissBurstTrigger(t *testing.T) {
+	r := NewRecorder("alpha", 64)
+	defer r.Close()
+	done := make(chan string, 1)
+	r.SetDumpSink(func(reason string, events []Event) {
+		select {
+		case done <- reason:
+		default:
+		}
+	})
+	for i := 0; i < missBurstCount; i++ {
+		r.Record(EvDeadlineMiss, "Worker", int64(i), SpanContext{})
+	}
+	select {
+	case reason := <-done:
+		if reason != "miss-burst" {
+			t.Errorf("trigger reason = %q, want miss-burst", reason)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("miss burst did not trigger a dump")
+	}
+}
+
+func TestMergeEventsOrdering(t *testing.T) {
+	a := []Event{
+		{Seq: 1, When: 100, Node: "alpha", Kind: EvGateBreach, Subject: "b1"},
+		{Seq: 2, When: 300, Node: "alpha", Kind: EvGateRecovered, Subject: "b1"},
+	}
+	b := []Event{
+		{Seq: 1, When: 200, Node: "beta", Kind: EvLifecycleFailed, Subject: "Worker"},
+	}
+	merged := MergeEvents(a, b)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events, want 3", len(merged))
+	}
+	if merged[0].Node != "alpha" || merged[1].Node != "beta" || merged[2].Node != "alpha" {
+		t.Errorf("merged order wrong: %v", merged)
+	}
+}
+
+func TestEventKindJSONRoundTrip(t *testing.T) {
+	for k := EventKind(0); k < evKindCount; k++ {
+		data, err := k.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back EventKind
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Errorf("kind %v round-trips to %v", k, back)
+		}
+	}
+}
+
+func TestWriteEventsChromeTrace(t *testing.T) {
+	events := []Event{
+		{Seq: 1, When: time.Now().UnixNano(), Node: "alpha", Kind: EvRemoteBreach, Subject: "link x", Value: 5000000, Trace: 7, Span: 8},
+		{Seq: 2, When: time.Now().UnixNano(), Node: "beta", Kind: EvLifecycleFailed, Subject: "Worker"},
+	}
+	var b strings.Builder
+	if err := WriteEventsChromeTrace(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"traceEvents"`, `"remote-breach"`, `"lifecycle-failed"`, `"alpha"`, `"beta"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %q", want)
+		}
+	}
+}
+
+// TestRecorderHotPathAllocs pins the acceptance criterion: recording
+// a flight-recorder event from a dispatch path allocates nothing.
+func TestRecorderHotPathAllocs(t *testing.T) {
+	r := NewRecorder("alpha", 1024)
+	defer r.Close()
+	sc := SpanContext{TraceID: 1, SpanID: 2}
+	if allocs := testing.AllocsPerRun(500, func() {
+		r.Record(EvGateShed, "b1", 42, sc)
+	}); allocs != 0 {
+		t.Errorf("Recorder.Record allocates %.1f objects per op, want 0", allocs)
+	}
+}

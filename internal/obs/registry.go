@@ -3,6 +3,7 @@ package obs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,6 +38,7 @@ type opKey struct{ itf, op string }
 // watches.
 type ComponentMetrics struct {
 	name string
+	reg  *Registry // backpointer for flight-recorder access; nil-safe
 
 	// Failures counts FAILED lifecycle transitions (a fault
 	// interceptor isolated the component).
@@ -69,6 +71,28 @@ func (c *ComponentMetrics) SetHealthy(ok bool) {
 
 // Healthy reports the component health gauge.
 func (c *ComponentMetrics) Healthy() bool { return c.healthy.Load() == 1 }
+
+// Event records a flight-recorder event about this component, if the
+// owning registry has a recorder wired. The component's name is the
+// event subject; the call is a no-op (one branch) otherwise, so
+// lifecycle and scheduler paths call it unconditionally.
+//
+//soleil:noheap
+func (c *ComponentMetrics) Event(kind EventKind, value int64, sc SpanContext) {
+	if c.reg == nil {
+		return
+	}
+	c.reg.rec.Load().Record(kind, c.name, value, sc)
+}
+
+// FlightRecorder returns the recorder of the owning registry (nil
+// when unwired).
+func (c *ComponentMetrics) FlightRecorder() *Recorder {
+	if c.reg == nil {
+		return nil
+	}
+	return c.reg.Recorder()
+}
 
 // Series returns the metric family of (itf, op), creating it on first
 // use. Steady-state lookups take a read lock and allocate nothing.
@@ -107,6 +131,27 @@ func (c *ComponentMetrics) SeriesList() []*OpSeries {
 	return out
 }
 
+// SnapshotInterface overwrites s with the merged latency distribution
+// of every series on itf and returns how many series it folded in.
+// Allocation-free, so the cluster layer can build a digest of a
+// server interface on every heartbeat tick.
+//
+//soleil:noheap
+func (c *ComponentMetrics) SnapshotInterface(itf string, s *HistogramSnapshot) int {
+	*s = HistogramSnapshot{}
+	n := 0
+	c.mu.RLock()
+	for k, sr := range c.series {
+		if k.itf != itf {
+			continue
+		}
+		sr.Latency.MergeInto(s)
+		n++
+	}
+	c.mu.RUnlock()
+	return n
+}
+
 // MaxQuantileOn returns the highest q-quantile latency across the
 // series of one interface (zero when the interface has no samples).
 // It is allocation-free — the admission gates' SLO breach probes call
@@ -140,6 +185,37 @@ type QueueStats struct {
 	Capacity int
 }
 
+// LinkStats is the registry's view of one cluster link endpoint —
+// session liveness, reconnect/staleness churn, and (export side) the
+// remote SLO picture carried by propagated heartbeat digests.
+type LinkStats struct {
+	// Dir is "export" (client side, dialing writer) or "import"
+	// (server side, accepting listener).
+	Dir string
+	// Connected reports whether a session is currently established.
+	Connected bool
+	// Reconnects counts re-established sessions after the first.
+	Reconnects int64
+	// StaleCloses counts sessions closed for heartbeat staleness.
+	StaleCloses int64
+	// HeartbeatAge is the time since the last inbound frame on the
+	// current session (zero when never connected).
+	HeartbeatAge time.Duration
+	// DigestsSent / DigestsReceived count latency digests piggybacked
+	// on heartbeats (sent by the import side, received by the export
+	// side).
+	DigestsSent     int64
+	DigestsReceived int64
+	// RemoteP99 is the p99 computed from the most recent propagated
+	// server-side digest (export side with a latency-budget contract).
+	RemoteP99 time.Duration
+	// RemoteBreached reports whether the propagated digest currently
+	// breaches the contract threshold.
+	RemoteBreached bool
+	// RemoteCount is the observation count in the last digest.
+	RemoteCount int64
+}
+
 // GateStats is the registry's view of one binding's admission gate —
 // contract pressure (admitted/shed/degraded) and the SLO breach state.
 type GateStats struct {
@@ -164,6 +240,9 @@ type Registry struct {
 	components map[string]*ComponentMetrics
 	queues     map[string]func() QueueStats
 	gates      map[string]func() GateStats
+	links      map[string]func() LinkStats
+
+	rec atomic.Pointer[Recorder]
 }
 
 // NewRegistry creates an empty registry.
@@ -172,8 +251,16 @@ func NewRegistry() *Registry {
 		components: make(map[string]*ComponentMetrics),
 		queues:     make(map[string]func() QueueStats),
 		gates:      make(map[string]func() GateStats),
+		links:      make(map[string]func() LinkStats),
 	}
 }
+
+// SetRecorder wires a flight recorder into the registry; everything
+// holding a ComponentMetrics can then record events through it.
+func (r *Registry) SetRecorder(rec *Recorder) { r.rec.Store(rec) }
+
+// Recorder returns the wired flight recorder, or nil.
+func (r *Registry) Recorder() *Recorder { return r.rec.Load() }
 
 // Component returns the named component's metric family, creating it
 // (healthy) on first use.
@@ -187,7 +274,7 @@ func (r *Registry) Component(name string) *ComponentMetrics {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c = r.components[name]; c == nil {
-		c = &ComponentMetrics{name: name, series: make(map[opKey]*OpSeries)}
+		c = &ComponentMetrics{name: name, reg: r, series: make(map[opKey]*OpSeries)}
 		c.healthy.Set(1)
 		r.components[name] = c
 	}
@@ -264,6 +351,38 @@ func (r *Registry) GateNames() []string {
 	r.mu.RLock()
 	out := make([]string, 0, len(r.gates))
 	for n := range r.gates {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// RegisterLink registers a cluster link endpoint under name; stats is
+// polled at scrape time, so the link's frame path pays nothing for
+// being observable.
+func (r *Registry) RegisterLink(name string, stats func() LinkStats) {
+	if stats == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.links[name] = stats
+}
+
+// Link returns the stats poller of a registered link endpoint.
+func (r *Registry) Link(name string) (func() LinkStats, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.links[name]
+	return fn, ok
+}
+
+// LinkNames returns the registered link endpoint names, sorted.
+func (r *Registry) LinkNames() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.links))
+	for n := range r.links {
 		out = append(out, n)
 	}
 	r.mu.RUnlock()

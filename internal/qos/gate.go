@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"soleil/internal/model"
+	"soleil/internal/obs"
 )
 
 // DefaultBlockWait bounds how long a Block-policy gate makes the
@@ -48,6 +49,7 @@ type Gate struct {
 	ticks    atomic.Int64
 
 	probe atomic.Pointer[func() bool]
+	rec   atomic.Pointer[obs.Recorder]
 
 	reject Backpressure
 }
@@ -96,6 +98,17 @@ func (g *Gate) SetBreachProbe(probe func() bool) {
 	g.probe.Store(&probe)
 }
 
+// SetRecorder wires a flight recorder: SLO transitions are recorded
+// (and a rising breach fires a dump trigger), sheds are recorded
+// sampled — one event per 64. Safe to call while the gate is in use;
+// a nil gate or recorder is a no-op.
+func (g *Gate) SetRecorder(rec *obs.Recorder) {
+	if g == nil {
+		return
+	}
+	g.rec.Store(rec)
+}
+
 // Admit decides whether one message may pass the binding. It returns
 // nil to admit, or the gate's preallocated typed Backpressure to
 // reject; callers propagate the error to the sender, which is how
@@ -133,7 +146,11 @@ func (g *Gate) Admit() error {
 			return nil
 		}
 	}
-	g.shed.Add(1)
+	// Sampled flight-recorder event: one per 64 sheds keeps the
+	// recorder useful in a flood without becoming the flood.
+	if n := g.shed.Add(1); n&breachProbeMask == 1 {
+		g.rec.Load().Record(obs.EvGateShed, g.name, n, obs.SpanContext{})
+	}
 	return &g.reject
 }
 
@@ -199,8 +216,16 @@ func (g *Gate) waitForToken() bool {
 func (g *Gate) updateBreach(probe func() bool) {
 	b := probe()
 	prev := g.breached.Swap(b)
-	if b && !prev {
+	if b == prev {
+		return
+	}
+	rec := g.rec.Load()
+	if b {
 		g.breaches.Add(1)
+		rec.Record(obs.EvGateBreach, g.name, 0, obs.SpanContext{})
+		rec.Trigger("slo-breach")
+	} else {
+		rec.Record(obs.EvGateRecovered, g.name, 0, obs.SpanContext{})
 	}
 }
 

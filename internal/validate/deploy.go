@@ -78,8 +78,8 @@ func ValidateDeployment(a *model.Architecture, d *model.Deployment) (Report, err
 	// RT17 (deployment half): a cross-node contract is enforced by a
 	// gate on the client node, over asynchronous value messages. Block
 	// admission would stall the sender on remote capacity it cannot
-	// observe, and the SLO breach probe needs the server's latency
-	// histogram, which lives on the other node.
+	// observe. The SLO breach probe evaluates the server's latency via
+	// histogram digests propagated on link heartbeats.
 	for _, b := range a.Bindings() {
 		c := b.Contract
 		if c == nil {
@@ -102,9 +102,9 @@ func ValidateDeployment(a *model.Architecture, d *model.Deployment) (Report, err
 				"use the shed or degrade policy; the export link sheds locally before the wire")
 		}
 		if c.LatencyBudget > 0 {
-			v.add("RT17", Warning, subject,
-				fmt.Sprintf("latency budget %v cannot be observed across nodes: the SLO breach probe needs the server's latency histogram, which lives on node %q", c.LatencyBudget, sn),
-				"scrape the server node's /metrics for the budget; the client-side gate enforces rate and burst only")
+			v.add("RT17", Info, subject,
+				fmt.Sprintf("latency budget %v is observed across nodes via propagated digests: node %q piggybacks its latency histogram onto the link's heartbeats and the client-side gate probes the reconstructed p99", c.LatencyBudget, sn),
+				"breach detection lags by up to one heartbeat interval; shorten the link beat if the budget needs tighter reaction")
 		}
 	}
 

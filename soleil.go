@@ -302,7 +302,29 @@ type (
 	SpanContext = obs.SpanContext
 	// ObservabilityOptions wires the HTTP introspection endpoints.
 	ObservabilityOptions = obs.HandlerOptions
+	// FlightRecorder is the always-on, allocation-free black box: a
+	// fixed ring of anomaly events (deadline misses, over-budget
+	// dispatches, sheds, SLO and lifecycle transitions) dumped on
+	// trigger. Wire one with MetricsRegistry.SetRecorder.
+	FlightRecorder = obs.Recorder
+	// FlightEvent is one recorded flight-recorder event.
+	FlightEvent = obs.Event
+	// LinkStats is a point-in-time snapshot of one cluster link
+	// endpoint (liveness, reconnects, propagated remote SLO).
+	LinkStats = obs.LinkStats
 )
+
+// NewFlightRecorder creates a flight recorder identified as node
+// (capacity <= 0 selects the default ring size).
+func NewFlightRecorder(node string, capacity int) *FlightRecorder {
+	return obs.NewRecorder(node, capacity)
+}
+
+// MergeFlightEvents merges per-node flight-recorder dumps into one
+// timeline ordered by wall-clock time.
+func MergeFlightEvents(batches ...[]FlightEvent) []FlightEvent {
+	return obs.MergeEvents(batches...)
+}
 
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
