@@ -57,24 +57,37 @@ soak-overload:
 	$(GO) test -race -v -run TestSoakOverloadShedding ./internal/fault/
 	$(GO) test -race -v -run TestSoakOverloadCrossNodeDegrade ./internal/cluster/
 
+# Where `make lint` / `make sarif` keep the interprocedural summary
+# cache. CI restores this directory across runs, keyed on the analyzer
+# sources, so warm runs skip summary recomputation entirely.
+FACTS_DIR ?= .soleil-facts
+
 # Source-level RTSJ conformance over the hot paths: the per-function
-# rules (SA01-SA04), then the whole-architecture suite (SA05-SA08)
+# rules (SA01-SA04), then the whole-architecture suite (SA05-SA11)
 # against the two blessed architectures — the factory line and the
 # cluster deployment. Exit 1 means unsuppressed findings; fix them or
-# justify with //soleil:ignore in the same change.
+# justify with //soleil:ignore in the same change. The final step
+# replays the factory arch run against the now-warm facts cache and
+# fails if anything was recomputed — the incremental path must stay
+# incremental.
 lint:
-	$(GO) run ./cmd/soleil-vet $(LINT_PKGS)
-	$(GO) run ./cmd/soleil-vet -arch -adl examples/factory/factory.xml ./examples/factory ./internal/scenario
-	$(GO) run ./cmd/soleil-vet -arch -adl examples/cluster/cluster.xml -deploy examples/cluster/deploy.xml ./examples/cluster
+	$(GO) run ./cmd/soleil-vet -facts $(FACTS_DIR) $(LINT_PKGS)
+	$(GO) run ./cmd/soleil-vet -arch -adl examples/factory/factory.xml -facts $(FACTS_DIR) ./examples/factory ./internal/scenario
+	$(GO) run ./cmd/soleil-vet -arch -adl examples/cluster/cluster.xml -deploy examples/cluster/deploy.xml -facts $(FACTS_DIR) ./examples/cluster
+	@out=$$($(GO) run ./cmd/soleil-vet -arch -adl examples/factory/factory.xml -facts $(FACTS_DIR) -facts-stats ./examples/factory ./internal/scenario 2>&1) || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	case "$$out" in *"misses=0"*) ;; *) echo "lint: warm facts-cache run recomputed summaries"; exit 1;; esac
 
 # SARIF export of the same runs for CI code scanning: per-function
-# findings over the hot paths plus the whole-architecture suite, merged
-# into one soleil.sarif by running the larger (per-function) suite over
-# the union of packages. Findings do not fail this target — the lint
-# target is the gate; this one only produces the upload artifact.
+# findings over the hot paths in soleil.sarif, and the
+# whole-architecture suite (including SA09 flowlatency, SA10
+# queuesizing, SA11 spawnleak) in soleil-arch.sarif. Findings do not
+# fail this target — the lint target is the gate; this one only
+# produces the upload artifacts.
 sarif:
 	$(GO) run ./cmd/soleil-vet -max-severity error -sarif soleil.sarif $(LINT_PKGS) || true
-	@echo "wrote soleil.sarif"
+	$(GO) run ./cmd/soleil-vet -arch -adl examples/factory/factory.xml -facts $(FACTS_DIR) -sarif soleil-arch.sarif ./examples/factory ./internal/scenario || true
+	@echo "wrote soleil.sarif soleil-arch.sarif"
 
 # Empirical counterpart of the //soleil:noheap annotations: run the
 # metered-dispatch, admission-gate and observability hot-path
@@ -85,6 +98,7 @@ benchcheck:
 		./internal/obs/ ./internal/membrane/ ./internal/qos/) || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
 	echo "$$out" | awk '/allocs\/op/ && $$(NF-1)+0 > 0 { bad=1; print "benchcheck: " $$1 " allocates on the hot path" } END { exit bad+0 }'
+	$(GO) test -run TestSummaryBudget ./internal/lint/
 
 bench:
 	$(GO) test -bench Fig7 -benchmem

@@ -7,10 +7,16 @@
 //	soleil-vet [-json] [-sarif FILE] [-adl arch.xml] [-analyzers a,b] [-max-severity sev] ./...
 //
 // or, with -arch, the whole-architecture suite (SA05 bindingcycle,
-// SA06 lockorder, SA07 membranebypass, SA08 costbound) over every
-// loaded package at once:
+// SA06 lockorder, SA07 membranebypass, SA08 costbound, SA09
+// flowlatency, SA10 queuesizing, SA11 spawnleak) over every loaded
+// package at once:
 //
 //	soleil-vet -arch -adl arch.xml [-deploy deploy.xml] ./...
+//
+// -facts DIR enables the on-disk summary cache (warm runs skip
+// summary recomputation; -facts-stats prints the counters), and
+// -baseline write:FILE / check:FILE gates the exit code on findings
+// not present in an accepted-debt snapshot.
 //
 // As a vet tool, speaking the cmd/go vet-tool protocol (-V=full and
 // -flags handshakes, then one <unit>.cfg per package):
@@ -46,13 +52,19 @@ func main() {
 		"architecture file for the archconform pass (default $SOLEIL_VET_ADL)")
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer selection (default: all)")
 	archMode := fs.Bool("arch", false,
-		"run the whole-architecture suite (SA05–SA08) instead of the per-function passes; requires -adl (standalone mode only)")
+		"run the whole-architecture suite (SA05–SA11) instead of the per-function passes; requires -adl (standalone mode only)")
 	deployPath := fs.String("deploy", "",
 		"deployment descriptor for -arch (escalates wait cycles that span nodes)")
 	maxSev := fs.String("max-severity", "warning",
 		"lowest severity that makes the exit status non-zero (info, warning, error)")
 	sarifOut := fs.String("sarif", "",
 		"write findings as a SARIF 2.1.0 log to FILE (\"-\" for stdout; standalone mode only)")
+	factsDir := fs.String("facts", "",
+		"directory for the interprocedural summary cache (empty: no cache)")
+	factsStats := fs.Bool("facts-stats", false,
+		"print the summary-cache hit/miss counters on stderr")
+	baseline := fs.String("baseline", "",
+		"baseline gating: write:FILE snapshots findings as accepted debt, check:FILE (or FILE) gates only new ones")
 	fs.Parse(os.Args[1:])
 
 	switch {
@@ -99,7 +111,13 @@ func main() {
 		return
 	}
 
-	opts := lint.Options{Patterns: args, ADL: *adlPath, Deploy: *deployPath}
+	baseMode, basePath, err := lint.ParseBaselineFlag(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var stats lint.CacheStats
+	opts := lint.Options{Patterns: args, ADL: *adlPath, Deploy: *deployPath,
+		FactsDir: *factsDir, Stats: &stats}
 	var diags []validate.Diagnostic
 	if *archMode {
 		if *adlPath == "" {
@@ -118,6 +136,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *factsStats {
+		fmt.Fprintln(os.Stderr, stats)
+	}
+	switch baseMode {
+	case "write":
+		if err := lint.WriteBaseline(basePath, diags); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "soleil-vet: baseline %s accepted %d finding(s)\n", basePath, len(diags))
+		return
+	case "check":
+		fresh, stale, err := lint.CheckBaseline(basePath, diags)
+		if err != nil {
+			fatal(err)
+		}
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "soleil-vet: baseline %s has %d stale entr(ies) — rewrite it with -baseline write:%s\n",
+				basePath, stale, basePath)
+		}
+		diags = fresh
+	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}
@@ -131,7 +170,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if n := countAtLeast(diags, threshold); n > 0 {
+	if n := validate.CountAtLeast(diags, threshold); n > 0 {
 		fmt.Fprintf(os.Stderr, "soleil-vet: %d finding(s) at or above severity %v\n", n, threshold)
 		os.Exit(1)
 	}
@@ -155,16 +194,6 @@ func writeSARIF(path string, diags []validate.Diagnostic) error {
 		return err
 	}
 	return f.Close()
-}
-
-func countAtLeast(diags []validate.Diagnostic, threshold validate.Severity) int {
-	n := 0
-	for _, d := range diags {
-		if d.Severity >= threshold {
-			n++
-		}
-	}
-	return n
 }
 
 func fatal(err error) {

@@ -1,0 +1,123 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"soleil/internal/validate"
+)
+
+// TestMaxSeverityParity builds both CLIs and pins the -max-severity
+// exit gating: for the same target and threshold, `soleil-vet` and
+// `soleil vet` must agree on whether to fail, with and without -arch,
+// and the decision must match what validate.CountAtLeast predicts
+// from the emitted JSON. This is the regression net around the shared
+// gating predicate — a CLI growing its own severity filter shows up
+// here as a split verdict.
+func TestMaxSeverityParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	vetBin := filepath.Join(bin, "soleil-vet")
+	soleilBin := filepath.Join(bin, "soleil")
+	for path, pkg := range map[string]string{
+		vetBin:    "./cmd/soleil-vet",
+		soleilBin: "./cmd/soleil",
+	} {
+		cmd := exec.Command("go", "build", "-o", path, pkg)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	facts := t.TempDir()
+
+	cases := []struct {
+		name    string
+		arch    bool
+		target  string
+		wantAny bool // does the target have findings at all?
+	}{
+		{"lintbad", false, "./examples/lintbad", true},
+		{"lintbad-arch", true, "./examples/lintbad", true},
+		{"clean", false, "./internal/rtsj/...", false},
+	}
+	for _, tc := range cases {
+		for _, sev := range []string{"info", "warning", "error"} {
+			t.Run(tc.name+"/"+sev, func(t *testing.T) {
+				common := []string{"-json", "-max-severity", sev, "-facts", facts}
+				if tc.arch {
+					common = append(common, "-arch", "-adl", "examples/lintbad/lintbad.xml")
+				}
+				vetArgs := append(append([]string{}, common...), tc.target)
+				soleilArgs := append([]string{"vet"}, vetArgs...)
+
+				vetOut, vetCode := run(t, root, vetBin, vetArgs...)
+				soleilOut, soleilCode := run(t, root, soleilBin, soleilArgs...)
+
+				if (vetCode != 0) != (soleilCode != 0) {
+					t.Fatalf("gating disagrees: soleil-vet exit %d, soleil vet exit %d", vetCode, soleilCode)
+				}
+				var diags []validate.Diagnostic
+				if err := json.Unmarshal(vetOut, &diags); err != nil {
+					t.Fatalf("soleil-vet -json output: %v\n%s", err, vetOut)
+				}
+				var other []validate.Diagnostic
+				if err := json.Unmarshal(soleilOut, &other); err != nil {
+					t.Fatalf("soleil vet -json output: %v\n%s", err, soleilOut)
+				}
+				if len(diags) != len(other) {
+					t.Errorf("finding counts diverge: soleil-vet %d, soleil vet %d", len(diags), len(other))
+				}
+				threshold, err := validate.ParseSeverity(sev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantGate := validate.CountAtLeast(diags, threshold) > 0
+				if gotGate := vetCode != 0; gotGate != wantGate {
+					t.Errorf("exit %d but CountAtLeast predicts gate=%v over %d finding(s)",
+						vetCode, wantGate, len(diags))
+				}
+				if tc.wantAny && len(diags) == 0 {
+					t.Error("expected findings on the corpus, got none")
+				}
+				if !tc.wantAny && len(diags) != 0 {
+					t.Errorf("expected a clean target, got %v", diags)
+				}
+			})
+		}
+	}
+}
+
+// run executes a built CLI from dir and returns its stdout and exit
+// code; any exit status is fine (gating is the thing under test), but
+// a start failure is fatal.
+func run(t *testing.T, dir, bin string, args ...string) ([]byte, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		exit, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", bin, args, err)
+		}
+		code = exit.ExitCode()
+	}
+	if code > 1 {
+		t.Fatalf("%s %v: internal error (exit %d)\n%s", bin, args, code, stderr.String())
+	}
+	return stdout.Bytes(), code
+}

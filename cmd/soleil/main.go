@@ -2,7 +2,7 @@
 //
 //	soleil validate [-json] [-sarif F] [-max-severity S] <arch.xml>  RTSJ conformance check (ADL level)
 //	soleil vet [-json] [-sarif F] [-adl arch.xml] [packages]   RTSJ conformance check (source level)
-//	soleil vet -arch -adl arch.xml [-deploy deploy.xml] [packages]   whole-architecture suite (SA05–SA08)
+//	soleil vet -arch -adl arch.xml [-deploy deploy.xml] [packages]   whole-architecture suite (SA05–SA11)
 //	soleil analyze <arch.xml>                  schedulability analysis
 //	soleil generate -mode M -out DIR <arch.xml>  emit infrastructure source
 //	soleil genreport <arch.xml>                Sect. 5.2 requirements report
@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -217,7 +218,7 @@ func cmdValidate(args []string) error {
 			return err
 		}
 	}
-	if n := countAtLeast(report.Diagnostics, threshold); n > 0 {
+	if n := validate.CountAtLeast(report.Diagnostics, threshold); n > 0 {
 		return fmt.Errorf("soleil: architecture %q has %d finding(s) at or above severity %v",
 			arch.Name(), n, threshold)
 	}
@@ -238,11 +239,18 @@ func cmdVet(args []string) error {
 		"deployment descriptor checked against -adl (adds RT14/RT15/RT17 cross-node findings)")
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer selection (default: all)")
 	archMode := fs.Bool("arch", false,
-		"run the whole-architecture suite (SA05–SA08) instead of the per-function passes; requires -adl")
+		"run the whole-architecture suite (SA05–SA11) instead of the per-function passes; requires -adl")
 	maxSev := fs.String("max-severity", "warning",
 		"lowest severity that makes the exit status non-zero (info, warning, error)")
 	sarifOut := fs.String("sarif", "",
 		"write diagnostics as a SARIF 2.1.0 log to FILE (\"-\" for stdout)")
+	factsDir := fs.String("facts", defaultFactsDir(),
+		"directory for the interprocedural summary cache (empty to disable)")
+	factsStats := fs.Bool("facts-stats", false,
+		"print the summary-cache hit/miss counters on stderr")
+	baseline := fs.String("baseline", "",
+		"baseline gating: write:FILE snapshots the findings as accepted debt, "+
+			"check:FILE (or FILE) subtracts the snapshot so only new findings gate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -250,10 +258,17 @@ func cmdVet(args []string) error {
 	if err != nil {
 		return err
 	}
+	baseMode, basePath, err := lint.ParseBaselineFlag(*baseline)
+	if err != nil {
+		return err
+	}
+	var stats lint.CacheStats
 	opts := lint.Options{
 		Patterns: fs.Args(),
 		ADL:      *adlPath,
 		Deploy:   *deployPath,
+		FactsDir: *factsDir,
+		Stats:    &stats,
 	}
 	var diags []validate.Diagnostic
 	if *archMode {
@@ -273,6 +288,27 @@ func cmdVet(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *factsStats {
+		fmt.Fprintln(os.Stderr, stats)
+	}
+	switch baseMode {
+	case "write":
+		if err := lint.WriteBaseline(basePath, diags); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "soleil: baseline %s accepted %d finding(s)\n", basePath, len(diags))
+		return nil
+	case "check":
+		fresh, stale, err := lint.CheckBaseline(basePath, diags)
+		if err != nil {
+			return err
+		}
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "soleil: baseline %s has %d stale entr(ies) — rewrite it with -baseline write:%s\n",
+				basePath, stale, basePath)
+		}
+		diags = fresh
+	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}
@@ -286,10 +322,22 @@ func cmdVet(args []string) error {
 			return err
 		}
 	}
-	if n := countAtLeast(diags, threshold); n > 0 {
+	if n := validate.CountAtLeast(diags, threshold); n > 0 {
 		return fmt.Errorf("soleil: %d finding(s) at or above severity %v", n, threshold)
 	}
 	return nil
+}
+
+// defaultFactsDir is where `soleil vet` keeps its summary cache when
+// -facts is not given: the user cache directory, so repeated runs in
+// one checkout warm each other up. Empty (cache disabled) when no
+// cache directory exists.
+func defaultFactsDir() string {
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(dir, "soleil-lint-facts")
 }
 
 // writeSARIF renders diagnostics as a SARIF 2.1.0 log, relativizing
@@ -310,16 +358,6 @@ func writeSARIF(path string, diags []validate.Diagnostic, tool string, ruleDocs 
 		return err
 	}
 	return f.Close()
-}
-
-func countAtLeast(diags []validate.Diagnostic, threshold validate.Severity) int {
-	n := 0
-	for _, d := range diags {
-		if d.Severity >= threshold {
-			n++
-		}
-	}
-	return n
 }
 
 func cmdAnalyze(args []string) error {

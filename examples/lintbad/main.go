@@ -26,6 +26,14 @@
 //	       reference
 //	SA08 — Pump declares cost=1ms but its Invoke path drains the
 //	       channel in an unbounded loop and consumes 5ms of CPU
+//	SA09 — the contracted Pump→Tank binding promises a 1ms latency
+//	       budget, but four queued messages ahead of a 10ms-period
+//	       server already cost 40ms before Tank even runs
+//	SA10 — Tank serves 4ms of work per release (capacity 250/s) while
+//	       its contracts admit 150+200 = 350 msg/s, and the 4-slot
+//	       Pump→Tank buffer refills faster than one drain per period
+//	SA11 — pump.Invoke spawns watch(), which loops forever with no
+//	       stop signal, once per dispatch
 package main
 
 import (
@@ -58,6 +66,7 @@ func (p *pump) Init(svc *membrane.Services) error {
 }
 
 func (p *pump) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
+	go p.watch() // SA11: an unbounded goroutine per dispatch, leaked forever
 	if itf == "iFlow" {
 		time.Sleep(time.Millisecond) // SA03: sleeping in a run-to-completion section
 		cmd := <-p.cmds              // SA03: bare receive may block forever
@@ -81,6 +90,17 @@ func (p *pump) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
 		return cmd, nil
 	}
 	return nil, fmt.Errorf("pump: unknown interface %q", itf)
+}
+
+// watch polls the command queue forever. Spawned from Invoke with no
+// context, no stop channel and no way to return, every dispatch leaks
+// one more copy of it (SA11).
+func (p *pump) watch() {
+	for {
+		if len(p.cmds) > 0 {
+			continue
+		}
+	}
 }
 
 // drainA and drainB take the pump's two mutexes in opposite orders
@@ -133,6 +153,18 @@ func (pn *panel) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
 }
 func (pn *panel) Activate(env *thread.Env) error { return nil }
 
+// tank backs the active Tank component. The implementation itself is
+// conformant — Tank's findings (SA09, SA10) are architectural: its
+// declared 4ms cost cannot keep up with what its binding contracts
+// admit.
+type tank struct{}
+
+func (tank) Init(svc *membrane.Services) error { return nil }
+func (tank) Invoke(env *thread.Env, itf, op string, arg any) (any, error) {
+	return nil, nil
+}
+func (tank) Activate(env *thread.Env) error { return nil }
+
 // gauge is registered below but appears nowhere in lintbad.xml (SA04
 // warning).
 type gauge struct{}
@@ -148,6 +180,9 @@ func register(r *assembly.Registry) error {
 		return err
 	}
 	if err := r.Register("panel", func() membrane.Content { return &panel{} }); err != nil {
+		return err
+	}
+	if err := r.Register("tank", func() membrane.Content { return tank{} }); err != nil {
 		return err
 	}
 	return r.Register("gauge", func() membrane.Content { return gauge{} })

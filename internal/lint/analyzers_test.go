@@ -25,6 +25,53 @@ func TestNoHeapAlloc(t *testing.T) {
 	}
 }
 
+// TestNoHeapDeep: the one-call-deep SA01 catch the intraprocedural
+// walk misses — the allocation hides behind interface dispatch the
+// summary engine resolves by class hierarchy.
+func TestNoHeapDeep(t *testing.T) {
+	diags := linttest.Run(t, corpus("noheapdeepsrc"), lint.NoHeapAlloc, "")
+	if len(diags) != 1 {
+		t.Fatalf("expected the 1 spliced finding, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "SA01" || d.Severity != validate.Error {
+		t.Errorf("spliced finding wrong shape: %+v", d)
+	}
+	if len(d.Flow) == 0 {
+		t.Errorf("spliced finding carries no call chain: %+v", d)
+	}
+}
+
+// TestRTBlockDeep: same catch for SA03 — blocking one unique-target
+// interface call away from the run-to-completion section.
+func TestRTBlockDeep(t *testing.T) {
+	diags := linttest.Run(t, corpus("rtblockdeepsrc"), lint.RTBlock, "")
+	if len(diags) != 2 {
+		t.Fatalf("expected the 2 spliced findings, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "SA03" || d.Severity != validate.Error {
+			t.Errorf("spliced finding wrong shape: %+v", d)
+		}
+		if len(d.Flow) == 0 {
+			t.Errorf("spliced finding carries no call chain: %+v", d)
+		}
+	}
+}
+
+// TestStaleIgnore: a //soleil:ignore whose excused finding no longer
+// exists is reported as SA00 at info severity; a live one is not.
+func TestStaleIgnore(t *testing.T) {
+	diags := linttest.Run(t, corpus("staleignoresrc"), lint.NoHeapAlloc, "")
+	if len(diags) != 1 {
+		t.Fatalf("expected the 1 stale suppression, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "SA00" || d.Severity != validate.Info {
+		t.Errorf("stale-ignore finding wrong shape: %+v", d)
+	}
+}
+
 func TestScopeRef(t *testing.T) {
 	diags := linttest.Run(t, corpus("scopesrc"), lint.ScopeRef, "")
 	for _, d := range diags {

@@ -118,6 +118,61 @@ func TestCostBound(t *testing.T) {
 	}
 }
 
+func TestFlowLatency(t *testing.T) {
+	dir, arch := archCorpus("flowlatencysrc")
+	diags := linttest.RunArch(t, dir, lint.FlowLatency, arch, "")
+	if len(diags) != 1 {
+		t.Errorf("expected the 1 corpus budget breach, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "SA09" || d.Severity != validate.Error {
+			t.Errorf("flowlatency finding wrong shape: %+v", d)
+		}
+		if !strings.Contains(d.Message, "queue") {
+			t.Errorf("finding does not break the path down by hop: %s", d.Message)
+		}
+		if len(d.Flow) == 0 {
+			t.Errorf("finding carries no per-hop flow: %+v", d)
+		}
+	}
+}
+
+func TestQueueSizing(t *testing.T) {
+	dir, arch := archCorpus("queuesizesrc")
+	diags := linttest.RunArch(t, dir, lint.QueueSizing, arch, "")
+	if len(diags) != 2 {
+		t.Errorf("expected the 2 corpus findings, got %d: %v", len(diags), diags)
+	}
+	var fanIn, overflow bool
+	for _, d := range diags {
+		if d.Rule != "SA10" || d.Severity != validate.Error {
+			t.Errorf("queuesizing finding wrong shape: %+v", d)
+		}
+		if strings.Contains(d.Message, "utilization") {
+			fanIn = true
+		}
+		if strings.Contains(d.Message, "overflows regardless of its size") {
+			overflow = true
+		}
+	}
+	if !fanIn || !overflow {
+		t.Errorf("expected one fan-in and one overflow finding, got fanIn=%v overflow=%v", fanIn, overflow)
+	}
+}
+
+func TestSpawnLeak(t *testing.T) {
+	dir, arch := archCorpus("spawnleaksrc")
+	diags := linttest.RunArch(t, dir, lint.SpawnLeak, arch, "")
+	if len(diags) != 2 {
+		t.Errorf("expected the 2 corpus leaks, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "SA11" || d.Severity != validate.Error {
+			t.Errorf("spawnleak finding wrong shape: %+v", d)
+		}
+	}
+}
+
 // TestArchClean: the clean fixture must come back empty from every
 // whole-architecture pass.
 func TestArchClean(t *testing.T) {
@@ -140,7 +195,7 @@ func TestArchByName(t *testing.T) {
 	if _, err := lint.ArchByName("nope"); err == nil {
 		t.Error("ArchByName accepted an unknown analyzer")
 	}
-	if as, err := lint.ArchByName(""); err != nil || len(as) != 4 {
+	if as, err := lint.ArchByName(""); err != nil || len(as) != 7 {
 		t.Errorf("ArchByName(\"\") should return the full arch suite, got %v, %v", as, err)
 	}
 }

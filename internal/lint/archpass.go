@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strconv"
 	"strings"
 
 	"soleil/internal/adl"
@@ -24,7 +25,8 @@ type ArchAnalyzer struct {
 
 // AllArch is the whole-architecture suite in rule order.
 func AllArch() []*ArchAnalyzer {
-	return []*ArchAnalyzer{BindingCycle, LockOrder, MembraneBypass, CostBound}
+	return []*ArchAnalyzer{BindingCycle, LockOrder, MembraneBypass, CostBound,
+		FlowLatency, QueueSizing, SpawnLeak}
 }
 
 // ArchByName resolves a comma-separated arch-analyzer selection.
@@ -86,16 +88,54 @@ func (p *ArchPass) Reportf(pos token.Pos, sev validate.Severity, subject, sugges
 }
 
 func (p *ArchPass) suppressed(f Finding) bool {
-	if !f.Pos.IsValid() || p.Facts.Fset == nil {
+	if p.Facts.Fset == nil {
+		return false
+	}
+	var pos token.Position
+	switch {
+	case f.PosStr != "":
+		pos = parsePosition(f.PosStr)
+	case f.Pos.IsValid():
+		pos = p.Facts.Fset.Position(f.Pos)
+	default:
 		return false
 	}
 	for _, pkg := range p.Facts.Pkgs {
 		idx := p.Facts.suppIndex(pkg)
-		if idx.suppresses(p.Facts.Fset, f) {
+		if idx.suppressesPosition(pos, f.Rule) {
 			return true
 		}
 	}
 	return false
+}
+
+// parsePosition splits a rendered "file:line:col" string back into a
+// position; line parsing walks colons from the right so Windows drive
+// letters survive.
+func parsePosition(s string) token.Position {
+	rest := s
+	var nums []int
+	for len(nums) < 2 {
+		i := strings.LastIndexByte(rest, ':')
+		if i < 0 {
+			break
+		}
+		n, err := strconv.Atoi(rest[i+1:])
+		if err != nil {
+			break
+		}
+		nums = append(nums, n)
+		rest = rest[:i]
+	}
+	pos := token.Position{Filename: rest}
+	switch len(nums) {
+	case 1:
+		pos.Line = nums[0]
+	case 2:
+		pos.Line = nums[1]
+		pos.Column = nums[0]
+	}
+	return pos
 }
 
 // suppIndex returns (building on demand) the package's directive
@@ -113,10 +153,15 @@ func (f *ArchFacts) suppIndex(pkg *Package) *suppressionIndex {
 // returns the findings in the shared diagnostic form, sorted by
 // position then rule. Malformed //soleil:ignore directives in any
 // loaded package surface as SA00 — the same contract RunPackage
-// keeps for the per-function suite.
+// keeps for the per-function suite — and directives that suppressed
+// nothing across the whole run surface as SA00 Info.
 func RunArchPasses(facts *ArchFacts, analyzers []*ArchAnalyzer) ([]validate.Diagnostic, error) {
 	if analyzers == nil {
 		analyzers = AllArch()
+	}
+	facts.EnsureEngine("", nil)
+	if facts.LinkPenalty == 0 {
+		facts.LinkPenalty = defaultLinkPenalty
 	}
 	var diags []validate.Diagnostic
 	render := func(f Finding) validate.Diagnostic {
@@ -126,8 +171,12 @@ func RunArchPasses(facts *ArchFacts, analyzers []*ArchAnalyzer) ([]validate.Diag
 			Subject:    f.Subject,
 			Message:    f.Message,
 			Suggestion: f.Suggestion,
+			Flow:       f.Flow,
 		}
-		if f.Pos.IsValid() && facts.Fset != nil {
+		switch {
+		case f.PosStr != "":
+			d.Pos = f.PosStr
+		case f.Pos.IsValid() && facts.Fset != nil:
 			d.Pos = facts.Fset.Position(f.Pos).String()
 		}
 		return d
@@ -143,6 +192,12 @@ func RunArchPasses(facts *ArchFacts, analyzers []*ArchAnalyzer) ([]validate.Diag
 			return nil, err
 		}
 		for _, f := range pass.findings {
+			diags = append(diags, render(f))
+		}
+	}
+	ran := ranRules(nil, analyzers)
+	for _, pkg := range facts.Pkgs {
+		for _, f := range facts.suppIndex(pkg).unused(ran) {
 			diags = append(diags, render(f))
 		}
 	}
@@ -188,6 +243,8 @@ func RunArch(opts Options) ([]validate.Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
+	facts.EnsureEngine(opts.FactsDir, opts.Stats)
+	facts.LinkPenalty = linkPenaltyFromBench(opts.Dir)
 	ds, err := RunArchPasses(facts, opts.ArchAnalyzers)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"soleil/internal/validate"
+)
+
+// Baseline-diff gating. Adopting the suite on a codebase with existing
+// findings would otherwise force a big-bang cleanup: `soleil vet
+// -baseline write:FILE` snapshots the current findings as accepted
+// debt, and `-baseline check:FILE` (or just `-baseline FILE`)
+// subtracts the snapshot from later runs so only NEW findings gate the
+// exit code. Keys deliberately omit line numbers — moving an accepted
+// finding around a file does not un-accept it — and file paths are
+// stored relative to the baseline file, so the snapshot survives
+// checkouts at different roots. Counts are a multiset: three accepted
+// findings of one shape absorb at most three current ones.
+
+// baselineVersion guards the on-disk schema.
+const baselineVersion = 1
+
+// Baseline is the serialized accepted-findings multiset.
+type Baseline struct {
+	Version int `json:"version"`
+	// Counts maps finding keys (rule|file|subject) to how many of that
+	// shape are accepted.
+	Counts map[string]int `json:"counts"`
+}
+
+// baselineKey reduces a diagnostic to its baseline identity: the rule,
+// the file (relative to the baseline's directory, slash-separated) and
+// the subject. Lines, columns and message texts stay out — they churn
+// under unrelated edits.
+func baselineKey(baseDir string, d validate.Diagnostic) string {
+	file := parsePosition(d.Pos).Filename
+	if baseDir != "" && filepath.IsAbs(file) {
+		if rel, err := filepath.Rel(baseDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return d.Rule + "|" + filepath.ToSlash(file) + "|" + d.Subject
+}
+
+// WriteBaseline snapshots diags into a baseline file at path.
+func WriteBaseline(path string, diags []validate.Diagnostic) error {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return err
+	}
+	baseDir := filepath.Dir(abs)
+	b := Baseline{Version: baselineVersion, Counts: map[string]int{}}
+	for _, d := range diags {
+		b.Counts[baselineKey(baseDir, d)]++
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckBaseline loads the baseline at path and splits diags into fresh
+// findings (not absorbed by the baseline — these gate) and the number
+// of stale baseline entries (accepted debt that no longer exists and
+// can be rewritten away). Absorption is order-stable: earlier
+// diagnostics consume baseline counts first.
+func CheckBaseline(path string, diags []validate.Diagnostic) (fresh []validate.Diagnostic, stale int, err error) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, 0, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, 0, fmt.Errorf("lint: baseline %s has version %d, this build reads %d (rewrite it with -baseline write:%s)",
+			path, b.Version, baselineVersion, path)
+	}
+	baseDir := filepath.Dir(abs)
+	remaining := make(map[string]int, len(b.Counts))
+	for k, n := range b.Counts {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKey(baseDir, d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, n := range remaining {
+		stale += n
+	}
+	return fresh, stale, nil
+}
+
+// ParseBaselineFlag splits a -baseline flag value into its mode and
+// path: "write:FILE", "check:FILE", or a bare "FILE" (meaning check).
+func ParseBaselineFlag(v string) (mode, path string, err error) {
+	switch {
+	case v == "":
+		return "", "", nil
+	case strings.HasPrefix(v, "write:"):
+		mode, path = "write", v[len("write:"):]
+	case strings.HasPrefix(v, "check:"):
+		mode, path = "check", v[len("check:"):]
+	default:
+		mode, path = "check", v
+	}
+	if path == "" {
+		return "", "", fmt.Errorf("lint: -baseline %q names no file (want write:FILE, check:FILE or FILE)", v)
+	}
+	return mode, path, nil
+}
+
+// BaselineKeys renders the sorted keys of diags as they would enter a
+// baseline written at path — the debugging view of what check would
+// subtract.
+func BaselineKeys(path string, diags []validate.Diagnostic) []string {
+	abs, _ := filepath.Abs(path)
+	baseDir := filepath.Dir(abs)
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, baselineKey(baseDir, d))
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,125 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soleil/internal/lint"
+	"soleil/internal/validate"
+)
+
+func copyFile(src, dst string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, data, 0o644)
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	old := []validate.Diagnostic{
+		{Rule: "SA01", Severity: validate.Error, Subject: "(*pump).sample",
+			Pos: filepath.Join(dir, "pkg", "a.go") + ":10:2", Message: "append allocates"},
+		{Rule: "SA01", Severity: validate.Error, Subject: "(*pump).sample",
+			Pos: filepath.Join(dir, "pkg", "a.go") + ":11:3", Message: "fmt allocates"},
+		{Rule: "SA06", Severity: validate.Error, Subject: "pump",
+			Pos: filepath.Join(dir, "pkg", "a.go") + ":20:1", Message: "lock inversion"},
+	}
+	if err := lint.WriteBaseline(base, old); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical findings: all absorbed, nothing stale.
+	fresh, stale, err := lint.CheckBaseline(base, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 0 || stale != 0 {
+		t.Fatalf("identical run should be fully absorbed, got fresh=%v stale=%d", fresh, stale)
+	}
+
+	// Accepted findings move lines and change messages without
+	// un-accepting; a new rule on the same file still gates; a fixed
+	// finding leaves a stale entry.
+	next := []validate.Diagnostic{
+		{Rule: "SA01", Severity: validate.Error, Subject: "(*pump).sample",
+			Pos: filepath.Join(dir, "pkg", "a.go") + ":99:7", Message: "append allocates (moved)"},
+		{Rule: "SA01", Severity: validate.Error, Subject: "(*pump).sample",
+			Pos: filepath.Join(dir, "pkg", "a.go") + ":100:1", Message: "fmt allocates"},
+		{Rule: "SA03", Severity: validate.Error, Subject: "(*pump).Invoke",
+			Pos: filepath.Join(dir, "pkg", "a.go") + ":30:2", Message: "sleep blocks"},
+	}
+	fresh, stale, err = lint.CheckBaseline(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 1 || fresh[0].Rule != "SA03" {
+		t.Errorf("only the new SA03 should gate, got %v", fresh)
+	}
+	if stale != 1 {
+		t.Errorf("the fixed SA06 should surface as 1 stale entry, got %d", stale)
+	}
+
+	// The multiset absorbs at most the accepted count: a third SA01 of
+	// the same shape is fresh.
+	extra := append(append([]validate.Diagnostic{}, next[:2]...), validate.Diagnostic{
+		Rule: "SA01", Severity: validate.Error, Subject: "(*pump).sample",
+		Pos: filepath.Join(dir, "pkg", "a.go") + ":120:1", Message: "make allocates"})
+	fresh, _, err = lint.CheckBaseline(base, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 1 || fresh[0].Rule != "SA01" {
+		t.Errorf("the third same-shape SA01 should gate, got %v", fresh)
+	}
+}
+
+func TestParseBaselineFlag(t *testing.T) {
+	for _, tc := range []struct{ in, mode, path string }{
+		{"write:b.json", "write", "b.json"},
+		{"check:b.json", "check", "b.json"},
+		{"b.json", "check", "b.json"},
+		{"", "", ""},
+	} {
+		mode, path, err := lint.ParseBaselineFlag(tc.in)
+		if err != nil || mode != tc.mode || path != tc.path {
+			t.Errorf("ParseBaselineFlag(%q) = %q, %q, %v; want %q, %q", tc.in, mode, path, err, tc.mode, tc.path)
+		}
+	}
+	if _, _, err := lint.ParseBaselineFlag("write:"); err == nil {
+		t.Error("empty write path accepted")
+	}
+}
+
+// TestBaselineRelocatable: keys are stored relative to the baseline
+// file, so a moved checkout still matches.
+func TestBaselineRelocatable(t *testing.T) {
+	dirA := t.TempDir()
+	dirB := t.TempDir()
+	baseA := filepath.Join(dirA, "baseline.json")
+	baseB := filepath.Join(dirB, "baseline.json")
+	diagA := []validate.Diagnostic{{Rule: "SA01", Subject: "f",
+		Pos: filepath.Join(dirA, "x", "a.go") + ":1:1", Message: "m"}}
+	diagB := []validate.Diagnostic{{Rule: "SA01", Subject: "f",
+		Pos: filepath.Join(dirB, "x", "a.go") + ":5:5", Message: "m"}}
+	if err := lint.WriteBaseline(baseA, diagA); err != nil {
+		t.Fatal(err)
+	}
+	data, err := filepath.Glob(baseA)
+	if err != nil || len(data) != 1 {
+		t.Fatal("baseline not written")
+	}
+	if err := copyFile(baseA, baseB); err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale, err := lint.CheckBaseline(baseB, diagB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 0 || stale != 0 {
+		t.Errorf("relocated baseline should absorb the same relative finding, got fresh=%v stale=%d", fresh, stale)
+	}
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The on-disk facts cache. One JSON file per summarized package,
+// keyed by a content hash of the engine version plus every source
+// file of the package, carrying the hashes of every
+// summary-dependency package (imports within the load, plus packages
+// reached through CHA dispatch — the transitive closure, so a change
+// anywhere below invalidates everything above). A warm entry is valid
+// when its own hash and all recorded dependency hashes match the
+// current load; then its summaries are adopted verbatim and the
+// package is skipped during the bottom-up build.
+//
+// Position strings inside cached summaries are rendered paths, which
+// are stable across runs on the same checkout — the FileSet is not
+// serialized.
+
+// cacheEntry is the serialized facts of one package.
+type cacheEntry struct {
+	ImportPath string              `json:"importPath"`
+	Hash       string              `json:"hash"`
+	Deps       map[string]string   `json:"deps,omitempty"` // import path -> hash
+	Summaries  map[string]*Summary `json:"summaries"`
+	// UsedSupp records the rendered positions of //soleil:ignore
+	// directives that filtered an effect during the summary build, so
+	// warm runs re-mark them used and the unused-suppression report
+	// stays identical cold and warm.
+	UsedSupp []string `json:"usedSupp,omitempty"`
+}
+
+// pkgHash fingerprints one package's source: the engine version and
+// every parsed file's content, in FileSet order.
+func pkgHash(pkg *Package) string {
+	h := sha256.New()
+	fmt.Fprintln(h, engineVersion)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		fmt.Fprintln(h, name)
+		b, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(h, "unreadable:", err)
+			continue
+		}
+		h.Write(b)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// cachePath names the entry file for one import path.
+func cachePath(dir, importPath string) string {
+	name := strings.NewReplacer("/", "_", "\\", "_", ":", "_").Replace(importPath)
+	return filepath.Join(dir, name+".facts.json")
+}
+
+// summaryDeps derives the summary-dependency graph between loaded
+// packages: every package a summary of pkg can transitively reference —
+// its in-load imports plus every package holding a resolved CHA or
+// static call target.
+func (e *Engine) summaryDeps() map[*Package]map[string]bool {
+	direct := map[*Package]map[string]bool{}
+	for _, pkg := range e.pkgs {
+		direct[pkg] = map[string]bool{}
+	}
+	for pkg, sites := range e.byPkg {
+		for _, site := range sites {
+			for _, id := range e.calleeIDs(site) {
+				target := e.decls[id]
+				if target.pkg != pkg {
+					direct[pkg][target.pkg.ImportPath] = true
+				}
+			}
+		}
+	}
+	byPath := map[string]*Package{}
+	for _, pkg := range e.pkgs {
+		byPath[pkg.ImportPath] = pkg
+	}
+	// Transitive closure (the graphs are small; iterate to fixpoint).
+	for changed := true; changed; {
+		changed = false
+		for pkg, deps := range direct {
+			for d := range deps {
+				dp, ok := byPath[d]
+				if !ok {
+					continue
+				}
+				for dd := range direct[dp] {
+					if dd != pkg.ImportPath && !deps[dd] {
+						deps[dd] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return direct
+}
+
+// loadFactsCache adopts valid warm entries into the engine and
+// reports which packages they covered.
+func loadFactsCache(e *Engine, dir string) map[*Package]bool {
+	hashes := map[string]string{}
+	for _, pkg := range e.pkgs {
+		hashes[pkg.ImportPath] = pkgHash(pkg)
+	}
+	cached := map[*Package]bool{}
+	for _, pkg := range e.pkgs {
+		b, err := os.ReadFile(cachePath(dir, pkg.ImportPath))
+		if err != nil {
+			continue
+		}
+		var entry cacheEntry
+		if json.Unmarshal(b, &entry) != nil {
+			continue
+		}
+		if entry.ImportPath != pkg.ImportPath || entry.Hash != hashes[pkg.ImportPath] {
+			continue
+		}
+		valid := true
+		for dep, h := range entry.Deps {
+			if hashes[dep] != h {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		for id, s := range entry.Summaries {
+			e.summaries[id] = s
+		}
+		if len(entry.UsedSupp) > 0 {
+			used := map[string]bool{}
+			for _, p := range entry.UsedSupp {
+				used[p] = true
+			}
+			e.supp(pkg).markUsed(pkg.Fset, used)
+		}
+		cached[pkg] = true
+	}
+	return cached
+}
+
+// writeFactsCache persists the summaries of every freshly computed
+// package. Write failures are deliberately silent: the cache is an
+// accelerator, not a correctness input.
+func writeFactsCache(e *Engine, dir string, cached map[*Package]bool) {
+	if os.MkdirAll(dir, 0o755) != nil {
+		return
+	}
+	hashes := map[string]string{}
+	for _, pkg := range e.pkgs {
+		hashes[pkg.ImportPath] = pkgHash(pkg)
+	}
+	deps := e.summaryDeps()
+	for _, pkg := range e.pkgs {
+		if cached[pkg] {
+			continue
+		}
+		entry := cacheEntry{
+			ImportPath: pkg.ImportPath,
+			Hash:       hashes[pkg.ImportPath],
+			Deps:       map[string]string{},
+			Summaries:  map[string]*Summary{},
+		}
+		var depPaths []string
+		for d := range deps[pkg] {
+			depPaths = append(depPaths, d)
+		}
+		sort.Strings(depPaths)
+		for _, d := range depPaths {
+			if h, ok := hashes[d]; ok {
+				entry.Deps[d] = h
+			}
+		}
+		for _, site := range e.byPkg[pkg] {
+			if s := e.summaries[site.id]; s != nil {
+				entry.Summaries[site.id] = s
+			}
+		}
+		entry.UsedSupp = e.supp(pkg).usedAt(pkg.Fset)
+		b, err := json.Marshal(entry)
+		if err != nil {
+			continue
+		}
+		tmp := cachePath(dir, pkg.ImportPath) + ".tmp"
+		if os.WriteFile(tmp, b, 0o644) == nil {
+			os.Rename(tmp, cachePath(dir, pkg.ImportPath))
+		}
+	}
+}

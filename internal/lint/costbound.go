@@ -158,6 +158,8 @@ func (c *costCalc) nodeCost(n ast.Node) time.Duration {
 		switch s := x.(type) {
 		case *ast.FuncLit:
 			return false // cost attaches where the value is called
+		case *ast.GoStmt:
+			return false // the goroutine body runs on another thread's budget
 		case *ast.ForStmt:
 			trips, ok := boundedFor(info, s)
 			if !ok {
@@ -228,6 +230,13 @@ func (c *costCalc) callCost(call *ast.CallExpr) time.Duration {
 	}
 	if decl, ok := c.impl.decls[callee]; ok {
 		return c.fnCost(decl)
+	}
+	// Cross-package application callee: charge its summarized static
+	// lower bound (framework and stdlib summaries simply cost 0).
+	if eng := c.pass.Facts.Eng; eng != nil {
+		if s := eng.Summary(callee); s != nil && !s.Recursive {
+			return time.Duration(s.CostNs)
+		}
 	}
 	return 0 // framework or stdlib: charged to the membrane, not the budget
 }

@@ -7,6 +7,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 
 	"soleil/internal/model"
 )
@@ -34,10 +35,29 @@ type ArchFacts struct {
 	// carries both examples/factory and internal/scenario variants of
 	// the paper's classes); each is analyzed independently.
 	Impls map[string][]*Impl
+	// Eng is the interprocedural summary engine over the loaded
+	// packages, built on first use (EnsureEngine).
+	Eng *Engine
+	// LinkPenalty is the per-hop latency charged by SA09 for a binding
+	// whose endpoints are assigned to different nodes; priced from
+	// BENCH_cluster.json when available, else a conservative default.
+	LinkPenalty time.Duration
 
 	// supp indexes the //soleil:ignore directives of every loaded
 	// package, keyed by filename.
 	supp map[*Package]*suppressionIndex
+}
+
+// EnsureEngine builds the summary engine over the facts' packages if
+// it has not been built yet. factsDir, when non-empty, enables the
+// on-disk cache; stats, when non-nil, receives the cache counters.
+func (f *ArchFacts) EnsureEngine(factsDir string, stats *CacheStats) {
+	if f.Eng == nil {
+		f.Eng = NewEngine(f.Pkgs, f.suppIndex, factsDir)
+	}
+	if stats != nil {
+		*stats = f.Eng.Stats()
+	}
 }
 
 // An Impl is one registered implementation of a content class: the

@@ -1,0 +1,386 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"soleil/internal/model"
+	"soleil/internal/rtsj/analysis"
+	"soleil/internal/validate"
+)
+
+// FlowLatency (SA09) composes per-hop worst-case response along every
+// binding path of the architecture and checks the sums against the
+// latency contracts and the clients' deadlines. RT16 already judges
+// each contracted binding in isolation; this pass closes the gap
+// "Contract Aware Components" identifies between per-binding
+// contracts and whole-path QoS: a 1 ms terminal budget is unmeetable
+// when four queued releases and a node hop sit upstream of it, even
+// though every hop honours its own contract.
+//
+// The hop model prices three components of response:
+//
+//   - serve: the server's worst-case response from the same
+//     response-time analysis the validator runs (RT12), falling back
+//     to the declared cost when the server is outside the task set;
+//   - queue residence: for an asynchronous hop, a full buffer of
+//     BufferSize releases drained one per activation interval
+//     (period for periodic servers, minimum interarrival for
+//     sporadic ones);
+//   - link: a cross-node penalty when the deployment assigns the
+//     endpoints to different nodes, priced from the measured
+//     cluster-loopback round trip in BENCH_cluster.json.
+//
+// Two checks: every path ending in a binding with a latencyBudget
+// must fit the budget (worst path reported per contract), and every
+// all-synchronous chain from a periodic client must fit the client's
+// deadline — the client blocks through the whole chain inside its own
+// release.
+var FlowLatency = &ArchAnalyzer{
+	Name: "flowlatency",
+	Rule: "SA09",
+	Doc: "composes worst-case response (RTA + queue residence + cross-node link penalty) " +
+		"along every binding path and flags paths exceeding the terminal contract's " +
+		"latencyBudget or the client's deadline",
+	Run: runFlowLatency,
+}
+
+// defaultLinkPenalty is the cross-node hop price when no benchmark
+// file is available: the order of a loopback TCP round trip.
+const defaultLinkPenalty = 300 * time.Microsecond
+
+// flowPathCap bounds the simple-path enumeration; architectures are
+// small, this is a defensive ceiling.
+const flowPathCap = 4096
+
+func runFlowLatency(p *ArchPass) error {
+	facts := p.Facts
+	responses := rtaResponses(facts.Arch)
+	out := map[string][]*model.Binding{}
+	for _, b := range facts.Arch.Bindings() {
+		out[b.Client.Component] = append(out[b.Client.Component], b)
+	}
+
+	type worst struct {
+		sum  time.Duration
+		path []*model.Binding
+	}
+	worstPerContract := map[*model.Binding]worst{}
+	worstSyncChain := map[string]worst{}
+
+	origins := make([]string, 0, len(out))
+	for c := range out {
+		origins = append(origins, c)
+	}
+	sort.Strings(origins)
+
+	paths := 0
+	var path []*model.Binding
+	onPath := map[string]bool{}
+	var dfs func(from string, sum time.Duration, allSync bool, origin string)
+	dfs = func(from string, sum time.Duration, allSync bool, origin string) {
+		if paths >= flowPathCap {
+			return
+		}
+		for _, b := range out[from] {
+			if onPath[b.Server.Component] {
+				continue // cycles are SA05's finding, not a latency path
+			}
+			paths++
+			h := hopLatency(facts, responses, b)
+			total := sum + h
+			path = append(path, b)
+			if c := b.Contract; c != nil && c.LatencyBudget > 0 {
+				if w, ok := worstPerContract[b]; !ok || total > w.sum {
+					worstPerContract[b] = worst{sum: total, path: append([]*model.Binding{}, path...)}
+				}
+			}
+			sync := allSync && b.Protocol == model.Synchronous
+			if sync {
+				if w, ok := worstSyncChain[origin]; !ok || total > w.sum {
+					worstSyncChain[origin] = worst{sum: total, path: append([]*model.Binding{}, path...)}
+				}
+			}
+			onPath[b.Server.Component] = true
+			dfs(b.Server.Component, total, sync, origin)
+			delete(onPath, b.Server.Component)
+			path = path[:len(path)-1]
+		}
+	}
+	for _, origin := range origins {
+		onPath[origin] = true
+		dfs(origin, 0, true, origin)
+		delete(onPath, origin)
+	}
+
+	// Contracted paths vs latencyBudget.
+	var contracted []*model.Binding
+	for b := range worstPerContract {
+		contracted = append(contracted, b)
+	}
+	sort.Slice(contracted, func(i, j int) bool {
+		return contracted[i].String() < contracted[j].String()
+	})
+	for _, b := range contracted {
+		w := worstPerContract[b]
+		if w.sum <= b.Contract.LatencyBudget {
+			continue
+		}
+		p.Report(Finding{
+			Pos:      flowAnchor(facts, w.path),
+			Severity: validate.Error,
+			Subject:  b.String(),
+			Message: fmt.Sprintf("end-to-end worst-case latency %v along %s exceeds the contract's latencyBudget %v: %s",
+				w.sum, pathString(w.path), b.Contract.LatencyBudget, hopBreakdown(facts, responses, w.path)),
+			Suggestion: "shrink upstream buffers, speed up the servers on the path, or raise the budget to what the path can deliver",
+			Flow:       pathFlow(facts, responses, w.path),
+		})
+	}
+
+	// All-sync chains vs the origin client's deadline.
+	var chainOrigins []string
+	for c := range worstSyncChain {
+		chainOrigins = append(chainOrigins, c)
+	}
+	sort.Strings(chainOrigins)
+	for _, origin := range chainOrigins {
+		cli, ok := facts.Arch.Component(origin)
+		if !ok || cli.Kind() != model.Active {
+			continue
+		}
+		act := cli.Activation()
+		if act == nil || act.Kind != model.PeriodicActivation {
+			continue
+		}
+		deadline := act.Deadline
+		if deadline <= 0 {
+			deadline = act.Period
+		}
+		if deadline <= 0 {
+			continue
+		}
+		w := worstSyncChain[origin]
+		if w.sum <= deadline {
+			continue
+		}
+		p.Report(Finding{
+			Pos:      flowAnchor(facts, w.path),
+			Severity: validate.Error,
+			Subject:  origin,
+			Message: fmt.Sprintf("synchronous chain %s costs %v in the worst case, exceeding %s's deadline %v: "+
+				"the client blocks through the whole chain inside its own release (%s)",
+				pathString(w.path), w.sum, origin, deadline, hopBreakdown(facts, responses, w.path)),
+			Suggestion: "make a hop asynchronous to decouple the chain from the client's release, or shorten the path",
+			Flow:       pathFlow(facts, responses, w.path),
+		})
+	}
+	return nil
+}
+
+// rtaResponses mirrors the validator's RT12 task construction and
+// returns the worst-case responses by component name; empty when the
+// analysis is inapplicable.
+func rtaResponses(arch *model.Architecture) map[string]time.Duration {
+	var tasks []analysis.Task
+	for _, c := range arch.ComponentsOfKind(model.Active) {
+		act := c.Activation()
+		if act.Kind != model.PeriodicActivation || act.Cost <= 0 {
+			continue
+		}
+		td, err := arch.EffectiveThreadDomain(c)
+		if err != nil {
+			continue
+		}
+		tasks = append(tasks, analysis.Task{
+			Name:     c.Name(),
+			Period:   act.Period,
+			Cost:     act.Cost,
+			Deadline: act.Deadline,
+			Priority: td.Domain().Priority,
+		})
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].Priority > tasks[j].Priority })
+	rs, err := analysis.ResponseTimeAnalysis(tasks)
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]time.Duration, len(rs))
+	for _, r := range rs {
+		out[r.Task] = r.WorstCase
+	}
+	return out
+}
+
+// hopLatency prices one binding hop: link penalty + queue residence +
+// the server's response.
+func hopLatency(facts *ArchFacts, responses map[string]time.Duration, b *model.Binding) time.Duration {
+	var d time.Duration
+	if crossNode(facts, b) {
+		d += facts.LinkPenalty
+	}
+	d += queueResidence(facts, b)
+	d += serveTime(facts, responses, b.Server.Component)
+	return d
+}
+
+func crossNode(facts *ArchFacts, b *model.Binding) bool {
+	cn, sn := facts.Assign[b.Client.Component], facts.Assign[b.Server.Component]
+	return cn != "" && sn != "" && cn != sn
+}
+
+// queueResidence is the worst-case wait in an asynchronous hop's
+// buffer: a full buffer of BufferSize releases, drained one per
+// server activation interval.
+func queueResidence(facts *ArchFacts, b *model.Binding) time.Duration {
+	if b.Protocol != model.Asynchronous || b.BufferSize <= 0 {
+		return 0
+	}
+	srv, ok := facts.Arch.Component(b.Server.Component)
+	if !ok {
+		return 0
+	}
+	act := srv.Activation()
+	if act == nil || act.Period <= 0 {
+		return 0 // sporadic with no minimum interarrival: drains on arrival
+	}
+	return time.Duration(b.BufferSize) * act.Period
+}
+
+// serveTime is the server's worst-case response: the RTA result when
+// the server is in the task set, the declared cost otherwise.
+func serveTime(facts *ArchFacts, responses map[string]time.Duration, server string) time.Duration {
+	if r, ok := responses[server]; ok {
+		return r
+	}
+	if c, ok := facts.Arch.Component(server); ok {
+		if act := c.Activation(); act != nil {
+			return act.Cost
+		}
+	}
+	return 0
+}
+
+func pathString(path []*model.Binding) string {
+	var sb strings.Builder
+	for i, b := range path {
+		if i == 0 {
+			sb.WriteString(b.Client.Component)
+		}
+		fmt.Fprintf(&sb, " -%s-> %s", b.Client.Interface, b.Server.Component)
+	}
+	return sb.String()
+}
+
+// hopBreakdown itemizes the path sum so the finding shows its math.
+func hopBreakdown(facts *ArchFacts, responses map[string]time.Duration, path []*model.Binding) string {
+	var parts []string
+	for _, b := range path {
+		var terms []string
+		if crossNode(facts, b) {
+			terms = append(terms, fmt.Sprintf("link %v", facts.LinkPenalty))
+		}
+		if q := queueResidence(facts, b); q > 0 {
+			terms = append(terms, fmt.Sprintf("queue %d×%v", b.BufferSize, q/time.Duration(b.BufferSize)))
+		}
+		if s := serveTime(facts, responses, b.Server.Component); s > 0 {
+			terms = append(terms, fmt.Sprintf("serve %v", s))
+		}
+		if len(terms) == 0 {
+			terms = append(terms, "0")
+		}
+		parts = append(parts, fmt.Sprintf("%s: %s", b.Server.Component, strings.Join(terms, " + ")))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// pathFlow renders the path as flow steps for SARIF codeFlows.
+func pathFlow(facts *ArchFacts, responses map[string]time.Duration, path []*model.Binding) []validate.FlowStep {
+	var flow []validate.FlowStep
+	for _, b := range path {
+		note := fmt.Sprintf("%s -> %s (%s", b.Client.Component, b.Server.Component, b.Protocol)
+		if crossNode(facts, b) {
+			note += fmt.Sprintf(", cross-node +%v", facts.LinkPenalty)
+		}
+		if q := queueResidence(facts, b); q > 0 {
+			note += fmt.Sprintf(", queue residence %v", q)
+		}
+		if s := serveTime(facts, responses, b.Server.Component); s > 0 {
+			note += fmt.Sprintf(", serve %v", s)
+		}
+		note += ")"
+		step := validate.FlowStep{Note: note}
+		if pos := implAnchor(facts, b.Server.Component); pos != "" {
+			step.Pos = pos
+		}
+		flow = append(flow, step)
+	}
+	return flow
+}
+
+// flowAnchor picks a code position for a path finding: the first
+// endpoint along the path with a registered implementation, else the
+// package anchor.
+func flowAnchor(facts *ArchFacts, path []*model.Binding) token.Pos {
+	for _, b := range path {
+		for _, name := range []string{b.Client.Component, b.Server.Component} {
+			for _, im := range facts.ImplsOf(name) {
+				if im.RegPos.IsValid() {
+					return im.RegPos
+				}
+			}
+		}
+	}
+	return facts.Anchor()
+}
+
+func implAnchor(facts *ArchFacts, component string) string {
+	for _, im := range facts.ImplsOf(component) {
+		if im.RegPos.IsValid() {
+			return facts.Fset.Position(im.RegPos).String()
+		}
+	}
+	return ""
+}
+
+// linkPenaltyFromBench prices the cross-node hop from the measured
+// cluster-loopback round trip in BENCH_cluster.json (searched in dir
+// and its parents), halved to a one-way figure; the default stands in
+// when no benchmark has been recorded.
+func linkPenaltyFromBench(dir string) time.Duration {
+	if dir == "" {
+		dir = "."
+	}
+	for d := dir; ; {
+		b, err := os.ReadFile(filepath.Join(d, "BENCH_cluster.json"))
+		if err == nil {
+			var doc struct {
+				Scenarios []struct {
+					Scenario  string `json:"scenario"`
+					RTTMedian int64  `json:"rttMedian"`
+				} `json:"scenarios"`
+			}
+			if json.Unmarshal(b, &doc) == nil {
+				for _, s := range doc.Scenarios {
+					if s.Scenario == "cluster-loopback" && s.RTTMedian > 0 {
+						return time.Duration(s.RTTMedian) / 2
+					}
+				}
+			}
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	return defaultLinkPenalty
+}

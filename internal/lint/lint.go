@@ -31,17 +31,33 @@
 //	SA06 lockorder      inconsistent mutex acquisition order in content code
 //	SA07 membranebypass mutable state handed across a binding by reference
 //	SA08 costbound      implementation cost vs the ADL cost= budget
+//	SA09 flowlatency    end-to-end worst-case latency vs contract budgets
+//	SA10 queuesizing    admitted rate vs capacity, statically-overflowing buffers
+//	SA11 spawnleak      unbounded goroutines spawned from membrane-reachable code
+//
+// Since PR 9 the passes share an interprocedural engine (summary.go):
+// a call graph over all loaded packages plus per-function effect
+// summaries (allocations, blocking, locks, spawns, CPU lower bound)
+// computed bottom-up over SCCs, so SA01/SA03/SA06/SA08 see one or more
+// calls deep — including across packages and through unique-target
+// interface dispatch — and findings carry the call chain (rendered as
+// SARIF codeFlows). Summaries are serialized to a content-hashed facts
+// cache (cache.go) so warm `soleil vet -arch` runs skip recomputation.
 //
 // Source annotations:
 //
 //	//soleil:noheap               marks a function as a no-heap root (SA01)
 //	//soleil:rtc                  marks a function as run-to-completion (SA03)
 //	//soleil:cost 250us           declares a function's CPU cost (SA08)
+//	//soleil:pure                 trusts a function to be effect-free and zero-cost
 //	//soleil:ignore SAxx[,SAyy] why   suppresses findings on this or the next line
 //
 // The ignore directive names one or more comma-separated rule ids;
 // unknown ids are themselves reported (rule SA00) instead of silently
-// suppressing nothing — or worse, everything.
+// suppressing nothing — or worse, everything. Directives that never
+// suppress anything during a run that exercised every rule they name
+// are reported as SA00 Info findings, so stale ignores cannot rot in
+// place.
 package lint
 
 import (
@@ -50,6 +66,7 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"sort"
 	"strings"
 
 	"soleil/internal/model"
@@ -111,6 +128,7 @@ func RuleDocs() map[string]string {
 	for _, a := range AllArch() {
 		add(a.Rule, a.Doc)
 	}
+	add("SA00", "validates //soleil:ignore directives: malformed ones and ones whose excused finding is gone")
 	return docs
 }
 
@@ -124,6 +142,7 @@ func KnownRules() map[string]bool {
 	return map[string]bool{
 		"SA00": true, "SA01": true, "SA02": true, "SA03": true, "SA04": true,
 		"SA05": true, "SA06": true, "SA07": true, "SA08": true,
+		"SA09": true, "SA10": true, "SA11": true,
 	}
 }
 
@@ -136,6 +155,14 @@ type Finding struct {
 	Subject    string // enclosing function or content class
 	Message    string
 	Suggestion string
+	// PosStr, when set, overrides Pos at render time. Findings spliced
+	// from cached summaries carry rendered positions (the cache has no
+	// FileSet to resolve against).
+	PosStr string
+	// Flow is the call chain (or binding path) from the analysis entry
+	// point to the offending site; SARIF export renders it as a
+	// codeFlow.
+	Flow []validate.FlowStep
 }
 
 // A Pass carries one type-checked package through one analyzer.
@@ -148,22 +175,30 @@ type Pass struct {
 	// Arch is the ADL model supplied via -adl; nil when absent
 	// (analyzers that need it skip themselves).
 	Arch *model.Architecture
+	// Eng is the interprocedural summary engine over the whole load;
+	// nil in engine-less runs (vet-tool unit mode), in which case the
+	// passes fall back to intraprocedural reasoning.
+	Eng *Engine
 
 	findings []Finding
 	supp     *suppressionIndex
 }
 
 type suppressed struct {
+	pos   token.Pos
 	line  int
 	rules map[string]bool
+	used  bool
 }
 
 // A suppressionIndex is the parsed //soleil:ignore directives of one
-// package, built once and shared by every pass over it, plus the SA00
-// findings for directives that failed to parse.
+// package, built once and shared by every pass over it (and by the
+// summary engine), plus the SA00 findings for directives that failed
+// to parse. Directives are pointers so a "used" mark set by any
+// consumer is seen by the unused-suppression report.
 type suppressionIndex struct {
-	byFile map[string][]suppressed // filename -> directives
-	bad    []Finding               // SA00: malformed or unknown-rule directives
+	byFile map[string][]*suppressed // filename -> directives
+	bad    []Finding                // SA00: malformed or unknown-rule directives
 }
 
 // Report records a finding unless a //soleil:ignore comment on the
@@ -194,16 +229,84 @@ func (p *Pass) isSuppressed(f Finding) bool {
 }
 
 func (s *suppressionIndex) suppresses(fset *token.FileSet, f Finding) bool {
-	pos := fset.Position(f.Pos)
+	return s.suppressesPosition(fset.Position(f.Pos), f.Rule)
+}
+
+// suppressesPosition is the rendered-position form shared with the
+// summary engine; a match marks the directive used.
+func (s *suppressionIndex) suppressesPosition(pos token.Position, rule string) bool {
 	for _, d := range s.byFile[pos.Filename] {
 		if d.line != pos.Line && d.line != pos.Line-1 {
 			continue
 		}
-		if d.rules[f.Rule] {
+		if d.rules[rule] {
+			d.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// usedAt renders the positions of every used directive — the facts
+// cache records them so warm runs replay the marks.
+func (s *suppressionIndex) usedAt(fset *token.FileSet) []string {
+	var out []string
+	for _, ds := range s.byFile {
+		for _, d := range ds {
+			if d.used {
+				out = append(out, fset.Position(d.pos).String())
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// markUsed replays recorded used-directive positions from a warm
+// cache entry.
+func (s *suppressionIndex) markUsed(fset *token.FileSet, positions map[string]bool) {
+	for _, ds := range s.byFile {
+		for _, d := range ds {
+			if positions[fset.Position(d.pos).String()] {
+				d.used = true
+			}
+		}
+	}
+}
+
+// unused reports the directives that suppressed nothing, restricted to
+// directives whose every named rule was actually exercised (ran) this
+// invocation — a directive naming a rule whose analyzer did not run is
+// unproven, not stale.
+func (s *suppressionIndex) unused(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, ds := range s.byFile {
+		for _, d := range ds {
+			if d.used {
+				continue
+			}
+			covered := true
+			var names []string
+			for r := range d.rules {
+				names = append(names, r)
+				if !ran[r] {
+					covered = false
+				}
+			}
+			if !covered {
+				continue
+			}
+			sort.Strings(names)
+			out = append(out, Finding{
+				Pos: d.pos, Rule: "SA00", Severity: validate.Info,
+				Subject: "//soleil:ignore",
+				Message: fmt.Sprintf("//soleil:ignore %s suppresses nothing: the finding it excused is gone",
+					strings.Join(names, ",")),
+				Suggestion: "delete the stale suppression",
+			})
+		}
+	}
+	return out
 }
 
 var ignoreRE = regexp.MustCompile(`^//\s*soleil:ignore\b(.*)`)
@@ -215,7 +318,7 @@ var ignoreRE = regexp.MustCompile(`^//\s*soleil:ignore\b(.*)`)
 // own, suppress nothing and are reported under rule SA00 — a silent
 // typo in a suppression is how a real finding disappears.
 func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) *suppressionIndex {
-	idx := &suppressionIndex{byFile: map[string][]suppressed{}}
+	idx := &suppressionIndex{byFile: map[string][]*suppressed{}}
 	known := KnownRules()
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -237,7 +340,8 @@ func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) *suppressionI
 					bad("//soleil:ignore names no rule; the directive suppresses nothing")
 					continue
 				}
-				s := suppressed{
+				s := &suppressed{
+					pos:   c.Pos(),
 					line:  fset.Position(c.Pos()).Line,
 					rules: map[string]bool{},
 				}

@@ -19,12 +19,15 @@ import (
 // deadlocks two released threads of the same component — found here
 // from the static acquisition structure.
 //
-// The walk is intraprocedural across package boundaries (like every
-// pass in the suite) but follows same-package static calls from
-// Invoke/Activate, carries the held-lock set through them, ignores
-// deferred unlocks (the lock is held to the end of the function) and
-// names locks canonically by receiver type, so `p.mu` in one method
-// and `q.mu` in another are the same lock.
+// The walk follows same-package static calls from Invoke/Activate,
+// carries the held-lock set through them, ignores deferred unlocks
+// (the lock is held to the end of the function) and names locks
+// canonically by receiver type, so `p.mu` in one method and `q.mu` in
+// another are the same lock. At call sites the same-package walk
+// cannot follow — cross-package callees, unique-target interface
+// dispatch — the callee's effect summary supplies its acquired locks
+// (paired with everything currently held) and its internal ordered
+// pairs.
 var LockOrder = &ArchAnalyzer{
 	Name: "lockorder",
 	Rule: "SA06",
@@ -52,17 +55,21 @@ func runLockOrder(p *ArchPass) error {
 
 func checkImplLockOrder(p *ArchPass, im *Impl) {
 	// pairs[outer][inner] = first site acquiring inner while outer is
-	// held.
-	pairs := map[string]map[string]token.Pos{}
-	record := func(s lockSite) {
-		m, ok := pairs[s.outer]
+	// held, as a rendered position (summary-supplied pairs have no
+	// token.Pos to resolve).
+	pairs := map[string]map[string]string{}
+	recordStr := func(outer, inner, pos string) {
+		m, ok := pairs[outer]
 		if !ok {
-			m = map[string]token.Pos{}
-			pairs[s.outer] = m
+			m = map[string]string{}
+			pairs[outer] = m
 		}
-		if _, ok := m[s.inner]; !ok {
-			m[s.inner] = s.pos
+		if _, ok := m[inner]; !ok {
+			m[inner] = pos
 		}
+	}
+	record := func(s lockSite) {
+		recordStr(s.outer, s.inner, im.Pkg.Fset.Position(s.pos).String())
 	}
 
 	visited := map[*ast.FuncDecl]bool{}
@@ -108,6 +115,23 @@ func checkImplLockOrder(p *ArchPass, im *Impl) {
 			if callee := staticCallee(im.Pkg.Info, call); callee != nil {
 				if decl, ok := im.decls[callee]; ok {
 					walk(decl, append([]string(nil), held...))
+					return true
+				}
+			}
+			// Outside the same-package walk: consult the callee's
+			// summary for locks it acquires and orders it establishes.
+			if eng := p.Facts.Eng; eng != nil {
+				if sum, _ := eng.ResolveCall(im.Pkg.Info, call); sum != nil {
+					for _, l := range sum.Locks {
+						for _, h := range held {
+							if h != l {
+								record(lockSite{outer: h, inner: l, pos: call.Pos()})
+							}
+						}
+					}
+					for _, pr := range sum.Pairs {
+						recordStr(pr.Outer, pr.Inner, pr.Pos)
+					}
 				}
 			}
 			return true
@@ -137,19 +161,22 @@ func checkImplLockOrder(p *ArchPass, im *Impl) {
 		}
 		return found[i].b < found[j].b
 	})
-	fset := im.Pkg.Fset
 	for _, inv := range found {
 		fwd, rev := pairs[inv.a][inv.b], pairs[inv.b][inv.a]
 		p.Report(Finding{
-			Pos:      rev,
+			PosStr:   rev,
 			Severity: validate.Error,
 			Subject:  im.Class,
 			Message: fmt.Sprintf("implementation %s of content class %q acquires %s and %s in both orders:"+
 				" %s then %s here, %s then %s at %s — two releases interleaving these sections deadlock",
 				im.Named.Obj().Name(), im.Class, inv.a, inv.b,
-				inv.b, inv.a, inv.a, inv.b, fset.Position(fwd)),
+				inv.b, inv.a, inv.a, inv.b, fwd),
 			Suggestion: fmt.Sprintf("impose one acquisition order (always %s before %s), or merge the critical sections",
 				inv.a, inv.b),
+			Flow: []validate.FlowStep{
+				{Pos: fwd, Note: fmt.Sprintf("%s acquired, then %s", inv.a, inv.b)},
+				{Pos: rev, Note: fmt.Sprintf("%s acquired, then %s — the inverse order", inv.b, inv.a)},
+			},
 		})
 	}
 }

@@ -15,7 +15,10 @@ import (
 // fmt calls, goroutine launches, and implicit interface boxing — in
 // any function reachable from a no-heap root. Roots are functions
 // annotated //soleil:noheap; reachability follows static calls within
-// the package.
+// the package, and — when the interprocedural engine is available —
+// cross-package calls and unique-target interface dispatch through
+// the callee's effect summary, with the call chain attached to the
+// finding.
 var NoHeapAlloc = &Analyzer{
 	Name: "noheapalloc",
 	Rule: "SA01",
@@ -32,13 +35,15 @@ func runNoHeapAlloc(p *Pass) error {
 			roots = append(roots, fn)
 		}
 	}
-	for fn, root := range reachable(p, decls, roots) {
-		checkNoHeapFunc(p, fn, root)
+	reach := reachable(p, decls, roots)
+	seen := map[string]bool{}
+	for fn, root := range reach {
+		checkNoHeapFunc(p, fn, root, reach, seen)
 	}
 	return nil
 }
 
-func checkNoHeapFunc(p *Pass, fn *ast.FuncDecl, root string) {
+func checkNoHeapFunc(p *Pass, fn *ast.FuncDecl, root string, reach map[*ast.FuncDecl]string, seen map[string]bool) {
 	subject := funcName(fn)
 	via := ""
 	if subject != root {
@@ -49,6 +54,9 @@ func checkNoHeapFunc(p *Pass, fn *ast.FuncDecl, root string) {
 		switch x := n.(type) {
 		case *ast.CallExpr:
 			checkNoHeapCall(p, x, subject, via)
+			if sum := p.spliceCall(x, reach); sum != nil {
+				p.reportEffects(x, sum, sum.Allocs, subject, via, seen)
+			}
 		case *ast.UnaryExpr, *ast.CompositeLit, *ast.FuncLit:
 			if kind, ok := isAllocExpr(p.Info, x.(ast.Expr)); ok {
 				p.Reportf(x.Pos(), validate.Error, subject,

@@ -13,7 +13,10 @@ import (
 // schedulability analysis computed is void. Roots are methods named
 // Invoke or Activate (the membrane.Content / membrane.Interceptor /
 // membrane.ActiveContent entry points) plus functions annotated
-// //soleil:rtc; reachability follows static calls within the package.
+// //soleil:rtc; reachability follows static calls within the package,
+// and — when the interprocedural engine is available — cross-package
+// calls and unique-target interface dispatch through the callee's
+// effect summary, with the call chain attached to the finding.
 // Flagged: time.Sleep, bare channel sends/receives, selects without a
 // default case, blocking I/O (os, net, net/http), and — at warning
 // severity, since short priority-ceiling critical sections are the
@@ -44,13 +47,15 @@ func runRTBlock(p *Pass) error {
 			roots = append(roots, fn)
 		}
 	}
-	for fn, root := range reachable(p, decls, roots) {
-		checkRTCFunc(p, fn, root)
+	reach := reachable(p, decls, roots)
+	seen := map[string]bool{}
+	for fn, root := range reach {
+		checkRTCFunc(p, fn, root, reach, seen)
 	}
 	return nil
 }
 
-func checkRTCFunc(p *Pass, fn *ast.FuncDecl, root string) {
+func checkRTCFunc(p *Pass, fn *ast.FuncDecl, root string, reach map[*ast.FuncDecl]string, seen map[string]bool) {
 	subject := funcName(fn)
 	via := ""
 	if subject != root {
@@ -90,6 +95,9 @@ func checkRTCFunc(p *Pass, fn *ast.FuncDecl, root string) {
 			}
 		case *ast.CallExpr:
 			checkRTCCall(p, x, subject, via)
+			if sum := p.spliceCall(x, reach); sum != nil {
+				p.reportEffects(x, sum, sum.Blocks, subject, via, seen)
+			}
 		}
 		return true
 	}

@@ -27,11 +27,16 @@ type Options struct {
 	// ArchAnalyzers selects the whole-architecture passes RunArch
 	// applies; nil means AllArch(). Ignored by Run.
 	ArchAnalyzers []*ArchAnalyzer
+	// FactsDir, when set, enables the on-disk summary cache: warm runs
+	// adopt valid entries instead of recomputing (cache.go).
+	FactsDir string
+	// Stats, when non-nil, receives the engine's cache counters.
+	Stats *CacheStats
 }
 
 // Run loads the requested packages, applies the analyzer suite and
 // returns the findings in the shared validate.Diagnostic form (rule
-// ids SA01–SA04, positions filled in), sorted by position.
+// ids SA00–SA04, positions filled in), sorted by position.
 func Run(opts Options) ([]validate.Diagnostic, error) {
 	analyzers := opts.Analyzers
 	if analyzers == nil {
@@ -63,28 +68,84 @@ func Run(opts Options) ([]validate.Diagnostic, error) {
 		}
 		diags = append(diags, report.Diagnostics...)
 	}
+	// One suppression index per package, shared between the engine and
+	// every pass, so "used" marks accumulate for the stale-ignore
+	// report.
+	supp := map[*Package]*suppressionIndex{}
+	suppOf := func(p *Package) *suppressionIndex {
+		idx, ok := supp[p]
+		if !ok {
+			idx = buildSuppressionIndex(p.Fset, p.Files)
+			supp[p] = idx
+		}
+		return idx
+	}
+	eng := NewEngine(pkgs, suppOf, opts.FactsDir)
+	if opts.Stats != nil {
+		*opts.Stats = eng.Stats()
+	}
+	ran := ranRules(analyzers, nil)
 	for _, pkg := range pkgs {
-		ds, err := RunPackage(pkg, arch, analyzers)
+		ds, err := runPackage(pkg, arch, analyzers, eng, suppOf(pkg))
 		if err != nil {
 			return nil, err
 		}
 		diags = append(diags, ds...)
 	}
+	for _, pkg := range pkgs {
+		for _, f := range suppOf(pkg).unused(ran) {
+			diags = append(diags, Render(pkg, f))
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// ranRules is the rule-id set the selected passes exercise; the
+// unused-suppression report only trusts directives wholly covered by
+// it.
+func ranRules(analyzers []*Analyzer, archAnalyzers []*ArchAnalyzer) map[string]bool {
+	ran := map[string]bool{"SA00": true}
+	for _, a := range analyzers {
+		ran[a.Rule] = true
+	}
+	for _, a := range archAnalyzers {
+		ran[a.Rule] = true
+	}
+	return ran
+}
+
+func sortDiags(diags []validate.Diagnostic) {
 	sort.SliceStable(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
 			return diags[i].Pos < diags[j].Pos
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
-	return diags, nil
 }
 
 // RunPackage applies the analyzers to one loaded package. The
 // //soleil:ignore directives are parsed once, shared by every pass,
-// and malformed directives surface as SA00 findings of their own.
+// and malformed directives surface as SA00 findings of their own. A
+// single-package engine is built over the package so one-call-deep
+// effects inside it are still seen; multi-package loads should go
+// through Run, which shares one engine across the load.
 func RunPackage(pkg *Package, arch *model.Architecture, analyzers []*Analyzer) ([]validate.Diagnostic, error) {
-	var diags []validate.Diagnostic
 	supp := buildSuppressionIndex(pkg.Fset, pkg.Files)
+	suppOf := func(*Package) *suppressionIndex { return supp }
+	eng := NewEngine([]*Package{pkg}, suppOf, "")
+	diags, err := runPackage(pkg, arch, analyzers, eng, supp)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range supp.unused(ranRules(analyzers, nil)) {
+		diags = append(diags, Render(pkg, f))
+	}
+	return diags, nil
+}
+
+func runPackage(pkg *Package, arch *model.Architecture, analyzers []*Analyzer, eng *Engine, supp *suppressionIndex) ([]validate.Diagnostic, error) {
+	var diags []validate.Diagnostic
 	for _, f := range supp.bad {
 		diags = append(diags, Render(pkg, f))
 	}
@@ -96,6 +157,7 @@ func RunPackage(pkg *Package, arch *model.Architecture, analyzers []*Analyzer) (
 			Pkg:      pkg.Pkg,
 			Info:     pkg.Info,
 			Arch:     arch,
+			Eng:      eng,
 			supp:     supp,
 		}
 		if err := a.Run(pass); err != nil {
@@ -116,8 +178,12 @@ func Render(pkg *Package, f Finding) validate.Diagnostic {
 		Subject:    f.Subject,
 		Message:    f.Message,
 		Suggestion: f.Suggestion,
+		Flow:       f.Flow,
 	}
-	if f.Pos.IsValid() {
+	switch {
+	case f.PosStr != "":
+		d.Pos = f.PosStr
+	case f.Pos.IsValid():
 		d.Pos = pkg.Fset.Position(f.Pos).String()
 	}
 	return d

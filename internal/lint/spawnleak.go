@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+
+	"soleil/internal/validate"
+)
+
+// SpawnLeak (SA11) is the static twin of the soak goroutine-leak
+// gates: it reports goroutines launched from membrane-reachable code
+// (anything an Invoke/Activate entry of a registered implementation
+// can reach, through the interprocedural engine — across packages and
+// unique-target interface dispatch) whose lifetime is not statically
+// bounded. A goroutine is bounded when it has no unconditional loop,
+// or when the loop is governed by a stop signal: a context.Context, a
+// select clause that can leave the loop, or a range over a closable
+// channel. Everything else outlives the release that spawned it; over
+// a soak run those accumulate until the leak gate — or production —
+// notices.
+//
+// The effect discovery lives in the summary engine (summary.go);
+// propagation stops at the framework boundary (soleil/internal/...),
+// whose internals the soak scenarios audit dynamically.
+var SpawnLeak = &ArchAnalyzer{
+	Name: "spawnleak",
+	Rule: "SA11",
+	Doc: "reports goroutines launched from membrane-reachable code with no bounded " +
+		"lifetime (no context, stop channel or WaitGroup join)",
+	Run: runSpawnLeak,
+}
+
+func runSpawnLeak(p *ArchPass) error {
+	facts := p.Facts
+	if facts.Eng == nil {
+		return nil
+	}
+	reported := map[string]bool{}
+	for _, class := range facts.Classes() {
+		for _, im := range facts.Impls[class] {
+			for _, entry := range im.Entries {
+				sum := facts.Eng.SummaryOf(im.Pkg, entry)
+				if sum == nil {
+					continue
+				}
+				for _, eff := range sum.Spawns {
+					if reported[eff.Pos] {
+						continue
+					}
+					reported[eff.Pos] = true
+					flow := append([]validate.FlowStep{{
+						Pos:  sum.Pos,
+						Note: fmt.Sprintf("membrane entry %s of content class %q", funcName(entry), class),
+					}}, eff.Chain...)
+					p.Report(Finding{
+						PosStr:     eff.Pos,
+						Severity:   eff.Sev,
+						Subject:    class,
+						Message:    eff.Msg,
+						Suggestion: eff.Suggestion,
+						Flow:       flow,
+					})
+				}
+			}
+		}
+	}
+	return nil
+}

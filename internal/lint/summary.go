@@ -1,0 +1,1034 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"time"
+
+	"soleil/internal/validate"
+)
+
+// The interprocedural engine. Every pass in the suite used to reason
+// one function body at a time, so a blocking call or allocation one
+// call deep escaped undetected. The Engine closes that gap: it builds
+// a call graph over all packages of one Load (static calls plus CHA
+// dispatch with receiver canonicalization) and computes per-function
+// effect summaries — allocates-on-heap, may-block (and on what),
+// locks acquired, unbounded goroutine spawns, and a static CPU lower
+// bound — bottom-up over the strongly connected components of the
+// graph, with a fixpoint for recursion. The per-function passes
+// consult summaries at cross-package call sites and at
+// unique-target interface dispatch; the whole-architecture passes
+// (SA08 costbound, SA06 lockorder, SA11 spawnleak) compose them
+// across implementation boundaries.
+//
+// Summaries carry string positions (file:line:col) rather than
+// token.Pos so they survive serialization to the on-disk facts cache
+// (cache.go) and FileSet changes between runs.
+//
+// Trusted annotations short-circuit the walk:
+//
+//	//soleil:pure          the function has no effects and zero cost
+//	//soleil:cost 250us    the function's CPU cost is the declared bound
+//
+// Effect propagation across function boundaries carries only
+// error-severity effects: warnings (mutex locks, interface boxing)
+// are local idioms the defining package justifies in place.
+
+// engineVersion participates in every cache key; bump it whenever the
+// summary computation changes shape.
+const engineVersion = "soleil-summary-v1"
+
+// effect caps: a summary keeps at most maxEffects sites per kind and
+// chains at most maxChain hops deep — enough to explain a finding,
+// bounded enough to cache.
+const (
+	maxEffects = 16
+	maxChain   = 12
+)
+
+// A Summary is the interprocedural fact base of one function: what
+// the function (and everything it can statically reach) does to the
+// heap, to the scheduler and to its locks.
+type Summary struct {
+	// ID is the canonical function id: pkgpath.(Recv).Name with the
+	// receiver's pointer stripped, so value and pointer methods — and
+	// the export-data and source-checked views of the same function —
+	// share one identity.
+	ID string `json:"id"`
+	// Name is the display name ("(*pump).flush").
+	Name string `json:"name"`
+	// Pos is the declaration position, rendered.
+	Pos string `json:"pos,omitempty"`
+	// Pure is set by a //soleil:pure annotation: the body is trusted
+	// to have no effects and zero cost.
+	Pure bool `json:"pure,omitempty"`
+	// Recursive marks members of a call-graph cycle; their cost is an
+	// unbounded lower bound.
+	Recursive bool `json:"recursive,omitempty"`
+	// CostNs is the static CPU lower bound in nanoseconds: constant
+	// Consume durations and //soleil:cost annotations, multiplied
+	// through constant-trip loops and summed over resolved calls.
+	CostNs int64 `json:"costNs,omitempty"`
+	// Allocs are the error-severity heap-allocation sites reachable
+	// from this function (SA01 vocabulary).
+	Allocs []SumEffect `json:"allocs,omitempty"`
+	// Blocks are the error-severity unbounded-blocking sites reachable
+	// from this function (SA03 vocabulary), message naming what blocks.
+	Blocks []SumEffect `json:"blocks,omitempty"`
+	// Spawns are goroutine launches with no statically bounded
+	// lifetime reachable from this function (SA11 vocabulary).
+	Spawns []SumEffect `json:"spawns,omitempty"`
+	// Locks are the canonical keys of mutexes this function (or its
+	// callees) acquires.
+	Locks []string `json:"locks,omitempty"`
+	// Pairs are the ordered lock acquisitions (outer held while inner
+	// taken) occurring wholly within this function's reach.
+	Pairs []LockPair `json:"pairs,omitempty"`
+}
+
+// A SumEffect is one effect site: where, what, and the call chain
+// from the summarized function down to the site.
+type SumEffect struct {
+	Pos        string              `json:"pos"`
+	Sev        validate.Severity   `json:"sev"`
+	Msg        string              `json:"msg"`
+	Suggestion string              `json:"suggestion,omitempty"`
+	Chain      []validate.FlowStep `json:"chain,omitempty"`
+}
+
+// A LockPair is one ordered acquisition: Outer held while Inner is
+// taken at Pos.
+type LockPair struct {
+	Outer string `json:"outer"`
+	Inner string `json:"inner"`
+	Pos   string `json:"pos"`
+}
+
+// CacheStats counts facts-cache traffic for one engine build.
+type CacheStats struct {
+	// Packages is the number of packages summarized.
+	Packages int
+	// Hits is the number of packages whose summaries were loaded from
+	// the facts cache; Misses were (re)computed from source.
+	Hits, Misses int
+	// Funcs is the number of function summaries held.
+	Funcs int
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("facts: packages=%d hits=%d misses=%d funcs=%d",
+		s.Packages, s.Hits, s.Misses, s.Funcs)
+}
+
+// declSite is one source-declared function the engine can summarize.
+type declSite struct {
+	id   string
+	fn   *ast.FuncDecl
+	pkg  *Package
+	obj  *types.Func
+	recv string // receiver named-type name; "" for plain functions
+}
+
+// Engine holds the call graph and summaries of one Load's packages.
+type Engine struct {
+	fset *token.FileSet
+	pkgs []*Package
+	supp func(*Package) *suppressionIndex
+
+	decls   map[string]*declSite // funcID -> declaration
+	byPkg   map[*Package][]*declSite
+	methods map[string][]*declSite // CHA: method name -> concrete methods
+	msets   map[string]map[string]bool
+	chaMemo map[string][]*declSite
+
+	summaries map[string]*Summary
+	stats     CacheStats
+}
+
+// NewEngine builds the engine over the packages of one Load (shared
+// FileSet) and computes every summary bottom-up. supp, when non-nil,
+// supplies the shared per-package suppression indexes so effects the
+// defining package justifies with //soleil:ignore are filtered out of
+// the summaries (and the directives counted as used). factsDir, when
+// non-empty, enables the on-disk cache (cache.go).
+func NewEngine(pkgs []*Package, supp func(*Package) *suppressionIndex, factsDir string) *Engine {
+	e := &Engine{
+		pkgs:      pkgs,
+		supp:      supp,
+		decls:     map[string]*declSite{},
+		byPkg:     map[*Package][]*declSite{},
+		methods:   map[string][]*declSite{},
+		msets:     map[string]map[string]bool{},
+		chaMemo:   map[string][]*declSite{},
+		summaries: map[string]*Summary{},
+	}
+	if len(pkgs) > 0 {
+		e.fset = pkgs[0].Fset
+	}
+	if e.supp == nil {
+		own := map[*Package]*suppressionIndex{}
+		e.supp = func(p *Package) *suppressionIndex {
+			idx, ok := own[p]
+			if !ok {
+				idx = buildSuppressionIndex(p.Fset, p.Files)
+				own[p] = idx
+			}
+			return idx
+		}
+	}
+	e.index()
+	e.build(factsDir)
+	return e
+}
+
+// Stats returns the facts-cache counters of the engine build.
+func (e *Engine) Stats() CacheStats { return e.stats }
+
+// Summary returns the summary for a function object resolved at a
+// call site (source-checked or export-data view), or nil when the
+// function is not declared in the loaded packages.
+func (e *Engine) Summary(obj *types.Func) *Summary {
+	if obj == nil {
+		return nil
+	}
+	return e.summaries[funcID(obj)]
+}
+
+// SummaryOf returns the summary for a declaration.
+func (e *Engine) SummaryOf(pkg *Package, fn *ast.FuncDecl) *Summary {
+	if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+		return e.summaries[funcID(obj)]
+	}
+	return nil
+}
+
+// funcID canonicalizes a function object to pkgpath.(Recv).Name. The
+// receiver's pointer is stripped, so value and pointer methods — and
+// the export-data vs source-checked instances of one function —
+// collapse to the same id.
+func funcID(f *types.Func) string {
+	pkg := ""
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Path()
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			return pkg + ".(" + named.Obj().Name() + ")." + f.Name()
+		}
+	}
+	return pkg + "." + f.Name()
+}
+
+// index collects every declared function of every package and the
+// CHA method index.
+func (e *Engine) index() {
+	for _, pkg := range e.pkgs {
+		for obj, fn := range declFuncsOf(pkg.Files, pkg.Info) {
+			site := &declSite{id: funcID(obj), fn: fn, pkg: pkg, obj: obj}
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if named := namedOf(sig.Recv().Type()); named != nil {
+					site.recv = named.Obj().Name()
+					e.methods[obj.Name()] = append(e.methods[obj.Name()], site)
+					key := pkg.ImportPath + "." + site.recv
+					if e.msets[key] == nil {
+						set := map[string]bool{}
+						ms := types.NewMethodSet(types.NewPointer(named))
+						for i := 0; i < ms.Len(); i++ {
+							set[ms.At(i).Obj().Name()] = true
+						}
+						e.msets[key] = set
+					}
+				}
+			}
+			e.decls[site.id] = site
+			e.byPkg[pkg] = append(e.byPkg[pkg], site)
+		}
+	}
+	for _, sites := range e.byPkg {
+		sort.Slice(sites, func(i, j int) bool { return sites[i].fn.Pos() < sites[j].fn.Pos() })
+	}
+}
+
+// chaTargets resolves an interface-dispatch call by class-hierarchy
+// analysis: every source-declared concrete method with the selector's
+// name whose receiver's method set covers all of the interface's
+// method names. Name-based matching deliberately tolerates the
+// export-data vs source-checked split of one package's types.
+func (e *Engine) chaTargets(iface *types.Interface, method string) []*declSite {
+	var names []string
+	for i := 0; i < iface.NumMethods(); i++ {
+		names = append(names, iface.Method(i).Name())
+	}
+	sort.Strings(names)
+	key := method + "|" + strings.Join(names, ",")
+	if ts, ok := e.chaMemo[key]; ok {
+		return ts
+	}
+	var out []*declSite
+	for _, cand := range e.methods[method] {
+		set := e.msets[cand.pkg.ImportPath+"."+cand.recv]
+		ok := true
+		for _, n := range names {
+			if !set[n] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, cand)
+		}
+	}
+	e.chaMemo[key] = out
+	return out
+}
+
+// resolve returns the unique declaration a call statically targets: a
+// static callee declared in the loaded packages, or the single CHA
+// candidate of an interface dispatch. Nil means the call crosses into
+// code the engine cannot see (stdlib, function values, ambiguous
+// dispatch).
+func (e *Engine) resolve(info *types.Info, call *ast.CallExpr) *declSite {
+	if callee := staticCallee(info, call); callee != nil {
+		return e.decls[funcID(callee)]
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || !types.IsInterface(s.Recv()) {
+		return nil
+	}
+	iface, ok := s.Recv().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	if ts := e.chaTargets(iface, sel.Sel.Name); len(ts) == 1 {
+		return ts[0]
+	}
+	return nil
+}
+
+// ResolveCall exposes call resolution to the passes: the summary of
+// the unique static or CHA target, or nil.
+func (e *Engine) ResolveCall(info *types.Info, call *ast.CallExpr) (*Summary, *Package) {
+	site := e.resolve(info, call)
+	if site == nil {
+		return nil, nil
+	}
+	return e.summaries[site.id], site.pkg
+}
+
+// spliceCall returns the summary of a callee the intra-package reach
+// walk did not follow — a cross-package callee, or a unique-target
+// interface dispatch landing outside the reach set — so the
+// per-function passes can report the callee's effects at this call
+// site. Nil when the engine is absent, the call is unresolvable, or
+// the intra walk already covers the target.
+func (p *Pass) spliceCall(call *ast.CallExpr, reach map[*ast.FuncDecl]string) *Summary {
+	if p.Eng == nil {
+		return nil
+	}
+	site := p.Eng.resolve(p.Info, call)
+	if site == nil {
+		return nil
+	}
+	if _, covered := reach[site.fn]; covered {
+		return nil
+	}
+	s := p.Eng.summaries[site.id]
+	if s != nil && s.Pure {
+		return nil
+	}
+	return s
+}
+
+// reportEffects renders a spliced summary's effects of one kind as
+// findings at this call site, deduplicated across the pass.
+func (p *Pass) reportEffects(call *ast.CallExpr, sum *Summary, effs []SumEffect, subject, via string, seen map[string]bool) {
+	if len(effs) == 0 {
+		return
+	}
+	step := validate.FlowStep{
+		Pos:  p.Fset.Position(call.Pos()).String(),
+		Note: fmt.Sprintf("%s calls %s", subject, sum.Name),
+	}
+	for _, eff := range effs {
+		key := p.Analyzer.Rule + "|" + eff.Pos + "|" + eff.Msg
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		p.Report(Finding{
+			PosStr:     eff.Pos,
+			Severity:   eff.Sev,
+			Subject:    subject,
+			Message:    eff.Msg + via,
+			Suggestion: eff.Suggestion,
+			Flow:       append([]validate.FlowStep{step}, eff.Chain...),
+		})
+	}
+}
+
+// build computes every summary bottom-up over the SCCs of the call
+// graph (Tarjan), consulting and refilling the facts cache when
+// factsDir is set.
+func (e *Engine) build(factsDir string) {
+	e.stats.Packages = len(e.pkgs)
+	cached := map[*Package]bool{}
+	if factsDir != "" {
+		cached = loadFactsCache(e, factsDir)
+	}
+	for _, pkg := range e.pkgs {
+		if cached[pkg] {
+			e.stats.Hits++
+		} else {
+			e.stats.Misses++
+		}
+	}
+
+	// Tarjan over the full graph; process SCCs in completion order
+	// (reverse topological: callees complete before callers).
+	t := &tarjan{eng: e, index: map[string]int{}, low: map[string]int{}, on: map[string]bool{}}
+	ids := make([]string, 0, len(e.decls))
+	for id := range e.decls {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, seen := t.index[id]; !seen {
+			t.strongconnect(id)
+		}
+	}
+	for _, scc := range t.sccs {
+		e.summarizeSCC(scc, cached)
+	}
+	e.stats.Funcs = len(e.summaries)
+	if factsDir != "" {
+		writeFactsCache(e, factsDir, cached)
+	}
+}
+
+// calleeIDs returns the resolved call-graph successors of one
+// declaration, deduplicated and sorted.
+func (e *Engine) calleeIDs(site *declSite) []string {
+	set := map[string]bool{}
+	ast.Inspect(site.fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if target := e.resolve(site.pkg.Info, call); target != nil {
+			set[target.id] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tarjan is an iterative Tarjan SCC over the call graph.
+type tarjan struct {
+	eng     *Engine
+	counter int
+	index   map[string]int
+	low     map[string]int
+	on      map[string]bool
+	stack   []string
+	sccs    [][]string
+}
+
+func (t *tarjan) strongconnect(root string) {
+	type frame struct {
+		id    string
+		succs []string
+		next  int
+	}
+	frames := []frame{{id: root, succs: t.eng.calleeIDs(t.eng.decls[root])}}
+	t.index[root] = t.counter
+	t.low[root] = t.counter
+	t.counter++
+	t.stack = append(t.stack, root)
+	t.on[root] = true
+
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		if f.next < len(f.succs) {
+			w := f.succs[f.next]
+			f.next++
+			if _, seen := t.index[w]; !seen {
+				t.index[w] = t.counter
+				t.low[w] = t.counter
+				t.counter++
+				t.stack = append(t.stack, w)
+				t.on[w] = true
+				frames = append(frames, frame{id: w, succs: t.eng.calleeIDs(t.eng.decls[w])})
+			} else if t.on[w] {
+				if t.index[w] < t.low[f.id] {
+					t.low[f.id] = t.index[w]
+				}
+			}
+			continue
+		}
+		// f exhausted: maybe a root of an SCC.
+		if t.low[f.id] == t.index[f.id] {
+			var scc []string
+			for {
+				w := t.stack[len(t.stack)-1]
+				t.stack = t.stack[:len(t.stack)-1]
+				t.on[w] = false
+				scc = append(scc, w)
+				if w == f.id {
+					break
+				}
+			}
+			sort.Strings(scc)
+			t.sccs = append(t.sccs, scc)
+		}
+		frames = frames[:len(frames)-1]
+		if len(frames) > 0 {
+			g := &frames[len(frames)-1]
+			if t.low[f.id] < t.low[g.id] {
+				t.low[g.id] = t.low[f.id]
+			}
+		}
+	}
+}
+
+// summarizeSCC computes the summaries of one strongly connected
+// component. Singleton components are summarized once; cycles are
+// marked recursive and iterated to a fixpoint (effects are capped and
+// monotone, so the iteration terminates).
+func (e *Engine) summarizeSCC(scc []string, cached map[*Package]bool) {
+	recursive := len(scc) > 1
+	if len(scc) == 1 {
+		site := e.decls[scc[0]]
+		for _, succ := range e.calleeIDs(site) {
+			if succ == scc[0] {
+				recursive = true
+			}
+		}
+	}
+	// Cached packages already carry their summaries; skip members
+	// whose package was loaded from the facts cache.
+	var work []*declSite
+	for _, id := range scc {
+		site := e.decls[id]
+		if cached[site.pkg] {
+			continue
+		}
+		work = append(work, site)
+	}
+	if len(work) == 0 {
+		return
+	}
+	for _, site := range work {
+		e.summaries[site.id] = &Summary{
+			ID: site.id, Name: funcName(site.fn),
+			Pos: e.fset.Position(site.fn.Pos()).String(), Recursive: recursive,
+		}
+	}
+	for iter := 0; iter < 4; iter++ {
+		changed := false
+		for _, site := range work {
+			next := e.summarize(site, recursive)
+			prev := e.summaries[site.id]
+			if !summariesEqual(prev, next) {
+				changed = true
+			}
+			e.summaries[site.id] = next
+		}
+		if !changed || !recursive {
+			break
+		}
+	}
+}
+
+func summariesEqual(a, b *Summary) bool {
+	return a.CostNs == b.CostNs &&
+		len(a.Allocs) == len(b.Allocs) && len(a.Blocks) == len(b.Blocks) &&
+		len(a.Spawns) == len(b.Spawns) && len(a.Locks) == len(b.Locks) &&
+		len(a.Pairs) == len(b.Pairs)
+}
+
+// summarize computes one function's summary from its body and the
+// current summaries of its callees.
+func (e *Engine) summarize(site *declSite, recursive bool) *Summary {
+	s := &Summary{
+		ID: site.id, Name: funcName(site.fn),
+		Pos: e.fset.Position(site.fn.Pos()).String(), Recursive: recursive,
+	}
+	if directive(site.fn, "pure") {
+		s.Pure = true
+		return s
+	}
+	w := &sumWalker{eng: e, site: site, sum: s, seen: map[string]bool{}}
+	w.walk(site.fn.Body, nil)
+	s.CostNs = int64(e.fnCostNs(site, map[string]bool{}))
+	sort.Strings(s.Locks)
+	return s
+}
+
+// sumWalker extracts effects from one function body, carrying the
+// held-lock set for pair discovery.
+type sumWalker struct {
+	eng  *Engine
+	site *declSite
+	sum  *Summary
+	seen map[string]bool // effect positions already recorded
+}
+
+func (w *sumWalker) pos(p token.Pos) string { return w.eng.fset.Position(p).String() }
+
+// suppressedAt consults the defining package's //soleil:ignore index:
+// effects the package justifies in place never enter a summary (and
+// the directive is marked used).
+func (w *sumWalker) suppressedAt(pos token.Pos, rule string) bool {
+	idx := w.eng.supp(w.site.pkg)
+	return idx.suppressesPosition(w.eng.fset.Position(pos), rule)
+}
+
+func (w *sumWalker) addAlloc(pos token.Pos, msg, suggestion string) {
+	if w.suppressedAt(pos, "SA01") {
+		return
+	}
+	w.add("alloc", &w.sum.Allocs, SumEffect{Pos: w.pos(pos), Sev: validate.Error, Msg: msg, Suggestion: suggestion})
+}
+
+func (w *sumWalker) addBlock(pos token.Pos, msg, suggestion string) {
+	if w.suppressedAt(pos, "SA03") {
+		return
+	}
+	w.add("block", &w.sum.Blocks, SumEffect{Pos: w.pos(pos), Sev: validate.Error, Msg: msg, Suggestion: suggestion})
+}
+
+func (w *sumWalker) addSpawn(pos token.Pos, msg, suggestion string) {
+	if w.suppressedAt(pos, "SA11") {
+		return
+	}
+	w.add("spawn", &w.sum.Spawns, SumEffect{Pos: w.pos(pos), Sev: validate.Error, Msg: msg, Suggestion: suggestion})
+}
+
+// add dedups per effect kind (a go statement is both an SA01 alloc and
+// an SA11 spawn at the same position).
+func (w *sumWalker) add(kind string, list *[]SumEffect, eff SumEffect) {
+	key := kind + "|" + eff.Pos
+	if len(*list) >= maxEffects || w.seen[key] {
+		return
+	}
+	w.seen[key] = true
+	*list = append(*list, eff)
+}
+
+func (w *sumWalker) addLock(key string) {
+	for _, l := range w.sum.Locks {
+		if l == key {
+			return
+		}
+	}
+	if len(w.sum.Locks) < 2*maxEffects {
+		w.sum.Locks = append(w.sum.Locks, key)
+	}
+}
+
+func (w *sumWalker) addPair(outer, inner, pos string) {
+	for _, p := range w.sum.Pairs {
+		if p.Outer == outer && p.Inner == inner {
+			return
+		}
+	}
+	if len(w.sum.Pairs) < 2*maxEffects {
+		w.sum.Pairs = append(w.sum.Pairs, LockPair{Outer: outer, Inner: inner, Pos: pos})
+	}
+}
+
+// walk visits one subtree carrying the held-lock set; it mirrors the
+// per-pass vocabularies (noheapalloc, rtblock, lockorder) so spliced
+// findings read like local ones.
+func (w *sumWalker) walk(n ast.Node, held []string) {
+	info := w.site.pkg.Info
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			// A closure body runs where the value is called; the
+			// closure's own allocation is charged here.
+			if kind, ok := isAllocExpr(info, s); ok {
+				w.addAlloc(s.Pos(), kind+" allocates on a no-heap path",
+					"preallocate in immortal or scoped memory, or hoist out of the no-heap path")
+			}
+			return false
+		case *ast.DeferStmt:
+			return false // deferred unlocks keep locks held to the end
+		case *ast.GoStmt:
+			w.addAlloc(s.Pos(), "go statement allocates a goroutine on a no-heap path",
+				"launch threads at assembly time, not on the no-heap path")
+			w.spawn(s)
+			return false // the goroutine body runs on another thread
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					for _, stmt := range s.Body.List {
+						if body, ok := stmt.(*ast.CommClause); ok {
+							for _, inner := range body.Body {
+								w.walk(inner, held)
+							}
+						}
+					}
+					return false
+				}
+			}
+			w.addBlock(s.Pos(), "select without default blocks a run-to-completion section",
+				"add a default case, or move the wait into a sporadic activation")
+			return false
+		case *ast.SendStmt:
+			w.addBlock(s.Pos(), "channel send may block a run-to-completion section",
+				"use a bounded buffer with overflow policy (internal/comm) or a select with default")
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				w.addBlock(s.Pos(), "channel receive may block a run-to-completion section",
+					"use a bounded buffer with overflow policy (internal/comm) or a select with default")
+			}
+			if kind, ok := isAllocExpr(info, s); ok {
+				w.addAlloc(s.Pos(), kind+" allocates on a no-heap path",
+					"preallocate in immortal or scoped memory, or hoist out of the no-heap path")
+			}
+		case *ast.CompositeLit:
+			if kind, ok := isAllocExpr(info, s); ok {
+				w.addAlloc(s.Pos(), kind+" allocates on a no-heap path",
+					"preallocate in immortal or scoped memory, or hoist out of the no-heap path")
+			}
+		case *ast.CallExpr:
+			held = w.call(s, held)
+		}
+		return true
+	})
+}
+
+// call handles one call expression: local effect extraction, lock
+// tracking, and the splice of the callee's summary. It returns the
+// updated held-lock set (Lock/Unlock on mutexes).
+func (w *sumWalker) call(call *ast.CallExpr, held []string) []string {
+	info := w.site.pkg.Info
+	if kind, ok := isAllocExpr(info, call); ok {
+		w.addAlloc(call.Pos(), kind+" allocates on a no-heap path",
+			"preallocate in immortal or scoped memory, or hoist out of the no-heap path")
+		return held
+	}
+	// Mutex acquisition tracking, canonicalized like lockorder.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := info.TypeOf(sel.X); t != nil && isSyncMutex(t) {
+			key := engineLockKey(info, sel.X)
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				for _, h := range held {
+					if h != key {
+						w.addPair(h, key, w.pos(call.Pos()))
+					}
+				}
+				w.addLock(key)
+				return append(held, key)
+			case "Unlock", "RUnlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == key {
+						return append(held[:i:i], held[i+1:]...)
+					}
+				}
+				return held
+			}
+		}
+	}
+	if callee := staticCallee(info, call); callee != nil {
+		if pkg := callee.Pkg(); pkg != nil {
+			switch {
+			case pkg.Path() == "fmt":
+				w.addAlloc(call.Pos(), "fmt."+callee.Name()+" allocates on a no-heap path",
+					"format off the hot path, or write into a preallocated buffer")
+			case pkg.Path() == "time" && callee.Name() == "Sleep":
+				w.addBlock(call.Pos(), "time.Sleep blocks a run-to-completion section",
+					"use a periodic activation (the scheduler owns time), not an inline sleep")
+			case ioPackages[pkg.Path()]:
+				w.addBlock(call.Pos(), pkg.Name()+"."+callee.Name()+
+					" performs unbounded I/O in a run-to-completion section",
+					"move I/O to a dedicated regular-priority component and bind asynchronously")
+			}
+		}
+	}
+	// Splice the callee's summary (static or unique-CHA target).
+	target := w.eng.resolve(info, call)
+	if target == nil || target == w.site {
+		return held
+	}
+	callee := w.eng.summaries[target.id]
+	if callee == nil || callee.Pure {
+		return held
+	}
+	step := validate.FlowStep{
+		Pos:  w.pos(call.Pos()),
+		Note: fmt.Sprintf("%s calls %s", funcName(w.site.fn), callee.Name),
+	}
+	for _, eff := range callee.Allocs {
+		w.add("alloc", &w.sum.Allocs, chainEffect(step, eff))
+	}
+	for _, eff := range callee.Blocks {
+		w.add("block", &w.sum.Blocks, chainEffect(step, eff))
+	}
+	// Spawn propagation stops at the framework boundary: the
+	// membrane/obs/comm internals are audited dynamically by the soak
+	// goroutine-leak gates; SA11 covers application code.
+	if !strings.HasPrefix(target.pkg.ImportPath, "soleil/internal/") {
+		for _, eff := range callee.Spawns {
+			w.add("spawn", &w.sum.Spawns, chainEffect(step, eff))
+		}
+	}
+	for _, l := range callee.Locks {
+		for _, h := range held {
+			if h != l {
+				w.addPair(h, l, step.Pos)
+			}
+		}
+		w.addLock(l)
+	}
+	for _, p := range callee.Pairs {
+		w.addPair(p.Outer, p.Inner, p.Pos)
+	}
+	return held
+}
+
+func chainEffect(step validate.FlowStep, eff SumEffect) SumEffect {
+	if len(eff.Chain) >= maxChain {
+		return SumEffect{Pos: eff.Pos, Sev: eff.Sev, Msg: eff.Msg, Suggestion: eff.Suggestion, Chain: eff.Chain}
+	}
+	chain := make([]validate.FlowStep, 0, len(eff.Chain)+1)
+	chain = append(chain, step)
+	chain = append(chain, eff.Chain...)
+	return SumEffect{Pos: eff.Pos, Sev: eff.Sev, Msg: eff.Msg, Suggestion: eff.Suggestion, Chain: chain}
+}
+
+// spawn analyzes one go statement for a bounded lifetime: the goroutine
+// is considered bounded when it has no unconditional loop, or when the
+// loop is governed by a stop signal — a context.Context, a receive in
+// a select that can leave the loop, a range over a channel (ends on
+// close), or a WaitGroup the spawner joins.
+func (w *sumWalker) spawn(g *ast.GoStmt) {
+	info := w.site.pkg.Info
+	var body ast.Node
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if callee := staticCallee(info, g.Call); callee != nil {
+			if site := w.eng.decls[funcID(callee)]; site != nil {
+				body = site.fn.Body
+			}
+		}
+	}
+	if body == nil {
+		return // dynamic spawn target: nothing to prove either way
+	}
+	if !hasUnboundedLoop(body) || hasStopSignal(info, body) {
+		return
+	}
+	w.addSpawn(g.Pos(),
+		"goroutine runs an unconditional loop with no context, stop channel or WaitGroup join: "+
+			"it outlives every release and leaks",
+		"pass a context.Context and select on ctx.Done(), or range over a closable channel")
+}
+
+// hasUnboundedLoop reports an unconditional `for {}` (no condition,
+// not a range) anywhere in the body.
+func hasUnboundedLoop(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasStopSignal reports a bounded-lifetime idiom in the goroutine
+// body: any use of a context.Context, a range over a channel, or a
+// select/receive whose clause body can leave the loop.
+func hasStopSignal(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if t := info.TypeOf(x); t != nil && isContextType(t) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				for _, stmt := range cc.Body {
+					if leavesLoop(stmt) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func leavesLoop(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if b.Tok == token.BREAK {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// engineLockKey canonicalizes a lock expression for summaries:
+// identifiers whose type is a named struct collapse to the type name,
+// so `p.mu` and `q.mu` on the same type are the same lock — the same
+// rule lockorder applies with the implementation type.
+func engineLockKey(info *types.Info, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			if named := namedOf(v.Type()); named != nil {
+				return named.Obj().Name()
+			}
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		return engineLockKey(info, x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return engineLockKey(info, x.X)
+	case *ast.IndexExpr:
+		return engineLockKey(info, x.X) + "[i]"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// fnCostNs derives the silent static CPU lower bound of one function:
+// the same arithmetic SA08's costCalc applies (constant Consume
+// durations, //soleil:cost annotations, constant-trip loops) but
+// without reporting — unboundable constructs contribute their minimum.
+// Cross-function calls charge the callee's summarized cost.
+func (e *Engine) fnCostNs(site *declSite, active map[string]bool) time.Duration {
+	if arg, ok := directiveArg(site.fn, "cost"); ok {
+		if d, err := time.ParseDuration(arg); err == nil {
+			return d
+		}
+		return 0
+	}
+	if directive(site.fn, "pure") || active[site.id] {
+		return 0
+	}
+	active[site.id] = true
+	defer delete(active, site.id)
+	return e.nodeCostNs(site, site.fn.Body, active)
+}
+
+func (e *Engine) nodeCostNs(site *declSite, n ast.Node, active map[string]bool) time.Duration {
+	info := site.pkg.Info
+	var total time.Duration
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false // runs elsewhere (or when the value is called)
+		case *ast.ForStmt:
+			trips, ok := boundedFor(info, s)
+			if !ok {
+				trips = 1
+			}
+			if s.Init != nil {
+				total += e.nodeCostNs(site, s.Init, active)
+			}
+			if s.Cond != nil {
+				total += e.nodeCostNs(site, s.Cond, active)
+			}
+			body := e.nodeCostNs(site, s.Body, active)
+			if s.Post != nil {
+				body += e.nodeCostNs(site, s.Post, active)
+			}
+			total += time.Duration(trips) * body
+			return false
+		case *ast.RangeStmt:
+			trips, ok := boundedRange(info, s)
+			if !ok {
+				trips = 1
+			}
+			total += time.Duration(trips) * e.nodeCostNs(site, s.Body, active)
+			return false
+		case *ast.CallExpr:
+			total += e.callCostNs(site, s, active)
+			return true
+		}
+		return true
+	})
+	return total
+}
+
+func (e *Engine) callCostNs(site *declSite, call *ast.CallExpr, active map[string]bool) time.Duration {
+	info := site.pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return 0
+	}
+	if calleeName(call) == "Consume" && len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil {
+			if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+				return time.Duration(v)
+			}
+		}
+		return 0
+	}
+	if fun, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return e.nodeCostNs(site, fun.Body, active)
+	}
+	target := e.resolve(info, call)
+	if target == nil {
+		return 0
+	}
+	if target.pkg == site.pkg {
+		return e.fnCostNs(target, active)
+	}
+	if s := e.summaries[target.id]; s != nil && !s.Recursive {
+		return time.Duration(s.CostNs)
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+package lint_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"soleil/internal/lint"
+)
+
+// summaries builds a single-package engine over a corpus and indexes
+// the resulting summaries by function name.
+func summaries(t *testing.T, dir, factsDir string) (*lint.Engine, map[string]*lint.Summary, *lint.Package) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := lint.NewEngine([]*lint.Package{pkg}, nil, factsDir)
+	byName := map[string]*lint.Summary{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if s := eng.SummaryOf(pkg, fn); s != nil {
+				byName[fn.Name.Name] = s
+			}
+		}
+	}
+	return eng, byName, pkg
+}
+
+func TestSummaryEngine(t *testing.T) {
+	_, sums, _ := summaries(t, corpus("summarysrc"), "")
+
+	pure := sums["Pure"]
+	if pure == nil || !pure.Pure {
+		t.Fatalf("Pure not trusted: %+v", pure)
+	}
+	if len(pure.Allocs) != 0 {
+		t.Errorf("trusted-pure summary carries effects: %+v", pure.Allocs)
+	}
+
+	costed := sums["Costed"]
+	if costed == nil || costed.CostNs != int64(2*time.Millisecond) {
+		t.Errorf("Costed should trust its 2ms annotation, got %+v", costed)
+	}
+
+	leaf := sums["Leaf"]
+	if leaf == nil || len(leaf.Blocks) != 1 {
+		t.Fatalf("Leaf should carry its sleep effect, got %+v", leaf)
+	}
+	if len(leaf.Blocks[0].Chain) != 0 {
+		t.Errorf("direct effect should have no chain: %+v", leaf.Blocks[0])
+	}
+
+	mid := sums["Mid"]
+	if mid == nil || len(mid.Blocks) != 1 {
+		t.Fatalf("Mid should splice Leaf's block, got %+v", mid)
+	}
+	if len(mid.Blocks[0].Chain) != 1 {
+		t.Errorf("spliced effect should chain through the call site: %+v", mid.Blocks[0])
+	}
+
+	// 2ms from the Costed annotation + 4×250us from the bounded loop.
+	cc := sums["CallsCosted"]
+	if cc == nil || cc.CostNs != int64(3*time.Millisecond) {
+		t.Errorf("CallsCosted cost = %v, want 3ms", time.Duration(cc.CostNs))
+	}
+
+	for _, name := range []string{"Odd", "Even"} {
+		if s := sums[name]; s == nil || !s.Recursive {
+			t.Errorf("%s should be marked recursive, got %+v", name, s)
+		}
+	}
+}
+
+// TestFactsCacheWarm: a second engine build over an unchanged package
+// adopts every summary from the facts cache — zero misses — and the
+// adopted summaries still carry their effects.
+func TestFactsCacheWarm(t *testing.T) {
+	facts := t.TempDir()
+	dir := corpus("summarysrc")
+
+	eng, _, _ := summaries(t, dir, facts)
+	if s := eng.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("cold build should miss once: %+v", s)
+	}
+
+	eng2, sums, _ := summaries(t, dir, facts)
+	if s := eng2.Stats(); s.Misses != 0 || s.Hits != 1 {
+		t.Fatalf("warm build should hit the cache: %+v", s)
+	}
+	if mid := sums["Mid"]; mid == nil || len(mid.Blocks) != 1 || len(mid.Blocks[0].Chain) != 1 {
+		t.Errorf("cache-adopted summary lost its spliced effect: %+v", mid)
+	}
+}
+
+// TestFactsCacheInvalidation: changing the source content invalidates
+// the cached entry and forces a recompute.
+func TestFactsCacheInvalidation(t *testing.T) {
+	facts := t.TempDir()
+	src := t.TempDir()
+	data, err := os.ReadFile(filepath.Join(corpus("summarysrc"), "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(src, "a.go")
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, _, _ := summaries(t, src, facts)
+	if s := eng.Stats(); s.Misses != 1 {
+		t.Fatalf("cold build should miss: %+v", s)
+	}
+	eng2, _, _ := summaries(t, src, facts)
+	if s := eng2.Stats(); s.Misses != 0 {
+		t.Fatalf("unchanged source should hit: %+v", s)
+	}
+
+	if err := os.WriteFile(file, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng3, _, _ := summaries(t, src, facts)
+	if s := eng3.Stats(); s.Misses != 1 {
+		t.Errorf("changed source should invalidate the entry: %+v", s)
+	}
+}
+
+// TestSummaryBudget pins the engine's whole-module build cost: the
+// interprocedural pass must stay cheap enough to run on every vet.
+func TestSummaryBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	eng := lint.NewEngine(pkgs, nil, "")
+	elapsed := time.Since(start)
+	if s := eng.Stats(); s.Funcs == 0 {
+		t.Fatalf("engine summarized nothing: %+v", s)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("summary build took %v, budget is 2s (%+v)", elapsed, eng.Stats())
+	}
+}

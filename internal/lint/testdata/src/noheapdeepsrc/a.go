@@ -1,0 +1,38 @@
+// Corpus for the interprocedural half of noheapalloc (SA01): the
+// no-heap root reaches its allocation through a call the local walk
+// cannot follow — interface dispatch with a unique implementing type,
+// resolved by the summary engine's class-hierarchy analysis.
+package noheapdeepsrc
+
+// Store has exactly one implementation in this package, so the engine
+// resolves s.Put below to (*mapStore).Put and splices its summary.
+type Store interface{ Put(k string) }
+
+type mapStore struct{ m map[string]int }
+
+func (s *mapStore) Put(k string) {
+	s.m = map[string]int{k: 1} // want `SA01 .*composite literal allocates on a no-heap path`
+}
+
+//soleil:noheap
+func record(s Store, k string) {
+	s.Put(k)
+}
+
+// Fan has two implementations: the dispatch is ambiguous, the engine
+// resolves nothing, and the allocations stay unreported (a lower bound,
+// not a guess).
+type Fan interface{ Spin() }
+
+type fastFan struct{ rpm []int }
+
+func (f *fastFan) Spin() { f.rpm = append(f.rpm, 1) }
+
+type slowFan struct{ rpm []int }
+
+func (f *slowFan) Spin() { f.rpm = append(f.rpm, 2) }
+
+//soleil:noheap
+func cool(f Fan) {
+	f.Spin()
+}

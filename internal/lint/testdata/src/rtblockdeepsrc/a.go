@@ -1,0 +1,40 @@
+// Corpus for the interprocedural half of rtblock (SA03): the
+// run-to-completion section blocks one call deep, behind interface
+// dispatch with a unique implementing type that only the summary
+// engine's class-hierarchy analysis can follow.
+package rtblockdeepsrc
+
+import "time"
+
+// Sink has exactly one implementation, so c.out.Flush() resolves to
+// (*fileSink).Flush and its blocking effects are charged to Invoke.
+type Sink interface{ Flush() }
+
+type fileSink struct{ ch chan int }
+
+func (f *fileSink) Flush() {
+	time.Sleep(time.Millisecond) // want `SA03 .*time\.Sleep blocks a run-to-completion section`
+	f.ch <- 0                    // want `SA03 .*channel send may block`
+}
+
+type component struct{ out Sink }
+
+func (c *component) Invoke(op string) (any, error) {
+	c.out.Flush()
+	return nil, nil
+}
+
+// quickSink is pure bookkeeping; splicing its (empty) summary adds
+// nothing.
+type Meter interface{ Tick() }
+
+type quickMeter struct{ n int }
+
+func (m *quickMeter) Tick() { m.n++ }
+
+type clean struct{ m Meter }
+
+func (c *clean) Invoke(op string) (any, error) {
+	c.m.Tick()
+	return nil, nil
+}

@@ -1,0 +1,18 @@
+// Corpus for the stale-suppression report (SA00): a //soleil:ignore
+// whose excused finding no longer exists is itself reported, so
+// suppressions rot visibly instead of silently.
+package staleignoresrc
+
+//soleil:noheap
+func fine() int {
+	x := 1 //soleil:ignore SA01 once excused an allocation here // want `SA00 .*suppresses nothing`
+	return x
+}
+
+// used keeps a live suppression: the allocation is real, the ignore
+// still earns its keep, no SA00.
+//
+//soleil:noheap
+func used() {
+	_ = make([]int, 1) //soleil:ignore SA01 startup-only allocation, measured cold
+}

@@ -1,0 +1,58 @@
+// Corpus for the summary engine itself (summary.go): trusted
+// annotations, effect splicing with call chains, recursion detection
+// and the static cost arithmetic.
+package summarysrc
+
+import "time"
+
+// Pure is trusted by annotation: its allocation never enters a
+// summary, and callers splice nothing from it.
+//
+//soleil:pure
+func Pure() *int { return new(int) }
+
+// Costed is trusted by annotation: the unbounded loop is not
+// descended into, the declared bound is the summary's cost.
+//
+//soleil:cost 2ms
+func Costed() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// Leaf blocks: the effect is recorded at the sleep, in SA03
+// vocabulary.
+func Leaf() { time.Sleep(time.Millisecond) }
+
+// Mid reaches Leaf's block one call deep: its summary carries the
+// effect with a chain step through the call site.
+func Mid() { Leaf() }
+
+// CallsCosted prices its callees: 2ms from the annotation plus 1ms
+// from its own constant-trip loop of Spin cycles.
+func CallsCosted() {
+	Costed()
+	for i := 0; i < 4; i++ {
+		Spin()
+	}
+}
+
+//soleil:cost 250us
+func Spin() {}
+
+// Odd and Even are mutually recursive: both summaries carry the
+// Recursive mark, and their cost is not trusted as a bound.
+func Odd(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return Even(n-1) + 1
+}
+
+func Even(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return Odd(n-1) + 1
+}

@@ -203,7 +203,7 @@ func (g *Gate) waitForToken() bool {
 			}
 			wait = remaining
 		}
-		time.Sleep(wait)
+		time.Sleep(wait) //soleil:ignore SA03 Block-policy wait: bounded by blockWait, and RT17 refuses this policy for RT clients
 		if g.take(time.Now()) {
 			return true
 		}

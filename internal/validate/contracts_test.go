@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -288,7 +289,7 @@ func TestContractDiagnosticsJSONRoundTrip(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for i, d := range back {
-		if d != diags[i] {
+		if !reflect.DeepEqual(d, diags[i]) {
 			t.Fatalf("finding %d mutated: %+v != %+v", i, d, diags[i])
 		}
 		seen[d.Rule] = true

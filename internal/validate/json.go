@@ -60,6 +60,19 @@ func EncodeJSON(w io.Writer, diags []Diagnostic) error {
 	return enc.Encode(diags)
 }
 
+// CountAtLeast counts the diagnostics at or above the threshold — the
+// one exit-gating predicate every CLI mode (vet, vet -arch, vet-tool)
+// shares, so -max-severity behaves identically everywhere.
+func CountAtLeast(diags []Diagnostic, threshold Severity) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity >= threshold {
+			n++
+		}
+	}
+	return n
+}
+
 // MaxSeverity returns the highest severity among the diagnostics, or
 // zero when there are none.
 func MaxSeverity(diags []Diagnostic) Severity {

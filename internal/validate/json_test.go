@@ -3,6 +3,7 @@ package validate
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -23,7 +24,7 @@ func TestEncodeJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back) != 2 || back[0] != diags[0] || back[1] != diags[1] {
+	if len(back) != 2 || !reflect.DeepEqual(back[0], diags[0]) || !reflect.DeepEqual(back[1], diags[1]) {
 		t.Fatalf("round trip mismatch: %+v", back)
 	}
 	// Severities encode as names, not numbers.

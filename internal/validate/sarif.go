@@ -3,17 +3,18 @@ package validate
 import (
 	"encoding/json"
 	"io"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 )
 
 // SARIF export: the same diagnostics EncodeJSON writes, rendered as a
-// minimal SARIF 2.1.0 log so CI systems (GitHub code scanning, most
-// IDE SARIF viewers) can annotate findings in place. Only the stdlib
-// is used; the structs below cover the subset of the schema the
-// diagnostics need — one run, one tool, one result per diagnostic.
+// SARIF 2.1.0 log so CI systems (GitHub code scanning, most IDE SARIF
+// viewers) can annotate findings in place. Only the stdlib is used;
+// the structs below cover the subset of the schema the diagnostics
+// need — one run, one tool, one result per diagnostic, with each
+// result's ruleIndex pointing into the driver's rule table and any
+// interprocedural call chain rendered as a codeFlow.
 
 const (
 	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
@@ -51,13 +52,16 @@ type sarifMessage struct {
 
 type sarifResult struct {
 	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations,omitempty"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
 }
 
 type sarifLocation struct {
-	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	PhysicalLocation *sarifPhysicalLocation `json:"physicalLocation,omitempty"`
+	Message          *sarifMessage          `json:"message,omitempty"`
 }
 
 type sarifPhysicalLocation struct {
@@ -72,6 +76,18 @@ type sarifArtifactLocation struct {
 type sarifRegion struct {
 	StartLine   int `json:"startLine"`
 	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLocation `json:"locations"`
+}
+
+type sarifThreadFlowLocation struct {
+	Location sarifLocation `json:"location"`
 }
 
 // SARIFOptions configures EncodeSARIF.
@@ -91,48 +107,63 @@ type SARIFOptions struct {
 // maps Error->error, Warning->warning, Info->note; positions of the
 // form file:line:col become physical locations with the filename
 // relativized against opts.Base. Diagnostics without a position (pure
-// architecture findings) still appear, as location-free results. A nil
-// slice encodes as a run with an empty result list.
+// architecture findings) still appear, as location-free results, and
+// diagnostics carrying a Flow gain a codeFlow whose threadFlow steps
+// are the call chain from the entry point to the offending site. A
+// nil slice encodes as a run with an empty result list.
 func EncodeSARIF(w io.Writer, diags []Diagnostic, opts SARIFOptions) error {
 	tool := opts.Tool
 	if tool == "" {
 		tool = "soleil"
 	}
-	results := make([]sarifResult, 0, len(diags))
 	ruleSet := map[string]bool{}
 	for _, d := range diags {
 		ruleSet[d.Rule] = true
-		msg := d.Message
-		if d.Suggestion != "" {
-			msg += " (" + d.Suggestion + ")"
-		}
-		res := sarifResult{
-			RuleID:  d.Rule,
-			Level:   sarifLevel(d.Severity),
-			Message: sarifMessage{Text: msg},
-		}
-		if uri, region, ok := sarifLocationOf(d.Pos, opts.Base); ok {
-			res.Locations = []sarifLocation{{
-				PhysicalLocation: sarifPhysicalLocation{
-					ArtifactLocation: sarifArtifactLocation{URI: uri},
-					Region:           region,
-				},
-			}}
-		}
-		results = append(results, res)
 	}
 	ids := make([]string, 0, len(ruleSet))
 	for id := range ruleSet {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	ruleIndex := make(map[string]int, len(ids))
 	var rules []sarifRule
-	for _, id := range ids {
+	for i, id := range ids {
+		ruleIndex[id] = i
 		r := sarifRule{ID: id}
 		if doc := opts.RuleDocs[id]; doc != "" {
 			r.ShortDescription = &sarifMessage{Text: doc}
 		}
 		rules = append(rules, r)
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		msg := d.Message
+		if d.Suggestion != "" {
+			msg += " (" + d.Suggestion + ")"
+		}
+		res := sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: ruleIndex[d.Rule],
+			Level:     sarifLevel(d.Severity),
+			Message:   sarifMessage{Text: msg},
+		}
+		if loc, ok := sarifLocationFor(d.Pos, opts.Base, nil); ok {
+			res.Locations = []sarifLocation{loc}
+		}
+		if len(d.Flow) > 0 {
+			steps := make([]sarifThreadFlowLocation, 0, len(d.Flow)+1)
+			for _, s := range d.Flow {
+				loc, _ := sarifLocationFor(s.Pos, opts.Base, &sarifMessage{Text: s.Note})
+				steps = append(steps, sarifThreadFlowLocation{Location: loc})
+			}
+			// The chain ends where the finding is.
+			end, _ := sarifLocationFor(d.Pos, opts.Base, &sarifMessage{Text: d.Message})
+			steps = append(steps, sarifThreadFlowLocation{Location: end})
+			res.CodeFlows = []sarifCodeFlow{{
+				ThreadFlows: []sarifThreadFlow{{Locations: steps}},
+			}}
+		}
+		results = append(results, res)
 	}
 	log := sarifLog{
 		Schema:  sarifSchema,
@@ -158,32 +189,61 @@ func sarifLevel(s Severity) string {
 	}
 }
 
-// sarifLocationOf parses a "file:line:col" (or "file:line") position
-// into a SARIF physical location, relativizing the file against base.
-// Windows-style drive letters are not handled — positions come from
-// go/token on the build host.
+// sarifLocationFor wraps sarifLocationOf into a full SARIF location
+// carrying an optional step message. A message-only location (no
+// parseable position) is still meaningful inside a threadFlow, so ok
+// reports whether ANY of the two parts is present.
+func sarifLocationFor(pos, base string, msg *sarifMessage) (sarifLocation, bool) {
+	loc := sarifLocation{Message: msg}
+	if uri, region, ok := sarifLocationOf(pos, base); ok {
+		loc.PhysicalLocation = &sarifPhysicalLocation{
+			ArtifactLocation: sarifArtifactLocation{URI: uri},
+			Region:           region,
+		}
+	}
+	return loc, loc.PhysicalLocation != nil || loc.Message != nil
+}
+
+// sarifLocationOf parses a rendered position ("file:line:col",
+// "file:line", or a bare file) into a SARIF artifact URI plus region.
+// The numeric suffixes are peeled from the right, so filenames
+// containing colons — Windows drive letters — survive, and both '/'
+// and '\' separated paths relativize against base and come out
+// slash-separated, as SARIF URIs require.
 func sarifLocationOf(pos, base string) (string, *sarifRegion, bool) {
 	if pos == "" || pos == "-" {
 		return "", nil, false
 	}
-	file := pos
+	rest := pos
+	var nums []int
+	for len(nums) < 2 {
+		i := strings.LastIndexByte(rest, ':')
+		if i < 0 {
+			break
+		}
+		n, err := strconv.Atoi(rest[i+1:])
+		if err != nil {
+			break
+		}
+		nums = append(nums, n)
+		rest = rest[:i]
+	}
 	var region *sarifRegion
-	if i := strings.Index(pos, ":"); i > 0 {
-		file = pos[:i]
-		rest := strings.Split(pos[i+1:], ":")
-		if line, err := strconv.Atoi(rest[0]); err == nil && line > 0 {
-			region = &sarifRegion{StartLine: line}
-			if len(rest) > 1 {
-				if col, err := strconv.Atoi(rest[1]); err == nil && col > 0 {
-					region.StartColumn = col
-				}
-			}
+	switch {
+	case len(nums) == 1 && nums[0] > 0:
+		region = &sarifRegion{StartLine: nums[0]}
+	case len(nums) == 2 && nums[1] > 0:
+		region = &sarifRegion{StartLine: nums[1]}
+		if nums[0] > 0 {
+			region.StartColumn = nums[0]
 		}
 	}
+	file := strings.ReplaceAll(rest, `\`, "/")
 	if base != "" {
-		if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
+		b := strings.TrimRight(strings.ReplaceAll(base, `\`, "/"), "/")
+		if b != "" && strings.HasPrefix(file, b+"/") {
+			file = file[len(b)+1:]
 		}
 	}
-	return filepath.ToSlash(file), region, true
+	return file, region, true
 }

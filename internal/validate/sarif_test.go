@@ -3,9 +3,14 @@ package validate
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var updateSARIFGolden = flag.Bool("update", false, "rewrite the SARIF golden files from current output")
 
 func TestEncodeSARIFRoundTrip(t *testing.T) {
 	diags := []Diagnostic{
@@ -112,6 +117,89 @@ func TestEncodeSARIFRoundTrip(t *testing.T) {
 	}
 	if !foundRule {
 		t.Errorf("rule metadata missing: %+v", run.Tool.Driver.Rules)
+	}
+}
+
+// TestEncodeSARIFGolden pins the exact serialized shape — runs,
+// ruleIndex into the driver rule table, codeFlows/threadFlows built
+// from Diagnostic.Flow — against committed golden logs, once with
+// '/'-separated positions and once with Windows '\' positions. Both
+// must come out with Base-relativized, slash-separated URIs. Rerun
+// with -update after an intentional schema change.
+func TestEncodeSARIFGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		opts   SARIFOptions
+		diags  []Diagnostic
+	}{
+		{
+			name:   "unix",
+			golden: "sarif_unix.golden.json",
+			opts: SARIFOptions{
+				Tool: "soleil-vet",
+				Base: "/repo",
+				RuleDocs: map[string]string{
+					"SA03": "calls that can block or stall an RT thread",
+					"SA09": "end-to-end flow latency against contracted budgets",
+				},
+			},
+			diags: []Diagnostic{
+				{Rule: "SA03", Severity: Error, Subject: "(*pump).Invoke",
+					Message:    "time.Sleep blocks a real-time thread",
+					Suggestion: "use the periodic dispatcher",
+					Pos:        "/repo/internal/pump/pump.go:42:7",
+					Flow: []FlowStep{
+						{Pos: "/repo/internal/pump/pump.go:30:2", Note: "(*pump).Invoke calls (*fileSink).Flush"},
+						{Pos: "/repo/internal/sink/sink.go:12:2", Note: "(*fileSink).Flush sleeps"},
+					}},
+				{Rule: "SA05", Severity: Warning, Subject: "A -> B -> A",
+					Message: "binding wait cycle"},
+			},
+		},
+		{
+			name:   "windows",
+			golden: "sarif_windows.golden.json",
+			opts: SARIFOptions{
+				Tool: "soleil-vet",
+				Base: `C:\repo`,
+				RuleDocs: map[string]string{
+					"SA09": "end-to-end flow latency against contracted budgets",
+				},
+			},
+			diags: []Diagnostic{
+				{Rule: "SA09", Severity: Error, Subject: "Panel -iFlow-> Pump -iIn-> Tank",
+					Message: "end-to-end worst-case latency 46ms exceeds the contract's latencyBudget 1ms",
+					Pos:     `C:\repo\examples\lintbad\main.go:88:2`,
+					Flow: []FlowStep{
+						{Pos: `C:\repo\examples\lintbad\main.go:70:2`, Note: "Pump: serve 1ms"},
+						{Note: "Tank: queue 4×10ms + serve 5ms"},
+					}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := EncodeSARIF(&buf, tc.diags, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.golden)
+			if *updateSARIFGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("SARIF output drifted from %s (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s",
+					path, buf.String(), want)
+			}
+		})
 	}
 }
 

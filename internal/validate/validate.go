@@ -59,6 +59,18 @@ type Diagnostic struct {
 	// Pos, when set, is the source position of the finding
 	// (file:line:col). Architecture-level findings have no position.
 	Pos string `json:"pos,omitempty"`
+	// Flow, when set, is the call chain (or binding path) from the
+	// entry point to the offending site — the interprocedural
+	// explanation of the finding. SARIF export renders it as a
+	// codeFlow.
+	Flow []FlowStep `json:"flow,omitempty"`
+}
+
+// FlowStep is one hop of a diagnostic's flow: a position (optional)
+// and a human-readable note ("(*pump).Invoke calls flush").
+type FlowStep struct {
+	Pos  string `json:"pos,omitempty"`
+	Note string `json:"note"`
 }
 
 func (d Diagnostic) String() string {
