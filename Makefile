@@ -10,11 +10,11 @@ GO ?= go
 # dispatch or real-time hot path.
 LINT_PKGS = ./internal/membrane/... ./internal/obs/... ./internal/comm/... ./internal/rtsj/... ./internal/qos/...
 
-.PHONY: all check vet build test race soak soak-cluster soak-overload lint sarif benchcheck bench bench-obs clean
+.PHONY: all check vet build test race soak soak-cluster soak-overload soak-load lint sarif benchcheck bench bench-obs bench-scenarios clean
 
 all: check
 
-check: vet build race soak soak-cluster soak-overload
+check: vet build race soak soak-cluster soak-overload soak-load
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,16 @@ soak-cluster:
 soak-overload:
 	$(GO) test -race -v -run TestSoakOverloadShedding ./internal/fault/
 	$(GO) test -race -v -run TestSoakOverloadCrossNodeDegrade ./internal/cluster/
+
+# The load-plane soak: one small instance of every synthesized
+# scenario shape (pipeline, fanin, statemachine, reactive, sporadic)
+# driven open-loop under the race detector, covering constant, burst
+# and ramp arrivals plus a 3-node cluster run. Every system must tear
+# down with zero leaked goroutines, traffic must complete end to end,
+# and the sporadic burst storm must demonstrably engage the admission
+# gates. The rate search is smoked alongside with short trials.
+soak-load:
+	$(GO) test -race -v -run 'TestSoakLoadScenarios|TestRateSearchFindsSustainableRate' ./internal/load/
 
 # Where `make lint` / `make sarif` keep the interprocedural summary
 # cache. CI restores this directory across runs, keyed on the analyzer
@@ -109,6 +119,14 @@ bench:
 # panel fails).
 bench-obs:
 	$(GO) run ./cmd/rtbench -panel e
+
+# Open-loop scenario fleet: binary-search the sustainable throughput
+# (p99.9 under the bound, coordinated-omission-safe) of synthesized
+# pipeline, fanin and sporadic architectures, in-process and across a
+# 3-node loopback cluster, written to BENCH_scenarios.json under the
+# shared bench envelope.
+bench-scenarios:
+	$(GO) run ./cmd/rtbench -panel f
 
 clean:
 	$(GO) clean ./...

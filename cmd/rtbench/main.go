@@ -6,6 +6,7 @@
 //	rtbench -panel c    # Fig. 7(c): memory footprints
 //	rtbench -panel d    # cluster links vs in-process bindings
 //	rtbench -panel e    # observability-plane hot paths (ns/op, allocs/op)
+//	rtbench -panel f    # open-loop scenario fleet: sustainable throughput
 //	rtbench -panel all  # everything
 //
 // The workload is the motivation example's complete iteration,
@@ -15,7 +16,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,15 +41,21 @@ func main() {
 	inflight := flag.Int("inflight", 4, "panel-(d) closed-loop window")
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "panel-(d) JSON output file (empty = skip)")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "panel-(e) JSON output file (empty = skip)")
+	scenariosOut := flag.String("scenarios-out", "BENCH_scenarios.json", "panel-(f) JSON output file (empty = skip)")
+	scenarioComponents := flag.Int("scenario-components", 24, "panel-(f) components per synthesized scenario")
+	scenarioTrial := flag.Duration("scenario-trial", time.Second, "panel-(f) duration of each rate-search trial")
+	scenarioBound := flag.Duration("scenario-bound", 50*time.Millisecond, "panel-(f) p99.9 ceiling a rate must sustain")
 	flag.Parse()
 
-	if err := run(os.Stdout, *panel, *observations, *warmup, *buckets, *csv, *messages, *inflight, *clusterOut, *obsOut); err != nil {
+	if err := run(os.Stdout, *panel, *observations, *warmup, *buckets, *csv, *messages, *inflight, *clusterOut, *obsOut,
+		*scenariosOut, *scenarioComponents, *scenarioTrial, *scenarioBound); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool, messages, inflight int, clusterOut, obsOut string) error {
+func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool, messages, inflight int, clusterOut, obsOut string,
+	scenariosOut string, scenarioComponents int, scenarioTrial, scenarioBound time.Duration) error {
 	wantTiming := panel == "a" || panel == "b" || panel == "all"
 	var timings []evaluation.TimingResult
 	if wantTiming {
@@ -72,6 +78,8 @@ func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool,
 		return panelD(w, messages, inflight, clusterOut)
 	case "e":
 		return panelE(w, obsOut)
+	case "f":
+		return panelF(w, scenariosOut, scenarioComponents, scenarioTrial, scenarioBound)
 	case "all":
 		if err := panelA(w, timings, buckets, csv); err != nil {
 			return err
@@ -89,9 +97,13 @@ func run(w io.Writer, panel string, observations, warmup, buckets int, csv bool,
 			return err
 		}
 		fmt.Fprintln(w)
-		return panelE(w, obsOut)
+		if err := panelE(w, obsOut); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return panelF(w, scenariosOut, scenarioComponents, scenarioTrial, scenarioBound)
 	default:
-		return fmt.Errorf("rtbench: unknown panel %q (want a, b, c, d, e or all)", panel)
+		return fmt.Errorf("rtbench: unknown panel %q (want a, b, c, d, e, f or all)", panel)
 	}
 }
 
@@ -230,30 +242,8 @@ func panelD(w io.Writer, messages, inflight int, outFile string) error {
 	}
 	fmt.Fprintln(w, "note: in-process RTTs include sporadic-release polling latency on both hops;")
 	fmt.Fprintln(w, "      imported link messages are invoked on receipt.")
-	if outFile == "" {
-		return nil
-	}
-	doc := struct {
-		GeneratedAt string                     `json:"generatedAt"`
-		Messages    int                        `json:"messages"`
-		Inflight    int                        `json:"inflight"`
-		Scenarios   []evaluation.ClusterResult `json:"scenarios"`
-	}{time.Now().UTC().Format(time.RFC3339), messages, inflight, results}
-	f, err := os.Create(outFile)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %s\n", outFile)
-	return nil
+	meta := map[string]any{"messages": messages, "inflight": inflight}
+	return writeBench(w, "d", outFile, meta, results)
 }
 
 // panelE prices the observability plane itself: the HDR histogram,
@@ -339,28 +329,6 @@ func panelE(w io.Writer, outFile string) error {
 		return fmt.Errorf("rtbench: recording paths allocate: %v", bad)
 	}
 	fmt.Fprintf(w, "digest size: %d bytes for %d observations\n", len(payload), snap.Count)
-
-	if outFile == "" {
-		return nil
-	}
-	doc := struct {
-		GeneratedAt string   `json:"generatedAt"`
-		DigestBytes int      `json:"digestBytes"`
-		Paths       []obsRow `json:"paths"`
-	}{time.Now().UTC().Format(time.RFC3339), len(payload), rows}
-	f, err := os.Create(outFile)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %s\n", outFile)
-	return nil
+	meta := map[string]any{"digestBytes": len(payload)}
+	return writeBench(w, "e", outFile, meta, rows)
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"soleil/internal/load"
+)
+
+// scenarioRow is one load-plane search result: the highest offered
+// rate a synthesized scenario sustains with p99.9 under the bound,
+// plus the tail and shedding profile of the trial at that rate.
+type scenarioRow struct {
+	Scenario        string  `json:"scenario"`
+	Shape           string  `json:"shape"`
+	Components      int     `json:"components"`
+	Nodes           int     `json:"nodes"`
+	Mode            string  `json:"mode"`
+	SustainableRate float64 `json:"sustainableRate"`
+	Injected        int64   `json:"injected"`
+	Completed       int64   `json:"completed"`
+	Shed            int64   `json:"shed"`
+	Dropped         int64   `json:"dropped"`
+	DeadlineMisses  int64   `json:"deadlineMisses"`
+	P50Ns           int64   `json:"p50Ns"`
+	P99Ns           int64   `json:"p99Ns"`
+	P999Ns          int64   `json:"p999Ns"`
+	Trials          int     `json:"trials"`
+}
+
+// panelF extends the evaluation to architecture scale: the open-loop
+// load plane synthesizes pipeline, fan-in and sporadic scenarios,
+// in-process and partitioned across three loopback cluster agents,
+// and binary-searches each one's sustainable throughput — the highest
+// offered rate whose p99.9 (measured from the *intended* arrival
+// instant, so a stalled run cannot hide the arrivals it delayed)
+// stays under the bound. Rows land in BENCH_scenarios.json under the
+// shared envelope so CI can archive the trend.
+func panelF(w io.Writer, outFile string, components int, trial time.Duration, bound time.Duration) error {
+	fmt.Fprintln(w, "=== panel (f): open-loop scenario fleet, sustainable throughput ===")
+	fmt.Fprintf(w, "%d components per scenario, %v trials, p99.9 bound %v\n", components, trial, bound)
+
+	cases := []struct {
+		shape load.Shape
+		nodes int
+	}{
+		{load.Pipeline, 1},
+		{load.Pipeline, 3},
+		{load.Fanin, 1},
+		{load.Fanin, 3},
+		{load.Sporadic, 1},
+		{load.Sporadic, 3},
+	}
+
+	var rows []scenarioRow
+	fmt.Fprintf(w, "%-26s %-10s %14s %10s %10s %10s\n",
+		"scenario", "mode", "sustainable/s", "p50", "p99.9", "shed")
+	for _, tc := range cases {
+		spec := load.Spec{Shape: tc.shape, Components: components, Nodes: tc.nodes, Seed: 11}
+		so := load.SearchOptions{
+			MinRate:       200,
+			MaxRate:       8000,
+			Iterations:    5,
+			Bound:         bound,
+			TrialDuration: trial,
+			TrialWarmup:   trial / 4,
+		}
+		if tc.shape == load.Sporadic {
+			// Sporadic entries shed by contract; judge the search on
+			// the tail, not on a completion ratio the gates are
+			// designed to violate under overload.
+			so.MinCompletionRatio = 0.5
+		}
+		sr, err := load.SearchRate(spec, load.RunConfig{Resilient: true}, so)
+		if err != nil {
+			return err
+		}
+		row := scenarioRow{
+			Shape:      string(tc.shape),
+			Components: components,
+			Nodes:      tc.nodes,
+			Trials:     len(sr.Trials),
+		}
+		if best := sr.Best; best != nil {
+			row.Scenario = best.Scenario
+			row.Mode = best.Mode
+			row.SustainableRate = sr.SustainableRate
+			row.Injected = best.Injected
+			row.Completed = best.Completed
+			row.Shed = best.Shed
+			row.Dropped = best.Dropped
+			row.DeadlineMisses = best.DeadlineMisses
+			row.P50Ns = best.P50.Nanoseconds()
+			row.P99Ns = best.P99.Nanoseconds()
+			row.P999Ns = best.P999.Nanoseconds()
+		} else if len(sr.Trials) > 0 {
+			// Even the bracket floor failed: record the floor trial so
+			// the regression is visible in the artifact, rate 0.
+			row.Scenario = sr.Trials[0].Scenario
+			row.Mode = sr.Trials[0].Mode
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-26s %-10s %14.0f %10v %10v %10d\n",
+			row.Scenario, row.Mode, row.SustainableRate,
+			time.Duration(row.P50Ns), time.Duration(row.P999Ns), row.Shed)
+	}
+
+	meta := map[string]any{
+		"components":    components,
+		"trialDuration": trial.String(),
+		"p999BoundNs":   bound.Nanoseconds(),
+	}
+	return writeBench(w, "f", outFile, meta, rows)
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"soleil/internal/adl"
+	"soleil/internal/load"
+)
+
+// cmdLoad is the open-loop load plane's front end: synthesize a
+// scenario architecture at scale, drive it on a fixed wall-clock
+// schedule independent of completions (coordinated-omission-safe) and
+// report throughput, tail latency, shed and deadline-miss counts as
+// JSON on stdout. -emit prints the synthesized ADL (and, with
+// -nodes > 1, -emit-deploy the deployment descriptor) instead of
+// running, so generated architectures can be fed to soleil validate.
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	scenario := fs.String("scenario", "pipeline",
+		"scenario shape: pipeline, fanin, statemachine, reactive or sporadic")
+	components := fs.Int("components", 64, "functional component count (including the sink)")
+	nodes := fs.Int("nodes", 1, "deployment width: 1 = in-process, N>1 = N loopback cluster agents")
+	seed := fs.Int64("seed", 1, "seed for every random structural choice (equal seeds give byte-identical ADL)")
+	rate := fs.Float64("rate", 1000, "offered arrival rate, messages/sec across all entries")
+	duration := fs.Duration("duration", 2*time.Second, "measured window")
+	warmup := fs.Duration("warmup", 500*time.Millisecond, "settling window excluded from every statistic")
+	arrival := fs.String("arrival", "constant", "arrival process: constant, burst or ramp")
+	burst := fs.Int("burst", 32, "volley size for the burst arrival process")
+	deadline := fs.Duration("deadline", 50*time.Millisecond, "completions above this latency count as deadline misses")
+	resilient := fs.Bool("resilient", false, "run the in-process system in the resilient execution mode")
+	contracted := fs.Bool("contracted", false, "attach QoS contracts to the entry bindings (always on for sporadic)")
+	contractRate := fs.Float64("contract-rate", 0, "contracted admission rate per entry binding (default 2000/s)")
+	search := fs.Bool("search", false,
+		"binary-search the highest sustainable rate (p99.9 under -deadline) instead of a single run; -rate caps the bracket")
+	emit := fs.Bool("emit", false, "print the synthesized ADL on stdout instead of running")
+	emitDeploy := fs.Bool("emit-deploy", false, "print the synthesized deployment descriptor on stdout instead of running")
+	verbose := fs.Bool("v", false, "log progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := load.ParseShape(*scenario)
+	if err != nil {
+		return err
+	}
+	arr, err := load.ParseArrival(*arrival)
+	if err != nil {
+		return err
+	}
+	spec := load.Spec{
+		Shape:        shape,
+		Components:   *components,
+		Nodes:        *nodes,
+		Seed:         *seed,
+		Contracted:   *contracted,
+		ContractRate: *contractRate,
+	}
+	if *emit || *emitDeploy {
+		scn, err := load.Synthesize(spec)
+		if err != nil {
+			return err
+		}
+		if *emitDeploy {
+			if scn.Deploy == nil {
+				return fmt.Errorf("soleil: -emit-deploy needs -nodes > 1 (single-node specs have no deployment descriptor)")
+			}
+			return adl.EncodeDeployment(os.Stdout, scn.Deploy)
+		}
+		return adl.Encode(os.Stdout, scn.Arch)
+	}
+
+	rc := load.RunConfig{Resilient: *resilient}
+	if *verbose {
+		rc.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	if *search {
+		sr, err := load.SearchRate(spec, rc, load.SearchOptions{
+			MaxRate: *rate,
+			Bound:   *deadline,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sustainable rate: %.0f msgs/sec (%d trials)\n",
+			sr.SustainableRate, len(sr.Trials))
+		return enc.Encode(sr)
+	}
+
+	res, err := load.Run(spec, load.Profile{
+		Rate:      *rate,
+		Duration:  *duration,
+		Warmup:    *warmup,
+		Arrival:   arr,
+		BurstSize: *burst,
+		Deadline:  *deadline,
+	}, rc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s: injected %d, completed %d (%.0f/s), shed %d, dropped %d, misses %d; p50 %v p99 %v p99.9 %v\n",
+		res.Scenario, res.Injected, res.Completed, res.AchievedRate,
+		res.Shed, res.Dropped, res.DeadlineMisses, res.P50, res.P99, res.P999)
+	return enc.Encode(res)
+}

@@ -8,6 +8,7 @@
 //	soleil genreport <arch.xml>                Sect. 5.2 requirements report
 //	soleil suggest <arch.xml>                  apply suggested patterns, emit completed ADL
 //	soleil run -mode M -duration D <arch.xml>  deploy (stub contents) and simulate
+//	soleil load -scenario S -components N -rate R -duration D -seed S   open-loop load scenario
 //	soleil serve -node N -adl arch.xml -deploy deploy.xml   run one cluster node
 //	soleil cluster -adl arch.xml -deploy deploy.xml [-serve ADDR]   cluster-wide status
 //	soleil top ADDR                            one-shot snapshot of a serving system
@@ -67,7 +68,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: soleil <validate|vet|analyze|generate|genreport|suggest|run|serve|cluster|top> [flags] [args]")
+		return fmt.Errorf("usage: soleil <validate|vet|analyze|generate|genreport|suggest|run|load|serve|cluster|top> [flags] [args]")
 	}
 	switch args[0] {
 	case "validate":
@@ -84,6 +85,8 @@ func run(args []string) error {
 		return cmdSuggest(args[1:])
 	case "run":
 		return cmdRun(args[1:])
+	case "load":
+		return cmdLoad(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
 	case "cluster":

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLinkPenaltyFromBench pins the two BENCH_cluster.json schemas
+// the flow-latency analyzer must price links from: the shared bench
+// envelope ({panel, commit, goos, rows}) current files use, and the
+// pre-unification layout that keyed the same rows as "scenarios".
+func TestLinkPenaltyFromBench(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want time.Duration
+	}{
+		{
+			name: "envelope",
+			doc: `{"panel":"d","commit":"abc1234","goos":"linux","rows":[
+				{"scenario":"in-process","rttMedian":2000000},
+				{"scenario":"cluster-loopback","rttMedian":300000}]}`,
+			want: 150 * time.Microsecond,
+		},
+		{
+			name: "legacy",
+			doc: `{"generatedAt":"2026-01-01T00:00:00Z","scenarios":[
+				{"scenario":"cluster-loopback","rttMedian":400000}]}`,
+			want: 200 * time.Microsecond,
+		},
+		{
+			name: "missing-row",
+			doc:  `{"panel":"d","rows":[{"scenario":"in-process","rttMedian":2000000}]}`,
+			want: defaultLinkPenalty,
+		},
+		{
+			name: "corrupt",
+			doc:  `{nope`,
+			want: defaultLinkPenalty,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "BENCH_cluster.json"), []byte(tc.doc), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got := linkPenaltyFromBench(dir); got != tc.want {
+				t.Fatalf("linkPenaltyFromBench = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLinkPenaltySearchesParents verifies the file is found from a
+// subdirectory, matching how the linter runs from package dirs.
+func TestLinkPenaltySearchesParents(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "internal", "pkg")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	doc := `{"panel":"d","rows":[{"scenario":"cluster-loopback","rttMedian":600000}]}`
+	if err := os.WriteFile(filepath.Join(root, "BENCH_cluster.json"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := linkPenaltyFromBench(sub), 300*time.Microsecond; got != want {
+		t.Fatalf("linkPenaltyFromBench from subdir = %v, want %v", got, want)
+	}
+}

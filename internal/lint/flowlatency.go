@@ -362,14 +362,23 @@ func linkPenaltyFromBench(dir string) time.Duration {
 	for d := dir; ; {
 		b, err := os.ReadFile(filepath.Join(d, "BENCH_cluster.json"))
 		if err == nil {
+			// Current files use the shared bench envelope ({panel,
+			// commit, goos, rows}); files written before the schema
+			// was unified keyed the same rows as "scenarios".
+			type clusterRow struct {
+				Scenario  string `json:"scenario"`
+				RTTMedian int64  `json:"rttMedian"`
+			}
 			var doc struct {
-				Scenarios []struct {
-					Scenario  string `json:"scenario"`
-					RTTMedian int64  `json:"rttMedian"`
-				} `json:"scenarios"`
+				Rows      []clusterRow `json:"rows"`
+				Scenarios []clusterRow `json:"scenarios"`
 			}
 			if json.Unmarshal(b, &doc) == nil {
-				for _, s := range doc.Scenarios {
+				rows := doc.Rows
+				if len(rows) == 0 {
+					rows = doc.Scenarios
+				}
+				for _, s := range rows {
 					if s.Scenario == "cluster-loopback" && s.RTTMedian > 0 {
 						return time.Duration(s.RTTMedian) / 2
 					}

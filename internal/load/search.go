@@ -1,0 +1,132 @@
+package load
+
+import (
+	"fmt"
+	"time"
+)
+
+// SearchOptions parameterizes the sustainable-throughput search.
+type SearchOptions struct {
+	// MinRate/MaxRate bracket the binary search (defaults 100 and
+	// 50000 msgs/sec).
+	MinRate, MaxRate float64
+	// Iterations bounds the bisection (default 6).
+	Iterations int
+	// Bound is the p99.9 ceiling a rate must stay under to count as
+	// sustainable (default 50ms).
+	Bound time.Duration
+	// MinCompletionRatio is the completed/injected floor (default
+	// 0.9); shapes that coalesce or shed by design (reactive,
+	// sporadic) should lower it or accept the search reporting the
+	// contract's admitted capacity rather than the offered one.
+	MinCompletionRatio float64
+	// TrialDuration/TrialWarmup shape each probe run (defaults 2s and
+	// 500ms).
+	TrialDuration, TrialWarmup time.Duration
+}
+
+func (so SearchOptions) withDefaults() SearchOptions {
+	if so.MinRate <= 0 {
+		so.MinRate = 100
+	}
+	if so.MaxRate <= so.MinRate {
+		so.MaxRate = 50000
+	}
+	if so.Iterations <= 0 {
+		so.Iterations = 6
+	}
+	if so.Bound <= 0 {
+		so.Bound = 50 * time.Millisecond
+	}
+	if so.MinCompletionRatio <= 0 {
+		so.MinCompletionRatio = 0.9
+	}
+	if so.TrialDuration <= 0 {
+		so.TrialDuration = 2 * time.Second
+	}
+	if so.TrialWarmup <= 0 {
+		so.TrialWarmup = 500 * time.Millisecond
+	}
+	return so
+}
+
+// SearchResult is the outcome of a rate search.
+type SearchResult struct {
+	// SustainableRate is the highest probed rate whose trial stayed
+	// under the bound; 0 if even MinRate failed.
+	SustainableRate float64 `json:"sustainableRate"`
+	// Best is the result of the trial at SustainableRate (nil if none
+	// passed).
+	Best *Result `json:"best,omitempty"`
+	// Trials records every probe in order.
+	Trials []*Result `json:"trials"`
+}
+
+// sustainable judges one trial: the tail stays under the bound and
+// enough of the injected traffic completed.
+func sustainable(r *Result, so SearchOptions) bool {
+	if r.P999 > so.Bound {
+		return false
+	}
+	if r.Injected == 0 {
+		return false
+	}
+	return float64(r.Completed) >= so.MinCompletionRatio*float64(r.Injected)
+}
+
+// SearchRate binary-searches the highest offered rate the scenario
+// sustains: p99.9 under the bound with an acceptable completion
+// ratio. Every probe synthesizes and deploys a fresh system, so
+// trials cannot contaminate each other's histograms or buffer
+// backlogs.
+func SearchRate(spec Spec, rc RunConfig, so SearchOptions) (*SearchResult, error) {
+	so = so.withDefaults()
+	probe := func(rate float64) (*Result, error) {
+		return Run(spec, Profile{
+			Rate:     rate,
+			Duration: so.TrialDuration,
+			Warmup:   so.TrialWarmup,
+			Deadline: so.Bound,
+		}, rc)
+	}
+
+	out := &SearchResult{}
+	lo, hi := so.MinRate, so.MaxRate
+
+	// The bracket's floor must pass at all, or the answer is "none".
+	r, err := probe(lo)
+	if err != nil {
+		return nil, err
+	}
+	out.Trials = append(out.Trials, r)
+	if !sustainable(r, so) {
+		return out, nil
+	}
+	out.SustainableRate, out.Best = lo, r
+
+	for i := 0; i < so.Iterations && hi-lo > lo*0.05; i++ {
+		mid := (lo + hi) / 2
+		r, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		out.Trials = append(out.Trials, r)
+		if sustainable(r, so) {
+			lo = mid
+			out.SustainableRate, out.Best = mid, r
+		} else {
+			hi = mid
+		}
+		if rc.Logf != nil {
+			rc.Logf("load: search %s: rate %.0f/s -> p99.9 %v, completed %d/%d (sustainable bracket %.0f..%.0f)",
+				spec.Shape, mid, r.P999, r.Completed, r.Injected, lo, hi)
+		}
+	}
+	if out.Best == nil {
+		return out, nil
+	}
+	if out.SustainableRate == 0 {
+		return nil, fmt.Errorf("load: rate search reached an inconsistent state")
+	}
+	return out, nil
+}

@@ -37,6 +37,16 @@ func BenchmarkHotPathHistogramObserve(b *testing.B) {
 	}
 }
 
+func BenchmarkHotPathHistogramObserveSince(b *testing.B) {
+	var h Histogram
+	intended := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(intended)
+	}
+}
+
 func BenchmarkHotPathSeriesLookup(b *testing.B) {
 	cm := NewRegistry().Component("m")
 	cm.Series("iface", "op") // steady state: the series exists

@@ -178,6 +178,19 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// ObserveSince records the latency elapsed since the *intended* start
+// of the operation. Open-loop load drivers pass the wall-clock instant
+// the arrival schedule said the operation should have begun — not the
+// instant it actually did — so queueing delay accumulated before the
+// operation was even issued lands in the recorded value. This is what
+// makes the measurement coordinated-omission-safe: a stalled system
+// cannot silence the arrivals it delayed.
+//
+//soleil:noheap
+func (h *Histogram) ObserveSince(intendedStart time.Time) {
+	h.Observe(time.Since(intendedStart))
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.n.Load() }
 
