@@ -81,8 +81,12 @@ func cmdLoad(args []string) error {
 
 	if *search {
 		sr, err := load.SearchRate(spec, rc, load.SearchOptions{
-			MaxRate: *rate,
-			Bound:   *deadline,
+			MaxRate:       *rate,
+			Bound:         *deadline,
+			TrialDuration: *duration,
+			TrialWarmup:   *warmup,
+			Arrival:       arr,
+			BurstSize:     *burst,
 		})
 		if err != nil {
 			return err

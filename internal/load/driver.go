@@ -219,7 +219,11 @@ func Drive(p Profile, col *Collector, targets []Target) (DriveStats, error) {
 				intended := start.Add(offs[i])
 				if d := time.Until(intended); d > 0 {
 					time.Sleep(d)
-				} else if late := -d; late > st.MaxLateness {
+				}
+				// Measured after the sleep so overshoot on a loaded
+				// host counts, not only arrivals already behind at the
+				// pre-sleep check.
+				if late := time.Since(intended); late > st.MaxLateness {
 					st.MaxLateness = late
 				}
 				t := targets[i%len(targets)]
@@ -237,21 +241,23 @@ func Drive(p Profile, col *Collector, targets []Target) (DriveStats, error) {
 	}
 	wg.Wait()
 
-	// Drain: wait for in-flight stamps, ending early once completions
-	// stop advancing.
+	// Drain: wait for in-flight stamps, ending early once the full
+	// ledger (completed + dropped + coalesced) has been quiescent for a
+	// quarter of the drain budget — a fixed short idle window would cut
+	// off deep pipelines that complete in bursts spaced further apart.
+	ledger := func() int64 { return col.Completed() + col.Dropped() + col.Coalesced() }
+	quiet := p.Drain / 4
+	if quiet < 150*time.Millisecond {
+		quiet = 150 * time.Millisecond
+	}
 	deadline := time.Now().Add(p.Drain)
-	last, idle := col.Completed(), 0
+	last, lastAdvance := ledger(), time.Now()
 	for time.Now().Before(deadline) {
 		time.Sleep(50 * time.Millisecond)
-		cur := col.Completed()
-		if cur == last {
-			idle++
-			if idle >= 3 {
-				break
-			}
-		} else {
-			idle = 0
-			last = cur
+		if cur := ledger(); cur != last {
+			last, lastAdvance = cur, time.Now()
+		} else if time.Since(lastAdvance) >= quiet {
+			break
 		}
 	}
 

@@ -23,14 +23,23 @@ type SearchOptions struct {
 	// TrialDuration/TrialWarmup shape each probe run (defaults 2s and
 	// 500ms).
 	TrialDuration, TrialWarmup time.Duration
+	// Arrival/BurstSize select each probe's arrival process (defaults
+	// Constant and 32, as in Profile).
+	Arrival   Arrival
+	BurstSize int
 }
 
 func (so SearchOptions) withDefaults() SearchOptions {
 	if so.MinRate <= 0 {
 		so.MinRate = 100
 	}
-	if so.MaxRate <= so.MinRate {
+	if so.MaxRate <= 0 {
 		so.MaxRate = 50000
+	}
+	if so.MaxRate < so.MinRate {
+		// A cap below the default floor shrinks the floor; never widen
+		// the bracket past the caller's ceiling.
+		so.MinRate = so.MaxRate
 	}
 	if so.Iterations <= 0 {
 		so.Iterations = 6
@@ -83,10 +92,12 @@ func SearchRate(spec Spec, rc RunConfig, so SearchOptions) (*SearchResult, error
 	so = so.withDefaults()
 	probe := func(rate float64) (*Result, error) {
 		return Run(spec, Profile{
-			Rate:     rate,
-			Duration: so.TrialDuration,
-			Warmup:   so.TrialWarmup,
-			Deadline: so.Bound,
+			Rate:      rate,
+			Duration:  so.TrialDuration,
+			Warmup:    so.TrialWarmup,
+			Arrival:   so.Arrival,
+			BurstSize: so.BurstSize,
+			Deadline:  so.Bound,
 		}, rc)
 	}
 

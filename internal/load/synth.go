@@ -215,6 +215,11 @@ func Synthesize(spec Spec) (*Scenario, error) {
 			layers = m
 		}
 		width := (m + layers - 1) / layers
+		// ceil division can cover m in fewer rows than requested (e.g.
+		// m=4, layers=3 gives width=2, which fills m in 2 rows), leaving
+		// empty tail layers whose sizeOf would be <= 0; the indexing
+		// below must use the effective layer count.
+		layers = (m + width - 1) / width
 		layerOf := func(i int) int { return i / width }
 		sizeOf := func(l int) int {
 			n := m - l*width

@@ -63,6 +63,32 @@ func TestSynthesizeValidArchitectures(t *testing.T) {
 	}
 }
 
+// TestSynthesizeSweep sweeps every shape across small component counts
+// and many seeds. Regression: the reactive layerer's ceil-division
+// sizing could leave empty tail layers, panicking (divide by zero, e.g.
+// Components=5/Seed=2) or binding to nonexistent components (e.g.
+// Components=6/Seed=1) — combinations the fixed-seed table above never
+// hit.
+func TestSynthesizeSweep(t *testing.T) {
+	for _, shape := range Shapes {
+		for components := 4; components <= 24; components++ {
+			for seed := int64(0); seed < 24; seed++ {
+				scn, err := Synthesize(Spec{Shape: shape, Components: components, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s components=%d seed=%d: %v", shape, components, seed, err)
+				}
+				if report := validate.Validate(scn.Arch); !report.OK() {
+					t.Fatalf("%s components=%d seed=%d fails validation: %v",
+						shape, components, seed, report.Errors())
+				}
+				if len(scn.Entries) == 0 {
+					t.Fatalf("%s components=%d seed=%d: no entry components", shape, components, seed)
+				}
+			}
+		}
+	}
+}
+
 // TestSynthesizeDeterministic pins the -seed contract at the load
 // plane's own scale: equal specs produce byte-identical ADL (and
 // deployment) XML, different seeds diverge.
